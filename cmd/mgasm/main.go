@@ -1,0 +1,149 @@
+// Command mgasm is the assembler/disassembler/runner for the toy ISA: it
+// lets you write your own programs, aggregate them into mini-graphs, and
+// time them on the simulated machines.
+//
+// Usage:
+//
+//	mgasm prog.s                     # assemble + functional run
+//	mgasm -o prog.mgb prog.s         # assemble to a binary program file
+//	mgasm -d prog.mgb                # disassemble a binary
+//	mgasm -time -config reduced -selector Slack-Profile prog.s
+//
+// Assembly syntax is documented on prog.Assemble; see examples in the
+// repository's test files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/emu"
+	"repro/internal/minigraph"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/selector"
+	"repro/internal/slack"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write binary program to this file")
+		disasm   = flag.Bool("d", false, "disassemble a binary program")
+		timeIt   = flag.Bool("time", false, "run the timing simulator")
+		cfgName  = flag.String("config", "baseline", "machine: baseline or reduced")
+		selName  = flag.String("selector", "none", "mini-graph policy (none, Struct-All, Struct-None, Struct-Bounded, Slack-Profile)")
+		maxInstr = flag.Int64("max", 16<<20, "dynamic instruction bound")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mgasm: exactly one input file required")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	p, err := loadProgram(path, *disasm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgasm:", err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		fmt.Print(p)
+		return
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgasm:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := p.WriteBinary(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mgasm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d instructions, %d data bytes\n", *out, p.NumInstrs(), len(p.Data))
+		return
+	}
+
+	res, err := emu.Run(p, emu.Options{MaxInstrs: *maxInstr, CollectTrace: *timeIt})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ran %d instructions, checksum (rv) = %d (%#x)\n",
+		res.DynInstrs, res.Checksum(), res.Checksum())
+
+	if !*timeIt {
+		return
+	}
+	cfg := pipeline.Baseline()
+	if *cfgName == "reduced" {
+		cfg = pipeline.Reduced()
+	}
+	mg := pipeline.MGConfig{}
+	if *selName != "none" {
+		sel, err := policy(*selName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgasm:", err)
+			os.Exit(1)
+		}
+		var prof *slack.Profile
+		if sel.NeedsProfile() {
+			acc := slack.NewAccumulator(p.Name, p.NumInstrs())
+			if _, err := pipeline.Run(p, res.Trace, cfg, pipeline.MGConfig{}, acc); err != nil {
+				fmt.Fprintln(os.Stderr, "mgasm:", err)
+				os.Exit(1)
+			}
+			prof = acc.Profile()
+		}
+		freq := make([]int64, p.NumInstrs())
+		for _, r := range res.Trace {
+			freq[r.Index]++
+		}
+		pool := sel.Pool(p, minigraph.Enumerate(p, minigraph.DefaultLimits()), prof)
+		chosen := minigraph.Select(p, pool, freq, minigraph.DefaultSelectConfig())
+		mg.Selection = chosen
+		fmt.Printf("%s selected %d mini-graphs (%.1f%% coverage)\n",
+			sel.Name(), len(chosen.Instances), 100*chosen.Coverage())
+	}
+	st, err := pipeline.Run(p, res.Trace, cfg, mg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("on %s:\n%s", cfg.Name, st)
+}
+
+func loadProgram(path string, binary bool) (*prog.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if binary || strings.HasSuffix(path, ".mgb") {
+		return prog.ReadBinary(f)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".s")
+	return prog.Assemble(name, string(src))
+}
+
+func policy(name string) (*selector.Selector, error) {
+	switch name {
+	case "Struct-All":
+		return selector.StructAll(), nil
+	case "Struct-None":
+		return selector.StructNone(), nil
+	case "Struct-Bounded":
+		return selector.StructBounded(), nil
+	case "Slack-Profile":
+		return selector.SlackProfile(), nil
+	}
+	return nil, fmt.Errorf("unknown selector %q", name)
+}

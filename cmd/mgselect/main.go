@@ -1,0 +1,96 @@
+// Command mgselect runs a mini-graph selection policy over a workload and
+// prints the chosen mini-graphs: template groups, instances, coverage, and
+// the serialization classification of each candidate.
+//
+// Usage:
+//
+//	mgselect -workload comm.crc32 [-input large] -selector Slack-Profile [-config reduced]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/selector"
+	"repro/internal/slack"
+)
+
+func main() {
+	var (
+		wName   = flag.String("workload", "", "workload name")
+		input   = flag.String("input", "large", "input set")
+		selName = flag.String("selector", "Struct-All", "selection policy")
+		cfgName = flag.String("config", "reduced", "profiling machine for slack-based policies")
+	)
+	flag.Parse()
+	if *wName == "" {
+		fmt.Fprintln(os.Stderr, "mgselect: -workload required")
+		os.Exit(2)
+	}
+
+	var sel *selector.Selector
+	switch *selName {
+	case "Struct-All":
+		sel = selector.StructAll()
+	case "Struct-None":
+		sel = selector.StructNone()
+	case "Struct-Bounded":
+		sel = selector.StructBounded()
+	case "Slack-Profile":
+		sel = selector.SlackProfile()
+	case "Slack-Profile-Delay":
+		sel = selector.SlackProfileDelay()
+	case "Slack-Profile-SIAL":
+		sel = selector.SlackProfileSIAL()
+	case "Slack-Dynamic":
+		sel = selector.SlackDynamic()
+	default:
+		fmt.Fprintf(os.Stderr, "mgselect: unknown selector %q\n", *selName)
+		os.Exit(2)
+	}
+
+	bench, err := core.PrepareByName(*wName, *input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgselect:", err)
+		os.Exit(1)
+	}
+	var prof *slack.Profile
+	if sel.NeedsProfile() {
+		var cfg pipeline.Config
+		switch *cfgName {
+		case "baseline":
+			cfg = pipeline.Baseline()
+		case "reduced":
+			cfg = pipeline.Reduced()
+		default:
+			fmt.Fprintf(os.Stderr, "mgselect: unknown config %q\n", *cfgName)
+			os.Exit(2)
+		}
+		if prof, err = bench.Profile(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "mgselect:", err)
+			os.Exit(1)
+		}
+	}
+
+	chosen := bench.Select(sel, prof)
+	fmt.Printf("workload=%s selector=%s candidates=%d\n", *wName, sel.Name(), len(bench.Cands))
+	fmt.Printf("selected: %d instances, %d templates, %.1f%% dynamic coverage\n",
+		len(chosen.Instances), chosen.NumTemplates, 100*chosen.Coverage())
+	for _, in := range chosen.Instances {
+		c := in.Cand
+		kind := "plain"
+		switch {
+		case c.Serializing() && !c.BoundedSerialization():
+			kind = "serializing(unbounded)"
+		case c.Serializing():
+			kind = "serializing(bounded)"
+		}
+		fmt.Printf("\ntemplate %d @ %d (freq %d, %s):\n", in.Template, in.Start, bench.Freq[in.Start], kind)
+		for k := 0; k < in.N; k++ {
+			fmt.Printf("  %4d  %s\n", in.Start+k, bench.Prog.Code[in.Start+k])
+		}
+	}
+}

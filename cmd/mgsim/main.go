@@ -1,0 +1,118 @@
+// Command mgsim runs one workload through the cycle-level simulator on a
+// chosen machine configuration and mini-graph selection policy, printing
+// IPC and pipeline statistics.
+//
+// Usage:
+//
+//	mgsim -workload comm.crc32 [-input large] [-config reduced] [-selector Slack-Profile] [-v]
+//
+// With -selector none (the default), the run is a pure singleton execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/selector"
+	"repro/internal/workload"
+)
+
+func configByName(name string) (pipeline.Config, error) {
+	switch name {
+	case "baseline", "full", "4way":
+		return pipeline.Baseline(), nil
+	case "reduced", "3way":
+		return pipeline.Reduced(), nil
+	case "2way":
+		return pipeline.Width2(), nil
+	case "8way":
+		return pipeline.Width8(), nil
+	case "dmem4":
+		return pipeline.SmallDMem(), nil
+	}
+	return pipeline.Config{}, fmt.Errorf("unknown config %q (baseline, reduced, 2way, 8way, dmem4)", name)
+}
+
+func selectorByName(name string) (*selector.Selector, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "Struct-All":
+		return selector.StructAll(), nil
+	case "Struct-None":
+		return selector.StructNone(), nil
+	case "Struct-Bounded":
+		return selector.StructBounded(), nil
+	case "Slack-Profile":
+		return selector.SlackProfile(), nil
+	case "Slack-Profile-Delay":
+		return selector.SlackProfileDelay(), nil
+	case "Slack-Profile-SIAL":
+		return selector.SlackProfileSIAL(), nil
+	case "Slack-Dynamic":
+		return selector.SlackDynamic(), nil
+	case "Ideal-Slack-Dynamic":
+		return selector.IdealSlackDynamic(), nil
+	}
+	return nil, fmt.Errorf("unknown selector %q", name)
+}
+
+func main() {
+	var (
+		wName   = flag.String("workload", "", "workload name (see -list)")
+		input   = flag.String("input", "large", "input set: small or large")
+		cfgName = flag.String("config", "baseline", "machine: baseline, reduced, 2way, 8way, dmem4")
+		selName = flag.String("selector", "none", "selection policy (or none)")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		verbose = flag.Bool("v", false, "print the mini-graph selection")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-18s %s\n", w.Name, w.Suite)
+		}
+		return
+	}
+	if *wName == "" {
+		fmt.Fprintln(os.Stderr, "mgsim: -workload required (use -list to see names)")
+		os.Exit(2)
+	}
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgsim:", err)
+		os.Exit(2)
+	}
+	sel, err := selectorByName(*selName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgsim:", err)
+		os.Exit(2)
+	}
+
+	bench, err := core.PrepareByName(*wName, *input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgsim:", err)
+		os.Exit(1)
+	}
+
+	var st *pipeline.Stats
+	if sel == nil {
+		st, err = bench.RunSingleton(cfg)
+	} else {
+		var chosen interface{ Coverage() float64 }
+		st, chosen, err = bench.Evaluate(sel, cfg, cfg)
+		if err == nil && *verbose {
+			fmt.Printf("selection coverage (static estimate): %.1f%%\n", 100*chosen.Coverage())
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s input=%s config=%s selector=%s\n", *wName, *input, cfg.Name, *selName)
+	fmt.Print(st)
+}

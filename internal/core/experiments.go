@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/minigraph"
+	"repro/internal/pipeline"
+	"repro/internal/selector"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configures an experiment sweep.
+type Options struct {
+	// Input is the input set to run ("large" by default).
+	Input string
+	// Suites restricts the workload population (nil = all four suites).
+	Suites []string
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Progress receives one line per completed workload when non-nil.
+	Progress io.Writer
+}
+
+func (o Options) input() string {
+	if o.Input == "" {
+		return "large"
+	}
+	return o.Input
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) workloads() []*workload.Workload {
+	if len(o.Suites) == 0 {
+		return workload.All()
+	}
+	var out []*workload.Workload
+	for _, s := range o.Suites {
+		out = append(out, workload.BySuite(s)...)
+	}
+	return out
+}
+
+// SeriesSpec describes one experiment line: a machine configuration plus a
+// selection policy (nil Sel = singleton execution, no mini-graphs).
+// ProfCfg overrides the profiling configuration (self-trained on the run
+// configuration when nil); ProfInput overrides the profiling input set.
+type SeriesSpec struct {
+	Label     string
+	Cfg       pipeline.Config
+	Sel       *selector.Selector
+	ProfCfg   *pipeline.Config
+	ProfInput string
+}
+
+// SweepResult carries one experiment's outcome: performance relative to the
+// fully-provisioned singleton baseline, plus coverage per series.
+type SweepResult struct {
+	Perf     *stats.Report
+	Coverage *stats.Report
+}
+
+// RunSweep evaluates every spec on every workload. Performance is reported
+// as IPC relative to the fully-provisioned baseline without mini-graphs
+// (the paper's y=1 line); coverage as the fraction of dynamic instructions
+// embedded in mini-graphs.
+func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, error) {
+	res := &SweepResult{
+		Perf:     &stats.Report{Title: title},
+		Coverage: &stats.Report{Title: title + " — coverage"},
+	}
+	perfSeries := make([]*stats.Series, len(specs))
+	covSeries := make([]*stats.Series, len(specs))
+	for i, sp := range specs {
+		perfSeries[i] = stats.NewSeries(sp.Label)
+		covSeries[i] = stats.NewSeries(sp.Label)
+		res.Perf.Add(perfSeries[i])
+		res.Coverage.Add(covSeries[i])
+	}
+
+	ws := opts.workloads()
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.workers())
+
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			vals, covs, err := evalWorkload(w, opts, specs)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", w.Name, err)
+				}
+				return
+			}
+			for i := range specs {
+				perfSeries[i].Add(w.Name, vals[i])
+				covSeries[i].Add(w.Name, covs[i])
+			}
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "done %s\n", w.Name)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// evalWorkload runs all specs for one workload and returns relative
+// performance and coverage per spec.
+func evalWorkload(w *workload.Workload, opts Options, specs []SeriesSpec) ([]float64, []float64, error) {
+	bench, err := Prepare(w, opts.input())
+	if err != nil {
+		return nil, nil, err
+	}
+	baseStats, err := bench.RunSingleton(pipeline.Baseline())
+	if err != nil {
+		return nil, nil, err
+	}
+	base := baseStats.Cycles
+
+	// Benches for cross-input profiling are prepared lazily and shared.
+	crossBenches := map[string]*Bench{}
+
+	vals := make([]float64, len(specs))
+	covs := make([]float64, len(specs))
+	for i, sp := range specs {
+		var st *pipeline.Stats
+		if sp.Sel == nil {
+			st, err = bench.RunSingleton(sp.Cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			profCfg := sp.Cfg
+			if sp.ProfCfg != nil {
+				profCfg = *sp.ProfCfg
+			}
+			profBench := bench
+			if sp.ProfInput != "" && sp.ProfInput != opts.input() {
+				pb, ok := crossBenches[sp.ProfInput]
+				if !ok {
+					pb, err = Prepare(w, sp.ProfInput)
+					if err != nil {
+						return nil, nil, err
+					}
+					crossBenches[sp.ProfInput] = pb
+				}
+				profBench = pb
+			}
+			if sp.Sel.NeedsProfile() && profBench != bench {
+				// Cross-input: collect the profile on the other input's
+				// bench and inject it here (static indices align — the
+				// code is identical, only the data differs).
+				prof, perr := profBench.Profile(profCfg)
+				if perr != nil {
+					return nil, nil, perr
+				}
+				key := profCfg.Name + "+" + sp.ProfInput
+				profCfg.Name = key
+				bench.InjectProfile(key, prof)
+			}
+			st, _, err = bench.Evaluate(sp.Sel, profCfg, sp.Cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		vals[i] = float64(base) / float64(st.Cycles)
+		covs[i] = st.Coverage()
+	}
+	return vals, covs, nil
+}
+
+// --- Figure/table drivers ---
+
+// Fig1 reproduces Figure 1: Slack-Profile vs the two naive selectors on the
+// reduced machine.
+func Fig1(opts Options) (*SweepResult, error) {
+	red := pipeline.Reduced()
+	return RunSweep("Figure 1: serialization-aware selection (reduced machine)", opts, []SeriesSpec{
+		{Label: "no mini-graphs", Cfg: red},
+		{Label: "Struct-All", Cfg: red, Sel: selector.StructAll()},
+		{Label: "Struct-None", Cfg: red, Sel: selector.StructNone()},
+		{Label: "Slack-Profile", Cfg: red, Sel: selector.SlackProfile()},
+	})
+}
+
+// Fig3Top reproduces Figure 3 (top): naive selectors on the reduced machine.
+func Fig3Top(opts Options) (*SweepResult, error) {
+	red := pipeline.Reduced()
+	return RunSweep("Figure 3 top: naive selectors (reduced machine)", opts, []SeriesSpec{
+		{Label: "no mini-graphs", Cfg: red},
+		{Label: "Struct-All", Cfg: red, Sel: selector.StructAll()},
+		{Label: "Struct-None", Cfg: red, Sel: selector.StructNone()},
+	})
+}
+
+// Fig3Bottom reproduces Figure 3 (bottom): naive selectors on the
+// fully-provisioned machine, where serialization is exposed.
+func Fig3Bottom(opts Options) (*SweepResult, error) {
+	base := pipeline.Baseline()
+	return RunSweep("Figure 3 bottom: naive selectors (fully-provisioned machine)", opts, []SeriesSpec{
+		{Label: "Struct-All", Cfg: base, Sel: selector.StructAll()},
+		{Label: "Struct-None", Cfg: base, Sel: selector.StructNone()},
+	})
+}
+
+func allFiveSpecs(cfg pipeline.Config) []SeriesSpec {
+	return []SeriesSpec{
+		{Label: "no mini-graphs", Cfg: cfg},
+		{Label: "Struct-All", Cfg: cfg, Sel: selector.StructAll()},
+		{Label: "Struct-None", Cfg: cfg, Sel: selector.StructNone()},
+		{Label: "Struct-Bounded", Cfg: cfg, Sel: selector.StructBounded()},
+		{Label: "Slack-Profile", Cfg: cfg, Sel: selector.SlackProfile()},
+		{Label: "Slack-Dynamic", Cfg: cfg, Sel: selector.SlackDynamic()},
+	}
+}
+
+// Fig6Top reproduces Figure 6 (top): all selectors on the reduced machine.
+func Fig6Top(opts Options) (*SweepResult, error) {
+	return RunSweep("Figure 6 top: serialization-aware selectors (reduced machine)",
+		opts, allFiveSpecs(pipeline.Reduced()))
+}
+
+// Fig6Middle reproduces Figure 6 (middle): all selectors on the
+// fully-provisioned machine.
+func Fig6Middle(opts Options) (*SweepResult, error) {
+	return RunSweep("Figure 6 middle: serialization-aware selectors (fully-provisioned machine)",
+		opts, allFiveSpecs(pipeline.Baseline()))
+}
+
+// Fig7Top reproduces Figure 7 (top): isolating the Slack-Profile model
+// components.
+func Fig7Top(opts Options) (*SweepResult, error) {
+	red := pipeline.Reduced()
+	return RunSweep("Figure 7 top: Slack-Profile model components (reduced machine)", opts, []SeriesSpec{
+		{Label: "Struct-All", Cfg: red, Sel: selector.StructAll()},
+		{Label: "Struct-None", Cfg: red, Sel: selector.StructNone()},
+		{Label: "Slack-Profile", Cfg: red, Sel: selector.SlackProfile()},
+		{Label: "Slack-Profile-Delay", Cfg: red, Sel: selector.SlackProfileDelay()},
+		{Label: "Slack-Profile-SIAL", Cfg: red, Sel: selector.SlackProfileSIAL()},
+	})
+}
+
+// Fig7Bottom reproduces Figure 7 (bottom): isolating the Slack-Dynamic
+// model components.
+func Fig7Bottom(opts Options) (*SweepResult, error) {
+	red := pipeline.Reduced()
+	return RunSweep("Figure 7 bottom: Slack-Dynamic model components (reduced machine)", opts, []SeriesSpec{
+		{Label: "Struct-All", Cfg: red, Sel: selector.StructAll()},
+		{Label: "Slack-Dynamic", Cfg: red, Sel: selector.SlackDynamic()},
+		{Label: "Ideal-Slack-Dynamic", Cfg: red, Sel: selector.IdealSlackDynamic()},
+		{Label: "Ideal-Slack-Dynamic-Delay", Cfg: red, Sel: selector.IdealSlackDynamicDelay()},
+		{Label: "Ideal-Slack-Dynamic-SIAL", Cfg: red, Sel: selector.IdealSlackDynamicSIAL()},
+	})
+}
+
+// Fig9Top reproduces Figure 9 (top): slack-profile robustness to machine
+// configuration, on the MediaBench/CommBench-like suites.
+func Fig9Top(opts Options) (*SweepResult, error) {
+	if len(opts.Suites) == 0 {
+		opts.Suites = []string{"media", "comm"}
+	}
+	red := pipeline.Reduced()
+	w2, w8, dm := pipeline.Width2(), pipeline.Width8(), pipeline.SmallDMem()
+	return RunSweep("Figure 9 top: profile robustness to machine configuration", opts, []SeriesSpec{
+		{Label: "self-trained", Cfg: red, Sel: selector.SlackProfile()},
+		{Label: "cross 2-way", Cfg: red, Sel: selector.SlackProfile(), ProfCfg: &w2},
+		{Label: "cross 8-way", Cfg: red, Sel: selector.SlackProfile(), ProfCfg: &w8},
+		{Label: "cross dmem/4", Cfg: red, Sel: selector.SlackProfile(), ProfCfg: &dm},
+	})
+}
+
+// Fig9Bottom reproduces Figure 9 (bottom): slack-profile robustness to
+// program input data sets, on the SPECint/MiBench-like suites.
+func Fig9Bottom(opts Options) (*SweepResult, error) {
+	if len(opts.Suites) == 0 {
+		opts.Suites = []string{"intx", "embed"}
+	}
+	red := pipeline.Reduced()
+	return RunSweep("Figure 9 bottom: profile robustness to input data sets", opts, []SeriesSpec{
+		{Label: "self-trained", Cfg: red, Sel: selector.SlackProfile()},
+		{Label: "cross-input", Cfg: red, Sel: selector.SlackProfile(), ProfInput: "small"},
+	})
+}
+
+// ResourceSweep generalizes Figure 1 across machine scales: for 2-, 3- and
+// 4-wide machines it contrasts singleton execution with Slack-Profile
+// mini-graphs, answering the title's question — how many resources can
+// mini-graphs buy back? The interesting readings are the iso-performance
+// pairs (e.g. "3-wide + mini-graphs vs plain 4-wide").
+func ResourceSweep(opts Options) (*SweepResult, error) {
+	w2, w3, w4 := pipeline.Width2(), pipeline.Reduced(), pipeline.Baseline()
+	return RunSweep("Resource sweep: machine width vs Slack-Profile mini-graphs", opts, []SeriesSpec{
+		{Label: "2-wide", Cfg: w2},
+		{Label: "2-wide + MG", Cfg: w2, Sel: selector.SlackProfile()},
+		{Label: "3-wide", Cfg: w3},
+		{Label: "3-wide + MG", Cfg: w3, Sel: selector.SlackProfile()},
+		{Label: "4-wide", Cfg: w4},
+		{Label: "4-wide + MG", Cfg: w4, Sel: selector.SlackProfile()},
+	})
+}
+
+// --- Figure 8: limit study ---
+
+// LimitPoint is one mini-graph combination in the exhaustive search.
+type LimitPoint struct {
+	Mask     uint32 // bit i set = candidate i included
+	Coverage float64
+	RelPerf  float64 // vs fully-provisioned singleton baseline
+}
+
+// LimitResult is the Figure 8 output: the full scatter plus each selector's
+// chosen combination.
+type LimitResult struct {
+	Workload   string
+	Candidates []*minigraph.Candidate // the 10 most frequent, disjoint
+	Points     []LimitPoint
+	Choices    map[string]uint32 // selector name -> mask
+	Best       LimitPoint
+}
+
+// LimitStudy reproduces the Figure 8 exhaustive search: take the 10 most
+// frequently executed non-overlapping candidates of one benchmark, evaluate
+// all 1024 subsets on the reduced machine, and compare with what each
+// selector would have chosen from the same pool.
+func LimitStudy(workloadName, input string, workers int) (*LimitResult, error) {
+	bench, err := PrepareByName(workloadName, input)
+	if err != nil {
+		return nil, err
+	}
+	top := topDisjoint(bench, 10)
+	if len(top) < 2 {
+		return nil, fmt.Errorf("limit study: %s has only %d disjoint candidates", workloadName, len(top))
+	}
+	n := len(top)
+	red := pipeline.Reduced()
+
+	baseStats, err := bench.RunSingleton(pipeline.Baseline())
+	if err != nil {
+		return nil, err
+	}
+	base := baseStats.Cycles
+
+	res := &LimitResult{
+		Workload:   workloadName,
+		Candidates: top,
+		Points:     make([]LimitPoint, 1<<n),
+		Choices:    make(map[string]uint32),
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	var firstErr error
+	var mu sync.Mutex
+	for mask := 0; mask < 1<<n; mask++ {
+		wg.Add(1)
+		go func(mask int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var subset []*minigraph.Candidate
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					subset = append(subset, top[i])
+				}
+			}
+			sel := minigraph.Select(bench.Prog, subset, bench.Freq, minigraph.DefaultSelectConfig())
+			st, err := bench.Run(red, nil, sel)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			res.Points[mask] = LimitPoint{
+				Mask:     uint32(mask),
+				Coverage: st.Coverage(),
+				RelPerf:  float64(base) / float64(st.Cycles),
+			}
+		}(mask)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res.Best = res.Points[0]
+	for _, pt := range res.Points {
+		if pt.RelPerf > res.Best.RelPerf {
+			res.Best = pt
+		}
+	}
+
+	// What would each static selector pick from this pool?
+	prof, err := bench.Profile(red)
+	if err != nil {
+		return nil, err
+	}
+	for _, sel := range []*selector.Selector{
+		selector.StructAll(), selector.StructNone(), selector.StructBounded(), selector.SlackProfile(),
+	} {
+		pool := sel.Pool(bench.Prog, top, prof)
+		var mask uint32
+		for i, c := range top {
+			for _, k := range pool {
+				if k == c {
+					mask |= 1 << uint(i)
+				}
+			}
+		}
+		res.Choices[sel.Name()] = mask
+	}
+	return res, nil
+}
+
+// topDisjoint returns the k most frequently executed pairwise-disjoint
+// candidates of a bench, in descending frequency order.
+func topDisjoint(b *Bench, k int) []*minigraph.Candidate {
+	cands := append([]*minigraph.Candidate(nil), b.Cands...)
+	sort.SliceStable(cands, func(i, j int) bool {
+		fi := b.Freq[cands[i].Start] * int64(cands[i].N-1)
+		fj := b.Freq[cands[j].Start] * int64(cands[j].N-1)
+		if fi != fj {
+			return fi > fj
+		}
+		return cands[i].Start < cands[j].Start
+	})
+	var out []*minigraph.Candidate
+	for _, c := range cands {
+		if b.Freq[c.Start] == 0 {
+			continue
+		}
+		ok := true
+		for _, o := range out {
+			if c.Overlaps(o) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkEmulator measures functional-emulation speed on a real kernel.
+func BenchmarkEmulator(b *testing.B) {
+	w := workload.Find("media.dct8")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(p, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.DynInstrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkEmulatorWithTrace includes trace collection (the experiment
+// pipeline's configuration).
+func BenchmarkEmulatorWithTrace(b *testing.B) {
+	w := workload.Find("media.dct8")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Options{CollectTrace: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemory measures the sparse-memory word path.
+func BenchmarkMemory(b *testing.B) {
+	var m Memory
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i*4) & 0xFFFFF
+		m.StoreWord(addr, uint32(i))
+		if m.LoadWord(addr) != uint32(i) {
+			b.Fatal("mismatch")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. Each instruction encodes to a fixed 64-bit word:
+//
+//	bits 63..56  opcode
+//	bits 55..48  rd   (255 = none)
+//	bits 47..40  rs1  (255 = none)
+//	bits 39..32  rs2  (255 = none)
+//	bits 31..0   immediate (sign-extended on decode) or, for direct
+//	             control transfers, the static target index
+//
+// The toy ISA is structural in memory; this fixed-width encoding exists
+// for program serialization and tooling round trips, not for code density.
+
+// usesTarget reports whether the 32-bit payload carries the branch target
+// (static index) rather than an immediate.
+func usesTarget(op Op) bool {
+	switch op {
+	case OpBr, OpBeqz, OpBnez, OpBltz, OpBgez, OpJsr:
+		return true
+	}
+	return false
+}
+
+// Encode packs an instruction into its 64-bit binary form.
+func Encode(in Instr) uint64 {
+	var payload uint32
+	if usesTarget(in.Op) {
+		payload = uint32(int32(in.Targ))
+	} else {
+		payload = uint32(int32(in.Imm))
+	}
+	return uint64(in.Op)<<56 | uint64(in.Rd)<<48 | uint64(in.Rs1)<<40 |
+		uint64(in.Rs2)<<32 | uint64(payload)
+}
+
+// Decode unpacks a 64-bit word into an instruction, validating the opcode
+// and register fields.
+func Decode(w uint64) (Instr, error) {
+	in := Instr{
+		Op:  Op(w >> 56),
+		Rd:  Reg(w >> 48),
+		Rs1: Reg(w >> 40),
+		Rs2: Reg(w >> 32),
+	}
+	if !in.Op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	for _, r := range [3]Reg{in.Rd, in.Rs1, in.Rs2} {
+		if r != NoReg && !r.Valid() {
+			return Instr{}, fmt.Errorf("isa: invalid register %d in %s", uint8(r), in.Op)
+		}
+	}
+	payload := int64(int32(uint32(w)))
+	if usesTarget(in.Op) {
+		in.Targ = int(payload)
+	} else {
+		in.Imm = payload
+	}
+	return in, nil
+}

@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAddi, Rd: 1, Rs1: 2, Rs2: NoReg, Imm: -42},
+		{Op: OpLda, Rd: 7, Rs1: NoReg, Rs2: NoReg, Imm: 0x100000},
+		{Op: OpLdw, Rd: 1, Rs1: SP, Rs2: NoReg, Imm: 16},
+		{Op: OpStw, Rd: NoReg, Rs1: SP, Rs2: 9, Imm: -8},
+		{Op: OpBnez, Rd: NoReg, Rs1: 4, Rs2: NoReg, Targ: 1234},
+		{Op: OpJsr, Rd: RA, Rs1: NoReg, Rs2: NoReg, Targ: 99},
+		{Op: OpRet, Rd: NoReg, Rs1: RA, Rs2: NoReg},
+		{Op: OpHalt, Rd: NoReg, Rs1: NoReg, Rs2: NoReg},
+	}
+	for _, in := range cases {
+		got, err := Decode(Encode(in))
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)): %v", in, err)
+			continue
+		}
+		if got != in {
+			t.Errorf("round trip: %v -> %v", in, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(uint64(200) << 56); err == nil {
+		t.Error("invalid opcode should fail")
+	}
+	// Valid opcode, invalid register (e.g. 40).
+	w := Encode(Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3})
+	w = w&^(uint64(0xff)<<48) | uint64(40)<<48
+	if _, err := Decode(w); err == nil {
+		t.Error("invalid register should fail")
+	}
+}
+
+// Property: any well-formed instruction round-trips exactly.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	f := func(opRaw, rd, rs1, rs2 uint8, payload int32) bool {
+		op := Op(opRaw % uint8(numOps))
+		mkReg := func(v uint8) Reg {
+			if v%5 == 0 {
+				return NoReg
+			}
+			return Reg(v % NumRegs)
+		}
+		in := Instr{Op: op, Rd: mkReg(rd), Rs1: mkReg(rs1), Rs2: mkReg(rs2)}
+		if usesTarget(op) {
+			in.Targ = int(payload)
+		} else {
+			in.Imm = int64(payload)
+		}
+		got, err := Decode(Encode(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,309 @@
+// Package isa defines the instruction set architecture used throughout the
+// mini-graph simulator: a small load/store RISC modeled on the Alpha AXP.
+//
+// The ISA deliberately has the "singleton RISC interface" that mini-graphs
+// generalize: every instruction reads at most two registers, writes at most
+// one register, makes at most one memory reference and at most one control
+// transfer. Thirty-two integer registers are provided; register 31 reads as
+// zero and writes to it are discarded.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+// Reg names an architectural register. ZeroReg reads as zero.
+type Reg uint8
+
+// Distinguished registers. The calling convention used by the workload
+// builder: SP is the stack pointer, RA the return address, RV the return
+// value. None of these are special to the hardware except ZeroReg.
+const (
+	RV      Reg = 0
+	RA      Reg = 26
+	SP      Reg = 30
+	ZeroReg Reg = 31
+	// NoReg marks an absent register operand.
+	NoReg Reg = 255
+)
+
+// String returns the conventional name of the register.
+func (r Reg) String() string {
+	switch r {
+	case ZeroReg:
+		return "zero"
+	case SP:
+		return "sp"
+	case RA:
+		return "ra"
+	case NoReg:
+		return "-"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcodes. The set is small but sufficient to express the workload suite:
+// ALU register and immediate forms, multiply/divide as complex ops, loads
+// and stores of words and bytes, conditional branches that test one
+// register, an unconditional branch, indirect jumps, and call/return.
+const (
+	OpNop Op = iota
+
+	// Simple integer ALU, register forms: rd <- rs1 op rs2.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpCmpEq // rd <- (rs1 == rs2) ? 1 : 0
+	OpCmpLt // rd <- (rs1 < rs2) signed ? 1 : 0
+	OpCmpLe // rd <- (rs1 <= rs2) signed ? 1 : 0
+	OpCmpUlt
+
+	// Simple integer ALU, immediate forms: rd <- rs1 op imm.
+	OpAddi
+	OpSubi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpCmpEqi
+	OpCmpLti
+	OpCmpLei
+
+	// Lda loads an immediate (address or constant): rd <- imm.
+	OpLda
+
+	// Complex integer ops (occupy the single complex issue port).
+	OpMul
+	OpDiv
+	OpRem
+
+	// Memory: effective address is rs1 + imm.
+	OpLdw // rd <- mem32[rs1+imm]
+	OpLdb // rd <- zx(mem8[rs1+imm])
+	OpStw // mem32[rs1+imm] <- rs2
+	OpStb // mem8[rs1+imm] <- rs2 (low byte)
+
+	// Control. Conditional branches test rs1 against zero.
+	OpBr   // unconditional pc-relative branch
+	OpBeqz // branch if rs1 == 0
+	OpBnez // branch if rs1 != 0
+	OpBltz // branch if rs1 < 0 (signed)
+	OpBgez // branch if rs1 >= 0 (signed)
+	OpJmp  // indirect jump to rs1
+	OpJsr  // call: rd <- return pc, jump to target (direct)
+	OpJsrI // call indirect: rd <- return pc, jump to rs1
+	OpRet  // return: jump to rs1 (RAS pop)
+
+	OpHalt // terminate the program
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpNop: "nop",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra",
+	OpCmpEq: "cmpeq", OpCmpLt: "cmplt", OpCmpLe: "cmple", OpCmpUlt: "cmpult",
+	OpAddi: "addi", OpSubi: "subi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai",
+	OpCmpEqi: "cmpeqi", OpCmpLti: "cmplti", OpCmpLei: "cmplei",
+	OpLda: "lda",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpLdw: "ldw", OpLdb: "ldb", OpStw: "stw", OpStb: "stb",
+	OpBr: "br", OpBeqz: "beqz", OpBnez: "bnez", OpBltz: "bltz", OpBgez: "bgez",
+	OpJmp: "jmp", OpJsr: "jsr", OpJsrI: "jsri", OpRet: "ret",
+	OpHalt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class partitions opcodes by the issue port they require.
+type Class uint8
+
+// Issue classes, matching Table 1's port model.
+const (
+	ClassNop Class = iota
+	ClassSimple
+	ClassComplex
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional and unconditional direct branches
+	ClassJump   // indirect jumps, calls, returns
+)
+
+var classNames = [...]string{"nop", "simple", "complex", "load", "store", "branch", "jump"}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassOf returns the issue class of an opcode.
+func ClassOf(o Op) Class {
+	switch o {
+	case OpNop, OpHalt:
+		return ClassNop
+	case OpMul, OpDiv, OpRem:
+		return ClassComplex
+	case OpLdw, OpLdb:
+		return ClassLoad
+	case OpStw, OpStb:
+		return ClassStore
+	case OpBr, OpBeqz, OpBnez, OpBltz, OpBgez:
+		return ClassBranch
+	case OpJmp, OpJsr, OpJsrI, OpRet:
+		return ClassJump
+	default:
+		return ClassSimple
+	}
+}
+
+// Latency returns the execution latency in cycles of an opcode, excluding
+// memory-hierarchy time for loads (the pipeline adds cache access latency).
+func Latency(o Op) int {
+	switch ClassOf(o) {
+	case ClassComplex:
+		if o == OpMul {
+			return 3
+		}
+		return 12 // div, rem
+	case ClassLoad, ClassStore:
+		return 1 // address generation; cache latency added by the memory model
+	default:
+		return 1
+	}
+}
+
+// Instr is one static instruction. Register operands that are unused hold
+// NoReg. The simulator treats instructions structurally; there is no binary
+// encoding (Program carries instruction slices directly).
+type Instr struct {
+	Op   Op
+	Rd   Reg   // destination register or NoReg
+	Rs1  Reg   // first source or NoReg
+	Rs2  Reg   // second source or NoReg
+	Imm  int64 // immediate / displacement
+	Targ int   // branch/call target: static instruction index (resolved by the assembler)
+}
+
+// IsBranch reports whether the instruction is any control transfer.
+func (in Instr) IsBranch() bool {
+	c := ClassOf(in.Op)
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Instr) IsCondBranch() bool {
+	switch in.Op {
+	case OpBeqz, OpBnez, OpBltz, OpBgez:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction references memory.
+func (in Instr) IsMem() bool {
+	c := ClassOf(in.Op)
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether the instruction is a load.
+func (in Instr) IsLoad() bool { return ClassOf(in.Op) == ClassLoad }
+
+// IsStore reports whether the instruction is a store.
+func (in Instr) IsStore() bool { return ClassOf(in.Op) == ClassStore }
+
+// IsCall reports whether the instruction pushes a return address (for RAS).
+func (in Instr) IsCall() bool { return in.Op == OpJsr || in.Op == OpJsrI }
+
+// IsReturn reports whether the instruction pops the RAS.
+func (in Instr) IsReturn() bool { return in.Op == OpRet }
+
+// WritesReg reports whether the instruction produces a register value.
+// Writes to the zero register are architectural no-ops and excluded.
+func (in Instr) WritesReg() bool {
+	return in.Rd != NoReg && in.Rd != ZeroReg
+}
+
+// Sources returns the register sources actually read (excluding the zero
+// register, which needs no dataflow edge: it is always ready).
+func (in Instr) Sources() []Reg {
+	var out []Reg
+	if in.Rs1 != NoReg && in.Rs1 != ZeroReg && in.Rs1.Valid() {
+		out = append(out, in.Rs1)
+	}
+	if in.Rs2 != NoReg && in.Rs2 != ZeroReg && in.Rs2.Valid() {
+		out = append(out, in.Rs2)
+	}
+	return out
+}
+
+// ReadsReg reports whether the instruction reads register r (excluding zero).
+func (in Instr) ReadsReg(r Reg) bool {
+	if r == ZeroReg || r == NoReg {
+		return false
+	}
+	return in.Rs1 == r || in.Rs2 == r
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch ClassOf(in.Op) {
+	case ClassNop:
+		return in.Op.String()
+	case ClassSimple, ClassComplex:
+		if in.Op == OpLda {
+			return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+		}
+		if in.Rs2 == NoReg {
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case ClassBranch:
+		if in.Op == OpBr {
+			return fmt.Sprintf("%s @%d", in.Op, in.Targ)
+		}
+		return fmt.Sprintf("%s %s, @%d", in.Op, in.Rs1, in.Targ)
+	case ClassJump:
+		switch in.Op {
+		case OpJsr:
+			return fmt.Sprintf("%s %s, @%d", in.Op, in.Rd, in.Targ)
+		case OpJsrI:
+			return fmt.Sprintf("%s %s, (%s)", in.Op, in.Rd, in.Rs1)
+		default:
+			return fmt.Sprintf("%s (%s)", in.Op, in.Rs1)
+		}
+	}
+	return in.Op.String()
+}

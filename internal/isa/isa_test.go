@@ -1,0 +1,238 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		0:       "r0",
+		5:       "r5",
+		RA:      "ra",
+		SP:      "sp",
+		ZeroReg: "zero",
+		NoReg:   "-",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("register %d should be valid", r)
+		}
+	}
+	if Reg(NumRegs).Valid() {
+		t.Error("register 32 should be invalid")
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg should be invalid")
+	}
+}
+
+func TestEveryOpHasNameAndClass(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		if !o.Valid() {
+			t.Fatalf("op %d unexpectedly invalid", o)
+		}
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", o)
+		}
+		c := ClassOf(o)
+		if strings.HasPrefix(c.String(), "class(") {
+			t.Errorf("op %s has unnamed class %d", o, c)
+		}
+		if l := Latency(o); l < 1 {
+			t.Errorf("op %s has nonsense latency %d", o, l)
+		}
+	}
+	if numOps.Valid() {
+		t.Error("numOps should be invalid")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[Op]Class{
+		OpNop:    ClassNop,
+		OpHalt:   ClassNop,
+		OpAdd:    ClassSimple,
+		OpAddi:   ClassSimple,
+		OpLda:    ClassSimple,
+		OpCmpUlt: ClassSimple,
+		OpMul:    ClassComplex,
+		OpDiv:    ClassComplex,
+		OpRem:    ClassComplex,
+		OpLdw:    ClassLoad,
+		OpLdb:    ClassLoad,
+		OpStw:    ClassStore,
+		OpStb:    ClassStore,
+		OpBr:     ClassBranch,
+		OpBeqz:   ClassBranch,
+		OpBgez:   ClassBranch,
+		OpJmp:    ClassJump,
+		OpJsr:    ClassJump,
+		OpJsrI:   ClassJump,
+		OpRet:    ClassJump,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%s) = %s, want %s", op, got, want)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(OpAdd) != 1 {
+		t.Errorf("simple int latency = %d, want 1", Latency(OpAdd))
+	}
+	if Latency(OpMul) != 3 {
+		t.Errorf("mul latency = %d, want 3", Latency(OpMul))
+	}
+	if Latency(OpDiv) != 12 {
+		t.Errorf("div latency = %d, want 12", Latency(OpDiv))
+	}
+	if Latency(OpLdw) != 1 {
+		t.Errorf("load agen latency = %d, want 1 (cache adds the rest)", Latency(OpLdw))
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	ld := Instr{Op: OpLdw, Rd: 1, Rs1: 2, Imm: 8}
+	st := Instr{Op: OpStw, Rs1: 2, Rs2: 3, Imm: 8}
+	br := Instr{Op: OpBnez, Rs1: 4, Targ: 10}
+	jm := Instr{Op: OpBr, Targ: 3}
+	call := Instr{Op: OpJsr, Rd: RA, Targ: 20}
+	ret := Instr{Op: OpRet, Rs1: RA}
+	add := Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}
+
+	if !ld.IsMem() || !ld.IsLoad() || ld.IsStore() || ld.IsBranch() {
+		t.Error("load predicates wrong")
+	}
+	if !st.IsMem() || st.IsLoad() || !st.IsStore() {
+		t.Error("store predicates wrong")
+	}
+	if !br.IsBranch() || !br.IsCondBranch() || br.IsMem() {
+		t.Error("branch predicates wrong")
+	}
+	if !jm.IsBranch() || jm.IsCondBranch() {
+		t.Error("br is unconditional, predicates wrong")
+	}
+	if !call.IsCall() || call.IsReturn() || !call.IsBranch() {
+		t.Error("call predicates wrong")
+	}
+	if !ret.IsReturn() || ret.IsCall() {
+		t.Error("ret predicates wrong")
+	}
+	if !add.WritesReg() {
+		t.Error("add should write a register")
+	}
+	zw := Instr{Op: OpAdd, Rd: ZeroReg, Rs1: 1, Rs2: 2}
+	if zw.WritesReg() {
+		t.Error("write to zero register should not count as a register write")
+	}
+	nw := Instr{Op: OpStw, Rd: NoReg, Rs1: 1, Rs2: 2}
+	if nw.WritesReg() {
+		t.Error("store should not write a register")
+	}
+}
+
+func TestSources(t *testing.T) {
+	add := Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}
+	if got := add.Sources(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("add sources = %v, want [r2 r3]", got)
+	}
+	addi := Instr{Op: OpAddi, Rd: 1, Rs1: 2, Rs2: NoReg, Imm: 4}
+	if got := addi.Sources(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("addi sources = %v, want [r2]", got)
+	}
+	zs := Instr{Op: OpAdd, Rd: 1, Rs1: ZeroReg, Rs2: ZeroReg}
+	if got := zs.Sources(); len(got) != 0 {
+		t.Errorf("zero-source add sources = %v, want []", got)
+	}
+	lda := Instr{Op: OpLda, Rd: 1, Rs1: NoReg, Rs2: NoReg, Imm: 100}
+	if got := lda.Sources(); len(got) != 0 {
+		t.Errorf("lda sources = %v, want []", got)
+	}
+}
+
+func TestReadsReg(t *testing.T) {
+	add := Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}
+	if !add.ReadsReg(2) || !add.ReadsReg(3) || add.ReadsReg(1) || add.ReadsReg(4) {
+		t.Error("ReadsReg wrong for add")
+	}
+	if add.ReadsReg(ZeroReg) {
+		t.Error("nothing reads the zero register as a dataflow source")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpAddi, Rd: 1, Rs1: 2, Rs2: NoReg, Imm: -4}, "addi r1, r2, -4"},
+		{Instr{Op: OpLda, Rd: 7, Rs1: NoReg, Rs2: NoReg, Imm: 4096}, "lda r7, 4096"},
+		{Instr{Op: OpLdw, Rd: 1, Rs1: SP, Rs2: NoReg, Imm: 16}, "ldw r1, 16(sp)"},
+		{Instr{Op: OpStw, Rd: NoReg, Rs1: SP, Rs2: 9, Imm: 0}, "stw r9, 0(sp)"},
+		{Instr{Op: OpBnez, Rd: NoReg, Rs1: 4, Rs2: NoReg, Targ: 12}, "bnez r4, @12"},
+		{Instr{Op: OpBr, Rd: NoReg, Rs1: NoReg, Rs2: NoReg, Targ: 3}, "br @3"},
+		{Instr{Op: OpJsr, Rd: RA, Rs1: NoReg, Rs2: NoReg, Targ: 20}, "jsr ra, @20"},
+		{Instr{Op: OpRet, Rd: NoReg, Rs1: RA, Rs2: NoReg}, "ret (ra)"},
+		{Instr{Op: OpNop}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: Sources never returns the zero register, NoReg, or an invalid
+// register, and returns at most two entries.
+func TestSourcesProperty(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8) bool {
+		in := Instr{Op: Op(op % uint8(numOps)), Rd: Reg(rd), Rs1: Reg(rs1), Rs2: Reg(rs2)}
+		srcs := in.Sources()
+		if len(srcs) > 2 {
+			return false
+		}
+		for _, s := range srcs {
+			if !s.Valid() || s == ZeroReg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: branch classification is consistent — IsCondBranch implies
+// IsBranch, and memory/branch classes are disjoint.
+func TestClassConsistencyProperty(t *testing.T) {
+	f := func(op uint8) bool {
+		in := Instr{Op: Op(op % uint8(numOps)), Rs1: 1, Rs2: 2, Rd: 3}
+		if in.IsCondBranch() && !in.IsBranch() {
+			return false
+		}
+		if in.IsMem() && in.IsBranch() {
+			return false
+		}
+		if in.IsLoad() && in.IsStore() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

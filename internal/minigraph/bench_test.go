@@ -1,0 +1,84 @@
+package minigraph
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// BenchmarkEnumerate measures candidate discovery over a real kernel.
+func BenchmarkEnumerate(b *testing.B) {
+	w := workload.Find("media.adpcm_enc")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := Enumerate(p, DefaultLimits()); len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkSelect measures the greedy coverage-scored selection engine.
+func BenchmarkSelect(b *testing.B) {
+	w := workload.Find("media.adpcm_enc")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	freq := make([]int64, p.NumInstrs())
+	for _, r := range res.Trace {
+		freq[r.Index]++
+	}
+	cands := Enumerate(p, DefaultLimits())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := Select(p, cands, freq, DefaultSelectConfig())
+		if len(sel.Instances) == 0 {
+			b.Fatal("nothing selected")
+		}
+	}
+}
+
+// BenchmarkTemplateKey measures template signature hashing.
+func BenchmarkTemplateKey(b *testing.B) {
+	w := workload.Find("media.adpcm_enc")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := Enumerate(p, DefaultLimits())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TemplateKey(p, cands[i%len(cands)])
+	}
+}
+
+// BenchmarkLayout measures outlined-layout construction.
+func BenchmarkLayout(b *testing.B) {
+	w := workload.Find("media.adpcm_enc")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	freq := make([]int64, p.NumInstrs())
+	for _, r := range res.Trace {
+		freq[r.Index]++
+	}
+	sel := Select(p, Enumerate(p, DefaultLimits()), freq, DefaultSelectConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewLayout(p, sel)
+	}
+}

@@ -1,0 +1,278 @@
+package minigraph
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// chain builds: r3 = r1+r2; r4 = r3+1; r5 = r4+2; store r5; halt.
+// Interior values r3, r4 die inside; r5 dies at the store.
+func chain(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("chain")
+	b.Add(3, 1, 2)      // 0
+	b.Addi(4, 3, 1)     // 1
+	b.Addi(5, 4, 2)     // 2
+	b.Stw(5, isa.SP, 0) // 3
+	b.Halt()            // 4
+	return b.MustBuild()
+}
+
+func findCand(cands []*Candidate, start, n int) *Candidate {
+	for _, c := range cands {
+		if c.Start == start && c.N == n {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestEnumerateChain(t *testing.T) {
+	p := chain(t)
+	cands := Enumerate(p, DefaultLimits())
+	// Windows within block [0,4): starts 0..2, lengths 2..4 clipped.
+	// All are dataflow chains, all valid: (0,2) (0,3) (0,4) (1,2) (1,3) (2,2).
+	if len(cands) != 6 {
+		t.Fatalf("got %d candidates, want 6: %v", len(cands), cands)
+	}
+	c := findCand(cands, 0, 3)
+	if c == nil {
+		t.Fatal("missing candidate (0,3)")
+	}
+	// add r3,r1,r2; addi r4,r3; addi r5,r4 — inputs r1,r2; output r5 at 2.
+	if len(c.ExternalIns) != 2 || c.ExternalIns[0] != 1 || c.ExternalIns[1] != 2 {
+		t.Errorf("inputs = %v, want [r1 r2]", c.ExternalIns)
+	}
+	if c.OutputReg != 5 || c.OutputIdx != 2 {
+		t.Errorf("output = %s@%d, want r5@2", c.OutputReg, c.OutputIdx)
+	}
+	if c.Serializing() {
+		t.Error("fully-connected chain with inputs at instr 0 must not serialize")
+	}
+	if c.MemIdx != -1 {
+		t.Errorf("MemIdx = %d, want -1", c.MemIdx)
+	}
+	// Internal deps: 1 depends on 0, 2 depends on 1.
+	if c.InternalDeps(1) != 1 || c.InternalDeps(2) != 2 {
+		t.Errorf("deps = %b,%b, want 1,10", c.InternalDeps(1), c.InternalDeps(2))
+	}
+}
+
+func TestCandidateWithStore(t *testing.T) {
+	p := chain(t)
+	cands := Enumerate(p, DefaultLimits())
+	c := findCand(cands, 1, 3) // addi; addi; stw
+	if c == nil {
+		t.Fatal("missing candidate (1,3)")
+	}
+	if c.MemIdx != 2 {
+		t.Errorf("MemIdx = %d, want 2", c.MemIdx)
+	}
+	// Output: r5 is consumed by the store inside; r4, r5 dead after.
+	if c.OutputReg != isa.NoReg {
+		t.Errorf("output = %s, want none (store consumes r5)", c.OutputReg)
+	}
+	// sp is an external input first used at constituent 2 -> serializing.
+	if !c.Serializing() {
+		t.Error("sp input at the store (index 2) should make this serializing")
+	}
+}
+
+func TestSerializingDetection(t *testing.T) {
+	// mg: r3 = r1+1; r4 = r3+r2 — r2 is external, first used at index 1.
+	b := prog.NewBuilder("ser")
+	b.Addi(3, 1, 1)
+	b.Add(4, 3, 2)
+	b.Stw(4, isa.SP, 0)
+	b.Halt()
+	p := b.MustBuild()
+	c := findCand(Enumerate(p, DefaultLimits()), 0, 2)
+	if c == nil {
+		t.Fatal("missing (0,2)")
+	}
+	if !c.Serializing() {
+		t.Error("r2 first used at index 1 must be serializing")
+	}
+	si := c.SerializingInputs()
+	if len(si) != 1 || c.ExternalIns[si[0]] != 2 {
+		t.Errorf("serializing inputs = %v", si)
+	}
+	// r2 feeds the output producer (index 1 == OutputIdx): bounded.
+	if c.OutputIdx != 1 {
+		t.Fatalf("OutputIdx = %d, want 1", c.OutputIdx)
+	}
+	if !c.BoundedSerialization() {
+		t.Error("serializing input feeding the output instruction is bounded")
+	}
+}
+
+func TestUnboundedSerializationFig4d(t *testing.T) {
+	// Figure 4d shape: the register output is produced by constituent 0;
+	// a serializing input feeds constituent 1, which is "downstream" of
+	// the output and has no path to it — unbounded delay.
+	// mg(0,3): r3 = r1+1 (output); r4 = r2+2; store r4.
+	b := prog.NewBuilder("unb")
+	b.Addi(3, 1, 1)     // 0: produces r3 (live after the window)
+	b.Addi(4, 2, 2)     // 1: r2 external, serializing
+	b.Stw(4, isa.SP, 0) // 2: consumes r4 internally
+	b.Stw(3, isa.SP, 4) // keeps r3 live after the window
+	b.Halt()
+	p := b.MustBuild()
+	c := findCand(Enumerate(p, DefaultLimits()), 0, 3)
+	if c == nil {
+		t.Fatal("missing (0,3)")
+	}
+	if c.OutputReg != 3 || c.OutputIdx != 0 {
+		t.Fatalf("output = %s@%d, want r3@0", c.OutputReg, c.OutputIdx)
+	}
+	if !c.Serializing() {
+		t.Fatal("r2 at index 1 should serialize")
+	}
+	if c.BoundedSerialization() {
+		t.Error("Figure 4d shape must be classified unbounded")
+	}
+}
+
+func TestTwoOutputsRejected(t *testing.T) {
+	b := prog.NewBuilder("two")
+	b.Addi(3, 1, 1)
+	b.Addi(4, 2, 2)
+	b.Stw(3, isa.SP, 0)
+	b.Stw(4, isa.SP, 4)
+	b.Halt()
+	p := b.MustBuild()
+	if c := findCand(Enumerate(p, DefaultLimits()), 0, 2); c != nil {
+		t.Errorf("window with two live outputs accepted: %v", c)
+	}
+}
+
+func TestUnboundedDisconnected(t *testing.T) {
+	// Disconnected mini-graph: r3 = r1+1 (output, live after);
+	// store r2 (independent). Serializing input r2 at index 1 has no path
+	// to the output producer (index 0) -> unbounded.
+	b := prog.NewBuilder("disc")
+	b.Addi(3, 1, 1)     // 0: output producer
+	b.Stw(2, isa.SP, 0) // 1: independent store, reads external r2 and sp
+	b.Stw(3, isa.SP, 4) // consumes r3 later (keeps it live after window)
+	b.Halt()
+	p := b.MustBuild()
+	c := findCand(Enumerate(p, DefaultLimits()), 0, 2)
+	if c == nil {
+		t.Fatal("missing (0,2)")
+	}
+	if c.OutputReg != 3 || c.OutputIdx != 0 {
+		t.Fatalf("output = %s@%d, want r3@0", c.OutputReg, c.OutputIdx)
+	}
+	if !c.Serializing() {
+		t.Fatal("store inputs at index 1 should serialize")
+	}
+	if c.BoundedSerialization() {
+		t.Error("serializing input downstream of the output must be unbounded")
+	}
+}
+
+func TestBranchOnlyLast(t *testing.T) {
+	b := prog.NewBuilder("br")
+	b.Label("top")
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "top")
+	b.Halt()
+	p := b.MustBuild()
+	c := findCand(Enumerate(p, DefaultLimits()), 0, 2)
+	if c == nil {
+		t.Fatal("subi+bnez should be a candidate")
+	}
+	if c.CtrlIdx != 1 {
+		t.Errorf("CtrlIdx = %d, want 1", c.CtrlIdx)
+	}
+	// r1 live around the loop: it is the output, produced at 0.
+	if c.OutputReg != 1 || c.OutputIdx != 0 {
+		t.Errorf("output = %s@%d, want r1@0", c.OutputReg, c.OutputIdx)
+	}
+}
+
+func TestIneligibleOps(t *testing.T) {
+	b := prog.NewBuilder("inel")
+	b.Mul(3, 1, 2) // complex: not eligible
+	b.Addi(4, 3, 1)
+	b.Stw(4, isa.SP, 0)
+	b.Halt()
+	p := b.MustBuild()
+	cands := Enumerate(p, DefaultLimits())
+	for _, c := range cands {
+		if c.Contains(0) {
+			t.Errorf("candidate %v contains the mul", c)
+		}
+	}
+}
+
+func TestTwoMemOpsRejected(t *testing.T) {
+	b := prog.NewBuilder("twomem")
+	b.Ldw(1, isa.SP, 0)
+	b.Ldw(2, isa.SP, 4)
+	b.Add(0, 1, 2)
+	b.Halt()
+	p := b.MustBuild()
+	if c := findCand(Enumerate(p, DefaultLimits()), 0, 2); c != nil {
+		t.Errorf("two loads accepted: %v", c)
+	}
+	// ld + add is fine.
+	if c := findCand(Enumerate(p, DefaultLimits()), 1, 2); c == nil {
+		t.Error("ldw+add should be a candidate")
+	}
+}
+
+func TestMaxInputsRespected(t *testing.T) {
+	// add r5,r1,r2 ; add r6,r3,r4 -> 4 external inputs, too many.
+	b := prog.NewBuilder("ins")
+	b.Add(5, 1, 2)
+	b.Add(6, 3, 4)
+	b.Add(7, 5, 6)
+	b.Stw(7, isa.SP, 0)
+	b.Halt()
+	p := b.MustBuild()
+	if c := findCand(Enumerate(p, DefaultLimits()), 0, 2); c != nil {
+		t.Errorf("4-input window accepted: %v", c)
+	}
+	// The 3-wide window (0,3) has 4 external inputs too; rejected.
+	if c := findCand(Enumerate(p, DefaultLimits()), 0, 3); c != nil {
+		t.Errorf("4-input window accepted: %v", c)
+	}
+	// (1,2): add r6,r3,r4; add r7,r5,r6 -> inputs r3,r4,r5 = 3, OK.
+	if c := findCand(Enumerate(p, DefaultLimits()), 1, 2); c == nil {
+		t.Error("3-input window should be accepted")
+	}
+}
+
+func TestWindowsStayInBlock(t *testing.T) {
+	b := prog.NewBuilder("blocks")
+	b.Addi(1, 1, 1)
+	b.Label("l")
+	b.Addi(2, 2, 1)
+	b.Addi(3, 3, 1)
+	b.Bnez(3, "l")
+	b.Halt()
+	p := b.MustBuild()
+	for _, c := range Enumerate(p, DefaultLimits()) {
+		if p.BlockOf[c.Start] != p.BlockOf[c.End()-1] {
+			t.Errorf("candidate %v spans blocks", c)
+		}
+	}
+}
+
+func TestMaxLenRespected(t *testing.T) {
+	b := prog.NewBuilder("len")
+	for i := 0; i < 6; i++ {
+		b.Addi(1, 1, 1)
+	}
+	b.Stw(1, isa.SP, 0)
+	b.Halt()
+	p := b.MustBuild()
+	for _, c := range Enumerate(p, Limits{MaxLen: 4, MaxInputs: 3}) {
+		if c.N > 4 {
+			t.Errorf("candidate %v exceeds MaxLen", c)
+		}
+	}
+}

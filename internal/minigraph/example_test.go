@@ -1,0 +1,47 @@
+package minigraph_test
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/minigraph"
+	"repro/internal/prog"
+)
+
+// Example walks the full selection flow: enumerate candidates in a small
+// loop, pick mini-graphs by dynamic coverage, and inspect the result.
+func Example() {
+	p := prog.MustAssemble("demo", `
+		li   r1, 100
+	loop:
+		addi r2, r2, 1
+		xori r2, r2, 0x5a
+		slli r3, r2, 2
+		add  r4, r3, r2
+		stw  r4, (sp)
+		subi r1, r1, 1
+		bnez r1, loop
+		halt
+	`)
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cands := minigraph.Enumerate(p, minigraph.DefaultLimits())
+	freq := make([]int64, p.NumInstrs())
+	for _, r := range res.Trace {
+		freq[r.Index]++
+	}
+	sel := minigraph.Select(p, cands, freq, minigraph.DefaultSelectConfig())
+	fmt.Printf("%d candidates, %d selected, coverage %.0f%%\n",
+		len(cands), len(sel.Instances), 100*sel.Coverage())
+	for _, in := range sel.Instances {
+		fmt.Printf("mini-graph @%d..%d (serializing=%v)\n",
+			in.Start, in.End()-1, in.Cand.Serializing())
+	}
+	// Output:
+	// 9 candidates, 2 selected, coverage 85%
+	// mini-graph @1..2 (serializing=false)
+	// mini-graph @3..6 (serializing=true)
+}

@@ -1,0 +1,97 @@
+package minigraph
+
+import "repro/internal/prog"
+
+// OutlineBase is the virtual address region holding outlined mini-graph
+// bodies. It is distant from the inline code so outlined execution touches
+// different instruction-cache lines, as with the paper's encoding.
+const OutlineBase = 0x0080_0000
+
+// Layout models the transformed ("outlined") code layout of a program under
+// a selection. In the transformed binary, each selected mini-graph's body
+// is removed from the main line and replaced by a single handle word; the
+// remaining code compacts. The body lives in the outline region, bracketed
+// by the handle word (a nop on non-mini-graph processors) and a jump back.
+//
+// The pipeline uses InlineAddr for normal fetch (amplified footprint) and
+// OutlineAddr plus JumpBackAddr when a Slack-Dynamic-disabled mini-graph
+// must execute in outlined singleton form (the 2-jump penalty).
+type Layout struct {
+	inline   []uint32 // per static index; 0 for non-head mini-graph members
+	outline  []uint32 // per static index; 0 for instructions not in a mini-graph
+	jumpBack map[int]uint32
+	// InlineWords is the size of the compacted inline code in words.
+	InlineWords int
+}
+
+// NewLayout computes the transformed layout.
+func NewLayout(p *prog.Program, sel *Selection) *Layout {
+	l := &Layout{
+		inline:   make([]uint32, len(p.Code)),
+		outline:  make([]uint32, len(p.Code)),
+		jumpBack: make(map[int]uint32),
+	}
+	next := uint32(prog.CodeBase)
+	for i := 0; i < len(p.Code); i++ {
+		if in := sel.InstanceAt(i); in != nil {
+			l.inline[i] = next // the handle occupies one inline slot
+			next += 4
+			i += in.N - 1 // members get no inline slots
+			continue
+		}
+		l.inline[i] = next
+		next += 4
+	}
+	l.InlineWords = int(next-prog.CodeBase) / 4
+
+	obase := uint32(OutlineBase)
+	for ii := range sel.Instances {
+		in := &sel.Instances[ii]
+		// Outlined body: [special/nop][N constituents][jump back].
+		for k := 0; k < in.N; k++ {
+			l.outline[in.Start+k] = obase + 4*uint32(1+k)
+		}
+		l.jumpBack[in.Start] = obase + 4*uint32(1+in.N)
+		obase += 4 * uint32(in.N+2)
+	}
+	return l
+}
+
+// InlineAddr returns the transformed inline address of static instruction i
+// (for mini-graph members other than the head, the head's handle address —
+// the member is never fetched inline).
+func (l *Layout) InlineAddr(i int) uint32 {
+	if a := l.inline[i]; a != 0 {
+		return a
+	}
+	// Member of a mini-graph: walk back to the handle.
+	for j := i; j >= 0; j-- {
+		if l.inline[j] != 0 {
+			return l.inline[j]
+		}
+	}
+	return prog.CodeBase
+}
+
+// OutlineAddr returns the outlined address of static instruction i, or 0 if
+// i is not inside a selected mini-graph.
+func (l *Layout) OutlineAddr(i int) uint32 { return l.outline[i] }
+
+// JumpBackAddr returns the address of the jump-back word of the mini-graph
+// starting at static index start (0 if none).
+func (l *Layout) JumpBackAddr(start int) uint32 { return l.jumpBack[start] }
+
+// IdentityLayout returns the untransformed layout (no mini-graphs), where
+// every instruction keeps its original address.
+func IdentityLayout(p *prog.Program) *Layout {
+	l := &Layout{
+		inline:      make([]uint32, len(p.Code)),
+		outline:     make([]uint32, len(p.Code)),
+		jumpBack:    map[int]uint32{},
+		InlineWords: len(p.Code),
+	}
+	for i := range p.Code {
+		l.inline[i] = prog.PCOf(i)
+	}
+	return l
+}

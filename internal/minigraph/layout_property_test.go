@@ -1,0 +1,71 @@
+package minigraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary frequency assignments over the loop program, the
+// transformed layout is well-formed — inline addresses are unique and
+// ordered, outline bodies live above OutlineBase without overlapping each
+// other, and every selected instance has a jump-back slot directly after
+// its body.
+func TestLayoutProperty(t *testing.T) {
+	p := loopProg(t)
+	cands := Enumerate(p, DefaultLimits())
+	f := func(rawFreq []uint16, budget uint8) bool {
+		freq := make([]int64, len(p.Code))
+		for i := range freq {
+			bi := p.BlockOf[i]
+			if bi < len(rawFreq) {
+				freq[i] = int64(rawFreq[bi])
+			}
+		}
+		sel := Select(p, cands, freq, SelectConfig{TemplateBudget: int(budget%8) + 1})
+		l := NewLayout(p, sel)
+
+		seenInline := map[uint32]bool{}
+		prev := uint32(0)
+		for i := 0; i < len(p.Code); i++ {
+			if in := sel.InstanceAt(i); in != nil {
+				a := l.InlineAddr(i)
+				if a <= prev || seenInline[a] || a >= OutlineBase {
+					return false
+				}
+				seenInline[a] = true
+				prev = a
+				// Outlined body: contiguous, above OutlineBase, ending in
+				// the jump-back slot.
+				for k := 0; k < in.N; k++ {
+					oa := l.OutlineAddr(i + k)
+					if oa < OutlineBase {
+						return false
+					}
+					if k > 0 && oa != l.OutlineAddr(i+k-1)+4 {
+						return false
+					}
+				}
+				if l.JumpBackAddr(i) != l.OutlineAddr(i+in.N-1)+4 {
+					return false
+				}
+				i += in.N - 1
+				continue
+			}
+			a := l.InlineAddr(i)
+			if a <= prev || seenInline[a] || a >= OutlineBase {
+				return false
+			}
+			seenInline[a] = true
+			prev = a
+		}
+		// Compacted size accounting.
+		covered := 0
+		for _, in := range sel.Instances {
+			covered += in.N
+		}
+		return l.InlineWords == len(p.Code)-covered+len(sel.Instances)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

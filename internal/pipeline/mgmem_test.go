@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// TestHandleStoreForwardsToLoad: a mini-graph containing a store followed
+// closely by a same-address load must interact correctly with the LSQ
+// (forwarding or ordering, never a flush storm, and exact commit counts).
+func TestHandleStoreForwardsToLoad(t *testing.T) {
+	b := prog.NewBuilder("mgfwd")
+	slot := b.Space(4)
+	b.Li(9, slot)
+	b.Li(1, 400)
+	b.Label("loop")
+	start := b.Pos()
+	// Window: [addi; xori; stw] — a store mini-graph.
+	b.Addi(2, 2, 1)
+	b.Xori(2, 2, 0x55)
+	b.Stw(2, 9, 0)
+	// Immediately load it back.
+	b.Ldw(3, 9, 0)
+	b.Add(0, 0, 3)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := selectOnly(t, p, res.Trace, start, 3)
+	st, err := Run(p, res.Trace, Reduced(), MGConfig{Selection: sel}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instrs != int64(len(res.Trace)) {
+		t.Errorf("instrs %d != trace %d", st.Instrs, len(res.Trace))
+	}
+	if st.Handles == 0 {
+		t.Fatal("the store mini-graph never executed as a handle")
+	}
+	if st.MemOrderFlushes > 40 {
+		t.Errorf("flush storm through the mini-graph store: %d", st.MemOrderFlushes)
+	}
+}
+
+// TestHandleLoadInMG: a mini-graph containing a load must respect StoreSets
+// ordering against older singleton stores.
+func TestHandleLoadInMG(t *testing.T) {
+	b := prog.NewBuilder("mgld")
+	slot := b.Space(4)
+	b.Li(9, slot)
+	b.Li(1, 400)
+	b.Label("loop")
+	b.Addi(2, 2, 3)
+	b.Stw(2, 9, 0) // singleton store
+	start := b.Pos()
+	// Window: [ldw; addi; xori] — a load mini-graph consuming the store.
+	b.Ldw(3, 9, 0)
+	b.Addi(3, 3, 1)
+	b.Xori(3, 3, 0x0f)
+	b.Add(0, 0, 3)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := selectOnly(t, p, res.Trace, start, 3)
+	st, err := Run(p, res.Trace, Reduced(), MGConfig{Selection: sel}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Handles == 0 {
+		t.Fatal("the load mini-graph never executed as a handle")
+	}
+	if st.MemOrderFlushes > 40 {
+		t.Errorf("StoreSets failed to order the mini-graph load: %d flushes", st.MemOrderFlushes)
+	}
+	if st.Instrs != int64(len(res.Trace)) {
+		t.Errorf("instrs %d != trace %d", st.Instrs, len(res.Trace))
+	}
+}
+
+// TestReplaysOccurOnlyWithMisses: a purely cache-resident loop must not
+// replay; a miss-heavy one must.
+func TestReplaysOccurOnlyWithMisses(t *testing.T) {
+	hot := prog.NewBuilder("hot")
+	slot := hot.Space(64)
+	hot.Li(9, slot)
+	hot.Li(1, 500)
+	hot.Label("loop")
+	hot.Ldw(2, 9, 0)
+	hot.Add(0, 0, 2) // immediate consumer: wakes speculatively
+	hot.Subi(1, 1, 1)
+	hot.Bnez(1, "loop")
+	hot.Halt()
+	p := hot.MustBuild()
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(p, res.Trace, Baseline(), MGConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After warmup the slot is L1-resident: replays only from the cold miss.
+	if st.Replays > 10 {
+		t.Errorf("hot loop replayed %d times", st.Replays)
+	}
+
+	// The pointer-chase pattern misses constantly and must replay.
+	cold := prog.NewBuilder("cold")
+	n := 16384 // words: 64KB, exceeds the 32KB L1
+	next := make([]uint32, n)
+	for i := range next {
+		next[i] = uint32((i + 4099) % n) // co-prime stride: cycles all slots
+	}
+	arr := cold.Words(next...)
+	cold.Li(9, arr)
+	cold.Li(1, 3000)
+	cold.Li(2, 0)
+	cold.Label("loop")
+	cold.Slli(3, 2, 2)
+	cold.Add(3, 3, 9)
+	cold.Ldw(2, 3, 0)
+	cold.Add(0, 0, 2) // dependent consumer: replays on every miss
+	cold.Subi(1, 1, 1)
+	cold.Bnez(1, "loop")
+	cold.Halt()
+	pc := cold.MustBuild()
+	resC, err := emu.Run(pc, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stC, err := Run(pc, resC.Trace, Baseline(), MGConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stC.L1DMissRate < 0.3 {
+		t.Fatalf("test needs misses, L1D miss rate %.2f", stC.L1DMissRate)
+	}
+	if stC.Replays < 500 {
+		t.Errorf("miss-heavy loop replayed only %d times", stC.Replays)
+	}
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import "testing"
+
+func newTestMonitor(threshold int, interval int64) (*mgMonitor, *Stats) {
+	st := &Stats{}
+	cfg := &MGConfig{DisableThreshold: threshold, DecayInterval: interval}
+	return newMGMonitor(cfg, 4, st), st
+}
+
+func TestMonitorDisablesAtThreshold(t *testing.T) {
+	m, st := newTestMonitor(3, 1000)
+	for i := 0; i < 2; i++ {
+		m.harmful(1)
+		if m.isDisabled(1) {
+			t.Fatalf("disabled after %d events, threshold 3", i+1)
+		}
+	}
+	m.harmful(1)
+	if !m.isDisabled(1) {
+		t.Error("not disabled at threshold")
+	}
+	if st.MGDisables != 1 || st.MGHarmfulEvents != 3 {
+		t.Errorf("stats: disables=%d harmful=%d", st.MGDisables, st.MGHarmfulEvents)
+	}
+	if m.isDisabled(0) || m.isDisabled(2) {
+		t.Error("other templates affected")
+	}
+}
+
+func TestMonitorCleanDecays(t *testing.T) {
+	m, _ := newTestMonitor(3, 1000)
+	m.harmful(0)
+	m.harmful(0)
+	m.clean(0)
+	m.clean(0)
+	m.harmful(0)
+	m.harmful(0)
+	if m.isDisabled(0) {
+		t.Error("clean events should have absorbed two harmful ones")
+	}
+	m.harmful(0)
+	if !m.isDisabled(0) {
+		t.Error("threshold eventually reached")
+	}
+}
+
+func TestMonitorResurrection(t *testing.T) {
+	m, st := newTestMonitor(2, 100)
+	m.harmful(0)
+	m.harmful(0)
+	if !m.isDisabled(0) {
+		t.Fatal("not disabled")
+	}
+	// Two decay ticks bring the counter below threshold.
+	m.tick(100)
+	m.tick(250)
+	if m.isDisabled(0) {
+		t.Error("template should be re-enabled after decay")
+	}
+	if st.MGReenables != 1 {
+		t.Errorf("MGReenables = %d, want 1", st.MGReenables)
+	}
+}
+
+func TestMonitorCounterSaturates(t *testing.T) {
+	m, _ := newTestMonitor(3, 1000)
+	for i := 0; i < 100; i++ {
+		m.harmful(0)
+	}
+	if m.counters[0] > counterMax {
+		t.Errorf("counter %d exceeds max %d", m.counters[0], counterMax)
+	}
+}
+
+func TestMonitorTickRespectsInterval(t *testing.T) {
+	m, _ := newTestMonitor(3, 100)
+	m.harmful(0)
+	m.tick(50) // before the first decay point
+	if m.counters[0] != 1 {
+		t.Errorf("premature decay: counter = %d", m.counters[0])
+	}
+	m.tick(150)
+	if m.counters[0] != 0 {
+		t.Errorf("decay missed: counter = %d", m.counters[0])
+	}
+}

@@ -1,0 +1,1239 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/minigraph"
+	"repro/internal/prog"
+	"repro/internal/slack"
+	"repro/internal/storesets"
+)
+
+type uopKind uint8
+
+const (
+	kindSingleton    uopKind = iota
+	kindHandle               // mini-graph handle
+	kindOverheadJump         // outlining jump of a disabled mini-graph
+)
+
+const never = int64(math.MaxInt64)
+
+// uop is one in-flight micro-op: a singleton instruction, a mini-graph
+// handle (one uop standing for up to four instructions), or an outlining
+// overhead jump.
+type uop struct {
+	seq      int64
+	traceIdx int // first trace record index (overhead jumps borrow their MG's)
+	nRecs    int // trace records this uop accounts for (0 for overhead jumps)
+	static   int // static index of the (first) instruction
+	kind     uopKind
+	mg       *minigraph.Instance
+
+	op    isa.Op
+	class isa.Class
+
+	fetchCycle  int64
+	renameReady int64
+	issueCycle  int64 // -1 until issued
+	execDone    int64 // all results produced; commit-eligible after this
+	readyOut    int64 // register output available on the bypass network
+	specReady   int64 // loads: L1-hit-speculative ready time broadcast to consumers
+	resolve     int64 // branch redirect / store address+data resolution cycle
+	earliestIss int64 // replay back-off: no re-issue attempt before this cycle
+
+	nSrc      int
+	srcProd   [3]*uop
+	srcReg    [3]isa.Reg
+	srcReadyC [3]int64
+
+	writesReg  bool
+	dstReg     isa.Reg
+	prevWriter *uop
+
+	isLoad, isStore bool
+	memAddr         uint32
+	memCycle        int64 // cycle the load's memory access begins
+	forwardedFrom   *uop
+	// waitStore is the StoreSets-imposed ordering: a load waits for this
+	// store to resolve; a store waits for the previous store of its set.
+	waitStore *uop
+
+	hasBranch bool // this uop resolves a control transfer
+	mispred   bool
+	actualTkn bool
+
+	committed bool
+	squashed  bool
+
+	// Slack-Dynamic per-instance detection state.
+	serialized bool
+
+	// Profiling.
+	bbHead      *uop
+	minConsIss  int64
+	fwdConsExec int64
+	consumers   []*uop // register-value consumers (profiling runs only)
+	gslack      int64  // computed global slack (drain-time reverse pass)
+}
+
+// fetchItem is a prepared fetch unit awaiting its fetch cycle.
+type fetchItem struct {
+	kind      uopKind
+	static    int
+	traceIdx  int
+	nRecs     int
+	addr      uint32
+	mg        *minigraph.Instance
+	endsGroup bool // taken control transfer: ends the fetch group
+}
+
+type violation struct {
+	atCycle int64
+	load    *uop
+	store   *uop
+}
+
+type machine struct {
+	cfg Config
+	mgc MGConfig
+	p   *prog.Program
+	tr  []emu.Rec
+
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+	ss   *storesets.Predictor
+	mon  *mgMonitor
+
+	stats Stats
+	prof  *slack.Accumulator
+
+	cycle int64
+	seq   int64
+
+	fetchIdx       int
+	fetchStall     int64 // no fetch before this cycle
+	pendingBranch  *uop  // unresolved mispredicted control transfer
+	fetchPending   []fetchItem
+	fetchQ         []*uop
+	window         []*uop // ROB, oldest first
+	iq             []*uop // issue queue, oldest first
+	inflightStores []*uop
+	inflightLoads  []*uop
+	pendingViol    []violation
+	freeRegs       int
+	lqUsed, sqUsed int
+	lastWriter     [isa.NumRegs]*uop
+	curBBHead      *uop
+	profFIFO       []*uop
+	layout         *minigraph.Layout
+}
+
+// Run replays the committed trace of program p on the configured machine
+// and returns timing statistics. mg configures mini-graph processing (zero
+// MGConfig = singleton execution). When prof is non-nil the run records a
+// slack profile into it (profiling runs should be singleton runs, matching
+// the paper's use of non-mini-graph profiles).
+func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Accumulator) (*Stats, error) {
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("pipeline: empty trace")
+	}
+	m := &machine{
+		cfg:      cfg,
+		mgc:      mg,
+		p:        p,
+		tr:       tr,
+		hier:     cache.NewHierarchy(cfg.Hier),
+		bp:       bpred.New(cfg.Bpred),
+		ss:       storesets.New(cfg.StoreSetEntries),
+		prof:     prof,
+		freeRegs: cfg.PhysRegs - isa.NumRegs,
+	}
+	if mg.Enabled() {
+		m.layout = mg.Layout
+		if m.layout == nil {
+			m.layout = minigraph.NewLayout(p, mg.Selection)
+		}
+		m.mon = newMGMonitor(&mg, mg.Selection.NumTemplates, &m.stats)
+	} else {
+		m.layout = minigraph.IdentityLayout(p)
+	}
+	if m.freeRegs <= 0 {
+		return nil, fmt.Errorf("pipeline: config %q has no rename registers", cfg.Name)
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+
+	for {
+		if m.done() {
+			break
+		}
+		if m.cycle > maxCycles {
+			return nil, fmt.Errorf("pipeline: %s on %s exceeded %d cycles (deadlock?)", p.Name, cfg.Name, maxCycles)
+		}
+		m.checkViolations()
+		m.commit()
+		m.resolvePendingBranch()
+		m.issue()
+		m.rename()
+		m.fetch()
+		if m.mon != nil && m.mgc.Dynamic {
+			m.mon.tick(m.cycle)
+		}
+		m.cycle++
+	}
+
+	m.drainProfile()
+	m.stats.Cycles = m.cycle
+	m.stats.BranchMispredicts = m.bp.DirMisses + m.stats.RASMispredicts
+	m.stats.BTBMisses = m.bp.BTBMisses
+	m.stats.L1IMissRate = m.hier.L1I.MissRate()
+	m.stats.L1DMissRate = m.hier.L1D.MissRate()
+	m.stats.L2MissRate = m.hier.L2.MissRate()
+	m.stats.MemAccesses = m.hier.MemAccesses
+	m.stats.ITLBMisses = m.hier.ITLB.Misses()
+	m.stats.DTLBMisses = m.hier.DTLB.Misses()
+	return &m.stats, nil
+}
+
+func (m *machine) done() bool {
+	return m.fetchIdx >= len(m.tr) && len(m.fetchPending) == 0 &&
+		len(m.fetchQ) == 0 && len(m.window) == 0
+}
+
+// --- commit ---
+
+func (m *machine) commit() {
+	for n := 0; n < m.cfg.CommitWidth && len(m.window) > 0; n++ {
+		u := m.window[0]
+		if u.issueCycle < 0 || u.execDone > m.cycle {
+			return
+		}
+		u.committed = true
+		m.window = m.window[1:]
+		m.stats.Uops++
+		switch u.kind {
+		case kindSingleton:
+			m.stats.Instrs++
+		case kindHandle:
+			m.stats.Instrs += int64(u.nRecs)
+			m.stats.EmbeddedInstrs += int64(u.nRecs)
+			m.stats.Handles++
+		case kindOverheadJump:
+			m.stats.OverheadJumps++
+		}
+		if u.writesReg {
+			m.freeRegs++ // the previous mapping of dstReg dies
+		}
+		if u.isLoad {
+			m.lqUsed--
+			m.removeInflight(&m.inflightLoads, u)
+		}
+		if u.isStore {
+			m.sqUsed--
+			m.removeInflight(&m.inflightStores, u)
+			m.ss.CompleteStore(m.storePC(u), u.seq)
+			// The store's write updates cache state at commit.
+			m.hier.AccessD(m.cycle, u.memAddr, true)
+		}
+		if m.prof != nil {
+			// Retained until drain: the global-slack reverse pass needs the
+			// whole committed stream, and late consumers keep updating
+			// local slack until then.
+			m.profFIFO = append(m.profFIFO, u)
+		}
+	}
+}
+
+func (m *machine) removeInflight(list *[]*uop, u *uop) {
+	s := *list
+	for i, v := range s {
+		if v == u {
+			*list = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+// storePC returns the PC used for StoreSets indexing of u's store.
+func (m *machine) storePC(u *uop) uint32 {
+	if u.kind == kindHandle {
+		return prog.PCOf(u.static + u.mg.Cand.MemIdx)
+	}
+	return prog.PCOf(u.static)
+}
+
+func (m *machine) loadPC(u *uop) uint32 { return m.storePC(u) }
+
+// --- branch resolution / fetch unblocking ---
+
+func (m *machine) resolvePendingBranch() {
+	b := m.pendingBranch
+	if b == nil {
+		return
+	}
+	if b.squashed {
+		m.pendingBranch = nil
+		return
+	}
+	if b.issueCycle >= 0 && m.cycle >= b.resolve {
+		m.pendingBranch = nil
+		if m.fetchStall < b.resolve+1 {
+			m.fetchStall = b.resolve + 1
+		}
+	}
+}
+
+// --- issue ---
+
+func (m *machine) issue() {
+	issueLeft := m.cfg.IssueWidth
+	simple, complx := m.cfg.SimplePorts, m.cfg.ComplexPorts
+	loads, stores := m.cfg.LoadPorts, m.cfg.StorePorts
+	mgLeft, mgMemLeft := m.cfg.MaxMGIssue, m.cfg.MaxMemMGIssue
+
+	kept := m.iq[:0]
+	for qi := 0; qi < len(m.iq); qi++ {
+		u := m.iq[qi]
+		if issueLeft == 0 {
+			kept = append(kept, m.iq[qi:]...)
+			break
+		}
+		if !m.ready(u) {
+			kept = append(kept, u)
+			continue
+		}
+		// Port check.
+		ok := true
+		if u.kind == kindHandle {
+			if mgLeft == 0 || (u.isLoad || u.isStore) && mgMemLeft == 0 {
+				ok = false
+			}
+		} else {
+			switch u.class {
+			case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
+				ok = simple > 0
+			case isa.ClassComplex:
+				ok = complx > 0
+			case isa.ClassLoad:
+				ok = loads > 0
+			case isa.ClassStore:
+				ok = stores > 0
+			}
+		}
+		if !ok {
+			kept = append(kept, u)
+			continue
+		}
+		issueLeft--
+		if u.kind == kindHandle {
+			mgLeft--
+			if u.isLoad || u.isStore {
+				mgMemLeft--
+			}
+		} else {
+			switch u.class {
+			case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
+				simple--
+			case isa.ClassComplex:
+				complx--
+			case isa.ClassLoad:
+				loads--
+			case isa.ClassStore:
+				stores--
+			}
+		}
+		// Register read: if a speculatively-woken source turns out to be a
+		// missed load, this issue attempt is wasted and the uop replays
+		// when the value truly arrives.
+		if latest := latestSrcReady(u); latest > m.cycle {
+			m.stats.Replays++
+			u.earliestIss = latest
+			kept = append(kept, u)
+			continue
+		}
+		m.execute(u)
+	}
+	m.iq = kept
+}
+
+// ready reports whether u may attempt to issue this cycle. Consumers of
+// loads wake on the L1-hit-speculative ready time; if the load actually
+// missed, the attempt is caught at register read and replayed — consuming
+// issue bandwidth, per Table 1's "cache miss replays are modeled".
+func (m *machine) ready(u *uop) bool {
+	if m.cycle < u.earliestIss {
+		return false
+	}
+	for i := 0; i < u.nSrc; i++ {
+		p := u.srcProd[i]
+		if p == nil {
+			continue
+		}
+		if p.issueCycle < 0 {
+			return false
+		}
+		wake := p.readyOut
+		if p.specReady > 0 && p.specReady < wake {
+			wake = p.specReady // speculative load-hit wakeup
+		}
+		if wake > m.cycle {
+			return false
+		}
+	}
+	if w := u.waitStore; w != nil && !w.squashed && !w.committed {
+		if w.issueCycle < 0 || w.resolve > m.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// latestSrcReady returns the cycle at which every source value truly
+// exists (the register-read check that triggers replays).
+func latestSrcReady(u *uop) int64 {
+	var latest int64
+	for i := 0; i < u.nSrc; i++ {
+		if p := u.srcProd[i]; p != nil && p.readyOut > latest {
+			latest = p.readyOut
+		}
+	}
+	return latest
+}
+
+// srcReadyMax returns the latest source-value ready cycle (for
+// Slack-Dynamic detection) and records per-source ready cycles.
+func (m *machine) recordSrcReady(u *uop) (lastReady int64, lastIdx int) {
+	lastReady, lastIdx = 0, -1
+	for i := 0; i < u.nSrc; i++ {
+		var r int64
+		if p := u.srcProd[i]; p != nil {
+			r = p.readyOut
+		}
+		u.srcReadyC[i] = r
+		if r >= lastReady {
+			lastReady, lastIdx = r, i
+		}
+	}
+	return lastReady, lastIdx
+}
+
+// execute computes all post-issue timing for u at the current cycle.
+func (m *machine) execute(u *uop) {
+	u.issueCycle = m.cycle
+	lastReady, lastIdx := m.recordSrcReady(u)
+
+	// Consumers update producer local slack (profiling) and feed the
+	// Slack-Dynamic consumer-delay detector (rule #4's hardware analogue).
+	for i := 0; i < u.nSrc; i++ {
+		p := u.srcProd[i]
+		if p == nil {
+			continue
+		}
+		if m.prof != nil {
+			if m.cycle < p.minConsIss {
+				p.minConsIss = m.cycle
+			}
+			if len(p.consumers) < maxTrackedConsumers {
+				p.consumers = append(p.consumers, u)
+			}
+		}
+		if p.kind == kindHandle {
+			m.noteConsumerOfHandle(m.cycle, p)
+		}
+	}
+
+	exec := m.cycle + int64(m.cfg.IssueToExec)
+	switch u.kind {
+	case kindHandle:
+		m.executeHandle(u, exec, lastReady, lastIdx)
+	case kindOverheadJump:
+		u.resolve = exec + 1
+		u.execDone = u.resolve
+		u.readyOut = u.resolve
+	default:
+		m.executeSingleton(u, exec)
+	}
+}
+
+func (m *machine) executeSingleton(u *uop, exec int64) {
+	in := m.p.Code[u.static]
+	switch {
+	case u.isLoad:
+		u.memCycle = exec + 1 // address generation
+		u.readyOut = m.loadAccess(u, u.memCycle)
+		u.execDone = u.readyOut
+		// Consumers wake assuming an L1 hit; a miss triggers replays.
+		u.specReady = u.memCycle + int64(m.hier.L1DHitLatency())
+		if u.specReady > u.readyOut {
+			u.specReady = u.readyOut
+		}
+		m.loadIssueChecks(u)
+	case u.isStore:
+		u.resolve = exec // address and data resolved
+		u.execDone = u.resolve
+		m.storeIssueChecks(u)
+	case u.hasBranch:
+		u.resolve = exec + 1
+		u.execDone = u.resolve
+		u.readyOut = u.resolve // calls write the return address
+	default:
+		lat := int64(isa.Latency(in.Op))
+		u.readyOut = exec + lat
+		u.execDone = u.readyOut
+	}
+}
+
+// executeHandle models MGT-driven execution on an ALU pipeline: constituent
+// k issues one cycle after constituent k-1 finishes (forward-only interior
+// network, micro-code style), which realizes internal serialization.
+func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int) {
+	c := u.mg.Cand
+	t := u.issueCycle // constituent-k issue time (rule #2 of the paper)
+	var maxDone int64
+	for k := 0; k < u.mg.N; k++ {
+		in := m.p.Code[u.static+k]
+		ek := t + int64(m.cfg.IssueToExec)
+		var rk int64
+		var lat int64
+		switch {
+		case in.IsLoad():
+			u.memCycle = ek + 1
+			rk = m.loadAccess(u, u.memCycle)
+			lat = rk - ek
+		case in.IsStore():
+			u.resolve = ek
+			rk = ek
+			lat = 1
+		case in.IsBranch():
+			rk = ek + 1
+			u.resolve = rk
+			lat = 1
+		default:
+			lat = int64(isa.Latency(in.Op))
+			rk = ek + lat
+		}
+		if k == c.OutputIdx {
+			u.readyOut = rk
+		}
+		if rk > maxDone {
+			maxDone = rk
+		}
+		t += lat
+	}
+	u.execDone = maxDone
+	if u.isLoad {
+		m.loadIssueChecks(u)
+	}
+	if u.isStore {
+		m.storeIssueChecks(u)
+	}
+
+	// Slack-Dynamic serialization detection. An instance suffered
+	// serialization delay if either
+	//   - external: its last-arriving operand is a serializing operand and
+	//     (unless using the SIAL heuristic) the mini-graph issued as soon
+	//     as that operand arrived (it was data-bound on it), or
+	// Internal serialization is not detected (matching the paper's
+	// hardware, which tracks operand arrivals only); in this workload
+	// regime an internal-delay detector disables templates whose
+	// amplification value exceeds their serialization cost.
+	if m.mon != nil && m.mgc.Dynamic && lastIdx >= 0 {
+		serInput := c.FirstUse[lastIdx] > 0
+		dataBound := u.issueCycle == lastReady
+		if serInput && (m.mgc.DynamicSIAL || dataBound) {
+			u.serialized = true
+			m.stats.MGSerializedEvents++
+			if m.mgc.DynamicDelayOnly || m.mgc.DynamicSIAL {
+				m.mon.harmful(u.mg.Template)
+			}
+		} else {
+			m.mon.clean(u.mg.Template)
+		}
+	}
+}
+
+// consumerDelayed is called when a consumer of a serialized mini-graph's
+// output issues exactly when that output arrived: the serialization delay
+// propagated (full Slack-Dynamic model).
+func (m *machine) noteConsumerOfHandle(consumerIssue int64, producer *uop) {
+	if m.mon == nil || !m.mgc.Dynamic || !producer.serialized {
+		return
+	}
+	if m.mgc.DynamicDelayOnly || m.mgc.DynamicSIAL {
+		return // already counted at the producer
+	}
+	if consumerIssue == producer.readyOut {
+		m.mon.harmful(producer.mg.Template)
+	} else {
+		// The consumer issued later for its own reasons: the serialization
+		// delay was absorbed. Count the instance as clean so templates
+		// whose delay is usually absorbed stay enabled.
+		m.mon.clean(producer.mg.Template)
+	}
+}
+
+// loadAccess models the load's cache access (with store forwarding) and
+// returns the value-ready cycle.
+func (m *machine) loadAccess(u *uop, memCycle int64) int64 {
+	// Find the youngest older resolved store to the same word.
+	word := u.memAddr >> 2
+	var match *uop
+	for i := len(m.inflightStores) - 1; i >= 0; i-- {
+		s := m.inflightStores[i]
+		if s.seq >= u.seq {
+			continue
+		}
+		if s.memAddr>>2 != word {
+			continue
+		}
+		if s.issueCycle >= 0 && s.resolve <= memCycle {
+			match = s
+		}
+		break // only the youngest older same-word store matters
+	}
+	if match != nil {
+		u.forwardedFrom = match
+		if m.prof != nil && memCycle < match.fwdConsExec {
+			match.fwdConsExec = memCycle
+		}
+		m.noteConsumerOfHandle(u.issueCycle, matchRoot(match))
+		return memCycle + 1 // SQ forwarding latency
+	}
+	return m.hier.AccessD(memCycle, u.memAddr, false)
+}
+
+// matchRoot exists for symmetry: forwarding producers are uops already.
+func matchRoot(s *uop) *uop { return s }
+
+// loadIssueChecks schedules a future memory-ordering violation if an older
+// same-address store has issued but resolves only after this load's access.
+func (m *machine) loadIssueChecks(u *uop) {
+	word := u.memAddr >> 2
+	for i := len(m.inflightStores) - 1; i >= 0; i-- {
+		s := m.inflightStores[i]
+		if s.seq >= u.seq || s.memAddr>>2 != word {
+			continue
+		}
+		if s.issueCycle >= 0 && s.resolve > u.memCycle {
+			m.pendingViol = append(m.pendingViol, violation{atCycle: s.resolve, load: u, store: s})
+		}
+		break
+	}
+}
+
+// storeIssueChecks detects younger loads that already executed past this
+// store (they read stale data): a violation fires when the store resolves.
+func (m *machine) storeIssueChecks(u *uop) {
+	word := u.memAddr >> 2
+	for _, l := range m.inflightLoads {
+		if l.seq <= u.seq || l.issueCycle < 0 {
+			continue
+		}
+		if l.memAddr>>2 != word || l.memCycle >= u.resolve {
+			continue
+		}
+		// The load read memory (or an older store) before this store's
+		// data existed. If it forwarded from a store younger than u, it is
+		// still correct.
+		if f := l.forwardedFrom; f != nil && f.seq > u.seq {
+			continue
+		}
+		m.pendingViol = append(m.pendingViol, violation{atCycle: u.resolve, load: l, store: u})
+	}
+}
+
+// --- memory-ordering violations ---
+
+func (m *machine) checkViolations() {
+	if len(m.pendingViol) == 0 {
+		return
+	}
+	var fire *violation
+	kept := m.pendingViol[:0]
+	for i := range m.pendingViol {
+		v := &m.pendingViol[i]
+		if v.load.squashed || v.store.squashed {
+			continue
+		}
+		if v.atCycle <= m.cycle {
+			if fire == nil || v.load.seq < fire.load.seq {
+				if fire != nil {
+					kept = append(kept, *fire)
+				}
+				fire = v
+				continue
+			}
+		}
+		kept = append(kept, *v)
+	}
+	m.pendingViol = kept
+	if fire == nil {
+		return
+	}
+	m.stats.MemOrderFlushes++
+	if debugViolationHook != nil {
+		debugViolationHook(m.loadPC(fire.load), m.storePC(fire.store))
+	}
+	m.ss.Violation(m.loadPC(fire.load), m.storePC(fire.store))
+	m.flushFrom(fire.load)
+}
+
+// flushFrom squashes the violating load and everything younger, restoring
+// rename state, and redirects fetch to refetch from the load.
+func (m *machine) flushFrom(v *uop) {
+	// Squash fetchQ and pending items entirely (all younger than v).
+	for _, u := range m.fetchQ {
+		u.squashed = true
+	}
+	m.fetchQ = m.fetchQ[:0]
+	m.fetchPending = m.fetchPending[:0]
+
+	// Squash window uops young -> old.
+	cut := len(m.window)
+	for i := len(m.window) - 1; i >= 0; i-- {
+		u := m.window[i]
+		if u.seq < v.seq {
+			break
+		}
+		cut = i
+		u.squashed = true
+		if u.writesReg {
+			if m.lastWriter[u.dstReg] == u {
+				m.lastWriter[u.dstReg] = u.prevWriter
+			}
+			m.freeRegs++
+		}
+		if u.isLoad {
+			m.lqUsed--
+			m.removeInflight(&m.inflightLoads, u)
+		}
+		if u.isStore {
+			m.sqUsed--
+			m.removeInflight(&m.inflightStores, u)
+			m.ss.CompleteStore(m.storePC(u), u.seq)
+		}
+	}
+	m.window = m.window[:cut]
+
+	// Purge squashed uops from the IQ and violation list.
+	kept := m.iq[:0]
+	for _, u := range m.iq {
+		if !u.squashed {
+			kept = append(kept, u)
+		}
+	}
+	m.iq = kept
+	keptV := m.pendingViol[:0]
+	for _, pv := range m.pendingViol {
+		if !pv.load.squashed && !pv.store.squashed {
+			keptV = append(keptV, pv)
+		}
+	}
+	m.pendingViol = keptV
+	if m.pendingBranch != nil && m.pendingBranch.squashed {
+		m.pendingBranch = nil
+	}
+	m.curBBHead = nil
+
+	// Redirect fetch: refetch from the load's first trace record.
+	m.fetchIdx = v.traceIdx
+	if m.fetchStall < m.cycle+1 {
+		m.fetchStall = m.cycle + 1
+	}
+}
+
+// --- rename ---
+
+func (m *machine) rename() {
+	for n := 0; n < m.cfg.FetchWidth && len(m.fetchQ) > 0; n++ {
+		u := m.fetchQ[0]
+		if u.renameReady > m.cycle {
+			return
+		}
+		// Structural resources.
+		if len(m.iq) >= m.cfg.IQEntries {
+			m.stats.StallIQ++
+			return
+		}
+		if len(m.window) >= m.cfg.ROBEntries {
+			m.stats.StallROB++
+			return
+		}
+		if u.writesReg && m.freeRegs == 0 {
+			m.stats.StallRegs++
+			return
+		}
+		if u.isLoad && m.lqUsed >= m.cfg.LQEntries {
+			m.stats.StallLQ++
+			return
+		}
+		if u.isStore && m.sqUsed >= m.cfg.SQEntries {
+			m.stats.StallSQ++
+			return
+		}
+		m.fetchQ = m.fetchQ[1:]
+
+		// Dataflow linking.
+		for i := 0; i < u.nSrc; i++ {
+			u.srcProd[i] = m.lastWriter[u.srcReg[i]]
+		}
+		if u.writesReg {
+			u.prevWriter = m.lastWriter[u.dstReg]
+			m.lastWriter[u.dstReg] = u
+			m.freeRegs--
+		}
+		if u.isLoad {
+			m.lqUsed++
+			m.inflightLoads = append(m.inflightLoads, u)
+			if tag := m.ss.RenameLoad(m.loadPC(u)); tag >= 0 {
+				for _, s := range m.inflightStores {
+					if s.seq == tag {
+						u.waitStore = s
+						break
+					}
+				}
+			}
+		}
+		if u.isStore {
+			m.sqUsed++
+			m.inflightStores = append(m.inflightStores, u)
+			if prev := m.ss.RenameStore(m.storePC(u), u.seq); prev >= 0 {
+				for _, s := range m.inflightStores {
+					if s.seq == prev {
+						u.waitStore = s
+						break
+					}
+				}
+			}
+		}
+
+		// Basic-block head tracking for slack profiling.
+		if m.prof != nil && u.kind != kindOverheadJump {
+			if m.p.Blocks[m.p.BlockOf[u.static]].Start == u.static || m.curBBHead == nil {
+				m.curBBHead = u
+			}
+			u.bbHead = m.curBBHead
+		}
+
+		m.window = append(m.window, u)
+		m.iq = append(m.iq, u)
+	}
+}
+
+// --- fetch ---
+
+func (m *machine) fetch() {
+	if m.pendingBranch != nil || m.cycle < m.fetchStall {
+		return
+	}
+	if len(m.fetchQ) >= m.cfg.FetchWidth*8 {
+		return
+	}
+	var curLine uint32 = math.MaxUint32
+	for n := 0; n < m.cfg.FetchWidth; n++ {
+		if len(m.fetchPending) == 0 && !m.prepareNext() {
+			return
+		}
+		it := m.fetchPending[0]
+		// Instruction cache access, one per line per cycle.
+		line := it.addr >> 5
+		if line != curLine {
+			done := m.hier.AccessI(m.cycle, it.addr)
+			if done > m.cycle+int64(m.cfg.Hier.L1I.Latency) {
+				// Miss: stall fetch until the line arrives.
+				m.fetchStall = done
+				return
+			}
+			curLine = line
+		}
+		m.fetchPending = m.fetchPending[1:]
+		u := m.makeUop(it)
+		m.fetchQ = append(m.fetchQ, u)
+		if u.mispred {
+			m.pendingBranch = u
+			return
+		}
+		if it.endsGroup {
+			return
+		}
+	}
+}
+
+// prepareNext converts the next trace record(s) into fetch items. Returns
+// false when the trace is exhausted.
+func (m *machine) prepareNext() bool {
+	if m.fetchIdx >= len(m.tr) {
+		return false
+	}
+	rec := m.tr[m.fetchIdx]
+	static := int(rec.Index)
+
+	if m.mgc.Enabled() {
+		if inst := m.mgc.Selection.InstanceAt(static); inst != nil && m.fetchIdx+inst.N <= len(m.tr) {
+			if m.mon != nil && m.mon.isDisabled(inst.Template) && !m.mgc.IdealOutlining {
+				m.prepareOutlined(inst)
+				return true
+			}
+			if m.mon != nil && m.mon.isDisabled(inst.Template) && m.mgc.IdealOutlining {
+				m.prepareInlineSingletons(inst)
+				return true
+			}
+			last := m.tr[m.fetchIdx+inst.N-1]
+			m.fetchPending = append(m.fetchPending, fetchItem{
+				kind:      kindHandle,
+				static:    static,
+				traceIdx:  m.fetchIdx,
+				nRecs:     inst.N,
+				addr:      m.layout.InlineAddr(static),
+				mg:        inst,
+				endsGroup: inst.Cand.CtrlIdx >= 0 && last.Taken,
+			})
+			m.fetchIdx += inst.N
+			return true
+		}
+	}
+
+	m.fetchPending = append(m.fetchPending, fetchItem{
+		kind:      kindSingleton,
+		static:    static,
+		traceIdx:  m.fetchIdx,
+		nRecs:     1,
+		addr:      m.layout.InlineAddr(static),
+		endsGroup: rec.Taken,
+	})
+	m.fetchIdx++
+	return true
+}
+
+// prepareOutlined queues the outlined (disabled) execution of a mini-graph:
+// jump to the outline region, the constituents as singletons, and a jump
+// back (unless the final constituent is a taken branch).
+func (m *machine) prepareOutlined(inst *minigraph.Instance) {
+	start := inst.Start
+	m.fetchPending = append(m.fetchPending, fetchItem{
+		kind:      kindOverheadJump,
+		static:    start,
+		traceIdx:  m.fetchIdx,
+		nRecs:     0,
+		addr:      m.layout.InlineAddr(start),
+		mg:        inst,
+		endsGroup: true, // the outlining jump is always taken
+	})
+	lastTaken := false
+	for k := 0; k < inst.N; k++ {
+		rec := m.tr[m.fetchIdx+k]
+		ends := rec.Taken
+		if k == inst.N-1 {
+			lastTaken = rec.Taken
+		}
+		m.fetchPending = append(m.fetchPending, fetchItem{
+			kind:      kindSingleton,
+			static:    inst.Start + k,
+			traceIdx:  m.fetchIdx + k,
+			nRecs:     1,
+			addr:      m.layout.OutlineAddr(inst.Start + k),
+			endsGroup: ends,
+		})
+	}
+	if !lastTaken {
+		m.fetchPending = append(m.fetchPending, fetchItem{
+			kind:      kindOverheadJump,
+			static:    start,
+			traceIdx:  m.fetchIdx + inst.N - 1,
+			nRecs:     0,
+			addr:      m.layout.JumpBackAddr(start),
+			mg:        inst,
+			endsGroup: true,
+		})
+	}
+	m.fetchIdx += inst.N
+}
+
+// prepareInlineSingletons queues ideal (penalty-free) disabled execution:
+// the constituents as inline singletons.
+func (m *machine) prepareInlineSingletons(inst *minigraph.Instance) {
+	for k := 0; k < inst.N; k++ {
+		rec := m.tr[m.fetchIdx+k]
+		m.fetchPending = append(m.fetchPending, fetchItem{
+			kind:      kindSingleton,
+			static:    inst.Start + k,
+			traceIdx:  m.fetchIdx + k,
+			nRecs:     1,
+			addr:      m.layout.InlineAddr(inst.Start), // share the handle slot
+			endsGroup: rec.Taken,
+		})
+	}
+	m.fetchIdx += inst.N
+}
+
+// makeUop builds the uop for a fetch item, running branch prediction.
+func (m *machine) makeUop(it fetchItem) *uop {
+	u := &uop{
+		seq:         m.seq,
+		traceIdx:    it.traceIdx,
+		nRecs:       it.nRecs,
+		static:      it.static,
+		kind:        it.kind,
+		mg:          it.mg,
+		fetchCycle:  m.cycle,
+		renameReady: m.cycle + int64(m.cfg.FetchToRename),
+		issueCycle:  -1,
+		minConsIss:  never,
+		fwdConsExec: never,
+	}
+	m.seq++
+
+	switch it.kind {
+	case kindOverheadJump:
+		u.class = isa.ClassJump
+		u.op = isa.OpBr
+		m.predictOverheadJump(u, it)
+		return u
+	case kindHandle:
+		c := it.mg.Cand
+		u.class = isa.ClassSimple
+		u.op = m.p.Code[it.static].Op
+		for i, r := range c.ExternalIns {
+			u.srcReg[i] = r
+		}
+		u.nSrc = len(c.ExternalIns)
+		if c.OutputReg != isa.NoReg {
+			u.writesReg = true
+			u.dstReg = c.OutputReg
+		}
+		if c.MemIdx >= 0 {
+			in := m.p.Code[it.static+c.MemIdx]
+			u.isLoad = in.IsLoad()
+			u.isStore = in.IsStore()
+			u.memAddr = m.tr[it.traceIdx+c.MemIdx].Addr
+		}
+		if c.CtrlIdx >= 0 {
+			u.hasBranch = true
+			brStatic := it.static + c.CtrlIdx
+			brRec := m.tr[it.traceIdx+c.CtrlIdx]
+			m.predictBranch(u, brStatic, brRec)
+		}
+		return u
+	}
+
+	in := m.p.Code[it.static]
+	rec := m.tr[it.traceIdx]
+	u.op = in.Op
+	u.class = isa.ClassOf(in.Op)
+	for _, r := range in.Sources() {
+		u.srcReg[u.nSrc] = r
+		u.nSrc++
+	}
+	if in.WritesReg() {
+		u.writesReg = true
+		u.dstReg = in.Rd
+	}
+	if in.IsMem() {
+		u.isLoad = in.IsLoad()
+		u.isStore = in.IsStore()
+		u.memAddr = rec.Addr
+	}
+	if in.IsBranch() {
+		u.hasBranch = true
+		m.predictBranch(u, it.static, rec)
+	}
+	return u
+}
+
+// predictBranch runs the front-end predictors for a control transfer at
+// fetch time and marks the uop mispredicted when the machine would have
+// fetched down the wrong path.
+func (m *machine) predictBranch(u *uop, static int, rec emu.Rec) {
+	in := m.p.Code[static]
+	pc := prog.PCOf(static)
+	actualTaken := rec.Taken
+	u.actualTkn = actualTaken
+	actualNext := int(rec.Next)
+
+	switch {
+	case in.IsCondBranch():
+		pred := m.bp.PredictDirection(pc)
+		m.bp.UpdateDirection(pc, actualTaken)
+		if pred != actualTaken {
+			u.mispred = true
+			return
+		}
+		if actualTaken {
+			m.predictTakenTarget(u, pc, actualNext, false)
+		}
+	case in.Op == isa.OpBr:
+		m.predictTakenTarget(u, pc, actualNext, true)
+	case in.Op == isa.OpJsr:
+		m.bp.PushRAS(prog.PCOf(static + 1))
+		m.predictTakenTarget(u, pc, actualNext, true)
+	case in.Op == isa.OpJsrI:
+		m.bp.PushRAS(prog.PCOf(static + 1))
+		m.predictTakenTarget(u, pc, actualNext, false)
+	case in.IsReturn():
+		top, ok := m.bp.PopRAS()
+		if !ok || (actualNext >= 0 && top != prog.PCOf(actualNext)) {
+			u.mispred = true
+			m.bp.NoteRASWrong()
+			m.stats.RASMispredicts++
+		}
+	default: // indirect jmp
+		m.predictTakenTarget(u, pc, actualNext, false)
+	}
+}
+
+// predictTakenTarget models BTB behavior for a taken transfer. Direct
+// transfers recover a BTB miss at decode (a 2-cycle fetch bubble); indirect
+// transfers mispredict on a BTB miss or wrong target.
+func (m *machine) predictTakenTarget(u *uop, pc uint32, actualNext int, direct bool) {
+	if actualNext < 0 {
+		return
+	}
+	want := prog.PCOf(actualNext)
+	got, ok := m.bp.PredictTarget(pc)
+	m.bp.UpdateTarget(pc, want)
+	if ok && got == want {
+		return
+	}
+	if direct {
+		// Decode-time target computation: small fetch bubble.
+		if m.fetchStall < m.cycle+2 {
+			m.fetchStall = m.cycle + 2
+		}
+		return
+	}
+	u.mispred = true
+}
+
+// predictOverheadJump models the outlining jumps: direct, always taken.
+func (m *machine) predictOverheadJump(u *uop, it fetchItem) {
+	pc := it.addr
+	if got, ok := m.bp.PredictTarget(pc); !ok || got == 0 {
+		if m.fetchStall < m.cycle+2 {
+			m.fetchStall = m.cycle + 2
+		}
+	}
+	m.bp.UpdateTarget(pc, pc+4)
+}
+
+// --- slack profiling ---
+
+// maxTrackedConsumers caps per-value consumer edges recorded for the
+// global-slack pass (capping can only overestimate global slack).
+const maxTrackedConsumers = 16
+
+func (m *machine) drainProfile() {
+	if m.prof == nil {
+		return
+	}
+	// Reverse pass over the committed stream: global slack of a value is
+	// the delay it tolerates without lengthening the whole execution,
+	// propagated through the dataflow graph. Consumers are younger and
+	// commit later, so a single reverse sweep sees every consumer's global
+	// slack before its producers'.
+	for i := len(m.profFIFO) - 1; i >= 0; i-- {
+		u := m.profFIFO[i]
+		gs := int64(slack.BigSlack)
+		if u.hasBranch && u.mispred {
+			gs = 0 // delaying a mispredicted branch delays everything
+		}
+		for _, c := range u.consumers {
+			if c.squashed || c.issueCycle < 0 {
+				continue
+			}
+			edge := c.issueCycle - u.readyOut
+			if edge < 0 {
+				edge = 0
+			}
+			if v := edge + c.gslack; v < gs {
+				gs = v
+			}
+		}
+		u.gslack = gs
+	}
+	for _, u := range m.profFIFO {
+		m.foldProfile(u)
+	}
+	m.profFIFO = nil
+}
+
+// foldProfile converts a committed uop's timing into a slack Observation.
+// Profiling runs are singleton runs, so every uop maps to one static
+// instruction.
+func (m *machine) foldProfile(u *uop) {
+	if u.kind != kindSingleton || u.bbHead == nil {
+		return
+	}
+	base := float64(u.bbHead.issueCycle)
+	in := m.p.Code[u.static]
+
+	obs := slack.Observation{
+		Issue:       float64(u.issueCycle) - base,
+		Ready:       float64(u.readyOut) - base,
+		ExecLat:     float64(u.execDone - u.issueCycle - int64(m.cfg.IssueToExec)),
+		Src1Ready:   slack.NaN(),
+		Src2Ready:   slack.NaN(),
+		RegSlack:    slack.NaN(),
+		StoreSlack:  slack.NaN(),
+		BranchSlack: slack.NaN(),
+	}
+	// Map the uop's dynamic sources back to the instruction's operand slots.
+	slot := 0
+	if in.Rs1 != isa.NoReg && in.Rs1 != isa.ZeroReg && in.Rs1.Valid() {
+		obs.Src1Ready = float64(u.srcReadyC[slot]) - base
+		slot++
+	}
+	if in.Rs2 != isa.NoReg && in.Rs2 != isa.ZeroReg && in.Rs2.Valid() {
+		obs.Src2Ready = float64(u.srcReadyC[slot]) - base
+	}
+	obs.GlobalRegSlack = slack.NaN()
+	if u.writesReg {
+		obs.GlobalRegSlack = math.Min(float64(u.gslack), slack.BigSlack)
+		if u.minConsIss == never {
+			obs.RegSlack = slack.BigSlack
+		} else {
+			s := float64(u.minConsIss - u.readyOut)
+			if s < 0 {
+				s = 0
+			}
+			obs.RegSlack = math.Min(s, slack.BigSlack)
+		}
+	}
+	if u.isStore {
+		if u.fwdConsExec == never {
+			obs.StoreSlack = slack.BigSlack
+		} else {
+			s := float64(u.fwdConsExec - u.resolve)
+			if s < 0 {
+				s = 0
+			}
+			obs.StoreSlack = math.Min(s, slack.BigSlack)
+		}
+	}
+	if u.hasBranch {
+		if u.mispred {
+			obs.BranchSlack = 0
+		} else {
+			obs.BranchSlack = slack.BigSlack
+		}
+	}
+	m.prof.Add(u.static, obs)
+}
+
+// RunDebugViolations is a diagnostic entry point: it runs like Run (no
+// mini-graphs, no profiling) and invokes cb for every memory-ordering
+// violation's (load PC, store PC) pair.
+func RunDebugViolations(p *prog.Program, tr []emu.Rec, cfg Config, cb func(loadPC, storePC uint32)) (*Stats, error) {
+	debugViolationHook = cb
+	defer func() { debugViolationHook = nil }()
+	return Run(p, tr, cfg, MGConfig{}, nil)
+}
+
+var debugViolationHook func(loadPC, storePC uint32)

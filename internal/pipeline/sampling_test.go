@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+func TestSampledMatchesFullRun(t *testing.T) {
+	// On steady-state workloads, 20% periodic sampling with warm-up must
+	// estimate the full run's cycle count within a modest error.
+	for _, name := range []string{"comm.crc32", "media.fir", "intx.lcgbranch"} {
+		w := workload.Find(name)
+		p, _, _, err := w.Build("large")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := emu.Run(p, emu.Options{CollectTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Reduced()
+		full, err := Run(p, res.Trace, cfg, MGConfig{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := SampleSpec{Interval: 10_000, Window: 2_000, Warmup: 1_000}
+		est, simFrac, err := RunSampled(p, res.Trace, cfg, MGConfig{}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(est.Cycles) / float64(full.Cycles)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: sampled estimate %.0f%% of full cycles (%d vs %d)",
+				name, 100*ratio, est.Cycles, full.Cycles)
+		}
+		if simFrac >= 1.0 {
+			t.Errorf("%s: sampling simulated everything (%.2f)", name, simFrac)
+		}
+		if est.Instrs != full.Instrs {
+			t.Errorf("%s: instruction accounting %d vs %d", name, est.Instrs, full.Instrs)
+		}
+	}
+}
+
+func TestSampledShortProgramFallsBack(t *testing.T) {
+	w := workload.Find("comm.ipchk")
+	p, _, _, _ := w.Build("small")
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SampleSpec{Interval: 1 << 20, Window: 1000, Warmup: 100}
+	est, frac, err := RunSampled(p, res.Trace, Reduced(), MGConfig{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1 {
+		t.Errorf("short program should simulate fully, frac = %.2f", frac)
+	}
+	if est.Instrs != int64(len(res.Trace)) {
+		t.Error("fallback lost instructions")
+	}
+}
+
+func TestSampleSpecValidation(t *testing.T) {
+	w := workload.Find("comm.ipchk")
+	p, _, _, _ := w.Build("small")
+	res, _ := emu.Run(p, emu.Options{CollectTrace: true})
+	bad := []SampleSpec{
+		{Interval: 0, Window: 10, Warmup: 0},
+		{Interval: 100, Window: 0, Warmup: 0},
+		{Interval: 100, Window: 200, Warmup: 0},
+		{Interval: 100, Window: 10, Warmup: -1},
+	}
+	for _, spec := range bad {
+		if _, _, err := RunSampled(p, res.Trace, Reduced(), MGConfig{}, spec); err == nil {
+			t.Errorf("spec %+v should be rejected", spec)
+		}
+	}
+	if r := (SampleSpec{Interval: 50, Window: 1}).Rate(); r != 0.02 {
+		t.Errorf("Rate = %v, want 0.02", r)
+	}
+}

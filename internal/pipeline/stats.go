@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes one timing run.
+type Stats struct {
+	Cycles int64
+	// Instrs counts committed architectural instructions (mini-graph
+	// constituents count individually; outlining overhead jumps do not).
+	Instrs int64
+	// Uops counts committed micro-ops (a mini-graph handle is one uop).
+	Uops int64
+
+	Handles        int64 // mini-graph handles committed
+	EmbeddedInstrs int64 // architectural instructions inside committed handles
+	OverheadJumps  int64 // outlining jumps executed for disabled mini-graphs
+
+	BranchMispredicts int64
+	BTBMisses         int64
+	RASMispredicts    int64
+
+	MemOrderFlushes int64 // memory-ordering violation pipeline flushes
+	Replays         int64 // issue attempts squashed by missed-load wakeups
+
+	// Stall accounting (rename-blocked cycles by first blocking cause).
+	StallIQ, StallROB, StallRegs, StallLQ, StallSQ int64
+
+	// Mini-graph Slack-Dynamic monitor.
+	MGSerializedEvents int64 // handle instances with detected serialization delay
+	MGHarmfulEvents    int64 // ...whose delay propagated to a consumer
+	MGDisables         int64 // templates disabled
+	MGReenables        int64 // templates re-enabled (resurrection)
+
+	// Memory system.
+	L1IMissRate, L1DMissRate, L2MissRate float64
+	MemAccesses                          int64
+	ITLBMisses, DTLBMisses               int64
+}
+
+// IPC returns committed architectural instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// UPC returns committed uops per cycle (shows bandwidth amplification).
+func (s *Stats) UPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Uops) / float64(s.Cycles)
+}
+
+// Coverage returns the fraction of committed architectural instructions
+// that executed inside mini-graphs.
+func (s *Stats) Coverage() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.EmbeddedInstrs) / float64(s.Instrs)
+}
+
+// String renders a multi-line report.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles=%d instrs=%d uops=%d IPC=%.3f UPC=%.3f\n",
+		s.Cycles, s.Instrs, s.Uops, s.IPC(), s.UPC())
+	fmt.Fprintf(&sb, "minigraphs: handles=%d embedded=%d coverage=%.1f%% overheadJumps=%d\n",
+		s.Handles, s.EmbeddedInstrs, 100*s.Coverage(), s.OverheadJumps)
+	fmt.Fprintf(&sb, "branches: mispredicts=%d btbMiss=%d rasMiss=%d\n",
+		s.BranchMispredicts, s.BTBMisses, s.RASMispredicts)
+	fmt.Fprintf(&sb, "memory: L1I=%.2f%% L1D=%.2f%% L2=%.2f%% miss, mem=%d, ordFlush=%d, replays=%d\n",
+		100*s.L1IMissRate, 100*s.L1DMissRate, 100*s.L2MissRate, s.MemAccesses, s.MemOrderFlushes, s.Replays)
+	fmt.Fprintf(&sb, "stalls: iq=%d rob=%d regs=%d lq=%d sq=%d\n",
+		s.StallIQ, s.StallROB, s.StallRegs, s.StallLQ, s.StallSQ)
+	if s.MGSerializedEvents+s.MGDisables > 0 {
+		fmt.Fprintf(&sb, "slack-dynamic: serialized=%d harmful=%d disables=%d reenables=%d\n",
+			s.MGSerializedEvents, s.MGHarmfulEvents, s.MGDisables, s.MGReenables)
+	}
+	return sb.String()
+}

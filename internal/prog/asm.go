@@ -1,0 +1,387 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses a textual assembly program into a Program. The syntax is
+// line-oriented:
+//
+//	; comment (also "#" and "//")
+//	label:
+//	    li   r1, 100        ; rd, imm
+//	    add  r2, r2, r1     ; rd, rs1, rs2
+//	    addi r1, r1, -1     ; rd, rs1, imm
+//	    ldw  r3, 8(r4)      ; rd, disp(base)
+//	    stw  r3, 8(r4)      ; rs, disp(base)  (value first, like loads)
+//	    bnez r1, label
+//	    jsr  fn
+//	    ret
+//	    halt
+//
+// Data directives allocate in the data segment and define the label as the
+// address constant usable via `li`:
+//
+//	buf: .space 64          ; 64 zeroed bytes
+//	tab: .word 1, 2, 3      ; little-endian 32-bit words
+//	msg: .ascii "hello"
+//
+// Registers are r0–r31 plus the aliases zero, sp, ra, rv. Immediates may
+// be decimal, hex (0x...), negative, or a data label (its address).
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{
+		b:          NewBuilder(name),
+		dataLabels: map[string]int64{},
+	}
+	// Pass 1: collect data directives so code can reference them by name.
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := a.scanData(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+	}
+	// Pass 2: emit code.
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+	}
+	return a.b.Build()
+}
+
+// MustAssemble is Assemble that panics on error, for tests and tables.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b          *Builder
+	dataLabels map[string]int64
+}
+
+func stripComment(s string) string {
+	for _, mark := range []string{";", "#", "//"} {
+		if i := strings.Index(s, mark); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+// scanData processes "label: .directive args" lines during pass 1,
+// allocating data and remembering label addresses. Code lines are ignored.
+func (a *assembler) scanData(line string) error {
+	label, rest, ok := splitLabel(line)
+	if !ok || !strings.HasPrefix(rest, ".") {
+		return nil
+	}
+	dir, args, _ := strings.Cut(rest, " ")
+	args = strings.TrimSpace(args)
+	switch dir {
+	case ".space":
+		n, err := strconv.Atoi(strings.TrimSpace(args))
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad .space size %q", args)
+		}
+		a.dataLabels[label] = a.b.Space(n)
+	case ".word":
+		var vals []uint32
+		for _, f := range strings.Split(args, ",") {
+			v, err := parseImm(strings.TrimSpace(f), a.dataLabels)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, uint32(v))
+		}
+		if len(vals) == 0 {
+			return fmt.Errorf(".word needs values")
+		}
+		a.dataLabels[label] = a.b.Words(vals...)
+	case ".ascii":
+		s, err := strconv.Unquote(args)
+		if err != nil {
+			return fmt.Errorf("bad .ascii string %q: %v", args, err)
+		}
+		a.dataLabels[label] = a.b.Bytes([]byte(s))
+	default:
+		return fmt.Errorf("unknown directive %q", dir)
+	}
+	return nil
+}
+
+func splitLabel(line string) (label, rest string, ok bool) {
+	i := strings.Index(line, ":")
+	if i < 0 {
+		return "", line, false
+	}
+	label = strings.TrimSpace(line[:i])
+	rest = strings.TrimSpace(line[i+1:])
+	if label == "" || strings.ContainsAny(label, " \t,()") {
+		return "", line, false
+	}
+	return label, rest, true
+}
+
+func (a *assembler) line(line string) error {
+	if label, rest, ok := splitLabel(line); ok {
+		if strings.HasPrefix(rest, ".") {
+			return nil // data directive, handled in pass 1
+		}
+		a.b.Label(label)
+		if rest == "" {
+			return nil
+		}
+		line = rest
+	}
+	return a.instr(line)
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	switch s {
+	case "zero":
+		return isa.ZeroReg, nil
+	case "sp":
+		return isa.SP, nil
+	case "ra":
+		return isa.RA, nil
+	case "rv":
+		return isa.RV, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string, labels map[string]int64) (int64, error) {
+	if v, ok := labels[s]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "disp(base)".
+func parseMem(s string) (disp int64, base isa.Reg, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr == "" {
+		dispStr = "0"
+	}
+	disp, err = strconv.ParseInt(dispStr, 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad displacement %q", dispStr)
+	}
+	base, err = parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	return disp, base, err
+}
+
+func (a *assembler) instr(line string) error {
+	mnemonic, argStr, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	var args []string
+	for _, f := range strings.Split(argStr, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			args = append(args, f)
+		}
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	// Register triples.
+	if op, ok := regOps[mnemonic]; ok {
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+		return nil
+	}
+	// Immediate forms.
+	if op, ok := immOps[mnemonic]; ok {
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2], a.dataLabels)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: isa.NoReg, Imm: imm})
+		return nil
+	}
+
+	switch mnemonic {
+	case "li":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1], a.dataLabels)
+		if err != nil {
+			return err
+		}
+		a.b.Li(rd, imm)
+	case "mov":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Mov(rd, rs)
+	case "ldw", "ldb":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		disp, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		if mnemonic == "ldw" {
+			a.b.Ldw(rd, base, disp)
+		} else {
+			a.b.Ldb(rd, base, disp)
+		}
+	case "stw", "stb":
+		if err := want(2); err != nil {
+			return err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		disp, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		if mnemonic == "stw" {
+			a.b.Stw(rs, base, disp)
+		} else {
+			a.b.Stb(rs, base, disp)
+		}
+	case "br":
+		if err := want(1); err != nil {
+			return err
+		}
+		a.b.Br(args[0])
+	case "beqz", "bnez", "bltz", "bgez":
+		if err := want(2); err != nil {
+			return err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		switch mnemonic {
+		case "beqz":
+			a.b.Beqz(rs, args[1])
+		case "bnez":
+			a.b.Bnez(rs, args[1])
+		case "bltz":
+			a.b.Bltz(rs, args[1])
+		case "bgez":
+			a.b.Bgez(rs, args[1])
+		}
+	case "jsr":
+		if err := want(1); err != nil {
+			return err
+		}
+		a.b.Jsr(args[0])
+	case "jmp":
+		if err := want(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(strings.Trim(args[0], "()"))
+		if err != nil {
+			return err
+		}
+		a.b.JmpR(rs)
+	case "ret":
+		if err := want(0); err != nil {
+			return err
+		}
+		a.b.Ret()
+	case "nop":
+		a.b.Nop()
+	case "halt":
+		a.b.Halt()
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return nil
+}
+
+var regOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "or": isa.OpOr,
+	"xor": isa.OpXor, "sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"cmpeq": isa.OpCmpEq, "cmplt": isa.OpCmpLt, "cmple": isa.OpCmpLe,
+	"cmpult": isa.OpCmpUlt, "mul": isa.OpMul, "div": isa.OpDiv, "rem": isa.OpRem,
+}
+
+var immOps = map[string]isa.Op{
+	"addi": isa.OpAddi, "subi": isa.OpSubi, "andi": isa.OpAndi,
+	"ori": isa.OpOri, "xori": isa.OpXori, "slli": isa.OpSlli,
+	"srli": isa.OpSrli, "srai": isa.OpSrai, "cmpeqi": isa.OpCmpEqi,
+	"cmplti": isa.OpCmpLti, "cmplei": isa.OpCmpLei,
+}

@@ -1,0 +1,218 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("t", `
+		; sum 1..10
+		li   r1, 10
+		li   r2, 0
+	loop:
+		add  r2, r2, r1
+		subi r1, r1, 1
+		bnez r1, loop
+		mov  rv, r2
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 7 {
+		t.Fatalf("instrs = %d, want 7", p.NumInstrs())
+	}
+	if p.Code[2].Op != isa.OpAdd || p.Code[4].Op != isa.OpBnez || p.Code[4].Targ != 2 {
+		t.Errorf("bad assembly: %v / %v", p.Code[2], p.Code[4])
+	}
+	if p.Code[5].Rd != isa.RV {
+		t.Errorf("rv alias broken: %v", p.Code[5])
+	}
+}
+
+func TestAssembleMemoryAndData(t *testing.T) {
+	p, err := Assemble("t", `
+	buf:  .space 16
+	tab:  .word 10, 0x20, -1
+	msg:  .ascii "hi"
+		li   r1, tab
+		ldw  r2, 4(r1)
+		stw  r2, 0(r1)
+		ldb  r3, (r1)
+		stb  r3, 2(r1)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tab is after the 16-byte buf.
+	if p.Code[0].Imm != DataBase+16 {
+		t.Errorf("tab address = %#x, want %#x", p.Code[0].Imm, DataBase+16)
+	}
+	if p.Code[1].Op != isa.OpLdw || p.Code[1].Imm != 4 {
+		t.Errorf("ldw parse: %v", p.Code[1])
+	}
+	if p.Code[3].Imm != 0 {
+		t.Errorf("bare (reg) operand should mean displacement 0: %v", p.Code[3])
+	}
+	// Data contents: 16 zeros, then 10, 0x20, 0xffffffff, then "hi".
+	if p.Data[16] != 10 || p.Data[20] != 0x20 || p.Data[24] != 0xff {
+		t.Errorf("data image wrong: % x", p.Data[16:28])
+	}
+	if string(p.Data[28:30]) != "hi" {
+		t.Errorf("ascii data wrong: %q", p.Data[28:30])
+	}
+}
+
+func TestAssembleCalls(t *testing.T) {
+	p, err := Assemble("t", `
+		jsr  fn
+		halt
+	fn: li   rv, 42
+		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.OpJsr || p.Code[0].Targ != 2 {
+		t.Errorf("jsr parse: %v", p.Code[0])
+	}
+	if p.Code[3].Op != isa.OpRet {
+		t.Errorf("ret parse: %v", p.Code[3])
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p, err := Assemble("t", `
+		li r1, 1   ; semicolon
+		li r2, 2   # hash
+		li r3, 3   // slashes
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 4 {
+		t.Errorf("instrs = %d, want 4", p.NumInstrs())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, wantErr string
+	}{
+		{"frob r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "takes 3 operands"},
+		{"add r1, r2, r99\nhalt", "bad register"},
+		{"li r1, xyz\nhalt", "bad immediate"},
+		{"ldw r1, r2\nhalt", "bad memory operand"},
+		{"br nowhere\nhalt", "undefined label"},
+		{"x: .space -4\nhalt", "bad .space"},
+		{"x: .bogus 4\nhalt", "unknown directive"},
+		{"x: .ascii hi\nhalt", "bad .ascii"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Assemble(%q) err = %v, want %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestAssembleErrorsIncludeLine(t *testing.T) {
+	_, err := Assemble("file", "li r1, 1\nfrob\nhalt")
+	if err == nil || !strings.Contains(err.Error(), "file:2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+func TestAssembleRoundTripThroughBuilder(t *testing.T) {
+	// Assembled code must be structurally identical to builder-made code.
+	asm := MustAssemble("a", `
+		li r1, 5
+	top:
+		addi r2, r2, 3
+		subi r1, r1, 1
+		bnez r1, top
+		halt
+	`)
+	b := NewBuilder("b")
+	b.Li(1, 5)
+	b.Label("top")
+	b.Addi(2, 2, 3)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "top")
+	b.Halt()
+	built := b.MustBuild()
+	if len(asm.Code) != len(built.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(asm.Code), len(built.Code))
+	}
+	for i := range asm.Code {
+		if asm.Code[i] != built.Code[i] {
+			t.Errorf("instr %d: %v vs %v", i, asm.Code[i], built.Code[i])
+		}
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+	dat: .word 1
+		li r1, 1
+		li r2, 2
+		add r3, r1, r2
+		sub r3, r1, r2
+		and r3, r1, r2
+		or r3, r1, r2
+		xor r3, r1, r2
+		sll r3, r1, r2
+		srl r3, r1, r2
+		sra r3, r1, r2
+		cmpeq r3, r1, r2
+		cmplt r3, r1, r2
+		cmple r3, r1, r2
+		cmpult r3, r1, r2
+		mul r3, r1, r2
+		div r3, r1, r2
+		rem r3, r1, r2
+		addi r3, r1, 1
+		subi r3, r1, 1
+		andi r3, r1, 1
+		ori r3, r1, 1
+		xori r3, r1, 1
+		slli r3, r1, 1
+		srli r3, r1, 1
+		srai r3, r1, 1
+		cmpeqi r3, r1, 1
+		cmplti r3, r1, 1
+		cmplei r3, r1, 1
+		mov r4, r3
+		nop
+		li r5, dat
+		ldw r6, (r5)
+		ldb r7, 1(r5)
+		stw r6, (r5)
+		stb r7, 1(r5)
+	here:
+		beqz zero, here2
+		bnez r1, here2
+		bltz r1, here2
+		bgez r1, here2
+	here2:
+		br done
+		jsr f
+	f:	jmp (ra)
+	done:
+		ret
+		halt
+	`
+	p, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Binary program container ("MGB1"):
+//
+//	magic   [4]byte  "MGB1"
+//	nameLen uint32, name bytes
+//	entry   uint32
+//	nInstr  uint32, instructions (8 bytes each, isa.Encode format)
+//	nData   uint32, data segment bytes
+//	nLabels uint32, labels (nameLen u32, name, index u32), sorted by name
+//
+// All integers are little-endian.
+
+var binMagic = [4]byte{'M', 'G', 'B', '1'}
+
+// WriteBinary serializes the program.
+func (p *Program) WriteBinary(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.Write(binMagic[:])
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		buf.Write(n[:])
+		buf.WriteString(s)
+	}
+	writeU32 := func(v uint32) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], v)
+		buf.Write(n[:])
+	}
+	writeStr(p.Name)
+	writeU32(uint32(p.Entry))
+	writeU32(uint32(len(p.Code)))
+	for _, in := range p.Code {
+		var w8 [8]byte
+		binary.LittleEndian.PutUint64(w8[:], isa.Encode(in))
+		buf.Write(w8[:])
+	}
+	writeU32(uint32(len(p.Data)))
+	buf.Write(p.Data)
+	names := make([]string, 0, len(p.Labels))
+	for l := range p.Labels {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	writeU32(uint32(len(names)))
+	for _, l := range names {
+		writeStr(l)
+		writeU32(uint32(p.Labels[l]))
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadBinary deserializes a program written by WriteBinary, rebuilding the
+// CFG and liveness information.
+func ReadBinary(r io.Reader) (*Program, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	b := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(b, magic[:]); err != nil || magic != binMagic {
+		return nil, fmt.Errorf("prog: bad magic (not an MGB1 program)")
+	}
+	readU32 := func() (uint32, error) {
+		var n [4]byte
+		if _, err := io.ReadFull(b, n[:]); err != nil {
+			return 0, fmt.Errorf("prog: truncated binary")
+		}
+		return binary.LittleEndian.Uint32(n[:]), nil
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if int(n) > b.Len() {
+			return "", fmt.Errorf("prog: truncated string")
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(b, s); err != nil {
+			return "", fmt.Errorf("prog: truncated binary")
+		}
+		return string(s), nil
+	}
+
+	p := &Program{Labels: map[string]int{}}
+	if p.Name, err = readStr(); err != nil {
+		return nil, err
+	}
+	entry, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	p.Entry = int(entry)
+	nInstr, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nInstr)*8 > b.Len() {
+		return nil, fmt.Errorf("prog: truncated code section")
+	}
+	p.Code = make([]isa.Instr, nInstr)
+	for i := range p.Code {
+		var w8 [8]byte
+		if _, err := io.ReadFull(b, w8[:]); err != nil {
+			return nil, fmt.Errorf("prog: truncated code")
+		}
+		in, err := isa.Decode(binary.LittleEndian.Uint64(w8[:]))
+		if err != nil {
+			return nil, fmt.Errorf("prog: instr %d: %w", i, err)
+		}
+		p.Code[i] = in
+	}
+	nData, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nData) > b.Len() {
+		return nil, fmt.Errorf("prog: truncated data section")
+	}
+	p.Data = make([]byte, nData)
+	if _, err := io.ReadFull(b, p.Data); err != nil {
+		return nil, fmt.Errorf("prog: truncated data")
+	}
+	nLabels, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nLabels; i++ {
+		l, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		p.Labels[l] = int(idx)
+	}
+
+	buildCFG(p)
+	computeLiveness(p)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("prog: loaded program invalid: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,90 @@
+package prog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func binSample(t *testing.T) *Program {
+	t.Helper()
+	return MustAssemble("sample", `
+	buf: .space 8
+	tab: .word 1, 2, 3
+		li   r1, tab
+		ldw  r2, (r1)
+	top:
+		addi r2, r2, 1
+		subi r2, r2, 1
+		bnez r2, top
+		stw  r2, (r1)
+		halt
+	`)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	p := binSample(t)
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Entry != p.Entry {
+		t.Error("metadata lost")
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("code length %d vs %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("instr %d: %v vs %v", i, q.Code[i], p.Code[i])
+		}
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Error("data segment lost")
+	}
+	if q.Labels["top"] != p.Labels["top"] || q.Labels["tab"] != p.Labels["tab"] {
+		t.Error("labels lost")
+	}
+	// Derived structures are rebuilt.
+	if len(q.Blocks) != len(p.Blocks) {
+		t.Errorf("blocks %d vs %d", len(q.Blocks), len(p.Blocks))
+	}
+	for i := range p.Code {
+		if q.LiveAfter(i) != p.LiveAfter(i) {
+			t.Errorf("liveness differs at %d", i)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a program")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := binSample(t)
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix length must error, not panic.
+	full := buf.Bytes()
+	for _, n := range []int{0, 3, 4, 9, 17, len(full) / 2, len(full) - 1} {
+		if n > len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+	// Corrupt an opcode byte.
+	bad := append([]byte(nil), full...)
+	// Code starts after magic(4)+nameLen(4)+name+entry(4)+n(4).
+	off := 4 + 4 + len(p.Name) + 4 + 4
+	bad[off+7] = 0xFF // big-endian... the opcode is the top byte of the LE u64
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt opcode accepted")
+	}
+}

@@ -1,0 +1,323 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder assembles a Program. Instructions are appended in order; labels
+// name positions and may be referenced before they are defined. Build
+// resolves labels, derives basic blocks, and runs liveness analysis.
+//
+// The builder also manages the data segment: Word/Bytes/Space reserve
+// initialized or zeroed data and return its virtual address.
+type Builder struct {
+	name   string
+	code   []isa.Instr
+	labels map[string]int
+	// fixups maps code positions to unresolved label names.
+	fixups map[int]string
+	data   []byte
+	errs   []error
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("%s: %s", b.name, fmt.Sprintf(format, args...)))
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errorf("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Pos returns the static index the next emitted instruction will occupy.
+func (b *Builder) Pos() int { return len(b.code) }
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Instr) {
+	b.code = append(b.code, in)
+}
+
+func (b *Builder) emitTarget(in isa.Instr, label string) {
+	in.Targ = -1
+	b.fixups[len(b.code)] = label
+	b.code = append(b.code, in)
+}
+
+// --- ALU register forms ---
+
+func (b *Builder) alu3(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add emits rd <- rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpAdd, rd, rs1, rs2) }
+
+// Sub emits rd <- rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpSub, rd, rs1, rs2) }
+
+// And emits rd <- rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpAnd, rd, rs1, rs2) }
+
+// Or emits rd <- rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpOr, rd, rs1, rs2) }
+
+// Xor emits rd <- rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpXor, rd, rs1, rs2) }
+
+// Sll emits rd <- rs1 << (rs2 & 31).
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpSll, rd, rs1, rs2) }
+
+// Srl emits rd <- logical rs1 >> (rs2 & 31).
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpSrl, rd, rs1, rs2) }
+
+// Sra emits rd <- arithmetic rs1 >> (rs2 & 31).
+func (b *Builder) Sra(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpSra, rd, rs1, rs2) }
+
+// CmpEq emits rd <- rs1 == rs2.
+func (b *Builder) CmpEq(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpCmpEq, rd, rs1, rs2) }
+
+// CmpLt emits rd <- rs1 < rs2 (signed).
+func (b *Builder) CmpLt(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpCmpLt, rd, rs1, rs2) }
+
+// CmpLe emits rd <- rs1 <= rs2 (signed).
+func (b *Builder) CmpLe(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpCmpLe, rd, rs1, rs2) }
+
+// CmpUlt emits rd <- rs1 < rs2 (unsigned).
+func (b *Builder) CmpUlt(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpCmpUlt, rd, rs1, rs2) }
+
+// Mul emits rd <- rs1 * rs2 (complex class).
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpMul, rd, rs1, rs2) }
+
+// Div emits rd <- rs1 / rs2 (signed; complex class).
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpDiv, rd, rs1, rs2) }
+
+// Rem emits rd <- rs1 % rs2 (signed; complex class).
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) { b.alu3(isa.OpRem, rd, rs1, rs2) }
+
+// --- ALU immediate forms ---
+
+func (b *Builder) alui(op isa.Op, rd, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: isa.NoReg, Imm: imm})
+}
+
+// Addi emits rd <- rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpAddi, rd, rs1, imm) }
+
+// Subi emits rd <- rs1 - imm.
+func (b *Builder) Subi(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpSubi, rd, rs1, imm) }
+
+// Andi emits rd <- rs1 & imm.
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpAndi, rd, rs1, imm) }
+
+// Ori emits rd <- rs1 | imm.
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpOri, rd, rs1, imm) }
+
+// Xori emits rd <- rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpXori, rd, rs1, imm) }
+
+// Slli emits rd <- rs1 << imm.
+func (b *Builder) Slli(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpSlli, rd, rs1, imm) }
+
+// Srli emits rd <- logical rs1 >> imm.
+func (b *Builder) Srli(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpSrli, rd, rs1, imm) }
+
+// Srai emits rd <- arithmetic rs1 >> imm.
+func (b *Builder) Srai(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpSrai, rd, rs1, imm) }
+
+// CmpEqi emits rd <- rs1 == imm.
+func (b *Builder) CmpEqi(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpCmpEqi, rd, rs1, imm) }
+
+// CmpLti emits rd <- rs1 < imm (signed).
+func (b *Builder) CmpLti(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpCmpLti, rd, rs1, imm) }
+
+// CmpLei emits rd <- rs1 <= imm (signed).
+func (b *Builder) CmpLei(rd, rs1 isa.Reg, imm int64) { b.alui(isa.OpCmpLei, rd, rs1, imm) }
+
+// Li emits rd <- imm (lda).
+func (b *Builder) Li(rd isa.Reg, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpLda, Rd: rd, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: imm})
+}
+
+// Mov emits rd <- rs (as an add with the zero register).
+func (b *Builder) Mov(rd, rs isa.Reg) { b.Add(rd, rs, isa.ZeroReg) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() {
+	b.Emit(isa.Instr{Op: isa.OpNop, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg})
+}
+
+// --- Memory ---
+
+// Ldw emits rd <- mem32[rs1+imm].
+func (b *Builder) Ldw(rd, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpLdw, Rd: rd, Rs1: rs1, Rs2: isa.NoReg, Imm: imm})
+}
+
+// Ldb emits rd <- zero-extended mem8[rs1+imm].
+func (b *Builder) Ldb(rd, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpLdb, Rd: rd, Rs1: rs1, Rs2: isa.NoReg, Imm: imm})
+}
+
+// Stw emits mem32[rs1+imm] <- rs2.
+func (b *Builder) Stw(rs2, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpStw, Rd: isa.NoReg, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Stb emits mem8[rs1+imm] <- low byte of rs2.
+func (b *Builder) Stb(rs2, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpStb, Rd: isa.NoReg, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// --- Control ---
+
+// Br emits an unconditional branch to label.
+func (b *Builder) Br(label string) {
+	b.emitTarget(isa.Instr{Op: isa.OpBr, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg}, label)
+}
+
+// Beqz emits a branch to label if rs == 0.
+func (b *Builder) Beqz(rs isa.Reg, label string) {
+	b.emitTarget(isa.Instr{Op: isa.OpBeqz, Rd: isa.NoReg, Rs1: rs, Rs2: isa.NoReg}, label)
+}
+
+// Bnez emits a branch to label if rs != 0.
+func (b *Builder) Bnez(rs isa.Reg, label string) {
+	b.emitTarget(isa.Instr{Op: isa.OpBnez, Rd: isa.NoReg, Rs1: rs, Rs2: isa.NoReg}, label)
+}
+
+// Bltz emits a branch to label if rs < 0.
+func (b *Builder) Bltz(rs isa.Reg, label string) {
+	b.emitTarget(isa.Instr{Op: isa.OpBltz, Rd: isa.NoReg, Rs1: rs, Rs2: isa.NoReg}, label)
+}
+
+// Bgez emits a branch to label if rs >= 0.
+func (b *Builder) Bgez(rs isa.Reg, label string) {
+	b.emitTarget(isa.Instr{Op: isa.OpBgez, Rd: isa.NoReg, Rs1: rs, Rs2: isa.NoReg}, label)
+}
+
+// Jsr emits a direct call to label, writing the return address to ra.
+func (b *Builder) Jsr(label string) {
+	b.emitTarget(isa.Instr{Op: isa.OpJsr, Rd: isa.RA, Rs1: isa.NoReg, Rs2: isa.NoReg}, label)
+}
+
+// JmpR emits an indirect jump through rs.
+func (b *Builder) JmpR(rs isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.OpJmp, Rd: isa.NoReg, Rs1: rs, Rs2: isa.NoReg})
+}
+
+// Ret emits a return through rs (conventionally ra).
+func (b *Builder) Ret() {
+	b.Emit(isa.Instr{Op: isa.OpRet, Rd: isa.NoReg, Rs1: isa.RA, Rs2: isa.NoReg})
+}
+
+// Halt emits program termination.
+func (b *Builder) Halt() {
+	b.Emit(isa.Instr{Op: isa.OpHalt, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg})
+}
+
+// --- Data segment ---
+
+func (b *Builder) align(n int) {
+	for len(b.data)%n != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// Word appends a 32-bit little-endian word to the data segment and returns
+// its virtual address.
+func (b *Builder) Word(v uint32) int64 {
+	b.align(4)
+	addr := int64(DataBase + len(b.data))
+	b.data = append(b.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	return addr
+}
+
+// Words appends a sequence of 32-bit words and returns the address of the
+// first.
+func (b *Builder) Words(vs ...uint32) int64 {
+	b.align(4)
+	addr := int64(DataBase + len(b.data))
+	for _, v := range vs {
+		b.Word(v)
+	}
+	return addr
+}
+
+// Bytes appends raw bytes and returns the address of the first.
+func (b *Builder) Bytes(bs []byte) int64 {
+	addr := int64(DataBase + len(b.data))
+	b.data = append(b.data, bs...)
+	return addr
+}
+
+// Space reserves n zeroed bytes, 4-byte aligned, returning the address.
+func (b *Builder) Space(n int) int64 {
+	b.align(4)
+	addr := int64(DataBase + len(b.data))
+	b.data = append(b.data, make([]byte, n)...)
+	return addr
+}
+
+// Build resolves labels, derives the CFG, runs liveness, validates and
+// returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.code) == 0 {
+		return nil, fmt.Errorf("%s: no instructions", b.name)
+	}
+	code := make([]isa.Instr, len(b.code))
+	copy(code, b.code)
+	for pos, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined label %q at instr %d", b.name, label, pos)
+		}
+		if target >= len(code) {
+			return nil, fmt.Errorf("%s: label %q points past end of code", b.name, label)
+		}
+		code[pos].Targ = target
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	p := &Program{
+		Name:   b.name,
+		Code:   code,
+		Entry:  0,
+		Data:   append([]byte(nil), b.data...),
+		Labels: labels,
+	}
+	buildCFG(p)
+	computeLiveness(p)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and workload tables.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,149 @@
+package prog
+
+import "repro/internal/isa"
+
+// buildCFG partitions the code into basic blocks and records successor
+// edges. Leaders are: the entry, every branch target, and every instruction
+// following a control transfer or halt. Indirect transfers (jmp, jsri, ret)
+// have unknown successors; their blocks are marked IndirectExit and, for
+// direct calls (jsr), both the callee entry and the fall-through (the
+// return point) are treated as successors so liveness flows conservatively.
+func buildCFG(p *Program) {
+	n := len(p.Code)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i, in := range p.Code {
+		switch {
+		case in.Op == isa.OpHalt:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.IsBranch():
+			if i+1 < n {
+				leader[i+1] = true
+			}
+			if in.Targ >= 0 && in.Targ < n {
+				leader[in.Targ] = true
+			}
+		}
+	}
+
+	p.Blocks = p.Blocks[:0]
+	p.BlockOf = make([]int, n)
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			p.Blocks = append(p.Blocks, Block{Start: start, End: i})
+			start = i
+		}
+	}
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		for i := b.Start; i < b.End; i++ {
+			p.BlockOf[i] = bi
+		}
+	}
+
+	// Successor edges.
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		last := p.Code[b.End-1]
+		addSucc := func(index int) {
+			if index >= 0 && index < n {
+				b.Succs = append(b.Succs, p.BlockOf[index])
+			}
+		}
+		switch {
+		case last.Op == isa.OpHalt:
+			// no successors
+		case last.Op == isa.OpBr:
+			addSucc(last.Targ)
+		case last.IsCondBranch():
+			addSucc(last.Targ)
+			addSucc(b.End)
+		case last.Op == isa.OpJsr:
+			// Call: control goes to the callee; the matching return comes
+			// back to the fall-through. Model both as successors so that
+			// intraprocedural liveness remains conservative.
+			addSucc(last.Targ)
+			addSucc(b.End)
+			b.IndirectExit = true
+		case last.Op == isa.OpJmp, last.Op == isa.OpJsrI, last.Op == isa.OpRet:
+			b.IndirectExit = true
+		default:
+			// Fall-through into the next block.
+			addSucc(b.End)
+		}
+	}
+}
+
+// computeLiveness runs backward liveness over the CFG and fills
+// p.liveAfter with per-instruction live-out register sets.
+//
+// Blocks with IndirectExit (returns, indirect jumps, calls) are given
+// live-out = AllRegs: their continuation is unknown intraprocedurally, so
+// every register value must be assumed consumed later. This is conservative
+// in exactly the direction mini-graph formation needs — an over-approximate
+// live set can only shrink the set of "interior" (dead) values, never
+// misclassify a live value as interior.
+func computeLiveness(p *Program) {
+	nb := len(p.Blocks)
+	use := make([]RegSet, nb)
+	def := make([]RegSet, nb)
+	liveIn := make([]RegSet, nb)
+	liveOut := make([]RegSet, nb)
+
+	for bi, b := range p.Blocks {
+		var u, d RegSet
+		for i := b.Start; i < b.End; i++ {
+			in := p.Code[i]
+			for _, s := range in.Sources() {
+				if !d.Has(s) {
+					u = u.Add(s)
+				}
+			}
+			if in.WritesReg() {
+				d = d.Add(in.Rd)
+			}
+		}
+		use[bi], def[bi] = u, d
+	}
+
+	// Iterate to a fixed point. Reverse block order converges quickly for
+	// the mostly-structured programs the workload suite produces.
+	changed := true
+	for changed {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			b := p.Blocks[bi]
+			var out RegSet
+			if b.IndirectExit {
+				out = AllRegs
+			}
+			for _, s := range b.Succs {
+				out = out.Union(liveIn[s])
+			}
+			in := use[bi].Union(out &^ def[bi])
+			if out != liveOut[bi] || in != liveIn[bi] {
+				liveOut[bi], liveIn[bi] = out, in
+				changed = true
+			}
+		}
+	}
+
+	// Per-instruction live-after sets, backward within each block.
+	p.liveAfter = make([]RegSet, len(p.Code))
+	for bi, b := range p.Blocks {
+		live := liveOut[bi]
+		for i := b.End - 1; i >= b.Start; i-- {
+			p.liveAfter[i] = live
+			in := p.Code[i]
+			if in.WritesReg() {
+				live = live.Remove(in.Rd)
+			}
+			for _, s := range in.Sources() {
+				live = live.Add(s)
+			}
+		}
+	}
+}

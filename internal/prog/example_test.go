@@ -1,0 +1,51 @@
+package prog_test
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// ExampleAssemble builds and runs a program from textual assembly.
+func ExampleAssemble() {
+	p, err := prog.Assemble("triangle", `
+		; compute 1+2+...+10
+		li   r1, 10
+		li   r2, 0
+	loop:
+		add  r2, r2, r1
+		subi r1, r1, 1
+		bnez r1, loop
+		mov  rv, r2
+		halt
+	`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := emu.Run(p, emu.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Checksum())
+	// Output: 55
+}
+
+// ExampleNewBuilder constructs the same program with the fluent API.
+func ExampleNewBuilder() {
+	b := prog.NewBuilder("triangle")
+	b.Li(1, 10)
+	b.Li(2, 0)
+	b.Label("loop")
+	b.Add(2, 2, 1)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Mov(0, 2)
+	b.Halt()
+	p := b.MustBuild()
+	res, _ := emu.Run(p, emu.Options{})
+	fmt.Println(res.Checksum(), "in", p.NumInstrs(), "instructions")
+	// Output: 55 in 7 instructions
+}

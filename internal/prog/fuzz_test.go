@@ -1,0 +1,57 @@
+package prog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that accepted
+// programs always validate.
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 1\nhalt")
+	f.Add("x: .word 1,2\n li r1, x\n ldw r2, (r1)\n halt")
+	f.Add("loop: subi r1, r1, 1\n bnez r1, loop\n halt")
+	f.Add("jsr fn\nhalt\nfn: ret")
+	f.Add(".")
+	f.Add("a: b: c:")
+	f.Add("stw r1, 99999999999(r2)")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource: %q", verr, src)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary loader never panics and that everything
+// it accepts round-trips.
+func FuzzReadBinary(f *testing.F) {
+	sample := MustAssemble("s", "li r1, 1\nx: addi r1, r1, 1\n bnez r1, x\n halt")
+	var buf bytes.Buffer
+	if err := sample.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MGB1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := p.WriteBinary(&out); err != nil {
+			t.Fatalf("accepted program fails to re-serialize: %v", err)
+		}
+		q, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted program fails: %v", err)
+		}
+		if len(q.Code) != len(p.Code) {
+			t.Fatal("round trip changed code length")
+		}
+	})
+}

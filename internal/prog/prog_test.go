@@ -1,0 +1,345 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// countdown builds a simple loop: r1 = 10; loop: r2 += r1; r1--; bnez r1, loop; halt.
+func countdown(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("countdown")
+	b.Li(1, 10)
+	b.Li(2, 0)
+	b.Label("loop")
+	b.Add(2, 2, 1)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	p := countdown(t)
+	// The bnez is instruction 4 and must target instruction 2 ("loop").
+	br := p.Code[4]
+	if br.Op != isa.OpBnez || br.Targ != 2 {
+		t.Fatalf("branch = %v, want bnez targeting 2", br)
+	}
+	if p.Labels["loop"] != 2 {
+		t.Errorf("label loop = %d, want 2", p.Labels["loop"])
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Br("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("Build() err = %v, want undefined-label error", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Build() err = %v, want duplicate-label error", err)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Fatal("Build() on empty program should fail")
+	}
+}
+
+func TestCFGBlocks(t *testing.T) {
+	p := countdown(t)
+	// Expected blocks: [0,2) prologue, [2,5) loop body (ends in bnez), [5,6) halt.
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %d (%v), want 3", len(p.Blocks), p.Blocks)
+	}
+	b0, b1, b2 := p.Blocks[0], p.Blocks[1], p.Blocks[2]
+	if b0.Start != 0 || b0.End != 2 || b1.Start != 2 || b1.End != 5 || b2.Start != 5 || b2.End != 6 {
+		t.Fatalf("block ranges wrong: %+v", p.Blocks)
+	}
+	if len(b0.Succs) != 1 || b0.Succs[0] != 1 {
+		t.Errorf("block 0 succs = %v, want [1]", b0.Succs)
+	}
+	// Loop block: taken -> itself, fall-through -> halt block.
+	if len(b1.Succs) != 2 {
+		t.Fatalf("block 1 succs = %v, want 2 edges", b1.Succs)
+	}
+	has := map[int]bool{}
+	for _, s := range b1.Succs {
+		has[s] = true
+	}
+	if !has[1] || !has[2] {
+		t.Errorf("block 1 succs = %v, want {1,2}", b1.Succs)
+	}
+	if len(b2.Succs) != 0 {
+		t.Errorf("halt block succs = %v, want none", b2.Succs)
+	}
+}
+
+func TestBlockOfCoversAllInstrs(t *testing.T) {
+	p := countdown(t)
+	for i := range p.Code {
+		bi := p.BlockIndex(i)
+		b := p.Blocks[bi]
+		if i < b.Start || i >= b.End {
+			t.Errorf("instr %d mapped to block %d [%d,%d)", i, bi, b.Start, b.End)
+		}
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	p := countdown(t)
+	// After "add r2,r2,r1" (index 2): r1 is needed by subi, r2 by next
+	// iteration's add — both live.
+	la := p.LiveAfter(2)
+	if !la.Has(1) || !la.Has(2) {
+		t.Errorf("liveAfter(add) = %v, want r1 and r2 live", la)
+	}
+	// After the halt nothing is live.
+	if got := p.LiveAfter(5); got != 0 {
+		t.Errorf("liveAfter(halt) = %v, want empty", got)
+	}
+	// After bnez (last instr of loop block): r1, r2 live around the backedge.
+	la4 := p.LiveAfter(4)
+	if !la4.Has(1) || !la4.Has(2) {
+		t.Errorf("liveAfter(bnez) = %v, want r1,r2", la4)
+	}
+}
+
+func TestLivenessDeadValue(t *testing.T) {
+	// r3 is computed and consumed immediately; dead after its last use.
+	b := NewBuilder("dead")
+	b.Li(1, 5)
+	b.Addi(3, 1, 1) // r3 = r1+1
+	b.Add(2, 3, 1)  // r2 = r3+r1 — last use of r3
+	b.Stw(2, isa.SP, 0)
+	b.Halt()
+	p := b.MustBuild()
+	if p.LiveAfter(1).Has(3) != true {
+		t.Error("r3 should be live immediately after its definition")
+	}
+	if p.LiveAfter(2).Has(3) {
+		t.Error("r3 should be dead after its last use")
+	}
+	if p.LiveAfter(2).Has(2) != true {
+		t.Error("r2 should be live until the store")
+	}
+}
+
+func TestLivenessIndirectExitConservative(t *testing.T) {
+	b := NewBuilder("retlive")
+	b.Li(1, 5)
+	b.Addi(2, 1, 1)
+	b.Ret()
+	p := b.MustBuild()
+	// The ret's continuation is unknown: everything must be live before it.
+	if !p.LiveAfter(1).Has(1) || !p.LiveAfter(1).Has(2) {
+		t.Errorf("liveAfter before ret = %v, want all regs conservative", p.LiveAfter(1))
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	b := NewBuilder("call")
+	b.Jsr("fn") // 0
+	b.Halt()    // 1
+	b.Label("fn")
+	b.Li(isa.RV, 42) // 2
+	b.Ret()          // 3
+	p := b.MustBuild()
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %v, want 3", p.Blocks)
+	}
+	call := p.Blocks[0]
+	if !call.IndirectExit {
+		t.Error("call block should be marked IndirectExit")
+	}
+	has := map[int]bool{}
+	for _, s := range call.Succs {
+		has[s] = true
+	}
+	if !has[1] || !has[2] {
+		t.Errorf("call succs = %v, want callee and fall-through", call.Succs)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	b := NewBuilder("data")
+	a1 := b.Word(0xdeadbeef)
+	a2 := b.Words(1, 2, 3)
+	a3 := b.Bytes([]byte("hi"))
+	a4 := b.Space(10)
+	b.Halt()
+	p := b.MustBuild()
+	if a1 != DataBase {
+		t.Errorf("first word at %#x, want %#x", a1, DataBase)
+	}
+	if a2 != DataBase+4 {
+		t.Errorf("words at %#x, want %#x", a2, DataBase+4)
+	}
+	if a3 != DataBase+16 {
+		t.Errorf("bytes at %#x, want %#x", a3, DataBase+16)
+	}
+	if a4%4 != 0 {
+		t.Errorf("Space addr %#x not aligned", a4)
+	}
+	if p.Data[0] != 0xef || p.Data[3] != 0xde {
+		t.Errorf("little-endian word stored wrong: % x", p.Data[:4])
+	}
+}
+
+func TestPCMapping(t *testing.T) {
+	for _, i := range []int{0, 1, 17, 4095} {
+		if got := IndexOf(PCOf(i)); got != i {
+			t.Errorf("IndexOf(PCOf(%d)) = %d", i, got)
+		}
+	}
+	if PCOf(0) != CodeBase {
+		t.Errorf("PCOf(0) = %#x, want CodeBase", PCOf(0))
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	var s RegSet
+	s = s.Add(1).Add(5).Add(isa.ZeroReg).Add(isa.NoReg)
+	if !s.Has(1) || !s.Has(5) {
+		t.Error("Add/Has broken")
+	}
+	if s.Has(isa.ZeroReg) {
+		t.Error("zero register must never enter a RegSet")
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	s = s.Remove(1)
+	if s.Has(1) || !s.Has(5) {
+		t.Error("Remove broken")
+	}
+	if AllRegs.Has(isa.ZeroReg) {
+		t.Error("AllRegs must exclude zero")
+	}
+	if AllRegs.Count() != isa.NumRegs-1 {
+		t.Errorf("AllRegs.Count = %d, want %d", AllRegs.Count(), isa.NumRegs-1)
+	}
+}
+
+// Property: RegSet Add/Remove/Has behave like a set over valid registers.
+func TestRegSetProperty(t *testing.T) {
+	f := func(adds, removes []uint8) bool {
+		ref := make(map[isa.Reg]bool)
+		var s RegSet
+		for _, a := range adds {
+			r := isa.Reg(a % isa.NumRegs)
+			s = s.Add(r)
+			if r != isa.ZeroReg {
+				ref[r] = true
+			}
+		}
+		for _, a := range removes {
+			r := isa.Reg(a % isa.NumRegs)
+			s = s.Remove(r)
+			delete(ref, r)
+		}
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if s.Has(r) != ref[r] {
+				return false
+			}
+		}
+		return s.Count() == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for arbitrary structured programs produced by a tiny generator,
+// Build validates and liveness never marks the zero register live.
+func TestBuildAlwaysValidatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p := genProgram(seed)
+		if p == nil {
+			return true // generator declined (e.g., empty)
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		for i := range p.Code {
+			if p.LiveAfter(i).Has(isa.ZeroReg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genProgram deterministically builds a small structured program from a seed.
+func genProgram(seed int64) *Program {
+	rng := seed
+	next := func(n int64) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := (rng >> 33) % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	b := NewBuilder("gen")
+	nblocks := int(next(4)) + 1
+	for i := 0; i < nblocks; i++ {
+		b.Label("b" + string(rune('0'+i)))
+		n := int(next(5)) + 1
+		for j := 0; j < n; j++ {
+			rd := isa.Reg(next(30))
+			rs1 := isa.Reg(next(31))
+			rs2 := isa.Reg(next(31))
+			switch next(6) {
+			case 0:
+				b.Add(rd, rs1, rs2)
+			case 1:
+				b.Addi(rd, rs1, next(100))
+			case 2:
+				b.Ldw(rd, isa.SP, next(64)*4)
+			case 3:
+				b.Stw(rs1, isa.SP, next(64)*4)
+			case 4:
+				b.Mul(rd, rs1, rs2)
+			case 5:
+				b.Xor(rd, rs1, rs2)
+			}
+		}
+		if i+1 < nblocks && next(2) == 0 {
+			b.Bnez(isa.Reg(next(30)), "b"+string(rune('0'+i)))
+		}
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+func TestProgramString(t *testing.T) {
+	p := countdown(t)
+	s := p.String()
+	for _, want := range []string{"countdown", "block 0", "loop:", "bnez"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

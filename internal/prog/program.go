@@ -1,0 +1,194 @@
+// Package prog represents static programs for the mini-graph toolchain:
+// instruction sequences, basic blocks, the control-flow graph, and the
+// liveness analysis that mini-graph formation requires to identify
+// "interior" register values.
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Memory layout constants shared by the builder, emulator and pipeline.
+const (
+	// CodeBase is the virtual address of static instruction 0. Instruction
+	// i lives at CodeBase + 4*i.
+	CodeBase = 0x0000_1000
+	// DataBase is the virtual address of the first byte of the data segment.
+	DataBase = 0x0010_0000
+	// StackTop is the initial stack pointer; the stack grows down.
+	StackTop = 0x0100_0000
+	// HeapBase is where the bump allocator used by workloads starts.
+	HeapBase = 0x0040_0000
+)
+
+// PCOf converts a static instruction index to a virtual address.
+func PCOf(index int) uint32 { return uint32(CodeBase + 4*index) }
+
+// IndexOf converts a virtual code address back to a static index.
+func IndexOf(pc uint32) int { return int(pc-CodeBase) / 4 }
+
+// Block is one basic block: the half-open static index range [Start, End).
+// Succs lists successor block indices; IndirectExit marks blocks that end in
+// an indirect transfer (jmp/jsri/ret) whose successors are unknown.
+type Block struct {
+	Start, End   int
+	Succs        []int
+	IndirectExit bool
+}
+
+// Len returns the number of instructions in the block.
+func (b Block) Len() int { return b.End - b.Start }
+
+// Program is a complete static program plus its initial data image.
+type Program struct {
+	Name string
+	Code []isa.Instr
+	// Blocks lists basic blocks in static order; BlockOf maps a static
+	// instruction index to its block index.
+	Blocks  []Block
+	BlockOf []int
+	// Entry is the static index of the first executed instruction.
+	Entry int
+	// Data is the initial data-segment image, loaded at DataBase.
+	Data []byte
+	// Labels maps label names to static indices (for diagnostics and tests).
+	Labels map[string]int
+	// liveAfter[i] holds registers live immediately after instruction i.
+	liveAfter []RegSet
+}
+
+// NumInstrs returns the static code size.
+func (p *Program) NumInstrs() int { return len(p.Code) }
+
+// BlockIndex returns the block containing static instruction i.
+func (p *Program) BlockIndex(i int) int { return p.BlockOf[i] }
+
+// LiveAfter returns the set of architectural registers whose values are
+// live (may be read before being overwritten) immediately after static
+// instruction i executes. The zero register is never a member.
+func (p *Program) LiveAfter(i int) RegSet { return p.liveAfter[i] }
+
+// String renders a disassembly listing with block boundaries.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s: %d instrs, %d blocks, %d data bytes\n",
+		p.Name, len(p.Code), len(p.Blocks), len(p.Data))
+	names := make(map[int]string)
+	for l, i := range p.Labels {
+		if prev, ok := names[i]; !ok || l < prev {
+			names[i] = l
+		}
+	}
+	for bi, b := range p.Blocks {
+		fmt.Fprintf(&sb, "-- block %d [%d,%d) succs=%v\n", bi, b.Start, b.End, b.Succs)
+		for i := b.Start; i < b.End; i++ {
+			if l, ok := names[i]; ok {
+				fmt.Fprintf(&sb, "%s:\n", l)
+			}
+			fmt.Fprintf(&sb, "  %4d  %s\n", i, p.Code[i])
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks structural invariants: targets in range, blocks well
+// formed, entry valid. Programs produced by Builder.Build always validate.
+func (p *Program) Validate() error {
+	n := len(p.Code)
+	if n == 0 {
+		return fmt.Errorf("program %s: empty code", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= n {
+		return fmt.Errorf("program %s: entry %d out of range", p.Name, p.Entry)
+	}
+	for i, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("instr %d: invalid opcode", i)
+		}
+		if in.IsBranch() && in.Op != isa.OpJmp && in.Op != isa.OpJsrI && in.Op != isa.OpRet {
+			if in.Targ < 0 || in.Targ >= n {
+				return fmt.Errorf("instr %d (%s): target %d out of range", i, in, in.Targ)
+			}
+		}
+	}
+	if len(p.BlockOf) != n {
+		return fmt.Errorf("BlockOf has %d entries, want %d", len(p.BlockOf), n)
+	}
+	prevEnd := 0
+	for bi, b := range p.Blocks {
+		if b.Start != prevEnd || b.End <= b.Start || b.End > n {
+			return fmt.Errorf("block %d: bad range [%d,%d)", bi, b.Start, b.End)
+		}
+		prevEnd = b.End
+		for i := b.Start; i < b.End; i++ {
+			if p.BlockOf[i] != bi {
+				return fmt.Errorf("BlockOf[%d] = %d, want %d", i, p.BlockOf[i], bi)
+			}
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(p.Blocks) {
+				return fmt.Errorf("block %d: successor %d out of range", bi, s)
+			}
+		}
+	}
+	if prevEnd != n {
+		return fmt.Errorf("blocks cover [0,%d), want [0,%d)", prevEnd, n)
+	}
+	return nil
+}
+
+// RegSet is a bitmap over architectural registers.
+type RegSet uint32
+
+// Add returns the set with r added. The zero register is never stored.
+func (s RegSet) Add(r isa.Reg) RegSet {
+	if !r.Valid() || r == isa.ZeroReg {
+		return s
+	}
+	return s | 1<<uint(r)
+}
+
+// Remove returns the set with r removed.
+func (s RegSet) Remove(r isa.Reg) RegSet {
+	if !r.Valid() {
+		return s
+	}
+	return s &^ (1 << uint(r))
+}
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r isa.Reg) bool {
+	if !r.Valid() {
+		return false
+	}
+	return s&(1<<uint(r)) != 0
+}
+
+// Union returns the union of two sets.
+func (s RegSet) Union(o RegSet) RegSet { return s | o }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for v := uint32(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// AllRegs is the set of every architectural register except zero.
+const AllRegs RegSet = (1<<isa.NumRegs - 1) &^ (1 << uint(isa.ZeroReg))
+
+// String lists members for diagnostics.
+func (s RegSet) String() string {
+	var parts []string
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if s.Has(r) {
+			parts = append(parts, r.String())
+		}
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

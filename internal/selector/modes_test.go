@@ -1,0 +1,86 @@
+package selector
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfiledLatencies(t *testing.T) {
+	// A candidate containing a load whose profiled latency is huge (a
+	// missing load): EvalProfiledLatencies must charge it, Eval must not.
+	p := fig5Program(t)
+	c := bde(t, p)
+	prof := fig5Profile(p, 0)
+	// Pretend constituent D (index 3 in the program) is a 50-cycle op.
+	prof.ExecLat[3] = 50
+
+	_, optDelay, ok := Eval(p, c, prof)
+	if !ok {
+		t.Fatal("Eval failed")
+	}
+	_, memDelay, ok := EvalProfiledLatencies(p, c, prof)
+	if !ok {
+		t.Fatal("EvalProfiledLatencies failed")
+	}
+	// The constituent after D (E, index 2 in the candidate) must see the
+	// extra latency only under the profiled model.
+	if !(memDelay[2] > optDelay[2]+40) {
+		t.Errorf("profiled latency not charged: optimistic %.1f vs profiled %.1f",
+			optDelay[2], memDelay[2])
+	}
+	// And the verdicts must differ: generous slack absorbs the optimistic
+	// delay but not the profiled one.
+	prof49 := fig5Profile(p, 49)
+	prof49.ExecLat[3] = 50
+	if Degrades(p, c, prof49, ModeFull) {
+		t.Error("optimistic model should accept with 49 cycles of slack")
+	}
+	if !Degrades(p, c, prof49, ModeMemLat) {
+		t.Error("profiled model should reject: the 50-cycle load delay exceeds 49 slack")
+	}
+}
+
+func TestGlobalSlackMode(t *testing.T) {
+	p := fig5Program(t)
+	c := bde(t, p)
+	prof := fig5Profile(p, 0) // local slack 0 on E -> ModeFull rejects
+	prof.GlobalRegSlack[4] = 10
+	if !Degrades(p, c, prof, ModeFull) {
+		t.Fatal("local mode should reject with zero local slack")
+	}
+	if Degrades(p, c, prof, ModeGlobal) {
+		t.Error("global mode should accept: 10 cycles of global slack absorb the delay")
+	}
+	prof.GlobalRegSlack[4] = 0
+	if !Degrades(p, c, prof, ModeGlobal) {
+		t.Error("global mode should reject with zero global slack")
+	}
+}
+
+func TestGlobalSlackNaNDefaultsBig(t *testing.T) {
+	p := fig5Program(t)
+	c := bde(t, p)
+	prof := fig5Profile(p, 0)
+	prof.GlobalRegSlack[4] = math.NaN()
+	// NaN -> BigSlack: unobserved values are treated as uncritical.
+	if Degrades(p, c, prof, ModeGlobal) {
+		t.Error("unobserved global slack should default to BigSlack (accept)")
+	}
+}
+
+func TestNewSelectorsRegistered(t *testing.T) {
+	for _, s := range []*Selector{SlackProfileMem(), SlackProfileGlobal()} {
+		if !s.NeedsProfile() {
+			t.Errorf("%s must need a profile", s.Name())
+		}
+		if s.Dyn.Dynamic {
+			t.Errorf("%s must be a static policy", s.Name())
+		}
+	}
+	if SlackProfileMem().Name() != "Slack-Profile-Mem" {
+		t.Error("name mismatch")
+	}
+	if SlackProfileGlobal().Name() != "Slack-Profile-Global" {
+		t.Error("name mismatch")
+	}
+}

@@ -1,0 +1,179 @@
+// Package stats assembles experiment results into the paper's presentation
+// forms: S-curves (per-program values sorted worst to best, each series
+// sorted independently), arithmetic and geometric means, and plain-text
+// renderings of the figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one experiment line: a labelled set of per-program values
+// (e.g. performance relative to the fully-provisioned baseline).
+type Series struct {
+	Label  string
+	Values map[string]float64 // program -> value
+}
+
+// NewSeries creates an empty series.
+func NewSeries(label string) *Series {
+	return &Series{Label: label, Values: make(map[string]float64)}
+}
+
+// Add records a program's value.
+func (s *Series) Add(program string, v float64) { s.Values[program] = v }
+
+// SCurve returns the values sorted ascending (worst to best), the paper's
+// S-curve ordering.
+func (s *Series) SCurve() []float64 {
+	out := make([]float64, 0, len(s.Values))
+	for _, v := range s.Values {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Mean returns the arithmetic mean.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// GeoMean returns the geometric mean (values must be positive).
+func (s *Series) GeoMean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(s.Values)))
+}
+
+// Median returns the middle S-curve value.
+func (s *Series) Median() float64 {
+	c := s.SCurve()
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)/2]
+}
+
+// CountBelow returns how many programs fall below the threshold.
+func (s *Series) CountBelow(th float64) int {
+	n := 0
+	for _, v := range s.Values {
+		if v < th {
+			n++
+		}
+	}
+	return n
+}
+
+// Report is a collection of series over a common program population.
+type Report struct {
+	Title  string
+	Series []*Series
+}
+
+// Get returns the series with the given label, or nil.
+func (r *Report) Get(label string) *Series {
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	return nil
+}
+
+// Add appends a series.
+func (r *Report) Add(s *Series) { r.Series = append(r.Series, s) }
+
+// SummaryTable renders label, mean, geomean, median, min, max per series.
+func (r *Report) SummaryTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", r.Title)
+	fmt.Fprintf(&sb, "%-28s %8s %8s %8s %8s %8s %6s\n",
+		"series", "mean", "geomean", "median", "min", "max", "n")
+	for _, s := range r.Series {
+		c := s.SCurve()
+		if len(c) == 0 {
+			fmt.Fprintf(&sb, "%-28s %8s\n", s.Label, "(empty)")
+			continue
+		}
+		fmt.Fprintf(&sb, "%-28s %8.3f %8.3f %8.3f %8.3f %8.3f %6d\n",
+			s.Label, s.Mean(), s.GeoMean(), s.Median(), c[0], c[len(c)-1], len(c))
+	}
+	return sb.String()
+}
+
+// SCurvePlot renders the series as an ASCII S-curve chart: x = programs
+// sorted worst to best (independently per series), y = value.
+func (r *Report) SCurvePlot(width, height int, yMin, yMax float64) string {
+	if len(r.Series) == 0 {
+		return "(no series)\n"
+	}
+	marks := []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// y=1.0 reference line.
+	if yMax > yMin {
+		ref := int((1.0 - yMin) / (yMax - yMin) * float64(height-1))
+		if ref >= 0 && ref < height {
+			row := height - 1 - ref
+			for x := 0; x < width; x++ {
+				grid[row][x] = '-'
+			}
+		}
+	}
+	for si, s := range r.Series {
+		curve := s.SCurve()
+		if len(curve) == 0 {
+			continue
+		}
+		m := marks[si%len(marks)]
+		for x := 0; x < width; x++ {
+			idx := x * (len(curve) - 1) / max(width-1, 1)
+			v := curve[idx]
+			if v < yMin {
+				v = yMin
+			}
+			if v > yMax {
+				v = yMax
+			}
+			y := int((v - yMin) / (yMax - yMin) * float64(height-1))
+			grid[height-1-y][x] = m
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (y: %.2f..%.2f, '-' marks y=1.0)\n", r.Title, yMin, yMax)
+	for i, row := range grid {
+		yVal := yMax - float64(i)*(yMax-yMin)/float64(height-1)
+		fmt.Fprintf(&sb, "%6.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&sb, "        programs sorted worst -> best (each series independently)\n")
+	for si, s := range r.Series {
+		fmt.Fprintf(&sb, "        %c = %s\n", marks[si%len(marks)], s.Label)
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func series(vals ...float64) *Series {
+	s := NewSeries("s")
+	for i, v := range vals {
+		s.Add(string(rune('a'+i)), v)
+	}
+	return s
+}
+
+func TestSCurveSorted(t *testing.T) {
+	s := series(1.2, 0.8, 1.0)
+	c := s.SCurve()
+	if len(c) != 3 || c[0] != 0.8 || c[1] != 1.0 || c[2] != 1.2 {
+		t.Errorf("SCurve = %v", c)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	s := series(1.0, 4.0)
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", s.Mean())
+	}
+	if math.Abs(s.GeoMean()-2.0) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", s.GeoMean())
+	}
+	if s.Median() != 4.0 { // len 2: index 1
+		t.Errorf("Median = %v", s.Median())
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Mean() != 0 || s.GeoMean() != 0 || s.Median() != 0 {
+		t.Error("empty series should report zeros")
+	}
+	if len(s.SCurve()) != 0 {
+		t.Error("empty series SCurve should be empty")
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	s := series(0.8, 0.95, 1.0, 1.1)
+	if got := s.CountBelow(1.0); got != 2 {
+		t.Errorf("CountBelow(1.0) = %d, want 2", got)
+	}
+}
+
+func TestReportGet(t *testing.T) {
+	r := &Report{Title: "t"}
+	r.Add(series(1))
+	if r.Get("s") == nil || r.Get("missing") != nil {
+		t.Error("Get broken")
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	r := &Report{Title: "My Experiment"}
+	r.Add(series(0.9, 1.1))
+	r.Add(NewSeries("empty"))
+	out := r.SummaryTable()
+	for _, want := range []string{"My Experiment", "mean", "1.000", "(empty)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSCurvePlot(t *testing.T) {
+	r := &Report{Title: "plot"}
+	r.Add(series(0.8, 0.9, 1.0, 1.1, 1.2))
+	out := r.SCurvePlot(40, 10, 0.5, 1.5)
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "o = s") {
+		t.Errorf("plot malformed:\n%s", out)
+	}
+	// Must contain the y=1.0 reference line.
+	if !strings.Contains(out, "---") {
+		t.Errorf("missing reference line:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Error("plot too short")
+	}
+}
+
+func TestSCurvePlotEmpty(t *testing.T) {
+	r := &Report{Title: "none"}
+	if out := r.SCurvePlot(10, 5, 0, 1); !strings.Contains(out, "no series") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+// Property: Mean lies within [min, max]; GeoMean <= Mean (AM-GM).
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries("p")
+		for i, v := range raw {
+			s.Add(string(rune(i)), 0.1+float64(v%300)/100)
+		}
+		c := s.SCurve()
+		m, g := s.Mean(), s.GeoMean()
+		return m >= c[0]-1e-9 && m <= c[len(c)-1]+1e-9 && g <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

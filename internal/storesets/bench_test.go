@@ -1,0 +1,14 @@
+package storesets
+
+import "testing"
+
+// BenchmarkRenamePath measures the per-instruction rename-side cost.
+func BenchmarkRenamePath(b *testing.B) {
+	p := New(1024)
+	p.Violation(0x100, 0x200)
+	for i := 0; i < b.N; i++ {
+		p.RenameStore(0x200, int64(i))
+		p.RenameLoad(0x100)
+		p.CompleteStore(0x200, int64(i))
+	}
+}

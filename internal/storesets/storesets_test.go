@@ -1,0 +1,123 @@
+package storesets
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// PCs chosen to hash to distinct SSIT entries (1024-entry table).
+const (
+	loadPC  = 0x1000
+	storePC = 0x1004
+	otherPC = 0x1008
+)
+
+func TestColdLoadSpeculates(t *testing.T) {
+	p := New(1024)
+	if tag := p.RenameLoad(loadPC); tag != -1 {
+		t.Errorf("cold load wait tag = %d, want -1 (speculate)", tag)
+	}
+}
+
+func TestViolationCreatesDependence(t *testing.T) {
+	p := New(1024)
+	p.Violation(loadPC, storePC)
+	p.RenameStore(storePC, 7)
+	if tag := p.RenameLoad(loadPC); tag != 7 {
+		t.Errorf("trained load wait tag = %d, want 7", tag)
+	}
+	if p.Violations != 1 || p.Predictions != 1 {
+		t.Errorf("stats = %d violations %d predictions", p.Violations, p.Predictions)
+	}
+}
+
+func TestNoInflightStoreMeansSpeculate(t *testing.T) {
+	p := New(1024)
+	p.Violation(loadPC, storePC)
+	// No store renamed yet: load may go.
+	if tag := p.RenameLoad(loadPC); tag != -1 {
+		t.Errorf("wait tag = %d, want -1 with no in-flight store", tag)
+	}
+}
+
+func TestCompleteStoreClearsLFST(t *testing.T) {
+	p := New(1024)
+	p.Violation(loadPC, storePC)
+	p.RenameStore(storePC, 9)
+	p.CompleteStore(storePC, 9)
+	if tag := p.RenameLoad(loadPC); tag != -1 {
+		t.Errorf("wait tag = %d, want -1 after store completion", tag)
+	}
+}
+
+func TestCompleteStaleStoreKeepsNewer(t *testing.T) {
+	p := New(1024)
+	p.Violation(loadPC, storePC)
+	p.RenameStore(storePC, 9)
+	p.RenameStore(storePC, 12) // a younger instance
+	p.CompleteStore(storePC, 9)
+	if tag := p.RenameLoad(loadPC); tag != 12 {
+		t.Errorf("wait tag = %d, want 12 (younger store still in flight)", tag)
+	}
+}
+
+func TestUnrelatedLoadUnaffected(t *testing.T) {
+	p := New(1024)
+	p.Violation(loadPC, storePC)
+	p.RenameStore(storePC, 3)
+	if tag := p.RenameLoad(otherPC); tag != -1 {
+		t.Errorf("unrelated load wait tag = %d, want -1", tag)
+	}
+}
+
+func TestSetMerging(t *testing.T) {
+	p := New(1024)
+	// load conflicts with two different stores; all three should end up in
+	// one set, so the load waits on whichever store was renamed last.
+	p.Violation(loadPC, storePC)
+	p.Violation(loadPC, otherPC)
+	p.RenameStore(otherPC, 21)
+	if tag := p.RenameLoad(loadPC); tag != 21 {
+		t.Errorf("wait tag = %d, want 21 after merge", tag)
+	}
+	p.RenameStore(storePC, 22)
+	if tag := p.RenameLoad(loadPC); tag != 22 {
+		t.Errorf("wait tag = %d, want 22 (same merged set)", tag)
+	}
+}
+
+func TestTwoLoadsOneStore(t *testing.T) {
+	p := New(1024)
+	l2 := uint32(0x4000)
+	p.Violation(loadPC, storePC)
+	p.Violation(l2, storePC)
+	p.RenameStore(storePC, 5)
+	if p.RenameLoad(loadPC) != 5 || p.RenameLoad(l2) != 5 {
+		t.Error("both loads should wait on the shared store")
+	}
+}
+
+// Property: after training a (load,store) pair and renaming the store with
+// an arbitrary tag, the load always observes that tag; and untrained PCs
+// never wait.
+func TestTrainingProperty(t *testing.T) {
+	f := func(lpc, spc uint32, tag int64) bool {
+		lpc, spc = lpc&^3, spc&^3
+		if tag < 0 {
+			tag = -tag
+		}
+		if lpc == spc {
+			return true // degenerate aliasing case, skip
+		}
+		p := New(256)
+		p.Violation(lpc, spc)
+		p.RenameStore(spc, tag)
+		if p.idx(lpc) == p.idx(spc) {
+			return true // SSIT aliasing makes expectations unreliable
+		}
+		return p.RenameLoad(lpc) == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// rng is a small deterministic generator (splitmix-style) so workload
+// construction is reproducible without math/rand.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) chance(p float64) bool { return float64(r.next()%1000)/1000 < p }
+
+// traits parameterizes the program generator along the behavioural axes the
+// suites differ on.
+type traits struct {
+	loops    int     // number of distinct loops
+	bodyOps  int     // ALU ops per loop body
+	ilp      int     // number of independent dataflow chains in the body
+	memLoads int     // loads per body
+	stores   float64 // probability of a store per body
+	branchy  float64 // probability of a data-dependent skip per body
+	chase    bool    // pointer-chasing load pattern (linked list)
+	calls    bool    // wrap the body in a function call
+	arrayLog int     // log2 words of the working set (scaled up by input)
+	mulFrac  float64 // fraction of complex ops
+}
+
+// scratch registers available to generated code. r16–r19 are loop-control
+// and pointer registers; r0 is the global accumulator.
+var genRegs = []isa.Reg{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+const (
+	ctrReg  = isa.Reg(16) // loop counter
+	ptrReg  = isa.Reg(17) // array pointer
+	idxReg  = isa.Reg(18) // index scratch
+	baseReg = isa.Reg(19) // array base
+)
+
+// genProgram emits one generated workload program.
+func genProgram(name string, seed uint64, tr traits, scale int) *prog.Program {
+	r := &rng{s: seed}
+	b := prog.NewBuilder(name)
+
+	// Working set, scaled by input size.
+	logWords := tr.arrayLog + scale
+	words := 1 << logWords
+	vals := make([]uint32, words)
+	dr := &rng{s: seed ^ 0xabcdef}
+	for i := range vals {
+		vals[i] = uint32(dr.next())
+	}
+	// Pointer-chase workloads store "next" indices instead of raw data: a
+	// permutation cycle covering the array.
+	if tr.chase {
+		perm := make([]int, words)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := words - 1; i > 0; i-- {
+			j := dr.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		// Build one cycle: next[perm[i]] = perm[i+1].
+		for i := 0; i < words; i++ {
+			vals[perm[i]] = uint32(perm[(i+1)%words])
+		}
+	}
+	arr := b.Words(vals...)
+
+	trip := int64(words)
+	if trip > 512 {
+		trip = 512
+	}
+	trip += int64(16 * scale * tr.loops)
+
+	for l := 0; l < tr.loops; l++ {
+		loop := fmt.Sprintf("L%d", l)
+		done := fmt.Sprintf("D%d", l)
+		fn := fmt.Sprintf("F%d", l)
+
+		b.Li(baseReg, arr)
+		b.Li(ctrReg, trip)
+		b.Li(ptrReg, arr)
+		// Seed the dataflow chains.
+		for i := 0; i < tr.ilp && i < len(genRegs); i++ {
+			b.Li(genRegs[i], int64(r.intn(1<<16)+1))
+		}
+		b.Label(loop)
+		if tr.calls {
+			b.Jsr(fn)
+		} else {
+			genBody(b, r, tr, l, logWords)
+		}
+		b.Subi(ctrReg, ctrReg, 1)
+		b.Bnez(ctrReg, loop)
+		if tr.calls {
+			b.Br(done)
+			b.Label(fn)
+			genBody(b, r, tr, l, logWords)
+			b.Ret()
+			b.Label(done)
+		} else {
+			b.Label(done)
+		}
+		// Fold the dataflow chains into the result after the loop (keeping
+		// accumulation out of the hot body avoids imposing a universal
+		// one-cycle loop recurrence on every program).
+		for i := 0; i < tr.ilp && i < len(genRegs); i++ {
+			b.Add(isa.RV, isa.RV, genRegs[i])
+		}
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// genBody emits one loop body: loads, a random dataflow DAG across several
+// chains, optional data-dependent skips, optional stores, accumulation.
+func genBody(b *prog.Builder, r *rng, tr traits, loopIdx int, logWords int) {
+	chains := tr.ilp
+	if chains > len(genRegs) {
+		chains = len(genRegs)
+	}
+	if chains < 1 {
+		chains = 1
+	}
+	live := genRegs[:chains]
+	mask4 := int64((1<<logWords)-1) << 2 // word-aligned offset mask
+
+	// Loads.
+	for m := 0; m < tr.memLoads; m++ {
+		dst := live[r.intn(len(live))]
+		if tr.chase {
+			// next = arr[next & mask]: serial, cache-hostile.
+			b.Slli(idxReg, dst, 2)
+			b.Andi(idxReg, idxReg, mask4)
+			b.Add(idxReg, idxReg, baseReg)
+			b.Ldw(dst, idxReg, 0)
+		} else {
+			// Streaming: advance the pointer, wrap via mask.
+			b.Addi(ptrReg, ptrReg, int64(4*(1+r.intn(4))))
+			b.Sub(idxReg, ptrReg, baseReg)
+			b.Andi(idxReg, idxReg, mask4)
+			b.Add(idxReg, idxReg, baseReg)
+			b.Ldw(dst, idxReg, 0)
+		}
+	}
+
+	// Compute DAG.
+	for i := 0; i < tr.bodyOps; i++ {
+		d := live[r.intn(len(live))]
+		s1 := live[r.intn(len(live))]
+		s2 := live[r.intn(len(live))]
+		switch {
+		case tr.mulFrac > 0 && r.chance(tr.mulFrac):
+			b.Mul(d, s1, s2)
+		default:
+			switch r.intn(5) {
+			case 0:
+				b.Add(d, s1, s2)
+			case 1:
+				b.Xor(d, s1, s2)
+			case 2:
+				b.Sub(d, s1, s2)
+			case 3:
+				b.Addi(d, s1, int64(r.intn(255)+1))
+			case 4:
+				b.Slli(idxReg, s1, int64(1+r.intn(3)))
+				b.Xor(d, idxReg, s2)
+			}
+		}
+		// Data-dependent skip.
+		if r.chance(tr.branchy / float64(tr.bodyOps) * 3) {
+			skip := fmt.Sprintf("S%d_%d", loopIdx, i)
+			t := live[r.intn(len(live))]
+			b.Andi(idxReg, t, int64(1+r.intn(7)))
+			b.Beqz(idxReg, skip)
+			extra := live[r.intn(len(live))]
+			b.Addi(extra, extra, 1)
+			b.Xori(extra, extra, int64(r.intn(255)))
+			b.Label(skip)
+		}
+	}
+
+	// Optional store.
+	if r.chance(tr.stores) {
+		v := live[r.intn(len(live))]
+		b.Slli(idxReg, v, 2)
+		b.Andi(idxReg, idxReg, mask4)
+		b.Add(idxReg, idxReg, baseReg)
+		b.Stw(v, idxReg, 0)
+	}
+}
+
+// registerGenerated fills each suite with generated programs whose traits
+// sweep the suite's characteristic behaviour.
+func registerGenerated(suite string, count int, base traits, seed0 uint64) {
+	for i := 0; i < count; i++ {
+		tr := base
+		seed := seed0 + uint64(i)*0x1111
+		r := rng{s: seed}
+		// Sweep around the base traits so the population is diverse.
+		tr.bodyOps = base.bodyOps + r.intn(base.bodyOps+1)
+		tr.ilp = 1 + (base.ilp+r.intn(base.ilp+1))/2*1
+		if tr.ilp > 8 {
+			tr.ilp = 8
+		}
+		tr.memLoads = base.memLoads + r.intn(2)
+		tr.loops = 1 + r.intn(base.loops)
+		tr.calls = base.calls && r.chance(0.5)
+		name := fmt.Sprintf("%s.gen%02d", suite, i)
+		w := &Workload{Name: name, Suite: suite}
+		trc := tr
+		w.build = func(scale int) (*prog.Program, uint32, bool) {
+			return genProgram(name, seed, trc, scale), 0, false
+		}
+		register(w)
+	}
+}
+
+func init() {
+	// SPECint-like: branchy, pointer-heavy, modest ILP.
+	registerGenerated("intx", 13, traits{
+		loops: 3, bodyOps: 12, ilp: 5, memLoads: 2,
+		stores: 0.4, branchy: 0.8, chase: false, calls: true,
+		arrayLog: 9, mulFrac: 0.05,
+	}, 0x51EC1)
+	// MediaBench-like: regular, high ILP, stream loads, few branches.
+	registerGenerated("media", 12, traits{
+		loops: 2, bodyOps: 20, ilp: 8, memLoads: 3,
+		stores: 0.5, branchy: 0.1, chase: false, calls: false,
+		arrayLog: 9, mulFrac: 0.1,
+	}, 0x3ED1A)
+	// CommBench-like: streaming with moderate ILP and some branches.
+	registerGenerated("comm", 11, traits{
+		loops: 2, bodyOps: 16, ilp: 6, memLoads: 3,
+		stores: 0.3, branchy: 0.4, chase: false, calls: false,
+		arrayLog: 10, mulFrac: 0.0,
+	}, 0xC0111)
+	// MiBench-like: small kernels, mixed behaviour, some pointer chasing.
+	registerGenerated("embed", 12, traits{
+		loops: 2, bodyOps: 10, ilp: 4, memLoads: 2,
+		stores: 0.3, branchy: 0.5, chase: true, calls: false,
+		arrayLog: 8, mulFrac: 0.05,
+	}, 0xE3BED)
+}

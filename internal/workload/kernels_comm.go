@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"repro/internal/prog"
+)
+
+// sampleBytes produces deterministic pseudo-random payload bytes.
+func sampleBytes(n int, seed uint64) []byte {
+	r := rng{s: seed}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+func commSize(scale int) int { return 512 << scale } // 512 or 1024 bytes
+
+// crc32Ref is the reference bitwise CRC-32 (poly 0xEDB88320).
+func crc32Ref(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc ^= uint32(b)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+func buildCRC32(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	data := sampleBytes(n, 0xC2C32)
+	b := prog.NewBuilder("comm.crc32")
+	buf := b.Bytes(data)
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 0xFFFFFFFF)
+	b.Label("byte")
+	b.Ldb(4, 1, 0)
+	b.Xor(3, 3, 4)
+	b.Li(5, 8)
+	b.Label("bit")
+	b.Andi(6, 3, 1)
+	b.Srli(3, 3, 1)
+	b.Beqz(6, "skip")
+	b.Xori(3, 3, 0xEDB88320)
+	b.Label("skip")
+	b.Subi(5, 5, 1)
+	b.Bnez(5, "bit")
+	b.Addi(1, 1, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "byte")
+	b.Xori(0, 3, 0xFFFFFFFF)
+	b.Halt()
+	return b.MustBuild(), crc32Ref(data), true
+}
+
+// adler32Ref is the reference Adler-32.
+func adler32Ref(data []byte) uint32 {
+	const mod = 65521
+	a, s := uint32(1), uint32(0)
+	for _, c := range data {
+		a = (a + uint32(c)) % mod
+		s = (s + a) % mod
+	}
+	return s<<16 | a
+}
+
+func buildAdler32(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	data := sampleBytes(n, 0xAD1E4)
+	b := prog.NewBuilder("comm.adler32")
+	buf := b.Bytes(data)
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 1) // a
+	b.Li(4, 0) // s
+	b.Li(5, 65521)
+	b.Label("loop")
+	b.Ldb(6, 1, 0)
+	b.Add(3, 3, 6)
+	b.Rem(3, 3, 5)
+	b.Add(4, 4, 3)
+	b.Rem(4, 4, 5)
+	b.Addi(1, 1, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Slli(0, 4, 16)
+	b.Or(0, 0, 3)
+	b.Halt()
+	return b.MustBuild(), adler32Ref(data), true
+}
+
+// ipchkRef is the reference 16-bit ones-complement Internet checksum.
+func ipchkRef(data []byte) uint32 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^sum & 0xffff
+}
+
+func buildIPChk(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	data := sampleBytes(n, 0x1BC4C)
+	b := prog.NewBuilder("comm.ipchk")
+	buf := b.Bytes(data)
+	b.Li(1, buf)
+	b.Li(2, int64(n/2))
+	b.Li(3, 0)
+	b.Label("loop")
+	b.Ldb(4, 1, 0)
+	b.Ldb(5, 1, 1)
+	b.Slli(4, 4, 8)
+	b.Or(4, 4, 5)
+	b.Add(3, 3, 4)
+	b.Addi(1, 1, 2)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	// Fold carries.
+	b.Label("fold")
+	b.Srli(4, 3, 16)
+	b.Beqz(4, "done")
+	b.Andi(3, 3, 0xffff)
+	b.Add(3, 3, 4)
+	b.Br("fold")
+	b.Label("done")
+	b.Xori(0, 3, 0xffff)
+	b.Andi(0, 0, 0xffff)
+	b.Halt()
+	return b.MustBuild(), ipchkRef(data), true
+}
+
+// runBytes produces byte data with runs, for RLE.
+func runBytes(n int, seed uint64) []byte {
+	r := rng{s: seed}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		v := byte(r.next() % 7)
+		runLen := 1 + r.intn(9)
+		for k := 0; k < runLen && len(out) < n; k++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rleRef encodes runs and checksums the (value, count) stream.
+func rleRef(data []byte) uint32 {
+	var sum uint32
+	i := 0
+	for i < len(data) {
+		j := i
+		for j < len(data) && data[j] == data[i] {
+			j++
+		}
+		sum = sum*31 + uint32(data[i])
+		sum = sum*31 + uint32(j-i)
+		i = j
+	}
+	return sum
+}
+
+func buildRLE(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	data := runBytes(n, 0x41E11)
+	b := prog.NewBuilder("comm.rle")
+	buf := b.Bytes(data)
+	b.Li(1, buf)          // i ptr
+	b.Li(2, buf+int64(n)) // end
+	b.Li(3, 0)            // sum
+	b.Label("outer")
+	b.CmpUlt(4, 1, 2)
+	b.Beqz(4, "done")
+	b.Ldb(5, 1, 0) // run value
+	b.Mov(6, 1)    // j = i
+	b.Label("run")
+	b.Addi(6, 6, 1)
+	b.CmpUlt(4, 6, 2)
+	b.Beqz(4, "endrun")
+	b.Ldb(7, 6, 0)
+	b.CmpEq(4, 7, 5)
+	b.Bnez(4, "run")
+	b.Label("endrun")
+	// sum = sum*31 + value ; sum = sum*31 + runlen
+	b.Li(8, 31)
+	b.Mul(3, 3, 8)
+	b.Add(3, 3, 5)
+	b.Mul(3, 3, 8)
+	b.Sub(9, 6, 1)
+	b.Add(3, 3, 9)
+	b.Mov(1, 6)
+	b.Br("outer")
+	b.Label("done")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), rleRef(data), true
+}
+
+// mixRef is a SHA-like add/rotate/xor mixer over 5 words per block.
+func mixRef(data []byte, rounds int) uint32 {
+	rotl := func(x uint32, s uint) uint32 { return x<<s | x>>(32-s) }
+	h := [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	for i := 0; i+4 <= len(data); i += 4 {
+		w := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		for r := 0; r < rounds; r++ {
+			t := rotl(h[0], 5) + (h[1] ^ h[2] ^ h[3]) + h[4] + w + 0x5A827999
+			h[4], h[3], h[2], h[1], h[0] = h[3], h[2], rotl(h[1], 30), h[0], t
+		}
+	}
+	return h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]
+}
+
+func buildMix(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	const rounds = 4
+	data := sampleBytes(n, 0x3A512)
+	b := prog.NewBuilder("comm.mix")
+	buf := b.Bytes(data)
+	b.Li(1, buf)
+	b.Li(2, int64(n/4))
+	b.Li(3, 0x67452301)
+	b.Li(4, 0xEFCDAB89)
+	b.Li(5, 0x98BADCFE)
+	b.Li(6, 0x10325476)
+	b.Li(7, 0xC3D2E1F0)
+	b.Label("block")
+	b.Ldw(8, 1, 0) // w
+	b.Li(9, rounds)
+	b.Label("round")
+	// t = rotl(h0,5) + (h1^h2^h3) + h4 + w + K
+	b.Slli(10, 3, 5)
+	b.Srli(11, 3, 27)
+	b.Or(10, 10, 11) // rotl(h0,5)
+	b.Xor(12, 4, 5)
+	b.Xor(12, 12, 6)
+	b.Add(10, 10, 12)
+	b.Add(10, 10, 7)
+	b.Add(10, 10, 8)
+	b.Li(13, 0x5A827999)
+	b.Add(10, 10, 13) // t
+	// rotate state: h4=h3 h3=h2 h2=rotl(h1,30) h1=h0 h0=t
+	b.Mov(7, 6)
+	b.Mov(6, 5)
+	b.Slli(14, 4, 30)
+	b.Srli(15, 4, 2)
+	b.Or(5, 14, 15)
+	b.Mov(4, 3)
+	b.Mov(3, 10)
+	b.Subi(9, 9, 1)
+	b.Bnez(9, "round")
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "block")
+	b.Xor(0, 3, 4)
+	b.Xor(0, 0, 5)
+	b.Xor(0, 0, 6)
+	b.Xor(0, 0, 7)
+	b.Halt()
+	return b.MustBuild(), mixRef(data, rounds), true
+}
+
+func init() {
+	register(&Workload{Name: "comm.crc32", Suite: "comm", build: buildCRC32})
+	register(&Workload{Name: "comm.adler32", Suite: "comm", build: buildAdler32})
+	register(&Workload{Name: "comm.ipchk", Suite: "comm", build: buildIPChk})
+	register(&Workload{Name: "comm.rle", Suite: "comm", build: buildRLE})
+	register(&Workload{Name: "comm.mix", Suite: "comm", build: buildMix})
+}

@@ -1,0 +1,386 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// dijkstraRef computes single-source shortest paths over an adjacency
+// matrix (O(V^2) selection, no heap) and checksums the distance vector.
+func dijkstraRef(adj []uint32, v int) uint32 {
+	const inf = 0x3fffffff
+	dist := make([]uint32, v)
+	done := make([]bool, v)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	for iter := 0; iter < v; iter++ {
+		best, bi := uint32(inf+1), -1
+		for i := 0; i < v; i++ {
+			if !done[i] && dist[i] < best {
+				best, bi = dist[i], i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		done[bi] = true
+		for j := 0; j < v; j++ {
+			w := adj[bi*v+j]
+			if w != 0 && dist[bi]+w < dist[j] {
+				dist[j] = dist[bi] + w
+			}
+		}
+	}
+	var sum uint32
+	for i, d := range dist {
+		sum += d * uint32(i+1)
+	}
+	return sum
+}
+
+func buildDijkstra(scale int) (*prog.Program, uint32, bool) {
+	v := 24 + 16*scale
+	r := rng{s: 0xD1135}
+	adj := make([]uint32, v*v)
+	for i := 0; i < v; i++ {
+		for j := 0; j < v; j++ {
+			if i != j && r.chance(0.35) {
+				adj[i*v+j] = uint32(r.intn(99) + 1)
+			}
+		}
+	}
+	want := dijkstraRef(adj, v)
+
+	const inf = 0x3fffffff
+	b := prog.NewBuilder("embed.dijkstra")
+	adjA := b.Words(adj...)
+	distW := make([]uint32, v)
+	for i := range distW {
+		distW[i] = inf
+	}
+	distW[0] = 0
+	distA := b.Words(distW...)
+	doneA := b.Space(4 * v)
+
+	// r1=v, r2=iter, r3=best, r4=bi, r5=i/j, r6..r13 temps
+	b.Li(1, int64(v))
+	b.Li(2, 0)
+	b.Label("iter")
+	// selection: best=inf+1, bi=-1
+	b.Li(3, inf+1)
+	b.Li(4, -1)
+	b.Li(5, 0)
+	b.Label("sel")
+	b.Slli(6, 5, 2)
+	b.Li(7, doneA)
+	b.Add(7, 7, 6)
+	b.Ldw(8, 7, 0) // done[i]
+	b.Bnez(8, "selnext")
+	b.Li(7, distA)
+	b.Add(7, 7, 6)
+	b.Ldw(8, 7, 0) // dist[i]
+	b.CmpUlt(9, 8, 3)
+	b.Beqz(9, "selnext")
+	b.Mov(3, 8)
+	b.Mov(4, 5)
+	b.Label("selnext")
+	b.Addi(5, 5, 1)
+	b.CmpLt(9, 5, 1)
+	b.Bnez(9, "sel")
+	b.Bltz(4, "finish") // no reachable node left
+	// done[bi] = 1
+	b.Slli(6, 4, 2)
+	b.Li(7, doneA)
+	b.Add(7, 7, 6)
+	b.Li(8, 1)
+	b.Stw(8, 7, 0)
+	// relax: for j: w = adj[bi*v+j]
+	b.Mul(10, 4, 1) // bi*v
+	b.Slli(10, 10, 2)
+	b.Li(7, adjA)
+	b.Add(10, 10, 7) // row ptr
+	b.Li(5, 0)
+	b.Label("relax")
+	b.Slli(6, 5, 2)
+	b.Add(7, 10, 6)
+	b.Ldw(8, 7, 0) // w
+	b.Beqz(8, "rnext")
+	b.Add(8, 8, 3) // dist[bi]+w (r3 still holds dist[bi])
+	b.Li(7, distA)
+	b.Add(7, 7, 6)
+	b.Ldw(9, 7, 0) // dist[j]
+	b.CmpUlt(11, 8, 9)
+	b.Beqz(11, "rnext")
+	b.Stw(8, 7, 0)
+	b.Label("rnext")
+	b.Addi(5, 5, 1)
+	b.CmpLt(9, 5, 1)
+	b.Bnez(9, "relax")
+	b.Addi(2, 2, 1)
+	b.CmpLt(9, 2, 1)
+	b.Bnez(9, "iter")
+	b.Label("finish")
+	// checksum = sum dist[i]*(i+1)
+	b.Li(5, 0)
+	b.Li(12, 0)
+	b.Label("ck")
+	b.Slli(6, 5, 2)
+	b.Li(7, distA)
+	b.Add(7, 7, 6)
+	b.Ldw(8, 7, 0)
+	b.Addi(9, 5, 1)
+	b.Mul(8, 8, 9)
+	b.Add(12, 12, 8)
+	b.Addi(5, 5, 1)
+	b.CmpLt(9, 5, 1)
+	b.Bnez(9, "ck")
+	b.Mov(0, 12)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// strsearchRef counts occurrences of pattern in text (naive scan).
+func strsearchRef(text, pat []byte) uint32 {
+	var count uint32
+	for i := 0; i+len(pat) <= len(text); i++ {
+		j := 0
+		for j < len(pat) && text[i+j] == pat[j] {
+			j++
+		}
+		if j == len(pat) {
+			count++
+		}
+	}
+	return count
+}
+
+func buildStrsearch(scale int) (*prog.Program, uint32, bool) {
+	n := 2048 << scale
+	r := rng{s: 0x57E5}
+	// Text over a tiny alphabet so partial matches are common.
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = byte('a' + r.intn(4))
+	}
+	pat := []byte("abca")
+	want := strsearchRef(text, pat)
+
+	b := prog.NewBuilder("embed.strsearch")
+	textA := b.Bytes(text)
+	patA := b.Bytes(pat)
+	m := len(pat)
+	// r1 = i ptr, r2 = end ptr, r3 = count, r4 = j, r5..r9 temps
+	b.Li(1, textA)
+	b.Li(2, textA+int64(n-m))
+	b.Li(3, 0)
+	b.Label("outer")
+	b.CmpUlt(5, 2, 1) // end < i ?
+	b.Bnez(5, "done")
+	b.Li(4, 0)
+	b.Label("cmp")
+	b.CmpLti(5, 4, int64(m))
+	b.Beqz(5, "match")
+	b.Add(6, 1, 4)
+	b.Ldb(7, 6, 0)
+	b.Li(8, patA)
+	b.Add(8, 8, 4)
+	b.Ldb(9, 8, 0)
+	b.CmpEq(5, 7, 9)
+	b.Beqz(5, "nomatch")
+	b.Addi(4, 4, 1)
+	b.Br("cmp")
+	b.Label("match")
+	b.Addi(3, 3, 1)
+	b.Label("nomatch")
+	b.Addi(1, 1, 1)
+	b.Br("outer")
+	b.Label("done")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// matmulRef multiplies two NxN matrices and checksums the product.
+func matmulRef(a, c []uint32, n int) uint32 {
+	out := make([]uint32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc uint32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * c[k*n+j]
+			}
+			out[i*n+j] = acc
+		}
+	}
+	var sum uint32
+	for i, v := range out {
+		sum += v ^ uint32(i)
+	}
+	return sum
+}
+
+func buildMatmul(scale int) (*prog.Program, uint32, bool) {
+	n := 12 + 6*scale
+	r := rng{s: 0x3A73}
+	a := make([]uint32, n*n)
+	c := make([]uint32, n*n)
+	for i := range a {
+		a[i] = uint32(r.intn(1000))
+		c[i] = uint32(r.intn(1000))
+	}
+	want := matmulRef(a, c, n)
+
+	b := prog.NewBuilder("embed.matmul")
+	aA := b.Words(a...)
+	cA := b.Words(c...)
+	oA := b.Space(4 * n * n)
+	// r1=i, r2=j, r3=k, r4=acc, r5..r13 temps, r14 = n
+	b.Li(14, int64(n))
+	b.Li(1, 0)
+	b.Label("iloop")
+	b.Li(2, 0)
+	b.Label("jloop")
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Mul(5, 1, 14) // i*n
+	b.Label("kloop")
+	b.Add(6, 5, 3) // i*n+k
+	b.Slli(6, 6, 2)
+	b.Li(7, aA)
+	b.Add(6, 6, 7)
+	b.Ldw(6, 6, 0) // a[i*n+k]
+	b.Mul(8, 3, 14)
+	b.Add(8, 8, 2) // k*n+j
+	b.Slli(8, 8, 2)
+	b.Li(7, cA)
+	b.Add(8, 8, 7)
+	b.Ldw(8, 8, 0) // c[k*n+j]
+	b.Mul(6, 6, 8)
+	b.Add(4, 4, 6)
+	b.Addi(3, 3, 1)
+	b.CmpLt(9, 3, 14)
+	b.Bnez(9, "kloop")
+	// out[i*n+j] = acc
+	b.Add(6, 5, 2)
+	b.Slli(6, 6, 2)
+	b.Li(7, oA)
+	b.Add(6, 6, 7)
+	b.Stw(4, 6, 0)
+	b.Addi(2, 2, 1)
+	b.CmpLt(9, 2, 14)
+	b.Bnez(9, "jloop")
+	b.Addi(1, 1, 1)
+	b.CmpLt(9, 1, 14)
+	b.Bnez(9, "iloop")
+	// checksum
+	b.Li(1, 0) // index
+	b.Mul(2, 14, 14)
+	b.Li(3, 0)
+	b.Label("ck")
+	b.Slli(6, 1, 2)
+	b.Li(7, oA)
+	b.Add(6, 6, 7)
+	b.Ldw(6, 6, 0)
+	b.Xor(6, 6, 1)
+	b.Add(3, 3, 6)
+	b.Addi(1, 1, 1)
+	b.CmpLt(9, 1, 2)
+	b.Bnez(9, "ck")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// bitcountRef mirrors the Kernighan popcount kernel.
+func bitcountRef(vals []uint32) uint32 {
+	var sum uint32
+	for _, v := range vals {
+		for v != 0 {
+			v &= v - 1
+			sum++
+		}
+	}
+	return sum
+}
+
+func buildBitcount(scale int) (*prog.Program, uint32, bool) {
+	n := 1024 << scale
+	r := rng{s: 0xB17C7}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(r.next())
+	}
+	want := bitcountRef(vals)
+
+	b := prog.NewBuilder("embed.bitcount")
+	arr := b.Words(vals...)
+	b.Li(1, arr)
+	b.Li(2, int64(n))
+	b.Li(3, 0)
+	b.Label("word")
+	b.Ldw(4, 1, 0)
+	b.Label("bits")
+	b.Beqz(4, "next")
+	b.Subi(5, 4, 1)
+	b.And(4, 4, 5)
+	b.Addi(3, 3, 1)
+	b.Br("bits")
+	b.Label("next")
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "word")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// fibRef computes naive recursive Fibonacci.
+func fibRef(n int) uint32 {
+	if n < 2 {
+		return uint32(n)
+	}
+	return fibRef(n-1) + fibRef(n-2)
+}
+
+// buildFib emits a genuinely recursive implementation: real call stack,
+// deep return-address-stack traffic, store-load forwarding on spills.
+func buildFib(scale int) (*prog.Program, uint32, bool) {
+	n := 14 + 3*scale
+	want := fibRef(n)
+	b := prog.NewBuilder("embed.fib")
+	b.Li(1, int64(n))
+	b.Jsr("fib")
+	b.Halt()
+
+	b.Label("fib") // arg r1, result r0
+	b.CmpLti(2, 1, 2)
+	b.Beqz(2, "rec")
+	b.Mov(0, 1)
+	b.Ret()
+	b.Label("rec")
+	b.Subi(isa.SP, isa.SP, 12)
+	b.Stw(isa.RA, isa.SP, 0)
+	b.Stw(1, isa.SP, 4)
+	b.Subi(1, 1, 1)
+	b.Jsr("fib")
+	b.Stw(0, isa.SP, 8)
+	b.Ldw(1, isa.SP, 4)
+	b.Subi(1, 1, 2)
+	b.Jsr("fib")
+	b.Ldw(2, isa.SP, 8)
+	b.Add(0, 0, 2)
+	b.Ldw(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 12)
+	b.Ret()
+	return b.MustBuild(), want, true
+}
+
+func init() {
+	register(&Workload{Name: "embed.dijkstra", Suite: "embed", build: buildDijkstra})
+	register(&Workload{Name: "embed.strsearch", Suite: "embed", build: buildStrsearch})
+	register(&Workload{Name: "embed.matmul", Suite: "embed", build: buildMatmul})
+	register(&Workload{Name: "embed.bitcount", Suite: "embed", build: buildBitcount})
+	register(&Workload{Name: "embed.fib", Suite: "embed", build: buildFib})
+}

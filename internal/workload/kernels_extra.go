@@ -1,0 +1,670 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// --- comm: base64 encoding ---
+
+const b64Alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+// base64Ref encodes 3-byte groups and checksums the output characters.
+func base64Ref(data []byte) uint32 {
+	var sum uint32
+	for i := 0; i+3 <= len(data); i += 3 {
+		v := uint32(data[i])<<16 | uint32(data[i+1])<<8 | uint32(data[i+2])
+		for s := 18; s >= 0; s -= 6 {
+			sum = sum*33 + uint32(b64Alphabet[v>>uint(s)&0x3f])
+		}
+	}
+	return sum
+}
+
+func buildBase64(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	n -= n % 3
+	data := sampleBytes(n, 0xBA5E64)
+	want := base64Ref(data)
+
+	b := prog.NewBuilder("comm.base64")
+	buf := b.Bytes(data)
+	alpha := b.Bytes([]byte(b64Alphabet))
+	// r1 ptr, r2 groups, r3 sum, r4 v, r5 shift, r6..r9 temps
+	b.Li(1, buf)
+	b.Li(2, int64(n/3))
+	b.Li(3, 0)
+	b.Label("group")
+	b.Ldb(4, 1, 0)
+	b.Slli(4, 4, 16)
+	b.Ldb(6, 1, 1)
+	b.Slli(6, 6, 8)
+	b.Or(4, 4, 6)
+	b.Ldb(6, 1, 2)
+	b.Or(4, 4, 6)
+	b.Li(5, 18)
+	b.Label("sextet")
+	b.Srl(6, 4, 5)
+	b.Andi(6, 6, 0x3f)
+	b.Li(7, alpha)
+	b.Add(7, 7, 6)
+	b.Ldb(8, 7, 0)
+	b.Li(9, 33)
+	b.Mul(3, 3, 9)
+	b.Add(3, 3, 8)
+	b.Subi(5, 5, 6)
+	b.Bgez(5, "sextet")
+	b.Addi(1, 1, 3)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "group")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// --- comm: CRC-16/CCITT ---
+
+func crc16Ref(data []byte) uint32 {
+	crc := uint32(0xFFFF)
+	for _, c := range data {
+		crc ^= uint32(c) << 8
+		for k := 0; k < 8; k++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+			crc &= 0xFFFF
+		}
+	}
+	return crc
+}
+
+func buildCRC16(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	data := sampleBytes(n, 0xC2C16)
+	want := crc16Ref(data)
+
+	b := prog.NewBuilder("comm.crc16")
+	buf := b.Bytes(data)
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 0xFFFF)
+	b.Label("byte")
+	b.Ldb(4, 1, 0)
+	b.Slli(4, 4, 8)
+	b.Xor(3, 3, 4)
+	b.Li(5, 8)
+	b.Label("bit")
+	b.Andi(6, 3, 0x8000)
+	b.Slli(3, 3, 1)
+	b.Beqz(6, "nopoly")
+	b.Xori(3, 3, 0x1021)
+	b.Label("nopoly")
+	b.Andi(3, 3, 0xFFFF)
+	b.Subi(5, 5, 1)
+	b.Bnez(5, "bit")
+	b.Addi(1, 1, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "byte")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// --- media: quantization (JPEG-style divide-and-clamp) ---
+
+func quantRef(in []int32, q []int32) uint32 {
+	var sum uint32
+	for i, v := range in {
+		d := q[i%len(q)]
+		r := v / d
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		sum = sum*31 + uint32(r)&0xff
+	}
+	return sum
+}
+
+func buildQuant(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale)
+	in := sampleWave(n, 0x9A47)
+	q := []int32{16, 11, 10, 16, 24, 40, 51, 61}
+	want := quantRef(in, q)
+
+	b := prog.NewBuilder("media.quant")
+	inW := make([]uint32, n)
+	for i, v := range in {
+		inW[i] = uint32(v)
+	}
+	buf := b.Words(inW...)
+	var qw []uint32
+	for _, v := range q {
+		qw = append(qw, uint32(v))
+	}
+	qtab := b.Words(qw...)
+
+	// r1 ptr, r2 count, r3 sum, r4 qidx, r5..r9 temps
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Label("loop")
+	b.Ldw(5, 1, 0)
+	b.Slli(6, 4, 2)
+	b.Li(7, qtab)
+	b.Add(6, 6, 7)
+	b.Ldw(6, 6, 0) // divisor
+	b.Div(5, 5, 6)
+	b.Li(7, 127)
+	b.CmpLt(8, 7, 5)
+	b.Beqz(8, "c1")
+	b.Mov(5, 7)
+	b.Label("c1")
+	b.Li(7, -128)
+	b.CmpLt(8, 5, 7)
+	b.Beqz(8, "c2")
+	b.Mov(5, 7)
+	b.Label("c2")
+	b.Andi(5, 5, 0xff)
+	b.Li(7, 31)
+	b.Mul(3, 3, 7)
+	b.Add(3, 3, 5)
+	b.Addi(4, 4, 1)
+	b.Andi(4, 4, 7)
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// --- media: 1-D gradient (Sobel-like edge measure) ---
+
+func gradRef(in []int32, thresh int32) uint32 {
+	var edges, energy uint32
+	for i := 1; i+1 < len(in); i++ {
+		g := in[i+1] - in[i-1]
+		if g < 0 {
+			g = -g
+		}
+		energy += uint32(g)
+		if g > thresh {
+			edges++
+		}
+	}
+	return energy ^ edges<<20
+}
+
+func buildGrad(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale) * 2
+	in := sampleWave(n, 0x50BE1)
+	const thresh = 2000
+	want := gradRef(in, thresh)
+
+	b := prog.NewBuilder("media.grad")
+	inW := make([]uint32, n)
+	for i, v := range in {
+		inW[i] = uint32(v)
+	}
+	buf := b.Words(inW...)
+	// r1 ptr (at in[i-1]), r2 count, r3 energy, r4 edges
+	b.Li(1, buf)
+	b.Li(2, int64(n-2))
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Label("loop")
+	b.Ldw(5, 1, 8) // in[i+1]
+	b.Ldw(6, 1, 0) // in[i-1]
+	b.Sub(5, 5, 6)
+	b.Bgez(5, "abs")
+	b.Sub(5, isa.ZeroReg, 5)
+	b.Label("abs")
+	b.Add(3, 3, 5)
+	b.CmpLti(6, 5, thresh+1)
+	b.Bnez(6, "noedge")
+	b.Addi(4, 4, 1)
+	b.Label("noedge")
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Slli(4, 4, 20)
+	b.Xor(0, 3, 4)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// --- intx: heapsort ---
+
+func heapsortRef(vals []uint32) uint32 {
+	s := append([]uint32(nil), vals...)
+	n := len(s)
+	// Mirror the assembly exactly: iterative sift-down.
+	sift := func(start, end int) {
+		root := start
+		for {
+			child := 2*root + 1
+			if child > end {
+				return
+			}
+			if child+1 <= end && s[child] < s[child+1] {
+				child++
+			}
+			if s[root] >= s[child] {
+				return
+			}
+			s[root], s[child] = s[child], s[root]
+			root = child
+		}
+	}
+	for start := n/2 - 1; start >= 0; start-- {
+		sift(start, n-1)
+	}
+	for end := n - 1; end > 0; end-- {
+		s[0], s[end] = s[end], s[0]
+		sift(0, end-1)
+	}
+	var sum uint32
+	for i, v := range s {
+		sum += v ^ uint32(i)
+	}
+	return sum
+}
+
+func buildHeapsort(scale int) (*prog.Program, uint32, bool) {
+	n := intxSize(scale)
+	r := rng{s: 0x8EA9}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(r.next()) % 1000000
+	}
+	want := heapsortRef(vals)
+
+	b := prog.NewBuilder("intx.heapsort")
+	arr := b.Words(vals...)
+
+	// sift(start=r3, end=r4): root=r5; uses r6 child, r7/r8/r9 temps.
+	// Main: phase 1 start = n/2-1 .. 0; phase 2 end = n-1 .. 1.
+	b.Li(1, arr)
+	b.Li(3, int64(n/2-1))
+	b.Label("ph1")
+	b.Bltz(3, "ph2init")
+	b.Li(4, int64(n-1))
+	b.Jsr("sift")
+	b.Subi(3, 3, 1)
+	b.Br("ph1")
+	b.Label("ph2init")
+	b.Li(10, int64(n-1)) // end
+	b.Label("ph2")
+	b.Beqz(10, "done")
+	// swap s[0], s[end]
+	b.Slli(6, 10, 2)
+	b.Add(6, 6, 1)
+	b.Ldw(7, 1, 0)
+	b.Ldw(8, 6, 0)
+	b.Stw(8, 1, 0)
+	b.Stw(7, 6, 0)
+	b.Li(3, 0)
+	b.Subi(4, 10, 1)
+	b.Jsr("sift")
+	b.Subi(10, 10, 1)
+	b.Br("ph2")
+
+	b.Label("sift") // args r3=start, r4=end; clobbers r5..r9
+	b.Mov(5, 3)
+	b.Label("siftloop")
+	b.Slli(6, 5, 1)
+	b.Addi(6, 6, 1)  // child = 2root+1
+	b.CmpLt(7, 4, 6) // end < child?
+	b.Bnez(7, "siftret")
+	// child+1 <= end && s[child] < s[child+1] -> child++
+	b.CmpLt(7, 6, 4) // child < end  (i.e. child+1 <= end)
+	b.Beqz(7, "nochild2")
+	b.Slli(8, 6, 2)
+	b.Add(8, 8, 1)
+	b.Ldw(9, 8, 0) // s[child]
+	b.Ldw(8, 8, 4) // s[child+1]
+	b.CmpUlt(7, 9, 8)
+	b.Beqz(7, "nochild2")
+	b.Addi(6, 6, 1)
+	b.Label("nochild2")
+	// if s[root] >= s[child] return
+	b.Slli(7, 5, 2)
+	b.Add(7, 7, 1)
+	b.Ldw(8, 7, 0) // s[root]
+	b.Slli(9, 6, 2)
+	b.Add(9, 9, 1)
+	b.Ldw(11, 9, 0) // s[child]
+	b.CmpUlt(12, 8, 11)
+	b.Beqz(12, "siftret")
+	// swap, root = child
+	b.Stw(11, 7, 0)
+	b.Stw(8, 9, 0)
+	b.Mov(5, 6)
+	b.Br("siftloop")
+	b.Label("siftret")
+	b.Ret()
+
+	b.Label("done")
+	// checksum = sum s[i] ^ i
+	b.Li(2, int64(n))
+	b.Li(3, 0) // i
+	b.Li(4, 0) // sum
+	b.Label("ck")
+	b.Slli(5, 3, 2)
+	b.Add(5, 5, 1)
+	b.Ldw(5, 5, 0)
+	b.Xor(5, 5, 3)
+	b.Add(4, 4, 5)
+	b.Addi(3, 3, 1)
+	b.CmpLt(6, 3, 2)
+	b.Bnez(6, "ck")
+	b.Mov(0, 4)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// --- intx: sieve of Eratosthenes ---
+
+func sieveRef(limit int) uint32 {
+	composite := make([]bool, limit)
+	var count, last uint32
+	for i := 2; i < limit; i++ {
+		if composite[i] {
+			continue
+		}
+		count++
+		last = uint32(i)
+		for j := i * i; j < limit; j += i {
+			composite[j] = true
+		}
+	}
+	return count<<16 ^ last
+}
+
+func buildSieve(scale int) (*prog.Program, uint32, bool) {
+	limit := 2048 << scale
+	want := sieveRef(limit)
+
+	b := prog.NewBuilder("intx.sieve")
+	tab := b.Space(limit)
+	// r1 tab, r2 limit, r3 i, r4 count, r5 last, r6 j, r7 temps
+	b.Li(1, tab)
+	b.Li(2, int64(limit))
+	b.Li(3, 2)
+	b.Li(4, 0)
+	b.Li(5, 0)
+	b.Label("outer")
+	b.CmpLt(7, 3, 2)
+	b.Beqz(7, "done")
+	b.Add(7, 1, 3)
+	b.Ldb(8, 7, 0)
+	b.Bnez(8, "next")
+	b.Addi(4, 4, 1)
+	b.Mov(5, 3)
+	b.Mul(6, 3, 3) // j = i*i
+	b.Label("mark")
+	b.CmpLt(7, 6, 2)
+	b.Beqz(7, "next")
+	b.Add(7, 1, 6)
+	b.Li(8, 1)
+	b.Stb(8, 7, 0)
+	b.Add(6, 6, 3)
+	b.Br("mark")
+	b.Label("next")
+	b.Addi(3, 3, 1)
+	b.Br("outer")
+	b.Label("done")
+	b.Slli(4, 4, 16)
+	b.Xor(0, 4, 5)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// --- embed: N-queens (recursive backtracking) ---
+
+func queensRef(n int) uint32 {
+	var count uint32
+	var cols, diag1, diag2 uint32
+	var rec func(row int)
+	rec = func(row int) {
+		if row == n {
+			count++
+			return
+		}
+		for c := 0; c < n; c++ {
+			cb := uint32(1) << c
+			d1 := uint32(1) << (row + c)
+			d2 := uint32(1) << (row - c + n - 1)
+			if cols&cb != 0 || diag1&d1 != 0 || diag2&d2 != 0 {
+				continue
+			}
+			cols |= cb
+			diag1 |= d1
+			diag2 |= d2
+			rec(row + 1)
+			cols &^= cb
+			diag1 &^= d1
+			diag2 &^= d2
+		}
+	}
+	rec(0)
+	return count
+}
+
+// buildQueens: recursive backtracking with globals in memory; exercises
+// calls, stack traffic and data-dependent branching.
+func buildQueens(scale int) (*prog.Program, uint32, bool) {
+	n := 6 + scale // 6 or 7 queens
+	want := queensRef(n)
+
+	b := prog.NewBuilder("embed.queens")
+	state := b.Words(0, 0, 0, 0) // cols, diag1, diag2, count
+	b.Li(1, 0)                   // row argument
+	b.Jsr("rec")
+	b.Li(9, state)
+	b.Ldw(0, 9, 12)
+	b.Halt()
+
+	// rec(row=r1): uses r9 state base, r2 col, r3 cb, r4 d1, r5 d2,
+	// r6/r7/r8 temps. Saves ra, row, col across the recursive call.
+	b.Label("rec")
+	b.CmpEqi(6, 1, int64(n))
+	b.Beqz(6, "search")
+	b.Li(9, state)
+	b.Ldw(6, 9, 12)
+	b.Addi(6, 6, 1)
+	b.Stw(6, 9, 12)
+	b.Ret()
+	b.Label("search")
+	b.Li(2, 0) // col
+	b.Label("colloop")
+	b.CmpLti(6, 2, int64(n))
+	b.Beqz(6, "recret")
+	// masks
+	b.Li(6, 1)
+	b.Sll(3, 6, 2) // cb = 1 << col
+	b.Add(7, 1, 2)
+	b.Sll(4, 6, 7) // d1 = 1 << (row+col)
+	b.Sub(7, 1, 2)
+	b.Addi(7, 7, int64(n-1))
+	b.Sll(5, 6, 7) // d2
+	b.Li(9, state)
+	b.Ldw(6, 9, 0) // cols
+	b.And(7, 6, 3)
+	b.Bnez(7, "nextcol")
+	b.Ldw(6, 9, 4)
+	b.And(7, 6, 4)
+	b.Bnez(7, "nextcol")
+	b.Ldw(6, 9, 8)
+	b.And(7, 6, 5)
+	b.Bnez(7, "nextcol")
+	// place
+	b.Ldw(6, 9, 0)
+	b.Or(6, 6, 3)
+	b.Stw(6, 9, 0)
+	b.Ldw(6, 9, 4)
+	b.Or(6, 6, 4)
+	b.Stw(6, 9, 4)
+	b.Ldw(6, 9, 8)
+	b.Or(6, 6, 5)
+	b.Stw(6, 9, 8)
+	// recurse
+	b.Subi(isa.SP, isa.SP, 12)
+	b.Stw(isa.RA, isa.SP, 0)
+	b.Stw(1, isa.SP, 4)
+	b.Stw(2, isa.SP, 8)
+	b.Addi(1, 1, 1)
+	b.Jsr("rec")
+	b.Ldw(isa.RA, isa.SP, 0)
+	b.Ldw(1, isa.SP, 4)
+	b.Ldw(2, isa.SP, 8)
+	b.Addi(isa.SP, isa.SP, 12)
+	// unplace: recompute masks (registers were clobbered by the callee)
+	b.Li(6, 1)
+	b.Sll(3, 6, 2)
+	b.Add(7, 1, 2)
+	b.Sll(4, 6, 7)
+	b.Sub(7, 1, 2)
+	b.Addi(7, 7, int64(n-1))
+	b.Sll(5, 6, 7)
+	b.Li(9, state)
+	b.Ldw(6, 9, 0)
+	b.Xor(6, 6, 3)
+	b.Stw(6, 9, 0)
+	b.Ldw(6, 9, 4)
+	b.Xor(6, 6, 4)
+	b.Stw(6, 9, 4)
+	b.Ldw(6, 9, 8)
+	b.Xor(6, 6, 5)
+	b.Stw(6, 9, 8)
+	b.Label("nextcol")
+	b.Addi(2, 2, 1)
+	b.Br("colloop")
+	b.Label("recret")
+	b.Ret()
+	return b.MustBuild(), want, true
+}
+
+// --- embed: KMP string search ---
+
+func kmpRef(text, pat []byte) uint32 {
+	// Failure function.
+	f := make([]int, len(pat))
+	k := 0
+	for i := 1; i < len(pat); i++ {
+		for k > 0 && pat[k] != pat[i] {
+			k = f[k-1]
+		}
+		if pat[k] == pat[i] {
+			k++
+		}
+		f[i] = k
+	}
+	var count uint32
+	k = 0
+	for _, c := range text {
+		for k > 0 && pat[k] != c {
+			k = f[k-1]
+		}
+		if pat[k] == c {
+			k++
+		}
+		if k == len(pat) {
+			count++
+			k = f[k-1]
+		}
+	}
+	return count
+}
+
+func buildKMP(scale int) (*prog.Program, uint32, bool) {
+	n := 2048 << scale
+	r := rng{s: 0x6A3F}
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = byte('a' + r.intn(3))
+	}
+	pat := []byte("abab")
+	want := kmpRef(text, pat)
+	m := len(pat)
+
+	// Precompute the failure function on the host; the program performs
+	// the scan (the hot loop) against the table, like a real matcher with
+	// a compiled pattern.
+	f := make([]uint32, m)
+	k := 0
+	for i := 1; i < m; i++ {
+		for k > 0 && pat[k] != pat[i] {
+			k = int(f[k-1])
+		}
+		if pat[k] == pat[i] {
+			k++
+		}
+		f[i] = uint32(k)
+	}
+
+	b := prog.NewBuilder("embed.kmp")
+	textA := b.Bytes(text)
+	patA := b.Bytes(pat)
+	failA := b.Words(f...)
+	// r1 text ptr, r2 remaining, r3 k, r4 count, r5 c, r6..r9 temps
+	b.Li(1, textA)
+	b.Li(2, int64(n))
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Label("scan")
+	b.Ldb(5, 1, 0)
+	b.Label("fall")
+	b.Beqz(3, "cmp")
+	b.Li(6, patA)
+	b.Add(6, 6, 3)
+	b.Ldb(7, 6, 0) // pat[k]
+	b.CmpEq(8, 7, 5)
+	b.Bnez(8, "cmp")
+	b.Subi(6, 3, 1)
+	b.Slli(6, 6, 2)
+	b.Li(7, failA)
+	b.Add(6, 6, 7)
+	b.Ldw(3, 6, 0) // k = f[k-1]
+	b.Br("fall")
+	b.Label("cmp")
+	b.Li(6, patA)
+	b.Add(6, 6, 3)
+	b.Ldb(7, 6, 0)
+	b.CmpEq(8, 7, 5)
+	b.Beqz(8, "nomatchadv")
+	b.Addi(3, 3, 1)
+	b.Label("nomatchadv")
+	b.CmpEqi(8, 3, int64(m))
+	b.Beqz(8, "adv")
+	b.Addi(4, 4, 1)
+	b.Subi(6, 3, 1)
+	b.Slli(6, 6, 2)
+	b.Li(7, failA)
+	b.Add(6, 6, 7)
+	b.Ldw(3, 6, 0)
+	b.Label("adv")
+	b.Addi(1, 1, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "scan")
+	b.Mov(0, 4)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+func init() {
+	register(&Workload{Name: "comm.base64", Suite: "comm", build: buildBase64})
+	register(&Workload{Name: "comm.crc16", Suite: "comm", build: buildCRC16})
+	register(&Workload{Name: "media.quant", Suite: "media", build: buildQuant})
+	register(&Workload{Name: "media.grad", Suite: "media", build: buildGrad})
+	register(&Workload{Name: "intx.heapsort", Suite: "intx", build: buildHeapsort})
+	register(&Workload{Name: "intx.sieve", Suite: "intx", build: buildSieve})
+	register(&Workload{Name: "embed.queens", Suite: "embed", build: buildQueens})
+	register(&Workload{Name: "embed.kmp", Suite: "embed", build: buildKMP})
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"repro/internal/prog"
+)
+
+// --- media: G.711 mu-law encoding ---
+
+// ulawRef encodes 16-bit samples to 8-bit mu-law and checksums the codes.
+// Classic G.711 bias-and-segment formulation.
+func ulawRef(samples []int32) uint32 {
+	const bias = 0x84
+	var sum uint32
+	for _, s := range samples {
+		sign := uint32(0)
+		if s < 0 {
+			sign = 0x80
+			s = -s
+		}
+		if s > 32635 {
+			s = 32635
+		}
+		s += bias
+		// Segment: position of the highest set bit above bit 7.
+		seg := uint32(0)
+		for t := s >> 8; t != 0 && seg < 7; t >>= 1 {
+			seg++
+		}
+		low := uint32(s>>(seg+3)) & 0x0f
+		code := ^(sign | seg<<4 | low) & 0xff
+		sum = sum*131 + code
+	}
+	return sum
+}
+
+func buildUlaw(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale)
+	samples := sampleWave(n, 0x0C711)
+	want := ulawRef(samples)
+
+	b := prog.NewBuilder("media.ulaw")
+	inW := make([]uint32, n)
+	for i, s := range samples {
+		inW[i] = uint32(s)
+	}
+	buf := b.Words(inW...)
+	// r1 ptr, r2 count, r3 sum; per sample: r4 s, r5 sign, r6 seg, r7/8 tmp
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 0)
+	b.Label("loop")
+	b.Ldw(4, 1, 0)
+	b.Li(5, 0)
+	b.Bgez(4, "pos")
+	b.Li(5, 0x80)
+	b.Sub(4, 31, 4) // r31 is the zero register: r4 = -r4
+	b.Label("pos")
+	b.Li(7, 32635)
+	b.CmpLt(8, 7, 4)
+	b.Beqz(8, "noclip")
+	b.Mov(4, 7)
+	b.Label("noclip")
+	b.Addi(4, 4, 0x84)
+	// segment scan
+	b.Li(6, 0)
+	b.Srai(7, 4, 8)
+	b.Label("seg")
+	b.Beqz(7, "segdone")
+	b.CmpLti(8, 6, 7)
+	b.Beqz(8, "segdone")
+	b.Addi(6, 6, 1)
+	b.Srai(7, 7, 1)
+	b.Br("seg")
+	b.Label("segdone")
+	// low = (s >> (seg+3)) & 0xf
+	b.Addi(8, 6, 3)
+	b.Sra(7, 4, 8)
+	b.Andi(7, 7, 0x0f)
+	// code = ~(sign | seg<<4 | low) & 0xff
+	b.Slli(8, 6, 4)
+	b.Or(8, 8, 5)
+	b.Or(8, 8, 7)
+	b.Xori(8, 8, 0xff)
+	b.Andi(8, 8, 0xff)
+	b.Li(7, 131)
+	b.Mul(3, 3, 7)
+	b.Add(3, 3, 8)
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// --- comm: COBS framing (consistent overhead byte stuffing) ---
+
+// cobsRef encodes the buffer with COBS and checksums the framed output.
+func cobsRef(data []byte) uint32 {
+	var out []byte
+	codeIdx := 0
+	out = append(out, 0)
+	code := byte(1)
+	for _, c := range data {
+		if c == 0 {
+			out[codeIdx] = code
+			codeIdx = len(out)
+			out = append(out, 0)
+			code = 1
+			continue
+		}
+		out = append(out, c)
+		code++
+		if code == 0xff {
+			out[codeIdx] = code
+			codeIdx = len(out)
+			out = append(out, 0)
+			code = 1
+		}
+	}
+	out[codeIdx] = code
+	var sum uint32
+	for i, c := range out {
+		sum += uint32(c) * uint32(i+1)
+	}
+	return sum
+}
+
+func buildCOBS(scale int) (*prog.Program, uint32, bool) {
+	n := commSize(scale)
+	// Data with a meaningful zero density.
+	r := rng{s: 0xC0B5}
+	data := make([]byte, n)
+	for i := range data {
+		if r.chance(0.1) {
+			data[i] = 0
+		} else {
+			data[i] = byte(r.next()%255) + 1
+		}
+	}
+	want := cobsRef(data)
+
+	b := prog.NewBuilder("comm.cobs")
+	in := b.Bytes(data)
+	out := b.Space(n + n/200 + 16)
+	// r1 in ptr, r2 remaining, r3 out ptr, r4 codeIdx ptr, r5 code,
+	// r6 byte, r7/8 temps
+	b.Li(1, in)
+	b.Li(2, int64(n))
+	b.Li(3, out)
+	b.Mov(4, 3)     // codeIdx = out[0]
+	b.Addi(3, 3, 1) // out cursor past the code byte
+	b.Li(5, 1)
+	b.Label("loop")
+	b.Ldb(6, 1, 0)
+	b.Bnez(6, "nonzero")
+	// zero byte: close the block
+	b.Stb(5, 4, 0)
+	b.Mov(4, 3)
+	b.Addi(3, 3, 1)
+	b.Li(5, 1)
+	b.Br("next")
+	b.Label("nonzero")
+	b.Stb(6, 3, 0)
+	b.Addi(3, 3, 1)
+	b.Addi(5, 5, 1)
+	b.CmpEqi(7, 5, 0xff)
+	b.Beqz(7, "next")
+	b.Stb(5, 4, 0)
+	b.Mov(4, 3)
+	b.Addi(3, 3, 1)
+	b.Li(5, 1)
+	b.Label("next")
+	b.Addi(1, 1, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Stb(5, 4, 0)
+	// checksum: sum out[i] * (i+1) over the framed length
+	b.Li(1, out)
+	b.Sub(2, 3, 1) // framed length = cursor - base
+	b.Li(4, 1)     // i+1
+	b.Li(5, 0)
+	b.Label("ck")
+	b.Ldb(6, 1, 0)
+	b.Mul(6, 6, 4)
+	b.Add(5, 5, 6)
+	b.Addi(1, 1, 1)
+	b.Addi(4, 4, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "ck")
+	b.Mov(0, 5)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+func init() {
+	register(&Workload{Name: "media.ulaw", Suite: "media", build: buildUlaw})
+	register(&Workload{Name: "comm.cobs", Suite: "comm", build: buildCOBS})
+}

@@ -1,0 +1,437 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/prog"
+)
+
+func intxSize(scale int) int { return 128 << scale } // elements
+
+// qsortRef sorts and checksums sum(arr[i] * (i+1)).
+func qsortRef(vals []uint32) uint32 {
+	s := append([]uint32(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum uint32
+	for i, v := range s {
+		sum += v * uint32(i+1)
+	}
+	return sum
+}
+
+// buildQsort implements iterative quicksort with an explicit stack of
+// (lo, hi) index pairs in memory. Unsigned comparisons; Lomuto partition.
+func buildQsort(scale int) (*prog.Program, uint32, bool) {
+	n := intxSize(scale)
+	r := rng{s: 0x9507}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(r.next()) % 100000
+	}
+	want := qsortRef(vals)
+
+	b := prog.NewBuilder("intx.qsort")
+	arr := b.Words(vals...)
+	stk := b.Space(int(8 * (int64(n) + 8))) // worst-case one pair per element
+
+	// r1 = arr, r2 = stack ptr (grows up), r3 = lo, r4 = hi
+	b.Li(1, arr)
+	b.Li(2, stk)
+	// push (0, n-1)
+	b.Li(3, 0)
+	b.Li(4, int64(n-1))
+	b.Stw(3, 2, 0)
+	b.Stw(4, 2, 4)
+	b.Addi(2, 2, 8)
+
+	b.Label("pop")
+	b.Li(9, stk)
+	b.CmpUlt(10, 9, 2) // stack nonempty?
+	b.Beqz(10, "sorted")
+	b.Subi(2, 2, 8)
+	b.Ldw(3, 2, 0) // lo
+	b.Ldw(4, 2, 4) // hi
+	b.CmpLt(10, 3, 4)
+	b.Beqz(10, "pop")
+
+	// partition: pivot = arr[hi]; i = lo-1; j = lo..hi-1
+	b.Slli(10, 4, 2)
+	b.Add(10, 10, 1)
+	b.Ldw(5, 10, 0) // pivot
+	b.Subi(6, 3, 1) // i
+	b.Mov(7, 3)     // j
+	b.Label("part")
+	b.CmpLt(10, 7, 4)
+	b.Beqz(10, "endpart")
+	b.Slli(10, 7, 2)
+	b.Add(10, 10, 1)
+	b.Ldw(11, 10, 0)    // arr[j]
+	b.CmpUlt(12, 5, 11) // pivot < arr[j]?
+	b.Bnez(12, "next")
+	// i++; swap arr[i], arr[j]
+	b.Addi(6, 6, 1)
+	b.Slli(12, 6, 2)
+	b.Add(12, 12, 1)
+	b.Ldw(13, 12, 0)
+	b.Stw(11, 12, 0)
+	b.Stw(13, 10, 0)
+	b.Label("next")
+	b.Addi(7, 7, 1)
+	b.Br("part")
+	b.Label("endpart")
+	// swap arr[i+1], arr[hi]; p = i+1
+	b.Addi(6, 6, 1)
+	b.Slli(10, 6, 2)
+	b.Add(10, 10, 1)
+	b.Slli(12, 4, 2)
+	b.Add(12, 12, 1)
+	b.Ldw(13, 10, 0)
+	b.Ldw(14, 12, 0)
+	b.Stw(14, 10, 0)
+	b.Stw(13, 12, 0)
+	// push (lo, p-1), (p+1, hi)
+	b.Subi(13, 6, 1)
+	b.Stw(3, 2, 0)
+	b.Stw(13, 2, 4)
+	b.Addi(2, 2, 8)
+	b.Addi(13, 6, 1)
+	b.Stw(13, 2, 0)
+	b.Stw(4, 2, 4)
+	b.Addi(2, 2, 8)
+	b.Br("pop")
+
+	b.Label("sorted")
+	// checksum = sum arr[i]*(i+1)
+	b.Li(1, arr)
+	b.Li(2, int64(n))
+	b.Li(3, 1) // i+1
+	b.Li(4, 0)
+	b.Label("ck")
+	b.Ldw(5, 1, 0)
+	b.Mul(5, 5, 3)
+	b.Add(4, 4, 5)
+	b.Addi(1, 1, 4)
+	b.Addi(3, 3, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "ck")
+	b.Mov(0, 4)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// hashRef mirrors the open-addressing hash table kernel.
+func hashRef(keys []uint32, logSize int) uint32 {
+	size := 1 << logSize
+	table := make([]uint32, size)
+	mask := uint32(size - 1)
+	insert := func(k uint32) {
+		h := k * 2654435761 >> (32 - logSize) & mask
+		for table[h] != 0 {
+			h = (h + 1) & mask
+		}
+		table[h] = k
+	}
+	probe := func(k uint32) uint32 {
+		h := k * 2654435761 >> (32 - logSize) & mask
+		steps := uint32(0)
+		for table[h] != 0 {
+			if table[h] == k {
+				return steps + 1
+			}
+			h = (h + 1) & mask
+			steps++
+		}
+		return 0
+	}
+	for _, k := range keys {
+		insert(k)
+	}
+	var sum uint32
+	for _, k := range keys {
+		sum += probe(k)
+	}
+	return sum
+}
+
+func buildHashProbe(scale int) (*prog.Program, uint32, bool) {
+	n := intxSize(scale)
+	logSize := 8 + scale // load factor 1/2
+	r := rng{s: 0x8A54}
+	keys := make([]uint32, n)
+	seen := map[uint32]bool{}
+	for i := range keys {
+		for {
+			k := uint32(r.next()) | 1
+			if !seen[k] {
+				seen[k] = true
+				keys[i] = k
+				break
+			}
+		}
+	}
+	want := hashRef(keys, logSize)
+
+	b := prog.NewBuilder("intx.hashprobe")
+	keyArr := b.Words(keys...)
+	table := b.Space(4 << logSize)
+	mask4 := int64((1<<logSize)-1) << 2
+
+	// Insert phase. r1 key ptr, r2 count, r3 table, r4 hash const
+	b.Li(1, keyArr)
+	b.Li(2, int64(n))
+	b.Li(3, table)
+	b.Li(4, 2654435761)
+	b.Label("ins")
+	b.Ldw(5, 1, 0) // key
+	b.Mul(6, 5, 4)
+	b.Srli(6, 6, int64(32-logSize))
+	b.Slli(6, 6, 2)
+	b.Andi(6, 6, mask4)
+	b.Label("insp")
+	b.Add(7, 6, 3)
+	b.Ldw(8, 7, 0)
+	b.Beqz(8, "insdone")
+	b.Addi(6, 6, 4)
+	b.Andi(6, 6, mask4)
+	b.Br("insp")
+	b.Label("insdone")
+	b.Stw(5, 7, 0)
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "ins")
+
+	// Probe phase. r9 = sum.
+	b.Li(1, keyArr)
+	b.Li(2, int64(n))
+	b.Li(9, 0)
+	b.Label("pr")
+	b.Ldw(5, 1, 0)
+	b.Mul(6, 5, 4)
+	b.Srli(6, 6, int64(32-logSize))
+	b.Slli(6, 6, 2)
+	b.Andi(6, 6, mask4)
+	b.Li(10, 0) // steps
+	b.Label("prp")
+	b.Add(7, 6, 3)
+	b.Ldw(8, 7, 0)
+	b.Beqz(8, "prmiss")
+	b.CmpEq(11, 8, 5)
+	b.Bnez(11, "prhit")
+	b.Addi(6, 6, 4)
+	b.Andi(6, 6, mask4)
+	b.Addi(10, 10, 1)
+	b.Br("prp")
+	b.Label("prhit")
+	b.Addi(10, 10, 1)
+	b.Add(9, 9, 10)
+	b.Br("prnext")
+	b.Label("prmiss")
+	b.Label("prnext")
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "pr")
+	b.Mov(0, 9)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// chaseRef mirrors the pointer-chase kernel: follow a permutation cycle.
+func chaseRef(next []uint32, steps int) uint32 {
+	var sum uint32
+	cur := uint32(0)
+	for i := 0; i < steps; i++ {
+		cur = next[cur]
+		sum += cur
+	}
+	return sum
+}
+
+func buildListChase(scale int) (*prog.Program, uint32, bool) {
+	n := intxSize(scale) * 64 // 32KB+ working set: escapes the L1
+	steps := 4096 << scale
+	r := rng{s: 0x11575}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	next := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		next[perm[i]] = uint32(perm[(i+1)%n])
+	}
+	want := chaseRef(next, steps)
+
+	b := prog.NewBuilder("intx.listchase")
+	arr := b.Words(next...)
+	b.Li(1, arr)
+	b.Li(2, int64(steps))
+	b.Li(3, 0) // cur
+	b.Li(4, 0) // sum
+	b.Label("loop")
+	b.Slli(5, 3, 2)
+	b.Add(5, 5, 1)
+	b.Ldw(3, 5, 0)
+	b.Add(4, 4, 3)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Mov(0, 4)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// lcgBranchRef mirrors the branchy decision kernel.
+func lcgBranchRef(iters int) uint32 {
+	var s, a, c, d uint32 = 12345, 0, 0, 0
+	for i := 0; i < iters; i++ {
+		s = s*1103515245 + 12345
+		x := s >> 16 & 0xff
+		if x&1 != 0 {
+			a += x
+		} else if x&2 != 0 {
+			c ^= x << 2
+		} else if x < 64 {
+			d += 3
+		} else {
+			a ^= c
+		}
+	}
+	return a ^ c ^ d
+}
+
+func buildLCGBranch(scale int) (*prog.Program, uint32, bool) {
+	iters := 2048 << scale
+	want := lcgBranchRef(iters)
+	b := prog.NewBuilder("intx.lcgbranch")
+	// r1 iters, r2 s, r3 a, r4 c, r5 d
+	b.Li(1, int64(iters))
+	b.Li(2, 12345)
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Li(5, 0)
+	b.Label("loop")
+	b.Li(6, 1103515245)
+	b.Mul(2, 2, 6)
+	b.Addi(2, 2, 12345)
+	b.Srli(6, 2, 16)
+	b.Andi(6, 6, 0xff) // x
+	b.Andi(7, 6, 1)
+	b.Beqz(7, "e1")
+	b.Add(3, 3, 6)
+	b.Br("next")
+	b.Label("e1")
+	b.Andi(7, 6, 2)
+	b.Beqz(7, "e2")
+	b.Slli(7, 6, 2)
+	b.Xor(4, 4, 7)
+	b.Br("next")
+	b.Label("e2")
+	b.CmpLti(7, 6, 64)
+	b.Beqz(7, "e3")
+	b.Addi(5, 5, 3)
+	b.Br("next")
+	b.Label("e3")
+	b.Xor(3, 3, 4)
+	b.Label("next")
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Xor(0, 3, 4)
+	b.Xor(0, 0, 5)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// bsearchRef mirrors the binary-search kernel.
+func bsearchRef(sorted []uint32, queries []uint32) uint32 {
+	var sum uint32
+	for _, q := range queries {
+		lo, hi := 0, len(sorted)-1
+		pos := uint32(0xffff)
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			switch {
+			case sorted[mid] == q:
+				pos = uint32(mid)
+				lo = hi + 1
+			case sorted[mid] < q:
+				lo = mid + 1
+			default:
+				hi = mid - 1
+			}
+		}
+		sum += pos
+	}
+	return sum
+}
+
+func buildBsearch(scale int) (*prog.Program, uint32, bool) {
+	n := intxSize(scale) * 4
+	q := 512 << scale
+	r := rng{s: 0xB5EA2}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(r.next()) % 1000000
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	queries := make([]uint32, q)
+	for i := range queries {
+		if r.chance(0.5) {
+			queries[i] = vals[r.intn(n)] // hit
+		} else {
+			queries[i] = uint32(r.next()) % 1000000 // probable miss
+		}
+	}
+	want := bsearchRef(vals, queries)
+
+	b := prog.NewBuilder("intx.bsearch")
+	arr := b.Words(vals...)
+	qs := b.Words(queries...)
+	// r1 qptr, r2 qcount, r3 sum
+	b.Li(1, qs)
+	b.Li(2, int64(q))
+	b.Li(3, 0)
+	b.Label("query")
+	b.Ldw(4, 1, 0)      // q
+	b.Li(5, 0)          // lo
+	b.Li(6, int64(n-1)) // hi
+	b.Li(7, 0xffff)     // pos
+	b.Label("bs")
+	b.CmpLe(8, 5, 6)
+	b.Beqz(8, "endbs")
+	b.Add(9, 5, 6)
+	b.Srli(9, 9, 1) // mid
+	b.Slli(10, 9, 2)
+	b.Li(11, arr)
+	b.Add(10, 10, 11)
+	b.Ldw(10, 10, 0) // sorted[mid]
+	b.CmpEq(11, 10, 4)
+	b.Beqz(11, "ne")
+	b.Mov(7, 9)
+	b.Br("endbs")
+	b.Label("ne")
+	b.CmpUlt(11, 10, 4)
+	b.Beqz(11, "upper")
+	b.Addi(5, 9, 1)
+	b.Br("bs")
+	b.Label("upper")
+	b.Subi(6, 9, 1)
+	b.Br("bs")
+	b.Label("endbs")
+	b.Add(3, 3, 7)
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "query")
+	b.Mov(0, 3)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+func init() {
+	register(&Workload{Name: "intx.qsort", Suite: "intx", build: buildQsort})
+	register(&Workload{Name: "intx.hashprobe", Suite: "intx", build: buildHashProbe})
+	register(&Workload{Name: "intx.listchase", Suite: "intx", build: buildListChase})
+	register(&Workload{Name: "intx.lcgbranch", Suite: "intx", build: buildLCGBranch})
+	register(&Workload{Name: "intx.bsearch", Suite: "intx", build: buildBsearch})
+}

@@ -1,0 +1,561 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// IMA ADPCM tables.
+var stepTable = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41,
+	45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190,
+	209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724,
+	796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+	2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+	7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+	20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+var indexTable = [16]int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+func mediaSize(scale int) int { return 256 << scale } // samples / values
+
+// sampleWave produces deterministic 16-bit samples (stored as int32).
+func sampleWave(n int, seed uint64) []int32 {
+	r := rng{s: seed}
+	out := make([]int32, n)
+	acc := int32(0)
+	for i := range out {
+		// A wandering waveform: bounded random walk, like speech-ish data.
+		acc += int32(r.next()%4096) - 2048
+		if acc > 30000 {
+			acc = 30000
+		}
+		if acc < -30000 {
+			acc = -30000
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// adpcmEncRef mirrors the assembly encoder exactly.
+func adpcmEncRef(samples []int32) ([]byte, uint32) {
+	var pred, index, sum int32
+	codes := make([]byte, len(samples))
+	for i, s := range samples {
+		step := stepTable[index]
+		diff := s - pred
+		code := int32(0)
+		if diff < 0 {
+			code = 8
+			diff = -diff
+		}
+		if diff >= step {
+			code |= 4
+			diff -= step
+		}
+		if diff >= step>>1 {
+			code |= 2
+			diff -= step >> 1
+		}
+		if diff >= step>>2 {
+			code |= 1
+		}
+		diffq := step >> 3
+		if code&4 != 0 {
+			diffq += step
+		}
+		if code&2 != 0 {
+			diffq += step >> 1
+		}
+		if code&1 != 0 {
+			diffq += step >> 2
+		}
+		if code&8 != 0 {
+			pred -= diffq
+		} else {
+			pred += diffq
+		}
+		if pred > 32767 {
+			pred = 32767
+		}
+		if pred < -32768 {
+			pred = -32768
+		}
+		index += indexTable[code]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		sum = sum*31 + code
+		codes[i] = byte(code)
+	}
+	return codes, uint32(sum) ^ uint32(pred)&0xffff ^ uint32(index)<<24
+}
+
+func buildADPCMEnc(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale)
+	samples := sampleWave(n, 0xADBC5)
+	_, want := adpcmEncRef(samples)
+
+	b := prog.NewBuilder("media.adpcm_enc")
+	words := make([]uint32, n)
+	for i, s := range samples {
+		words[i] = uint32(s)
+	}
+	buf := b.Words(words...)
+	stepW := make([]uint32, len(stepTable))
+	for i, s := range stepTable {
+		stepW[i] = uint32(s)
+	}
+	steps := b.Words(stepW...)
+	idxW := make([]uint32, len(indexTable))
+	for i, s := range indexTable {
+		idxW[i] = uint32(s)
+	}
+	idxs := b.Words(idxW...)
+
+	// r1 ptr, r2 count, r3 pred, r4 index, r5 steps, r6 idxs, r7 sum
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Li(5, steps)
+	b.Li(6, idxs)
+	b.Li(7, 0)
+	b.Label("loop")
+	b.Ldw(8, 1, 0) // sample
+	b.Slli(13, 4, 2)
+	b.Add(13, 13, 5)
+	b.Ldw(9, 13, 0) // step
+	b.Mov(14, 9)    // keep original step
+	b.Sub(10, 8, 3) // diff
+	b.Li(11, 0)     // code
+	b.Bgez(10, "pos")
+	b.Li(11, 8)
+	b.Sub(10, isa.ZeroReg, 10)
+	b.Label("pos")
+	b.CmpLt(13, 10, 9)
+	b.Bnez(13, "no4")
+	b.Ori(11, 11, 4)
+	b.Sub(10, 10, 9)
+	b.Label("no4")
+	b.Srai(9, 9, 1)
+	b.CmpLt(13, 10, 9)
+	b.Bnez(13, "no2")
+	b.Ori(11, 11, 2)
+	b.Sub(10, 10, 9)
+	b.Label("no2")
+	b.Srai(9, 9, 1)
+	b.CmpLt(13, 10, 9)
+	b.Bnez(13, "no1")
+	b.Ori(11, 11, 1)
+	b.Label("no1")
+	// diffq reconstruction from the original step in r14.
+	b.Srai(12, 14, 3)
+	b.Andi(13, 11, 4)
+	b.Beqz(13, "dq2")
+	b.Add(12, 12, 14)
+	b.Label("dq2")
+	b.Srai(15, 14, 1)
+	b.Andi(13, 11, 2)
+	b.Beqz(13, "dq1")
+	b.Add(12, 12, 15)
+	b.Label("dq1")
+	b.Srai(15, 14, 2)
+	b.Andi(13, 11, 1)
+	b.Beqz(13, "dq0")
+	b.Add(12, 12, 15)
+	b.Label("dq0")
+	b.Andi(13, 11, 8)
+	b.Beqz(13, "plus")
+	b.Sub(3, 3, 12)
+	b.Br("clamp")
+	b.Label("plus")
+	b.Add(3, 3, 12)
+	b.Label("clamp")
+	b.Li(13, 32767)
+	b.CmpLt(15, 13, 3)
+	b.Beqz(15, "cl2")
+	b.Mov(3, 13)
+	b.Label("cl2")
+	b.Li(13, -32768)
+	b.CmpLt(15, 3, 13)
+	b.Beqz(15, "cl3")
+	b.Mov(3, 13)
+	b.Label("cl3")
+	// index += indexTable[code], clamp 0..88
+	b.Slli(13, 11, 2)
+	b.Add(13, 13, 6)
+	b.Ldw(13, 13, 0)
+	b.Add(4, 4, 13)
+	b.Bgez(4, "ix1")
+	b.Li(4, 0)
+	b.Label("ix1")
+	b.Li(13, 88)
+	b.CmpLe(15, 4, 13)
+	b.Bnez(15, "ix2")
+	b.Li(4, 88)
+	b.Label("ix2")
+	// sum = sum*31 + code
+	b.Li(13, 31)
+	b.Mul(7, 7, 13)
+	b.Add(7, 7, 11)
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	// result = sum ^ (pred & 0xffff) ^ (index << 24)
+	b.Andi(13, 3, 0xffff)
+	b.Xor(0, 7, 13)
+	b.Slli(13, 4, 24)
+	b.Xor(0, 0, 13)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// adpcmDecRef mirrors the assembly decoder.
+func adpcmDecRef(codes []byte) uint32 {
+	var pred, index int32
+	var sum uint32
+	for _, cb := range codes {
+		code := int32(cb)
+		step := stepTable[index]
+		diffq := step >> 3
+		if code&4 != 0 {
+			diffq += step
+		}
+		if code&2 != 0 {
+			diffq += step >> 1
+		}
+		if code&1 != 0 {
+			diffq += step >> 2
+		}
+		if code&8 != 0 {
+			pred -= diffq
+		} else {
+			pred += diffq
+		}
+		if pred > 32767 {
+			pred = 32767
+		}
+		if pred < -32768 {
+			pred = -32768
+		}
+		index += indexTable[code]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		sum += uint32(pred)
+	}
+	return sum
+}
+
+func buildADPCMDec(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale)
+	samples := sampleWave(n, 0xADBC5)
+	codes, _ := adpcmEncRef(samples)
+	want := adpcmDecRef(codes)
+
+	b := prog.NewBuilder("media.adpcm_dec")
+	buf := b.Bytes(codes)
+	stepW := make([]uint32, len(stepTable))
+	for i, s := range stepTable {
+		stepW[i] = uint32(s)
+	}
+	steps := b.Words(stepW...)
+	idxW := make([]uint32, len(indexTable))
+	for i, s := range indexTable {
+		idxW[i] = uint32(s)
+	}
+	idxs := b.Words(idxW...)
+
+	// r1 ptr, r2 count, r3 pred, r4 index, r5 steps, r6 idxs, r7 sum
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Li(5, steps)
+	b.Li(6, idxs)
+	b.Li(7, 0)
+	b.Label("loop")
+	b.Ldb(11, 1, 0) // code
+	b.Slli(13, 4, 2)
+	b.Add(13, 13, 5)
+	b.Ldw(14, 13, 0) // step
+	b.Srai(12, 14, 3)
+	b.Andi(13, 11, 4)
+	b.Beqz(13, "dq2")
+	b.Add(12, 12, 14)
+	b.Label("dq2")
+	b.Srai(15, 14, 1)
+	b.Andi(13, 11, 2)
+	b.Beqz(13, "dq1")
+	b.Add(12, 12, 15)
+	b.Label("dq1")
+	b.Srai(15, 14, 2)
+	b.Andi(13, 11, 1)
+	b.Beqz(13, "dq0")
+	b.Add(12, 12, 15)
+	b.Label("dq0")
+	b.Andi(13, 11, 8)
+	b.Beqz(13, "plus")
+	b.Sub(3, 3, 12)
+	b.Br("clamp")
+	b.Label("plus")
+	b.Add(3, 3, 12)
+	b.Label("clamp")
+	b.Li(13, 32767)
+	b.CmpLt(15, 13, 3)
+	b.Beqz(15, "cl2")
+	b.Mov(3, 13)
+	b.Label("cl2")
+	b.Li(13, -32768)
+	b.CmpLt(15, 3, 13)
+	b.Beqz(15, "cl3")
+	b.Mov(3, 13)
+	b.Label("cl3")
+	b.Slli(13, 11, 2)
+	b.Add(13, 13, 6)
+	b.Ldw(13, 13, 0)
+	b.Add(4, 4, 13)
+	b.Bgez(4, "ix1")
+	b.Li(4, 0)
+	b.Label("ix1")
+	b.Li(13, 88)
+	b.CmpLe(15, 4, 13)
+	b.Bnez(15, "ix2")
+	b.Li(4, 88)
+	b.Label("ix2")
+	b.Add(7, 7, 3) // sum += pred
+	b.Addi(1, 1, 1)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Mov(0, 7)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// dctMatrix returns the 8x8 integer DCT coefficient matrix (scaled by 256).
+func dctMatrix() [8][8]int32 {
+	var c [8][8]int32
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			c[k][n] = int32(math.Round(256 * math.Cos(math.Pi*float64(k)*(2*float64(n)+1)/16)))
+		}
+	}
+	return c
+}
+
+// dct8Ref applies the 8-point DCT to each block and checksums outputs.
+func dct8Ref(in []int32) uint32 {
+	c := dctMatrix()
+	var sum uint32
+	for b := 0; b+8 <= len(in); b += 8 {
+		for k := 0; k < 8; k++ {
+			var acc int32
+			for n := 0; n < 8; n++ {
+				acc += c[k][n] * in[b+n]
+			}
+			sum += uint32(acc >> 8)
+		}
+	}
+	return sum
+}
+
+func buildDCT8(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale)
+	in := sampleWave(n, 0xDC7)
+	want := dct8Ref(in)
+
+	b := prog.NewBuilder("media.dct8")
+	inW := make([]uint32, n)
+	for i, s := range in {
+		inW[i] = uint32(s)
+	}
+	buf := b.Words(inW...)
+	c := dctMatrix()
+	var cw []uint32
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			cw = append(cw, uint32(c[k][j]))
+		}
+	}
+	coef := b.Words(cw...)
+
+	// r1 block ptr, r2 blocks left, r3 k, r4 n, r5 acc, r6 coef row ptr,
+	// r7 sum, r8/r9 temps.
+	b.Li(1, buf)
+	b.Li(2, int64(n/8))
+	b.Li(7, 0)
+	b.Label("block")
+	b.Li(3, 0) // k
+	b.Label("krow")
+	b.Li(5, 0)      // acc
+	b.Slli(6, 3, 5) // k*32 bytes per row
+	b.Li(9, coef)
+	b.Add(6, 6, 9)
+	b.Li(4, 0) // n
+	b.Label("ncol")
+	b.Slli(8, 4, 2)
+	b.Add(9, 8, 6)
+	b.Ldw(9, 9, 0) // c[k][n]
+	b.Add(8, 8, 1)
+	b.Ldw(8, 8, 0) // in[b+n]
+	b.Mul(9, 9, 8)
+	b.Add(5, 5, 9)
+	b.Addi(4, 4, 1)
+	b.CmpLti(8, 4, 8)
+	b.Bnez(8, "ncol")
+	b.Srai(5, 5, 8)
+	b.Add(7, 7, 5)
+	b.Addi(3, 3, 1)
+	b.CmpLti(8, 3, 8)
+	b.Bnez(8, "krow")
+	b.Addi(1, 1, 32)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "block")
+	b.Mov(0, 7)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// firRef applies an 8-tap FIR filter.
+func firRef(in []int32, taps [8]int32) uint32 {
+	var sum uint32
+	for i := 0; i+8 <= len(in); i++ {
+		var acc int32
+		for k := 0; k < 8; k++ {
+			acc += taps[k] * in[i+k]
+		}
+		sum += uint32(acc >> 8)
+	}
+	return sum
+}
+
+func buildFIR(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale)
+	in := sampleWave(n, 0xF14)
+	taps := [8]int32{29, -43, 61, 212, 212, 61, -43, 29}
+	want := firRef(in, taps)
+
+	b := prog.NewBuilder("media.fir")
+	inW := make([]uint32, n)
+	for i, s := range in {
+		inW[i] = uint32(s)
+	}
+	buf := b.Words(inW...)
+	var tw []uint32
+	for _, t := range taps {
+		tw = append(tw, uint32(t))
+	}
+	tap := b.Words(tw...)
+
+	b.Li(1, buf)
+	b.Li(2, int64(n-7)) // output count
+	b.Li(7, 0)          // sum
+	b.Label("outer")
+	b.Li(5, 0) // acc
+	b.Li(4, 0) // k
+	b.Li(6, tap)
+	b.Label("inner")
+	b.Slli(8, 4, 2)
+	b.Add(9, 8, 6)
+	b.Ldw(9, 9, 0)
+	b.Add(8, 8, 1)
+	b.Ldw(8, 8, 0)
+	b.Mul(9, 9, 8)
+	b.Add(5, 5, 9)
+	b.Addi(4, 4, 1)
+	b.CmpLti(8, 4, 8)
+	b.Bnez(8, "inner")
+	b.Srai(5, 5, 8)
+	b.Add(7, 7, 5)
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "outer")
+	b.Mov(0, 7)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+// bitpackRef mirrors the assembly bit packer (uint32 semantics, residual
+// bits dropped at flush).
+func bitpackRef(vals []uint32) uint32 {
+	var bitbuf, sum uint32
+	var bitcnt uint32
+	for _, v := range vals {
+		nbits := v&15 + 1
+		mask := uint32(1)<<nbits - 1
+		bitbuf |= (v & mask) << bitcnt
+		bitcnt += nbits
+		if bitcnt >= 32 {
+			sum = sum*31 + bitbuf
+			bitbuf = 0
+			bitcnt = 0
+		}
+	}
+	return sum*31 + bitbuf
+}
+
+func buildBitpack(scale int) (*prog.Program, uint32, bool) {
+	n := mediaSize(scale)
+	r := rng{s: 0xB17}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(r.next())
+	}
+	want := bitpackRef(vals)
+
+	b := prog.NewBuilder("media.bitpack")
+	buf := b.Words(vals...)
+	// r1 ptr, r2 count, r3 bitbuf, r4 bitcnt, r5 sum
+	b.Li(1, buf)
+	b.Li(2, int64(n))
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Li(5, 0)
+	b.Label("loop")
+	b.Ldw(8, 1, 0)
+	b.Andi(9, 8, 15)
+	b.Addi(9, 9, 1) // nbits
+	b.Li(10, 1)
+	b.Sll(10, 10, 9)
+	b.Subi(10, 10, 1) // mask
+	b.And(10, 8, 10)
+	b.Sll(10, 10, 4) // << bitcnt
+	b.Or(3, 3, 10)
+	b.Add(4, 4, 9)
+	b.CmpLti(10, 4, 32)
+	b.Bnez(10, "nofl")
+	b.Li(10, 31)
+	b.Mul(5, 5, 10)
+	b.Add(5, 5, 3)
+	b.Li(3, 0)
+	b.Li(4, 0)
+	b.Label("nofl")
+	b.Addi(1, 1, 4)
+	b.Subi(2, 2, 1)
+	b.Bnez(2, "loop")
+	b.Li(10, 31)
+	b.Mul(5, 5, 10)
+	b.Add(5, 5, 3)
+	b.Mov(0, 5)
+	b.Halt()
+	return b.MustBuild(), want, true
+}
+
+func init() {
+	register(&Workload{Name: "media.adpcm_enc", Suite: "media", build: buildADPCMEnc})
+	register(&Workload{Name: "media.adpcm_dec", Suite: "media", build: buildADPCMDec})
+	register(&Workload{Name: "media.dct8", Suite: "media", build: buildDCT8})
+	register(&Workload{Name: "media.fir", Suite: "media", build: buildFIR})
+	register(&Workload{Name: "media.bitpack", Suite: "media", build: buildBitpack})
+}

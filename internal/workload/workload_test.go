@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/minigraph"
+)
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 78 {
+		t.Fatalf("registry holds %d workloads, want 78 (like the paper)", len(all))
+	}
+	counts := map[string]int{}
+	names := map[string]bool{}
+	for _, w := range all {
+		counts[w.Suite]++
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+	}
+	want := map[string]int{"intx": 20, "media": 20, "comm": 19, "embed": 19}
+	for s, n := range want {
+		if counts[s] != n {
+			t.Errorf("suite %s has %d workloads, want %d", s, counts[s], n)
+		}
+	}
+}
+
+func TestFindAndBySuite(t *testing.T) {
+	if Find("comm.crc32") == nil {
+		t.Error("Find(comm.crc32) = nil")
+	}
+	if Find("no.such") != nil {
+		t.Error("Find(no.such) should be nil")
+	}
+	for _, s := range Suites() {
+		if len(BySuite(s)) == 0 {
+			t.Errorf("suite %s empty", s)
+		}
+	}
+}
+
+func TestUnknownInput(t *testing.T) {
+	w := Find("comm.crc32")
+	if _, _, _, err := w.Build("nope"); err == nil {
+		t.Error("unknown input set should error")
+	}
+}
+
+// TestHandKernelsVerify runs every verified kernel in the emulator and
+// checks the checksum against the independent Go reference.
+func TestHandKernelsVerify(t *testing.T) {
+	for _, w := range All() {
+		for _, input := range Inputs {
+			p, want, verified, err := w.Build(input)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, input, err)
+			}
+			if !verified {
+				continue
+			}
+			res, err := emu.Run(p, emu.Options{})
+			if err != nil {
+				t.Errorf("%s/%s: %v", w.Name, input, err)
+				continue
+			}
+			if got := res.Checksum(); got != want {
+				t.Errorf("%s/%s: checksum %#x, want %#x", w.Name, input, got, want)
+			}
+		}
+	}
+}
+
+// TestAllWorkloadsRun ensures every workload (including generated ones)
+// terminates with a reasonable dynamic instruction count.
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, w := range All() {
+		p, _, _, err := w.Build("small")
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		res, err := emu.Run(p, emu.Options{MaxInstrs: 32 << 20})
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		if res.DynInstrs < 1000 {
+			t.Errorf("%s: only %d dynamic instructions — too trivial", w.Name, res.DynInstrs)
+		}
+		if res.DynInstrs > 8<<20 {
+			t.Errorf("%s: %d dynamic instructions — too long for the sweep harness", w.Name, res.DynInstrs)
+		}
+	}
+}
+
+func TestLargeInputsBigger(t *testing.T) {
+	for _, name := range []string{"comm.crc32", "intx.qsort", "embed.fib", "media.dct8"} {
+		w := Find(name)
+		ps, _, _, _ := w.Build("small")
+		pl, _, _, _ := w.Build("large")
+		rs, err1 := emu.Run(ps, emu.Options{})
+		rl, err2 := emu.Run(pl, emu.Options{})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", name, err1, err2)
+		}
+		if rl.DynInstrs <= rs.DynInstrs {
+			t.Errorf("%s: large (%d) not bigger than small (%d)", name, rl.DynInstrs, rs.DynInstrs)
+		}
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	for _, name := range []string{"intx.gen00", "media.gen03", "comm.gen07", "embed.gen11"} {
+		w := Find(name)
+		if w == nil {
+			t.Fatalf("missing generated workload %s", name)
+		}
+		p1, _, _, _ := w.Build("small")
+		p2, _, _, _ := w.Build("small")
+		r1, err1 := emu.Run(p1, emu.Options{})
+		r2, err2 := emu.Run(p2, emu.Options{})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", name, err1, err2)
+		}
+		if r1.Checksum() != r2.Checksum() || r1.DynInstrs != r2.DynInstrs {
+			t.Errorf("%s: nondeterministic build", name)
+		}
+	}
+}
+
+// TestWorkloadsHaveCandidates checks that the suite gives mini-graph
+// selection something to work with: every workload should have candidate
+// windows, and most should have potentially-serializing ones (so the
+// selectors actually differ).
+func TestWorkloadsHaveCandidates(t *testing.T) {
+	withCands, withSer := 0, 0
+	for _, w := range All() {
+		p, _, _, err := w.Build("small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := minigraph.Enumerate(p, minigraph.DefaultLimits())
+		if len(cands) > 0 {
+			withCands++
+		}
+		for _, c := range cands {
+			if c.Serializing() {
+				withSer++
+				break
+			}
+		}
+	}
+	if withCands != 78 {
+		t.Errorf("only %d/78 workloads have mini-graph candidates", withCands)
+	}
+	if withSer < 60 {
+		t.Errorf("only %d/78 workloads have serializing candidates — selectors won't differ", withSer)
+	}
+}
