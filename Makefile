@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench report
+
+## ci: the pre-merge check — vet, build, full tests, race-enabled cache
+## and pipeline tests. Documented in README.md; run before every merge.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The cache layer and the pipeline's recycling are the concurrency-  and
+# aliasing-sensitive parts; run their tests under the race detector.
+race:
+	$(GO) test -race ./internal/core ./internal/simcache ./internal/pipeline
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+report:
+	$(GO) run ./cmd/mgreport -exp all

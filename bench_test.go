@@ -37,6 +37,7 @@ func reportSeries(b *testing.B, res *core.SweepResult, metric map[string]string)
 // BenchmarkTable1Configs times the two Table 1 machines on one
 // representative workload and reports the reduced machine's slowdown.
 func BenchmarkTable1Configs(b *testing.B) {
+	b.ReportAllocs()
 	bench, err := core.PrepareByName("media.dct8", "small")
 	if err != nil {
 		b.Fatal(err)
@@ -58,6 +59,7 @@ func BenchmarkTable1Configs(b *testing.B) {
 // BenchmarkFig1SlackProfile regenerates Figure 1: Slack-Profile vs the two
 // naive selectors on the reduced machine over all 78 programs.
 func BenchmarkFig1SlackProfile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Fig1(benchOpts())
 		if err != nil {
@@ -74,7 +76,9 @@ func BenchmarkFig1SlackProfile(b *testing.B) {
 
 // BenchmarkFig3NaiveSelectors regenerates Figure 3 (both graphs).
 func BenchmarkFig3NaiveSelectors(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("top_reduced", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.Fig3Top(benchOpts())
 			if err != nil {
@@ -88,6 +92,7 @@ func BenchmarkFig3NaiveSelectors(b *testing.B) {
 		}
 	})
 	b.Run("bottom_full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.Fig3Bottom(benchOpts())
 			if err != nil {
@@ -104,6 +109,7 @@ func BenchmarkFig3NaiveSelectors(b *testing.B) {
 // BenchmarkFig6AllSelectors regenerates Figure 6 (top and middle graphs
 // plus the coverage panel, reported as metrics).
 func BenchmarkFig6AllSelectors(b *testing.B) {
+	b.ReportAllocs()
 	metrics := map[string]string{
 		"no mini-graphs": "nomg",
 		"Struct-All":     "structall",
@@ -113,6 +119,7 @@ func BenchmarkFig6AllSelectors(b *testing.B) {
 		"Slack-Dynamic":  "slackdynamic",
 	}
 	b.Run("top_reduced", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.Fig6Top(benchOpts())
 			if err != nil {
@@ -122,6 +129,7 @@ func BenchmarkFig6AllSelectors(b *testing.B) {
 		}
 	})
 	b.Run("middle_full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.Fig6Middle(benchOpts())
 			if err != nil {
@@ -134,6 +142,7 @@ func BenchmarkFig6AllSelectors(b *testing.B) {
 
 // BenchmarkFig7SlackProfileBreakdown regenerates Figure 7 (top).
 func BenchmarkFig7SlackProfileBreakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Fig7Top(benchOpts())
 		if err != nil {
@@ -149,6 +158,7 @@ func BenchmarkFig7SlackProfileBreakdown(b *testing.B) {
 
 // BenchmarkFig7SlackDynamicBreakdown regenerates Figure 7 (bottom).
 func BenchmarkFig7SlackDynamicBreakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Fig7Bottom(benchOpts())
 		if err != nil {
@@ -166,6 +176,7 @@ func BenchmarkFig7SlackDynamicBreakdown(b *testing.B) {
 // BenchmarkFig8LimitStudy regenerates Figure 8: the exhaustive
 // 1024-combination search on the adpcm benchmark.
 func BenchmarkFig8LimitStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lr, err := core.LimitStudy("media.adpcm_enc", "small", 0)
 		if err != nil {
@@ -181,6 +192,7 @@ func BenchmarkFig8LimitStudy(b *testing.B) {
 // BenchmarkFig9CrossConfig regenerates Figure 9 (top): profile robustness
 // to machine configuration.
 func BenchmarkFig9CrossConfig(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Fig9Top(core.Options{Input: "small"})
 		if err != nil {
@@ -200,6 +212,7 @@ func BenchmarkFig9CrossConfig(b *testing.B) {
 // robustness to input data sets (selection trained on "small", evaluated
 // on "large").
 func BenchmarkFig9CrossInput(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Fig9Bottom(core.Options{Input: "large"})
 		if err != nil {
@@ -216,6 +229,7 @@ func BenchmarkFig9CrossInput(b *testing.B) {
 // MICRO-06 interface), MGT template budget, mini-graph issue bandwidth,
 // and the rule-#2 latency model.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	cases := []struct {
 		name   string
 		fn     func(core.Options) (*core.SweepResult, error)

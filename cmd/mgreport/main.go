@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -25,24 +27,64 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id")
-		input    = flag.String("input", "large", "input set")
-		wName    = flag.String("workload", "media.adpcm_enc", "workload for the fig8 limit study")
-		plots    = flag.Bool("plots", true, "render ASCII S-curve plots")
-		progress = flag.Bool("progress", false, "print per-workload progress")
+		exp        = flag.String("exp", "all", "experiment id")
+		input      = flag.String("input", "large", "input set")
+		wName      = flag.String("workload", "media.adpcm_enc", "workload for the fig8 limit study")
+		plots      = flag.Bool("plots", true, "render ASCII S-curve plots")
+		progress   = flag.Bool("progress", false, "print per-workload progress")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		nocache    = flag.Bool("nocache", false, "bypass the simulation caches: re-prepare and re-simulate everything")
+		cacheStats = flag.Bool("cachestats", false, "print simulation-cache counters to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	opts := core.Options{Input: *input}
+	opts := core.Options{Input: *input, Workers: *workers, NoCache: *nocache}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
+	if *nocache {
+		core.SetCachingDisabled(true)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
 	if err := run(os.Stdout, *exp, *wName, *plots, opts); err != nil {
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "mgreport:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("\n[%s completed in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
+	if *cacheStats {
+		c := core.Caches()
+		fmt.Fprintf(os.Stderr, "cache: benches %d entries %d hits %d misses %.1f MB; results %d entries %d hits (%d shared) %d misses\n",
+			c.Benches.Entries, c.Benches.Hits+c.Benches.Shared, c.Benches.Misses, float64(c.Benches.Bytes)/(1<<20),
+			c.Results.Entries, c.Results.Hits, c.Results.Shared, c.Results.Misses)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 }
 
 func run(w io.Writer, exp, limitWorkload string, plots bool, opts core.Options) error {

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
@@ -24,11 +25,17 @@ func main() {
 		input   = flag.String("input", "large", "input set")
 		selName = flag.String("selector", "Struct-All", "selection policy")
 		cfgName = flag.String("config", "reduced", "profiling machine for slack-based policies")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *wName == "" {
 		fmt.Fprintln(os.Stderr, "mgselect: -workload required")
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		// One workload is prepared here, but preparation and profiling can
+		// fan out internally; bound the process like core.Options.Workers.
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	var sel *selector.Selector
@@ -52,7 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	bench, err := core.PrepareByName(*wName, *input)
+	bench, err := core.PrepareSharedByName(*wName, *input)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mgselect:", err)
 		os.Exit(1)

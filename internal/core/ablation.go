@@ -7,7 +7,6 @@ import (
 	"repro/internal/minigraph"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
-	"repro/internal/slack"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -39,7 +38,10 @@ func (v *AblationVariant) selectCfg() minigraph.SelectConfig {
 
 // RunAblation evaluates every variant over the workload population,
 // reporting performance relative to the fully-provisioned singleton
-// baseline and coverage, like RunSweep.
+// baseline and coverage, like RunSweep. Variants route through the same
+// process-wide caches as RunSweep, so a variant that coincides with the
+// defaults (e.g. "budget=512" equals the figures' Slack-Profile series) is
+// not re-simulated.
 func RunAblation(title string, opts Options, variants []AblationVariant) (*SweepResult, error) {
 	res := &SweepResult{
 		Perf:     &stats.Report{Title: title},
@@ -57,8 +59,13 @@ func RunAblation(title string, opts Options, variants []AblationVariant) (*Sweep
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.workers())
-	for _, w := range opts.workloads() {
+	ws := opts.workloads()
+	workers := opts.workers()
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+	sem := make(chan struct{}, workers)
+	for _, w := range ws {
 		wg.Add(1)
 		go func(w *workload.Workload) {
 			defer wg.Done()
@@ -91,11 +98,11 @@ func RunAblation(title string, opts Options, variants []AblationVariant) (*Sweep
 }
 
 func evalAblation(w *workload.Workload, opts Options, variants []AblationVariant) ([]float64, []float64, error) {
-	bench, err := Prepare(w, opts.input())
+	bench, err := PrepareShared(w, opts.input())
 	if err != nil {
 		return nil, nil, err
 	}
-	baseStats, err := bench.RunSingleton(pipeline.Baseline())
+	baseStats, err := singletonStats(bench, pipeline.Baseline())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -103,24 +110,8 @@ func evalAblation(w *workload.Workload, opts Options, variants []AblationVariant
 
 	vals := make([]float64, len(variants))
 	covs := make([]float64, len(variants))
-	// Candidate pools per distinct limits, enumerated once.
-	pools := map[minigraph.Limits][]*minigraph.Candidate{}
 	for i, v := range variants {
-		lim := v.limits()
-		cands, ok := pools[lim]
-		if !ok {
-			cands = minigraph.Enumerate(bench.Prog, lim)
-			pools[lim] = cands
-		}
-		var prof *slack.Profile
-		if v.Sel.NeedsProfile() {
-			if prof, err = bench.Profile(v.Cfg); err != nil {
-				return nil, nil, err
-			}
-		}
-		pool := v.Sel.Pool(bench.Prog, cands, prof)
-		chosen := minigraph.Select(bench.Prog, pool, bench.Freq, v.selectCfg())
-		st, err := bench.Run(v.Cfg, v.Sel, chosen)
+		st, err := evalStats(bench, v.Sel, v.Cfg, "", v.Cfg, v.limits(), v.selectCfg())
 		if err != nil {
 			return nil, nil, err
 		}

@@ -6,13 +6,13 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/emu"
 	"repro/internal/minigraph"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/selector"
+	"repro/internal/simcache"
 	"repro/internal/slack"
 	"repro/internal/workload"
 )
@@ -28,8 +28,9 @@ type Bench struct {
 	Freq     []int64
 	Cands    []*minigraph.Candidate
 
-	mu       sync.Mutex
-	profiles map[string]*slack.Profile
+	// profiles memoizes slack profiles per machine-configuration
+	// fingerprint, deduplicating concurrent computations.
+	profiles *simcache.Cache[simcache.Key, *slack.Profile]
 }
 
 // Prepare builds and functionally executes a workload, enumerates
@@ -57,7 +58,7 @@ func Prepare(w *workload.Workload, input string) (*Bench, error) {
 		Trace:    res.Trace,
 		Freq:     freq,
 		Cands:    minigraph.Enumerate(p, minigraph.DefaultLimits()),
-		profiles: make(map[string]*slack.Profile),
+		profiles: simcache.New[simcache.Key, *slack.Profile](),
 	}, nil
 }
 
@@ -71,33 +72,17 @@ func PrepareByName(name, input string) (*Bench, error) {
 }
 
 // Profile returns the slack profile of a singleton run on cfg, caching by
-// configuration name. This matches the paper: profiles are collected from
-// non-mini-graph executions.
+// a fingerprint of the whole configuration (so variants sharing a name
+// cannot collide). This matches the paper: profiles are collected from
+// non-mini-graph executions. Concurrent callers share one computation.
 func (b *Bench) Profile(cfg pipeline.Config) (*slack.Profile, error) {
-	b.mu.Lock()
-	if p, ok := b.profiles[cfg.Name]; ok {
-		b.mu.Unlock()
-		return p, nil
-	}
-	b.mu.Unlock()
-
-	acc := slack.NewAccumulator(b.Prog.Name, b.Prog.NumInstrs())
-	if _, err := pipeline.Run(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, acc); err != nil {
-		return nil, fmt.Errorf("profiling %s on %s: %w", b.Prog.Name, cfg.Name, err)
-	}
-	p := acc.Profile()
-	b.mu.Lock()
-	b.profiles[cfg.Name] = p
-	b.mu.Unlock()
-	return p, nil
-}
-
-// InjectProfile installs an externally collected profile (for cross-input
-// robustness experiments) under the configuration name.
-func (b *Bench) InjectProfile(cfgName string, p *slack.Profile) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.profiles[cfgName] = p
+	return b.profiles.Do(simcache.Fingerprint(cfg), func() (*slack.Profile, error) {
+		acc := slack.NewAccumulator(b.Prog.Name, b.Prog.NumInstrs())
+		if _, err := pipeline.Run(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, acc); err != nil {
+			return nil, fmt.Errorf("profiling %s on %s: %w", b.Prog.Name, cfg.Name, err)
+		}
+		return acc.Profile(), nil
+	})
 }
 
 // Select applies a selection policy, producing the mini-graph set. prof may
@@ -139,6 +124,14 @@ func (b *Bench) Evaluate(sel *selector.Selector, profCfg, runCfg pipeline.Config
 			return nil, nil, err
 		}
 	}
+	return b.EvaluateWith(sel, prof, runCfg)
+}
+
+// EvaluateWith is Evaluate with an externally supplied profile — the
+// cross-input and cross-configuration robustness experiments collect the
+// profile on a different bench and apply it here (static indices align:
+// the code is identical, only the data differs).
+func (b *Bench) EvaluateWith(sel *selector.Selector, prof *slack.Profile, runCfg pipeline.Config) (*pipeline.Stats, *minigraph.Selection, error) {
 	chosen := b.Select(sel, prof)
 	st, err := b.Run(runCfg, sel, chosen)
 	return st, chosen, err

@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/minigraph"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
+	"repro/internal/slack"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -20,10 +22,15 @@ type Options struct {
 	Input string
 	// Suites restricts the workload population (nil = all four suites).
 	Suites []string
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds parallelism (0 = GOMAXPROCS); the effective worker
+	// count is additionally capped at the number of schedulable tasks.
 	Workers int
 	// Progress receives one line per completed workload when non-nil.
 	Progress io.Writer
+	// NoCache bypasses the process-wide simulation caches: every workload
+	// is re-prepared and every series re-simulated from scratch (the
+	// timing-accuracy debugging path).
+	NoCache bool
 }
 
 func (o Options) input() string {
@@ -74,6 +81,14 @@ type SweepResult struct {
 // as IPC relative to the fully-provisioned baseline without mini-graphs
 // (the paper's y=1 line); coverage as the fraction of dynamic instructions
 // embedded in mini-graphs.
+//
+// Scheduling is fine-grained: a bounded worker pool drains one task per
+// (workload, spec) pair, and all config-invariant work — workload
+// preparation, the fully-provisioned baseline, slack profiles, whole
+// repeated series — is deduplicated through the process-wide caches
+// (singleflight, so two tasks needing the same profile or baseline never
+// compute it twice). Series ordering in the report is deterministic
+// regardless of completion order.
 func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, error) {
 	res := &SweepResult{
 		Perf:     &stats.Report{Title: title},
@@ -89,11 +104,110 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 	}
 
 	ws := opts.workloads()
+	if opts.NoCache {
+		if err := runSweepUncached(opts, ws, specs, perfSeries, covSeries); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	type task struct{ wi, si int }
+	tasks := make([]task, 0, len(ws)*len(specs))
+	for wi := range ws {
+		for si := range specs {
+			tasks = append(tasks, task{wi, si})
+		}
+	}
+	vals := make([][2]float64, len(tasks)) // perf, coverage per task
+	errs := make([]error, len(tasks))
+	pending := make([]int32, len(ws)) // specs left per workload (progress)
+	for i := range pending {
+		pending[i] = int32(len(specs))
+	}
+
+	workers := opts.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var mu sync.Mutex // guards Progress writer
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				t := tasks[ti]
+				w := ws[t.wi]
+				perf, cov, err := evalSpec(w, opts.input(), specs[t.si])
+				vals[ti] = [2]float64{perf, cov}
+				errs[ti] = err
+				if atomic.AddInt32(&pending[t.wi], -1) == 0 && opts.Progress != nil {
+					mu.Lock()
+					fmt.Fprintf(opts.Progress, "done %s\n", w.Name)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+
+	for ti, t := range tasks {
+		if err := errs[ti]; err != nil {
+			return nil, fmt.Errorf("%s: %w", ws[t.wi].Name, err)
+		}
+		perfSeries[t.si].Add(ws[t.wi].Name, vals[ti][0])
+		covSeries[t.si].Add(ws[t.wi].Name, vals[ti][1])
+	}
+	return res, nil
+}
+
+// evalSpec computes one (workload, spec) point through the caches:
+// relative performance vs the fully-provisioned singleton baseline, and
+// coverage.
+func evalSpec(w *workload.Workload, input string, sp SeriesSpec) (perf, cov float64, err error) {
+	bench, err := PrepareShared(w, input)
+	if err != nil {
+		return 0, 0, err
+	}
+	baseStats, err := singletonStats(bench, pipeline.Baseline())
+	if err != nil {
+		return 0, 0, err
+	}
+	var st *pipeline.Stats
+	if sp.Sel == nil {
+		st, err = singletonStats(bench, sp.Cfg)
+	} else {
+		profCfg := sp.Cfg
+		if sp.ProfCfg != nil {
+			profCfg = *sp.ProfCfg
+		}
+		st, err = evalStats(bench, sp.Sel, profCfg, sp.ProfInput, sp.Cfg,
+			minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(baseStats.Cycles) / float64(st.Cycles), st.Coverage(), nil
+}
+
+// runSweepUncached is the -nocache path: per-workload goroutines, fresh
+// preparation and simulation for every series, nothing shared across
+// sweeps. It exists so timing-accuracy investigations can rule the caches
+// out, and as the reference the cached path is tested against.
+func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec, perfSeries, covSeries []*stats.Series) error {
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.workers())
-
+	workers := opts.workers()
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+	sem := make(chan struct{}, workers)
 	for _, w := range ws {
 		wg.Add(1)
 		go func(w *workload.Workload) {
@@ -101,7 +215,7 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
-			vals, covs, err := evalWorkload(w, opts, specs)
+			vals, covs, err := evalWorkloadUncached(w, opts, specs)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -120,15 +234,12 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 		}(w)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return res, nil
+	return firstErr
 }
 
-// evalWorkload runs all specs for one workload and returns relative
-// performance and coverage per spec.
-func evalWorkload(w *workload.Workload, opts Options, specs []SeriesSpec) ([]float64, []float64, error) {
+// evalWorkloadUncached runs all specs for one workload from scratch and
+// returns relative performance and coverage per spec.
+func evalWorkloadUncached(w *workload.Workload, opts Options, specs []SeriesSpec) ([]float64, []float64, error) {
 	bench, err := Prepare(w, opts.input())
 	if err != nil {
 		return nil, nil, err
@@ -168,19 +279,16 @@ func evalWorkload(w *workload.Workload, opts Options, specs []SeriesSpec) ([]flo
 				}
 				profBench = pb
 			}
-			if sp.Sel.NeedsProfile() && profBench != bench {
+			var prof *slack.Profile
+			if sp.Sel.NeedsProfile() {
 				// Cross-input: collect the profile on the other input's
-				// bench and inject it here (static indices align — the
+				// bench and apply it here (static indices align — the
 				// code is identical, only the data differs).
-				prof, perr := profBench.Profile(profCfg)
-				if perr != nil {
-					return nil, nil, perr
+				if prof, err = profBench.Profile(profCfg); err != nil {
+					return nil, nil, err
 				}
-				key := profCfg.Name + "+" + sp.ProfInput
-				profCfg.Name = key
-				bench.InjectProfile(key, prof)
 			}
-			st, _, err = bench.Evaluate(sp.Sel, profCfg, sp.Cfg)
+			st, _, err = bench.EvaluateWith(sp.Sel, prof, sp.Cfg)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -345,7 +453,7 @@ type LimitResult struct {
 // all 1024 subsets on the reduced machine, and compare with what each
 // selector would have chosen from the same pool.
 func LimitStudy(workloadName, input string, workers int) (*LimitResult, error) {
-	bench, err := PrepareByName(workloadName, input)
+	bench, err := PrepareSharedByName(workloadName, input)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +464,7 @@ func LimitStudy(workloadName, input string, workers int) (*LimitResult, error) {
 	n := len(top)
 	red := pipeline.Reduced()
 
-	baseStats, err := bench.RunSingleton(pipeline.Baseline())
+	baseStats, err := singletonStats(bench, pipeline.Baseline())
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +479,9 @@ func LimitStudy(workloadName, input string, workers int) (*LimitResult, error) {
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1<<n {
+		workers = 1 << n
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/emu"
+	"repro/internal/minigraph"
+	"repro/internal/pipeline"
+	"repro/internal/selector"
+	"repro/internal/simcache"
+	"repro/internal/slack"
+	"repro/internal/workload"
+)
+
+// This file is the memoizing simulation service layer. Experiment figures
+// overlap heavily: the same workload preparation, fully-provisioned
+// baseline simulation, slack profile, and even whole series (e.g.
+// Struct-All on the reduced machine) appear in several sweeps. The
+// process-wide caches below make every distinct piece of work happen
+// exactly once per process, concurrency-safe and singleflight-deduplicated,
+// while keeping results bit-identical to uncached execution (all simulation
+// paths are deterministic).
+
+type benchKey struct {
+	Workload string
+	Input    string
+}
+
+var (
+	// benchCache memoizes workload preparation (build, functional
+	// emulation, candidate enumeration) per (workload, input).
+	benchCache = simcache.New[benchKey, *Bench]()
+
+	// resultCache memoizes timing-simulation outcomes per fingerprint of
+	// everything that determines them (workload, input, machine config,
+	// selector identity, profile provenance, enumeration limits, MGT
+	// budget).
+	resultCache = simcache.New[simcache.Key, *pipeline.Stats]()
+
+	// candsCache memoizes non-default candidate enumerations (ablations).
+	candsCache = simcache.New[simcache.Key, []*minigraph.Candidate]()
+)
+
+func init() {
+	recSize := int64(reflect.TypeOf(emu.Rec{}).Size())
+	benchCache.SizeFunc = func(b *Bench) int64 {
+		return int64(len(b.Trace))*recSize + int64(len(b.Freq))*8
+	}
+	statsSize := int64(reflect.TypeOf(pipeline.Stats{}).Size())
+	resultCache.SizeFunc = func(*pipeline.Stats) int64 { return statsSize }
+}
+
+// CacheCounters reports the activity of the simulation caches.
+type CacheCounters struct {
+	Benches simcache.Counters
+	Results simcache.Counters
+}
+
+// Caches returns a snapshot of the process-wide cache counters.
+func Caches() CacheCounters {
+	return CacheCounters{Benches: benchCache.Stats(), Results: resultCache.Stats()}
+}
+
+// ResetCaches drops all cached benches and results (tests, memory
+// pressure).
+func ResetCaches() {
+	benchCache.Reset()
+	resultCache.Reset()
+	candsCache.Reset()
+}
+
+// SetCachingDisabled bypasses all process-wide caches (the -nocache escape
+// hatch for timing-accuracy debugging).
+func SetCachingDisabled(d bool) {
+	benchCache.SetDisabled(d)
+	resultCache.SetDisabled(d)
+	candsCache.SetDisabled(d)
+}
+
+// PrepareShared is Prepare through the process-wide bench cache: each
+// (workload, input) pair is built and functionally emulated exactly once
+// per process, no matter how many sweeps request it.
+func PrepareShared(w *workload.Workload, input string) (*Bench, error) {
+	return benchCache.Do(benchKey{w.Name, input}, func() (*Bench, error) {
+		return Prepare(w, input)
+	})
+}
+
+// PrepareSharedByName is PrepareShared by workload name.
+func PrepareSharedByName(name, input string) (*Bench, error) {
+	w := workload.Find(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	return PrepareShared(w, input)
+}
+
+// selIdentity is the fingerprintable identity of a selection policy: the
+// policy name plus its hardware-monitor options (two policies never share
+// a name, but hashing Dyn too costs nothing and guards refactors).
+type selIdentity struct {
+	Name string
+	Dyn  selector.DynOptions
+}
+
+func identityOf(sel *selector.Selector) selIdentity {
+	return selIdentity{Name: sel.Name(), Dyn: sel.Dyn}
+}
+
+// singletonStats returns the cached singleton (no mini-graphs) timing of
+// bench b on cfg.
+func singletonStats(b *Bench, cfg pipeline.Config) (*pipeline.Stats, error) {
+	key := simcache.Fingerprint("singleton", b.Workload.Name, b.Input, cfg)
+	return resultCache.Do(key, func() (*pipeline.Stats, error) {
+		return b.RunSingleton(cfg)
+	})
+}
+
+// evalStats returns the cached outcome of one experiment series point:
+// select with sel (profiling on profCfg over profInput where needed) and
+// run on runCfg. limits and selCfg are the candidate-enumeration and MGT
+// budget knobs (pass the defaults for non-ablation series, so equal work
+// dedupes across figure and ablation drivers).
+func evalStats(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*pipeline.Stats, error) {
+	if profInput == "" {
+		profInput = b.Input
+	}
+	key := simcache.Fingerprint("eval", b.Workload.Name, b.Input,
+		identityOf(sel), profCfg, profInput, runCfg, limits, selCfg)
+	return resultCache.Do(key, func() (*pipeline.Stats, error) {
+		var prof *slack.Profile
+		if sel.NeedsProfile() {
+			profBench := b
+			if profInput != b.Input {
+				// Cross-input robustness: collect the profile on the other
+				// input's bench (static indices align — the code is
+				// identical, only the data differs).
+				pb, err := PrepareShared(b.Workload, profInput)
+				if err != nil {
+					return nil, err
+				}
+				profBench = pb
+			}
+			p, err := profBench.Profile(profCfg)
+			if err != nil {
+				return nil, err
+			}
+			prof = p
+		}
+		cands := b.Cands
+		if limits != minigraph.DefaultLimits() {
+			c, err := enumerateShared(b, limits)
+			if err != nil {
+				return nil, err
+			}
+			cands = c
+		}
+		pool := sel.Pool(b.Prog, cands, prof)
+		chosen := minigraph.Select(b.Prog, pool, b.Freq, selCfg)
+		return b.Run(runCfg, sel, chosen)
+	})
+}
+
+// enumerateShared returns the cached candidate pool of b under non-default
+// enumeration limits.
+func enumerateShared(b *Bench, limits minigraph.Limits) ([]*minigraph.Candidate, error) {
+	key := simcache.Fingerprint("cands", b.Workload.Name, b.Input, limits)
+	return candsCache.Do(key, func() ([]*minigraph.Candidate, error) {
+		return minigraph.Enumerate(b.Prog, limits), nil
+	})
+}

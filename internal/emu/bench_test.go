@@ -8,6 +8,7 @@ import (
 
 // BenchmarkEmulator measures functional-emulation speed on a real kernel.
 func BenchmarkEmulator(b *testing.B) {
+	b.ReportAllocs()
 	w := workload.Find("media.dct8")
 	p, _, _, err := w.Build("small")
 	if err != nil {
@@ -28,6 +29,7 @@ func BenchmarkEmulator(b *testing.B) {
 // BenchmarkEmulatorWithTrace includes trace collection (the experiment
 // pipeline's configuration).
 func BenchmarkEmulatorWithTrace(b *testing.B) {
+	b.ReportAllocs()
 	w := workload.Find("media.dct8")
 	p, _, _, err := w.Build("small")
 	if err != nil {
@@ -43,6 +45,7 @@ func BenchmarkEmulatorWithTrace(b *testing.B) {
 
 // BenchmarkMemory measures the sparse-memory word path.
 func BenchmarkMemory(b *testing.B) {
+	b.ReportAllocs()
 	var m Memory
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

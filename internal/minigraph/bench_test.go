@@ -9,6 +9,7 @@ import (
 
 // BenchmarkEnumerate measures candidate discovery over a real kernel.
 func BenchmarkEnumerate(b *testing.B) {
+	b.ReportAllocs()
 	w := workload.Find("media.adpcm_enc")
 	p, _, _, err := w.Build("small")
 	if err != nil {
@@ -24,6 +25,7 @@ func BenchmarkEnumerate(b *testing.B) {
 
 // BenchmarkSelect measures the greedy coverage-scored selection engine.
 func BenchmarkSelect(b *testing.B) {
+	b.ReportAllocs()
 	w := workload.Find("media.adpcm_enc")
 	p, _, _, err := w.Build("small")
 	if err != nil {
@@ -49,6 +51,7 @@ func BenchmarkSelect(b *testing.B) {
 
 // BenchmarkTemplateKey measures template signature hashing.
 func BenchmarkTemplateKey(b *testing.B) {
+	b.ReportAllocs()
 	w := workload.Find("media.adpcm_enc")
 	p, _, _, err := w.Build("small")
 	if err != nil {
@@ -63,6 +66,7 @@ func BenchmarkTemplateKey(b *testing.B) {
 
 // BenchmarkLayout measures outlined-layout construction.
 func BenchmarkLayout(b *testing.B) {
+	b.ReportAllocs()
 	w := workload.Find("media.adpcm_enc")
 	p, _, _, err := w.Build("small")
 	if err != nil {

@@ -40,6 +40,7 @@ type workloadBench struct {
 
 // BenchmarkSimulatorSingleton measures raw cycle-level simulation speed.
 func BenchmarkSimulatorSingleton(b *testing.B) {
+	b.ReportAllocs()
 	wb, err := benchSetup(b, "media.dct8")
 	if err != nil {
 		b.Fatal(err)
@@ -60,6 +61,7 @@ func BenchmarkSimulatorSingleton(b *testing.B) {
 // BenchmarkSimulatorMiniGraphs measures simulation speed with mini-graph
 // aggregation active.
 func BenchmarkSimulatorMiniGraphs(b *testing.B) {
+	b.ReportAllocs()
 	wb, err := benchSetup(b, "media.dct8")
 	if err != nil {
 		b.Fatal(err)
@@ -76,6 +78,7 @@ func BenchmarkSimulatorMiniGraphs(b *testing.B) {
 // BenchmarkSimulatorProfiling measures the slack-profiling run (the most
 // instrumented configuration).
 func BenchmarkSimulatorProfiling(b *testing.B) {
+	b.ReportAllocs()
 	wb, err := benchSetup(b, "media.dct8")
 	if err != nil {
 		b.Fatal(err)
@@ -92,6 +95,7 @@ func BenchmarkSimulatorProfiling(b *testing.B) {
 
 // BenchmarkSimulatorSlackDynamic measures the run-time monitor overhead.
 func BenchmarkSimulatorSlackDynamic(b *testing.B) {
+	b.ReportAllocs()
 	wb, err := benchSetup(b, "media.dct8")
 	if err != nil {
 		b.Fatal(err)

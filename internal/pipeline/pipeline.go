@@ -71,6 +71,17 @@ type uop struct {
 	committed bool
 	squashed  bool
 
+	// Recycling state (see reclaim): refBarrier is the machine seq at this
+	// uop's commit — once every older uop has left the window, no in-flight
+	// uop can still hold a pointer to this one. writerDead marks a committed
+	// register writer whose successor writer has also committed (it can no
+	// longer be re-captured through lastWriter, even across a flush).
+	// parked marks a writer that cleared its barrier while still live in
+	// the rename table.
+	refBarrier int64
+	writerDead bool
+	parked     bool
+
 	// Slack-Dynamic per-instance detection state.
 	serialized bool
 
@@ -119,10 +130,10 @@ type machine struct {
 	fetchIdx       int
 	fetchStall     int64 // no fetch before this cycle
 	pendingBranch  *uop  // unresolved mispredicted control transfer
-	fetchPending   []fetchItem
-	fetchQ         []*uop
-	window         []*uop // ROB, oldest first
-	iq             []*uop // issue queue, oldest first
+	fetchPending   ring[fetchItem]
+	fetchQ         ring[*uop]
+	window         ring[*uop] // ROB, oldest first
+	iq             []*uop     // issue queue, oldest first
 	inflightStores []*uop
 	inflightLoads  []*uop
 	pendingViol    []violation
@@ -132,7 +143,19 @@ type machine struct {
 	curBBHead      *uop
 	profFIFO       []*uop
 	layout         *minigraph.Layout
+
+	// Uop recycling: committed uops queue in retired until provably
+	// unreferenced, then return to freeUops for reuse by makeUop. Disabled
+	// while profiling (the slack accumulator keeps every uop until drain).
+	recycle       bool
+	freeUops      []*uop
+	retired       ring[*uop]
+	squashScratch []*uop
 }
+
+// noRecycle disables uop recycling even in non-profiling runs; tests flip
+// it to verify recycling changes no architectural outcome.
+var noRecycle bool
 
 // Run replays the committed trace of program p on the configured machine
 // and returns timing statistics. mg configures mini-graph processing (zero
@@ -153,6 +176,19 @@ func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Acc
 		ss:       storesets.New(cfg.StoreSetEntries),
 		prof:     prof,
 		freeRegs: cfg.PhysRegs - isa.NumRegs,
+
+		// Size every queue from the config up front: the structural-hazard
+		// checks in rename and fetch bound their occupancy, so the hot loop
+		// never grows them.
+		fetchPending:   newRing[fetchItem](8),
+		fetchQ:         newRing[*uop](cfg.FetchWidth * 9),
+		window:         newRing[*uop](cfg.ROBEntries),
+		iq:             make([]*uop, 0, cfg.IQEntries),
+		inflightLoads:  make([]*uop, 0, cfg.LQEntries),
+		inflightStores: make([]*uop, 0, cfg.SQEntries),
+		pendingViol:    make([]violation, 0, 16),
+		recycle:        prof == nil && !noRecycle,
+		retired:        newRing[*uop](cfg.ROBEntries),
 	}
 	if mg.Enabled() {
 		m.layout = mg.Layout
@@ -204,20 +240,20 @@ func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Acc
 }
 
 func (m *machine) done() bool {
-	return m.fetchIdx >= len(m.tr) && len(m.fetchPending) == 0 &&
-		len(m.fetchQ) == 0 && len(m.window) == 0
+	return m.fetchIdx >= len(m.tr) && m.fetchPending.len() == 0 &&
+		m.fetchQ.len() == 0 && m.window.len() == 0
 }
 
 // --- commit ---
 
 func (m *machine) commit() {
-	for n := 0; n < m.cfg.CommitWidth && len(m.window) > 0; n++ {
-		u := m.window[0]
+	for n := 0; n < m.cfg.CommitWidth && m.window.len() > 0; n++ {
+		u := m.window.at(0)
 		if u.issueCycle < 0 || u.execDone > m.cycle {
-			return
+			break
 		}
 		u.committed = true
-		m.window = m.window[1:]
+		m.window.popFront()
 		m.stats.Uops++
 		switch u.kind {
 		case kindSingleton:
@@ -231,6 +267,19 @@ func (m *machine) commit() {
 		}
 		if u.writesReg {
 			m.freeRegs++ // the previous mapping of dstReg dies
+			if pw := u.prevWriter; pw != nil {
+				// pw is the previous committed writer of dstReg. With this
+				// commit it can never be restored into lastWriter by a flush
+				// (that would require squashing u), and rename order
+				// guarantees every consumer that captured pw has already
+				// committed — pw is now recyclable.
+				pw.writerDead = true
+				if pw.parked {
+					pw.parked = false
+					m.freeUops = append(m.freeUops, pw)
+				}
+				u.prevWriter = nil
+			}
 		}
 		if u.isLoad {
 			m.lqUsed--
@@ -248,8 +297,49 @@ func (m *machine) commit() {
 			// whole committed stream, and late consumers keep updating
 			// local slack until then.
 			m.profFIFO = append(m.profFIFO, u)
+		} else if m.recycle {
+			u.refBarrier = m.seq
+			m.retired.pushBack(u)
 		}
 	}
+	if m.recycle {
+		m.reclaim()
+	}
+}
+
+// reclaim returns committed uops to the free list once nothing can still
+// reference them. References to a uop live in younger in-flight uops
+// (srcProd, waitStore, forwardedFrom — all captured before its commit, so
+// holders have seq < refBarrier), in the rename table (lastWriter /
+// prevWriter chains — dead once a younger same-register writer commits,
+// tracked by writerDead), in the pending-violation list, and in
+// pendingBranch. Commit is in-order, so the retired queue clears its
+// barriers in FIFO order; only live register writers park out of order.
+func (m *machine) reclaim() {
+	for m.retired.len() > 0 {
+		h := m.retired.at(0)
+		if m.window.len() > 0 && m.window.at(0).seq < h.refBarrier {
+			break // an older uop is still in flight and may reference h
+		}
+		if h == m.pendingBranch || m.referencedByViolation(h) {
+			break // transient: clears within a cycle or two
+		}
+		m.retired.popFront()
+		if h.writesReg && !h.writerDead {
+			h.parked = true // freed later, when its successor writer commits
+			continue
+		}
+		m.freeUops = append(m.freeUops, h)
+	}
+}
+
+func (m *machine) referencedByViolation(h *uop) bool {
+	for i := range m.pendingViol {
+		if m.pendingViol[i].load == h || m.pendingViol[i].store == h {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *machine) removeInflight(list *[]*uop, u *uop) {
@@ -690,21 +780,25 @@ func (m *machine) checkViolations() {
 // rename state, and redirects fetch to refetch from the load.
 func (m *machine) flushFrom(v *uop) {
 	// Squash fetchQ and pending items entirely (all younger than v).
-	for _, u := range m.fetchQ {
+	m.squashScratch = m.squashScratch[:0]
+	for i := 0; i < m.fetchQ.len(); i++ {
+		u := m.fetchQ.at(i)
 		u.squashed = true
+		m.squashScratch = append(m.squashScratch, u)
 	}
-	m.fetchQ = m.fetchQ[:0]
-	m.fetchPending = m.fetchPending[:0]
+	m.fetchQ.clear()
+	m.fetchPending.clear()
 
 	// Squash window uops young -> old.
-	cut := len(m.window)
-	for i := len(m.window) - 1; i >= 0; i-- {
-		u := m.window[i]
+	cut := m.window.len()
+	for i := m.window.len() - 1; i >= 0; i-- {
+		u := m.window.at(i)
 		if u.seq < v.seq {
 			break
 		}
 		cut = i
 		u.squashed = true
+		m.squashScratch = append(m.squashScratch, u)
 		if u.writesReg {
 			if m.lastWriter[u.dstReg] == u {
 				m.lastWriter[u.dstReg] = u.prevWriter
@@ -721,7 +815,7 @@ func (m *machine) flushFrom(v *uop) {
 			m.ss.CompleteStore(m.storePC(u), u.seq)
 		}
 	}
-	m.window = m.window[:cut]
+	m.window.truncBack(cut)
 
 	// Purge squashed uops from the IQ and violation list.
 	kept := m.iq[:0]
@@ -748,13 +842,24 @@ func (m *machine) flushFrom(v *uop) {
 	if m.fetchStall < m.cycle+1 {
 		m.fetchStall = m.cycle + 1
 	}
+
+	// Squashed uops are dead immediately: they were the youngest suffix, so
+	// no surviving uop can hold a pointer to one (srcProd, waitStore and
+	// forwardedFrom all point at strictly older uops), and every structure
+	// that indexed them (IQ, violations, rename table, pendingBranch) was
+	// purged above. Profiling runs keep them: consumer lists reference
+	// squashed uops until drain.
+	if m.recycle {
+		m.freeUops = append(m.freeUops, m.squashScratch...)
+		m.squashScratch = m.squashScratch[:0]
+	}
 }
 
 // --- rename ---
 
 func (m *machine) rename() {
-	for n := 0; n < m.cfg.FetchWidth && len(m.fetchQ) > 0; n++ {
-		u := m.fetchQ[0]
+	for n := 0; n < m.cfg.FetchWidth && m.fetchQ.len() > 0; n++ {
+		u := m.fetchQ.at(0)
 		if u.renameReady > m.cycle {
 			return
 		}
@@ -763,7 +868,7 @@ func (m *machine) rename() {
 			m.stats.StallIQ++
 			return
 		}
-		if len(m.window) >= m.cfg.ROBEntries {
+		if m.window.len() >= m.cfg.ROBEntries {
 			m.stats.StallROB++
 			return
 		}
@@ -779,7 +884,7 @@ func (m *machine) rename() {
 			m.stats.StallSQ++
 			return
 		}
-		m.fetchQ = m.fetchQ[1:]
+		m.fetchQ.popFront()
 
 		// Dataflow linking.
 		for i := 0; i < u.nSrc; i++ {
@@ -823,7 +928,7 @@ func (m *machine) rename() {
 			u.bbHead = m.curBBHead
 		}
 
-		m.window = append(m.window, u)
+		m.window.pushBack(u)
 		m.iq = append(m.iq, u)
 	}
 }
@@ -834,15 +939,15 @@ func (m *machine) fetch() {
 	if m.pendingBranch != nil || m.cycle < m.fetchStall {
 		return
 	}
-	if len(m.fetchQ) >= m.cfg.FetchWidth*8 {
+	if m.fetchQ.len() >= m.cfg.FetchWidth*8 {
 		return
 	}
 	var curLine uint32 = math.MaxUint32
 	for n := 0; n < m.cfg.FetchWidth; n++ {
-		if len(m.fetchPending) == 0 && !m.prepareNext() {
+		if m.fetchPending.len() == 0 && !m.prepareNext() {
 			return
 		}
-		it := m.fetchPending[0]
+		it := m.fetchPending.at(0)
 		// Instruction cache access, one per line per cycle.
 		line := it.addr >> 5
 		if line != curLine {
@@ -854,9 +959,9 @@ func (m *machine) fetch() {
 			}
 			curLine = line
 		}
-		m.fetchPending = m.fetchPending[1:]
+		m.fetchPending.popFront()
 		u := m.makeUop(it)
-		m.fetchQ = append(m.fetchQ, u)
+		m.fetchQ.pushBack(u)
 		if u.mispred {
 			m.pendingBranch = u
 			return
@@ -887,7 +992,7 @@ func (m *machine) prepareNext() bool {
 				return true
 			}
 			last := m.tr[m.fetchIdx+inst.N-1]
-			m.fetchPending = append(m.fetchPending, fetchItem{
+			m.fetchPending.pushBack(fetchItem{
 				kind:      kindHandle,
 				static:    static,
 				traceIdx:  m.fetchIdx,
@@ -901,7 +1006,7 @@ func (m *machine) prepareNext() bool {
 		}
 	}
 
-	m.fetchPending = append(m.fetchPending, fetchItem{
+	m.fetchPending.pushBack(fetchItem{
 		kind:      kindSingleton,
 		static:    static,
 		traceIdx:  m.fetchIdx,
@@ -918,7 +1023,7 @@ func (m *machine) prepareNext() bool {
 // back (unless the final constituent is a taken branch).
 func (m *machine) prepareOutlined(inst *minigraph.Instance) {
 	start := inst.Start
-	m.fetchPending = append(m.fetchPending, fetchItem{
+	m.fetchPending.pushBack(fetchItem{
 		kind:      kindOverheadJump,
 		static:    start,
 		traceIdx:  m.fetchIdx,
@@ -934,7 +1039,7 @@ func (m *machine) prepareOutlined(inst *minigraph.Instance) {
 		if k == inst.N-1 {
 			lastTaken = rec.Taken
 		}
-		m.fetchPending = append(m.fetchPending, fetchItem{
+		m.fetchPending.pushBack(fetchItem{
 			kind:      kindSingleton,
 			static:    inst.Start + k,
 			traceIdx:  m.fetchIdx + k,
@@ -944,7 +1049,7 @@ func (m *machine) prepareOutlined(inst *minigraph.Instance) {
 		})
 	}
 	if !lastTaken {
-		m.fetchPending = append(m.fetchPending, fetchItem{
+		m.fetchPending.pushBack(fetchItem{
 			kind:      kindOverheadJump,
 			static:    start,
 			traceIdx:  m.fetchIdx + inst.N - 1,
@@ -962,7 +1067,7 @@ func (m *machine) prepareOutlined(inst *minigraph.Instance) {
 func (m *machine) prepareInlineSingletons(inst *minigraph.Instance) {
 	for k := 0; k < inst.N; k++ {
 		rec := m.tr[m.fetchIdx+k]
-		m.fetchPending = append(m.fetchPending, fetchItem{
+		m.fetchPending.pushBack(fetchItem{
 			kind:      kindSingleton,
 			static:    inst.Start + k,
 			traceIdx:  m.fetchIdx + k,
@@ -974,21 +1079,41 @@ func (m *machine) prepareInlineSingletons(inst *minigraph.Instance) {
 	m.fetchIdx += inst.N
 }
 
+// uopSlabSize is how many uops one arena allocation holds.
+const uopSlabSize = 256
+
+// newUop returns a fully zeroed uop, from the free list when recycling has
+// returned one, else carving a fresh arena slab. Total live uops are
+// bounded by the window, fetch queue and retired queue, so steady state
+// allocates nothing.
+func (m *machine) newUop() *uop {
+	if n := len(m.freeUops); n > 0 {
+		u := m.freeUops[n-1]
+		m.freeUops = m.freeUops[:n-1]
+		*u = uop{} // full reset: recycled uops carry no history
+		return u
+	}
+	slab := make([]uop, uopSlabSize)
+	for i := 1; i < len(slab); i++ {
+		m.freeUops = append(m.freeUops, &slab[i])
+	}
+	return &slab[0]
+}
+
 // makeUop builds the uop for a fetch item, running branch prediction.
 func (m *machine) makeUop(it fetchItem) *uop {
-	u := &uop{
-		seq:         m.seq,
-		traceIdx:    it.traceIdx,
-		nRecs:       it.nRecs,
-		static:      it.static,
-		kind:        it.kind,
-		mg:          it.mg,
-		fetchCycle:  m.cycle,
-		renameReady: m.cycle + int64(m.cfg.FetchToRename),
-		issueCycle:  -1,
-		minConsIss:  never,
-		fwdConsExec: never,
-	}
+	u := m.newUop()
+	u.seq = m.seq
+	u.traceIdx = it.traceIdx
+	u.nRecs = it.nRecs
+	u.static = it.static
+	u.kind = it.kind
+	u.mg = it.mg
+	u.fetchCycle = m.cycle
+	u.renameReady = m.cycle + int64(m.cfg.FetchToRename)
+	u.issueCycle = -1
+	u.minConsIss = never
+	u.fwdConsExec = never
 	m.seq++
 
 	switch it.kind {

@@ -1,0 +1,62 @@
+package pipeline
+
+// ring is a growable power-of-two circular FIFO deque. The pipeline's
+// ordered queues (fetch queue, ROB, prepared fetch items, retired uops)
+// pop from the front and push at the back every cycle; the append/reslice
+// idiom reallocates the backing array continually on that access pattern,
+// while a ring reuses one allocation for the whole run.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func newRing[T any](capHint int) ring[T] {
+	c := 8
+	for c < capHint {
+		c <<= 1
+	}
+	return ring[T]{buf: make([]T, c)}
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+// at returns the i-th element from the front (0 = oldest).
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *ring[T]) pushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring[T]) popFront() T {
+	var zero T
+	i := r.head
+	v := r.buf[i]
+	r.buf[i] = zero // release for GC / recycling
+	r.head = (i + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// truncBack drops everything after the first n elements (squash).
+func (r *ring[T]) truncBack(n int) {
+	var zero T
+	for i := n; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = zero
+	}
+	r.n = n
+}
+
+func (r *ring[T]) clear() { r.truncBack(0) }
+
+func (r *ring[T]) grow() {
+	nb := make([]T, len(r.buf)*2)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}

@@ -1,0 +1,50 @@
+package pipeline
+
+import "testing"
+
+func TestRingFIFOAndGrowth(t *testing.T) {
+	r := newRing[int](2)
+	for i := 0; i < 100; i++ {
+		r.pushBack(i)
+	}
+	if r.len() != 100 {
+		t.Fatalf("len = %d", r.len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.at(i); got != i {
+			t.Fatalf("at(%d) = %d", i, got)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.popFront(); got != i {
+			t.Fatalf("popFront = %d, want %d", got, i)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("len after drain = %d", r.len())
+	}
+}
+
+func TestRingWrapAndTruncate(t *testing.T) {
+	r := newRing[int](8)
+	// Force head to wander so pushes wrap around the buffer.
+	for cycle := 0; cycle < 50; cycle++ {
+		for i := 0; i < 5; i++ {
+			r.pushBack(cycle*10 + i)
+		}
+		if got := r.popFront(); got != cycle*10 {
+			t.Fatalf("cycle %d: popFront = %d", cycle, got)
+		}
+		r.truncBack(1) // keep only the oldest remaining
+		if r.len() != 1 {
+			t.Fatalf("cycle %d: len = %d", cycle, r.len())
+		}
+		if got := r.popFront(); got != cycle*10+1 {
+			t.Fatalf("cycle %d: second pop = %d", cycle, got)
+		}
+	}
+	r.clear()
+	if r.len() != 0 {
+		t.Fatal("clear left elements")
+	}
+}

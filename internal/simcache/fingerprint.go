@@ -1,0 +1,141 @@
+// Package simcache provides the memoization layer under the experiment
+// drivers: a concurrency-safe, singleflight cache keyed by stable
+// fingerprints of configuration values. Experiment sweeps overlap heavily
+// (the same workload preparation, baseline simulation, slack profile or
+// selector evaluation appears in many figures); this package lets the
+// orchestration layer compute each distinct piece of work exactly once.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Key is a stable content fingerprint usable as a cache-map key.
+type Key string
+
+// Fingerprint hashes a canonical encoding of the given values into a Key.
+// Two calls with structurally equal values produce the same Key; values
+// differing in any (arbitrarily nested) field produce different Keys with
+// cryptographic confidence. Unlike name-based keys, the fingerprint cannot
+// collide for ablation variants that share a Name but differ in a field.
+//
+// Supported value shapes: booleans, integers, floats, strings, structs
+// (exported fields), pointers, slices, arrays, and maps with ordered
+// (bool/int/uint/float/string) keys. Functions, channels and unexported
+// struct fields are rejected with a panic: keys must never silently drop
+// configuration state.
+func Fingerprint(parts ...any) Key {
+	h := sha256.New()
+	var scratch [8]byte
+	w := func(b []byte) { h.Write(b) }
+	ws := func(s string) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+		w(scratch[:])
+		w([]byte(s))
+	}
+	wu := func(tag byte, v uint64) {
+		h.Write([]byte{tag})
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		w(scratch[:])
+	}
+	var walk func(v reflect.Value)
+	walk = func(v reflect.Value) {
+		if !v.IsValid() {
+			wu('z', 0) // typed nil interface slot
+			return
+		}
+		switch v.Kind() {
+		case reflect.Bool:
+			if v.Bool() {
+				wu('b', 1)
+			} else {
+				wu('b', 0)
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			wu('i', uint64(v.Int()))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+			wu('u', v.Uint())
+		case reflect.Float32, reflect.Float64:
+			wu('f', math.Float64bits(v.Float()))
+		case reflect.String:
+			h.Write([]byte{'s'})
+			ws(v.String())
+		case reflect.Ptr:
+			if v.IsNil() {
+				wu('p', 0)
+				return
+			}
+			wu('p', 1)
+			walk(v.Elem())
+		case reflect.Interface:
+			if v.IsNil() {
+				wu('z', 0)
+				return
+			}
+			h.Write([]byte{'I'})
+			ws(v.Elem().Type().String())
+			walk(v.Elem())
+		case reflect.Struct:
+			t := v.Type()
+			h.Write([]byte{'T'})
+			ws(t.String())
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				if !f.IsExported() {
+					panic(fmt.Sprintf("simcache: fingerprint of %s would drop unexported field %s", t, f.Name))
+				}
+				ws(f.Name)
+				walk(v.Field(i))
+			}
+		case reflect.Slice:
+			if v.IsNil() {
+				wu('l', 0)
+				return
+			}
+			fallthrough
+		case reflect.Array:
+			wu('a', uint64(v.Len()))
+			for i := 0; i < v.Len(); i++ {
+				walk(v.Index(i))
+			}
+		case reflect.Map:
+			wu('m', uint64(v.Len()))
+			keys := v.MapKeys()
+			sort.Slice(keys, func(i, j int) bool { return lessValue(keys[i], keys[j]) })
+			for _, k := range keys {
+				walk(k)
+				walk(v.MapIndex(k))
+			}
+		default:
+			panic(fmt.Sprintf("simcache: cannot fingerprint %s value", v.Kind()))
+		}
+	}
+	for _, p := range parts {
+		walk(reflect.ValueOf(p))
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// lessValue orders map keys of a common orderable kind.
+func lessValue(a, b reflect.Value) bool {
+	switch a.Kind() {
+	case reflect.Bool:
+		return !a.Bool() && b.Bool()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return a.Int() < b.Int()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return a.Uint() < b.Uint()
+	case reflect.Float32, reflect.Float64:
+		return a.Float() < b.Float()
+	case reflect.String:
+		return a.String() < b.String()
+	default:
+		panic(fmt.Sprintf("simcache: cannot order map keys of kind %s", a.Kind()))
+	}
+}

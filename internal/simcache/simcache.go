@@ -1,0 +1,141 @@
+package simcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counters is a snapshot of a cache's activity.
+type Counters struct {
+	Hits    int64 // lookups answered from a completed entry
+	Shared  int64 // lookups that joined an in-flight computation
+	Misses  int64 // lookups that ran the computation
+	Errors  int64 // computations that returned an error (not retained)
+	Entries int64 // completed entries currently retained
+	Bytes   int64 // estimated retained payload size (via SizeFunc)
+}
+
+// Cache is a process-wide, concurrency-safe memoization table with
+// singleflight semantics: concurrent lookups of the same key run the
+// computation once and share its result. Successful results are retained
+// forever (experiment working sets are bounded by the workload suite);
+// errors are returned to every waiter but not retained, so a transient
+// failure can be retried.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+
+	hits, shared, misses, errors atomic.Int64
+	bytes                        atomic.Int64
+
+	// SizeFunc estimates the retained size of a value for the Bytes
+	// counter. Nil means sizes are not tracked.
+	SizeFunc func(V) int64
+
+	// disabled makes Do bypass the table entirely (the -nocache escape
+	// hatch): every call computes fresh and retains nothing.
+	disabled atomic.Bool
+}
+
+type entry[V any] struct {
+	done chan struct{} // closed when the computation finishes
+	val  V
+	err  error
+}
+
+// New creates an empty cache.
+func New[K comparable, V any]() *Cache[K, V] {
+	return &Cache[K, V]{entries: make(map[K]*entry[V])}
+}
+
+// SetDisabled toggles cache bypass.
+func (c *Cache[K, V]) SetDisabled(d bool) { c.disabled.Store(d) }
+
+// Disabled reports whether the cache is bypassed.
+func (c *Cache[K, V]) Disabled() bool { return c.disabled.Load() }
+
+// Do returns the cached value for key, computing it with compute if absent.
+// Concurrent calls for the same key block on a single computation.
+func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	if c.disabled.Load() {
+		return compute()
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.hits.Add(1)
+		default:
+			c.shared.Add(1)
+			<-e.done
+		}
+		return e.val, e.err
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.val, e.err = compute()
+	close(e.done)
+	if e.err != nil {
+		c.errors.Add(1)
+		c.mu.Lock()
+		delete(c.entries, key) // do not retain failures
+		c.mu.Unlock()
+	} else if c.SizeFunc != nil {
+		c.bytes.Add(c.SizeFunc(e.val))
+	}
+	return e.val, e.err
+}
+
+// Get returns the completed value for key, if present.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	var zero V
+	if c.disabled.Load() {
+		return zero, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return zero, false
+		}
+		return e.val, true
+	default:
+		return zero, false
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[K, V]) Stats() Counters {
+	c.mu.Lock()
+	n := int64(len(c.entries))
+	c.mu.Unlock()
+	return Counters{
+		Hits:    c.hits.Load(),
+		Shared:  c.shared.Load(),
+		Misses:  c.misses.Load(),
+		Errors:  c.errors.Load(),
+		Entries: n,
+		Bytes:   c.bytes.Load(),
+	}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[K]*entry[V])
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.shared.Store(0)
+	c.misses.Store(0)
+	c.errors.Store(0)
+	c.bytes.Store(0)
+}

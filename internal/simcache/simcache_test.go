@@ -1,0 +1,214 @@
+package simcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	// Two separately constructed, structurally equal configs must agree.
+	a := pipeline.Reduced()
+	b := pipeline.Reduced()
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("equal configs fingerprint differently")
+	}
+	// Multi-part keys are order- and arity-sensitive.
+	if Fingerprint(a, "x") == Fingerprint(a) {
+		t.Error("extra part should change the key")
+	}
+	if Fingerprint("x", a) == Fingerprint(a, "x") {
+		t.Error("part order should change the key")
+	}
+	// Repeated evaluation is stable.
+	k := Fingerprint(a, "profile", 3)
+	for i := 0; i < 10; i++ {
+		if Fingerprint(pipeline.Reduced(), "profile", 3) != k {
+			t.Fatal("fingerprint unstable across calls")
+		}
+	}
+}
+
+// TestFingerprintCollisionResistance flips one field at a time — including
+// deeply nested ones — and checks every variant gets a distinct key. This
+// is exactly the ablation-variant scenario: configs sharing a Name but
+// differing in a single knob must not collide.
+func TestFingerprintCollisionResistance(t *testing.T) {
+	base := pipeline.Reduced()
+	variants := []func(*pipeline.Config){
+		func(c *pipeline.Config) { c.MaxMGIssue = 1 },
+		func(c *pipeline.Config) { c.MaxMemMGIssue = 2 },
+		func(c *pipeline.Config) { c.IssueWidth = 4 },
+		func(c *pipeline.Config) { c.PhysRegs = 121 },
+		func(c *pipeline.Config) { c.Hier.L1D.Size = 8 << 10 },
+		func(c *pipeline.Config) { c.Hier.L2.Assoc = 8 },
+		func(c *pipeline.Config) { c.Bpred.GshareBits = 13 },
+		func(c *pipeline.Config) { c.StoreSetEntries = 512 },
+		func(c *pipeline.Config) { c.MaxCycles = 1 },
+	}
+	seen := map[Key]int{Fingerprint(base): -1}
+	for i, mutate := range variants {
+		c := base // copy, Name unchanged
+		mutate(&c)
+		k := Fingerprint(c)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with variant %d despite differing fields", i, prev)
+		}
+		seen[k] = i
+	}
+	// Nil vs zero-valued pointer targets must differ.
+	var nilCfg *pipeline.Config
+	zero := pipeline.Config{}
+	if Fingerprint(nilCfg) == Fingerprint(&zero) {
+		t.Error("nil pointer collides with pointer to zero value")
+	}
+}
+
+func TestFingerprintMapsAndSlices(t *testing.T) {
+	m1 := map[string]int{"a": 1, "b": 2}
+	m2 := map[string]int{"b": 2, "a": 1}
+	if Fingerprint(m1) != Fingerprint(m2) {
+		t.Error("map key order should not matter")
+	}
+	if Fingerprint(map[string]int{"a": 1}) == Fingerprint(map[string]int{"a": 2}) {
+		t.Error("map value should matter")
+	}
+	if Fingerprint([]int{1, 2}) == Fingerprint([]int{2, 1}) {
+		t.Error("slice order should matter")
+	}
+	if Fingerprint([]int(nil)) == Fingerprint([]int{}) {
+		t.Error("nil and empty slice should differ")
+	}
+}
+
+func TestCacheDo(t *testing.T) {
+	c := New[string, int]()
+	calls := 0
+	get := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", get)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Errorf("counters = %+v, want 1 miss / 2 hits / 1 entry", st)
+	}
+}
+
+func TestCacheErrorsNotRetained(t *testing.T) {
+	c := New[string, int]()
+	fail := errors.New("boom")
+	if _, err := c.Do("k", func() (int, error) { return 0, fail }); err != fail {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error = %d, %v", v, err)
+	}
+	st := c.Stats()
+	if st.Errors != 1 || st.Entries != 1 {
+		t.Errorf("counters = %+v, want 1 error / 1 entry", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := New[string, int]()
+	c.SetDisabled(true)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if v, _ := c.Do("k", func() (int, error) { calls++; return calls, nil }); v != calls {
+			t.Fatal("disabled cache must compute fresh")
+		}
+	}
+	if calls != 3 {
+		t.Errorf("compute ran %d times, want 3 (bypass)", calls)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache must not retain entries")
+	}
+}
+
+func TestCacheBytes(t *testing.T) {
+	c := New[string, string]()
+	c.SizeFunc = func(s string) int64 { return int64(len(s)) }
+	c.Do("a", func() (string, error) { return "xxxx", nil })
+	c.Do("b", func() (string, error) { return "yy", nil })
+	if got := c.Stats().Bytes; got != 6 {
+		t.Errorf("Bytes = %d, want 6", got)
+	}
+}
+
+// TestCacheSingleflight checks that concurrent lookups of one key share a
+// single computation (run with -race).
+func TestCacheSingleflight(t *testing.T) {
+	c := New[Key, int]()
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const goroutines = 16
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.Do("shared", func() (int, error) {
+				computes.Add(1)
+				<-release
+				return 99, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computed %d times, want 1", n)
+	}
+	for g, v := range results {
+		if v != 99 {
+			t.Errorf("goroutine %d got %d", g, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Shared != goroutines-1 {
+		t.Errorf("counters = %+v", st)
+	}
+}
+
+// TestCacheConcurrentMixedKeys hammers the cache with overlapping keys
+// under -race.
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := New[Key, string]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := Fingerprint("key", i%10)
+				want := fmt.Sprintf("v%d", i%10)
+				v, err := c.Do(key, func() (string, error) { return want, nil })
+				if err != nil || v != want {
+					t.Errorf("Do(%d) = %q, %v", i%10, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 10 {
+		t.Errorf("entries = %d, want 10", st.Entries)
+	}
+}
