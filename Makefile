@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench report
+.PHONY: ci vet fmt build test race obs-smoke bench report
 
-## ci: the pre-merge check — vet, build, full tests, race-enabled cache
-## and pipeline tests. Documented in README.md; run before every merge.
-ci: vet build test race
+## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
+## cache and pipeline tests, and an end-to-end observability smoke test.
+## Documented in README.md; run before every merge.
+ci: vet fmt build test race obs-smoke
 
 vet:
 	$(GO) vet ./...
+
+# gofmt -l prints offending files; fail (and show them) if any.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -19,6 +24,18 @@ test:
 # aliasing-sensitive parts; run their tests under the race detector.
 race:
 	$(GO) test -race ./internal/core ./internal/simcache ./internal/pipeline
+
+# End-to-end observability: one observed run, then render + summarize the
+# files it produced.
+obs-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/mgsim -workload comm.crc32 -input small -config reduced \
+		-selector Slack-Dynamic -pipetrace -intervals 500 -tracedir $$dir >/dev/null && \
+	$(GO) run ./cmd/mgtrace -trace $$dir/comm.crc32_small_reduced-3way_Slack-Dynamic.pipetrace.jsonl \
+		-count 16 >/dev/null && \
+	$(GO) run ./cmd/mgtrace -summary $$dir/comm.crc32_small_reduced-3way_Slack-Dynamic.intervals.jsonl \
+		>/dev/null && \
+	rm -rf $$dir && echo "obs-smoke ok"
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .

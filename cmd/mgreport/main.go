@@ -16,12 +16,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -30,22 +33,44 @@ func main() {
 		exp        = flag.String("exp", "all", "experiment id")
 		input      = flag.String("input", "large", "input set")
 		wName      = flag.String("workload", "media.adpcm_enc", "workload for the fig8 limit study")
+		workloads  = flag.String("only", "", "comma-separated workload names to restrict sweeps to")
 		plots      = flag.Bool("plots", true, "render ASCII S-curve plots")
 		progress   = flag.Bool("progress", false, "print per-workload progress")
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		nocache    = flag.Bool("nocache", false, "bypass the simulation caches: re-prepare and re-simulate everything")
 		cacheStats = flag.Bool("cachestats", false, "print simulation-cache counters to stderr")
+		pipetrace  = flag.Bool("pipetrace", false, "write per-uop pipetrace JSONL per (workload, series)")
+		intervals  = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
+		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
+		verbose    = flag.Bool("v", false, "structured task telemetry on stderr")
+		httpaddr   = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	opts := core.Options{Input: *input, Workers: *workers, NoCache: *nocache}
+	opts := core.Options{Input: *input, Workers: *workers, NoCache: *nocache,
+		Obs: obs.FlagOptions(*pipetrace, *intervals, *tracedir)}
+	if *workloads != "" {
+		opts.Workloads = splitNames(*workloads)
+	}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
 	if *nocache {
 		core.SetCachingDisabled(true)
+	}
+	if *verbose {
+		core.SetTelemetry(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	if *httpaddr != "" {
+		core.PublishExpvars()
+		addr, err := obs.ServeDebug(*httpaddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -67,10 +92,7 @@ func main() {
 	}
 	fmt.Printf("\n[%s completed in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
 	if *cacheStats {
-		c := core.Caches()
-		fmt.Fprintf(os.Stderr, "cache: benches %d entries %d hits %d misses %.1f MB; results %d entries %d hits (%d shared) %d misses\n",
-			c.Benches.Entries, c.Benches.Hits+c.Benches.Shared, c.Benches.Misses, float64(c.Benches.Bytes)/(1<<20),
-			c.Results.Entries, c.Results.Hits, c.Results.Shared, c.Results.Misses)
+		core.FprintCacheStats(os.Stderr)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -85,6 +107,17 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// splitNames splits a comma-separated list, dropping empty entries.
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func run(w io.Writer, exp, limitWorkload string, plots bool, opts core.Options) error {
@@ -142,10 +175,12 @@ func run(w io.Writer, exp, limitWorkload string, plots bool, opts core.Options) 
 		if err := limitStudy(w, limitWorkload, opts); err != nil {
 			return err
 		}
-		if err := sweep(w, plots, core.Options{Input: opts.Input, Progress: opts.Progress}, core.Fig9Top); err != nil {
+		fig9Opts := core.Options{Input: opts.Input, Progress: opts.Progress,
+			Workloads: opts.Workloads, Obs: opts.Obs}
+		if err := sweep(w, plots, fig9Opts, core.Fig9Top); err != nil {
 			return err
 		}
-		return sweep(w, plots, core.Options{Input: opts.Input, Progress: opts.Progress}, core.Fig9Bottom)
+		return sweep(w, plots, fig9Opts, core.Fig9Bottom)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -10,10 +10,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
 	"repro/internal/slack"
@@ -21,11 +23,17 @@ import (
 
 func main() {
 	var (
-		wName   = flag.String("workload", "", "workload name")
-		input   = flag.String("input", "large", "input set")
-		selName = flag.String("selector", "Struct-All", "selection policy")
-		cfgName = flag.String("config", "reduced", "profiling machine for slack-based policies")
-		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		wName      = flag.String("workload", "", "workload name")
+		input      = flag.String("input", "large", "input set")
+		selName    = flag.String("selector", "Struct-All", "selection policy")
+		cfgName    = flag.String("config", "reduced", "profiling machine for slack-based policies")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheStats = flag.Bool("cachestats", false, "print simulation-cache counters to stderr")
+		pipetrace  = flag.Bool("pipetrace", false, "write a per-uop pipetrace JSONL of the profiling run")
+		intervals  = flag.Int64("intervals", 0, "sample interval metrics of the profiling run every N cycles (0 = off)")
+		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
+		verbose    = flag.Bool("v", false, "structured telemetry on stderr")
+		httpaddr   = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
 	)
 	flag.Parse()
 	if *wName == "" {
@@ -36,6 +44,18 @@ func main() {
 		// One workload is prepared here, but preparation and profiling can
 		// fan out internally; bound the process like core.Options.Workers.
 		runtime.GOMAXPROCS(*workers)
+	}
+	if *verbose {
+		core.SetTelemetry(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	if *httpaddr != "" {
+		core.PublishExpvars()
+		addr, err := obs.ServeDebug(*httpaddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgselect:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
 	}
 
 	var sel *selector.Selector
@@ -76,7 +96,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mgselect: unknown config %q\n", *cfgName)
 			os.Exit(2)
 		}
-		if prof, err = bench.Profile(cfg); err != nil {
+		if o := obs.FlagOptions(*pipetrace, *intervals, *tracedir); o.Active() {
+			// Trace the profiling run itself: the singleton execution the
+			// slack profile is collected from.
+			base := fmt.Sprintf("%s_%s_%s_profile", *wName, *input, cfg.Name)
+			watch, werr := obs.NewRunObserver(o, base)
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "mgselect:", werr)
+				os.Exit(1)
+			}
+			prof, err = bench.ProfileObserved(cfg, watch)
+			if cerr := watch.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "observability files: %v\n", watch.Files())
+			}
+		} else {
+			prof, err = bench.Profile(cfg)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mgselect:", err)
 			os.Exit(1)
 		}
@@ -99,5 +138,8 @@ func main() {
 		for k := 0; k < in.N; k++ {
 			fmt.Printf("  %4d  %s\n", in.Start+k, bench.Prog.Code[in.Start+k])
 		}
+	}
+	if *cacheStats {
+		core.FprintCacheStats(os.Stderr)
 	}
 }

@@ -12,11 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
+	"repro/internal/slack"
 	"repro/internal/workload"
 )
 
@@ -62,12 +65,16 @@ func selectorByName(name string) (*selector.Selector, error) {
 
 func main() {
 	var (
-		wName   = flag.String("workload", "", "workload name (see -list)")
-		input   = flag.String("input", "large", "input set: small or large")
-		cfgName = flag.String("config", "baseline", "machine: baseline, reduced, 2way, 8way, dmem4")
-		selName = flag.String("selector", "none", "selection policy (or none)")
-		list    = flag.Bool("list", false, "list workloads and exit")
-		verbose = flag.Bool("v", false, "print the mini-graph selection")
+		wName     = flag.String("workload", "", "workload name (see -list)")
+		input     = flag.String("input", "large", "input set: small or large")
+		cfgName   = flag.String("config", "baseline", "machine: baseline, reduced, 2way, 8way, dmem4")
+		selName   = flag.String("selector", "none", "selection policy (or none)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		verbose   = flag.Bool("v", false, "print the mini-graph selection and structured telemetry")
+		pipetrace = flag.Bool("pipetrace", false, "write a per-uop pipetrace JSONL of the run")
+		intervals = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
+		tracedir  = flag.String("tracedir", "", "observability output directory (default \"obs\")")
+		httpaddr  = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
 	)
 	flag.Parse()
 
@@ -91,6 +98,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mgsim:", err)
 		os.Exit(2)
 	}
+	if *verbose {
+		core.SetTelemetry(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	if *httpaddr != "" {
+		core.PublishExpvars()
+		addr, err := obs.ServeDebug(*httpaddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
 
 	bench, err := core.PrepareByName(*wName, *input)
 	if err != nil {
@@ -98,19 +117,51 @@ func main() {
 		os.Exit(1)
 	}
 
+	var watch *obs.Observer
+	if o := obs.FlagOptions(*pipetrace, *intervals, *tracedir); o.Active() {
+		base := fmt.Sprintf("%s_%s_%s_%s", *wName, *input, cfg.Name, *selName)
+		if watch, err = obs.NewRunObserver(o, base); err != nil {
+			fmt.Fprintln(os.Stderr, "mgsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	var st *pipeline.Stats
 	if sel == nil {
-		st, err = bench.RunSingleton(cfg)
+		if watch != nil {
+			st, err = bench.RunSingletonObserved(cfg, watch)
+		} else {
+			st, err = bench.RunSingleton(cfg)
+		}
 	} else {
-		var chosen interface{ Coverage() float64 }
-		st, chosen, err = bench.Evaluate(sel, cfg, cfg)
-		if err == nil && *verbose {
+		var prof *slack.Profile
+		if sel.NeedsProfile() {
+			if prof, err = bench.Profile(cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "mgsim:", err)
+				os.Exit(1)
+			}
+		}
+		chosen := bench.Select(sel, prof)
+		if *verbose {
 			fmt.Printf("selection coverage (static estimate): %.1f%%\n", 100*chosen.Coverage())
+		}
+		if watch != nil {
+			st, err = bench.RunObserved(cfg, sel, chosen, watch)
+		} else {
+			st, err = bench.Run(cfg, sel, chosen)
+		}
+	}
+	if watch != nil {
+		if cerr := watch.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mgsim:", err)
 		os.Exit(1)
+	}
+	if watch != nil {
+		fmt.Fprintf(os.Stderr, "observability files: %v\n", watch.Files())
 	}
 
 	fmt.Printf("workload=%s input=%s config=%s selector=%s\n", *wName, *input, cfg.Name, *selName)

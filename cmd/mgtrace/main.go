@@ -1,0 +1,91 @@
+// Command mgtrace renders the simulator's observability output: pipetrace
+// files become text pipeline diagrams (one row per uop, one column per
+// cycle, in the style of gem5's O3 pipeline viewer), and interval files
+// become summaries of the run's trouble spots — top stall windows,
+// coverage dips, and Slack-Dynamic disable storms.
+//
+// Usage:
+//
+//	mgtrace -trace run.pipetrace.jsonl [-start seq] [-count n] [-cols n]
+//	mgtrace -summary run.intervals.jsonl [-top k]
+//	mgtrace -csv run.intervals.jsonl > run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "pipetrace JSONL file to render as a stage diagram")
+		start     = flag.Int64("start", 0, "first uop sequence number to render")
+		count     = flag.Int("count", 64, "max uop rows to render")
+		cols      = flag.Int("cols", 160, "max diagram columns (cycles)")
+		summary   = flag.String("summary", "", "interval JSONL file to summarize")
+		top       = flag.Int("top", 5, "how many stall windows / coverage dips / storms to list")
+		csvFile   = flag.String("csv", "", "interval JSONL file to convert to CSV on stdout")
+	)
+	flag.Parse()
+
+	did := false
+	if *traceFile != "" {
+		did = true
+		uops, events, err := readTrace(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := renderTrace(os.Stdout, uops, events, *start, *count, *cols); err != nil {
+			fail(err)
+		}
+	}
+	if *summary != "" {
+		did = true
+		ivs, err := readIntervals(*summary)
+		if err != nil {
+			fail(err)
+		}
+		summarizeIntervals(os.Stdout, *summary, ivs, *top)
+	}
+	if *csvFile != "" {
+		did = true
+		ivs, err := readIntervals(*csvFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteIntervalsCSV(os.Stdout, ivs); err != nil {
+			fail(err)
+		}
+	}
+	if !did {
+		fmt.Fprintln(os.Stderr, "mgtrace: one of -trace, -summary, -csv required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mgtrace:", err)
+	os.Exit(1)
+}
+
+func readTrace(path string) ([]obs.UopTrace, []obs.TraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return obs.ReadPipetrace(f)
+}
+
+func readIntervals(path string) ([]obs.Interval, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadIntervals(f)
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Stage symbols, in increasing override priority: fills first, then stage
+// letters on top.
+//
+//	.  in flight between stages
+//	=  executing (between issue and done; long runs inside a handle show
+//	   its constituents executing serially in the ALU pipeline)
+//	F  fetch        R  rename       I  issue
+//	E  done (all results produced)  w  writeback (when distinct from done)
+//	C  commit       x  squashed (after the last stage reached)
+const legend = "F fetch  R rename  I issue  = exec  E done  w writeback  C commit  . in flight  x squashed"
+
+// renderTrace writes a pipeline-viewer-style diagram: one row per uop in
+// file order starting at sequence number start, one column per cycle.
+func renderTrace(w io.Writer, uops []obs.UopTrace, events []obs.TraceEvent, start int64, count, cols int) error {
+	var rows []obs.UopTrace
+	for _, u := range uops {
+		if u.Seq < start {
+			continue
+		}
+		rows = append(rows, u)
+		if count > 0 && len(rows) == count {
+			break
+		}
+	}
+	if len(rows) == 0 {
+		_, err := fmt.Fprintf(w, "no uop records at seq >= %d (%d in file)\n", start, len(uops))
+		return err
+	}
+
+	lo, hi := int64(-1), int64(-1)
+	for _, u := range rows {
+		for _, c := range [...]int64{u.Fetch, u.Rename, u.Issue, u.Done, u.Ready, u.Commit} {
+			if c < 0 {
+				continue
+			}
+			if lo < 0 || c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+	}
+	if lo < 0 {
+		_, err := fmt.Fprintln(w, "no stage timestamps in selected records")
+		return err
+	}
+	truncated := false
+	if cols > 0 && hi-lo+1 > int64(cols) {
+		hi = lo + int64(cols) - 1
+		truncated = true
+	}
+	width := int(hi - lo + 1)
+
+	fmt.Fprintf(w, "pipetrace: %d uops (seq %d..%d), cycles %d..%d", len(rows), rows[0].Seq, rows[len(rows)-1].Seq, lo, hi)
+	if truncated {
+		fmt.Fprintf(w, " (clipped to %d columns)", width)
+	}
+	fmt.Fprintf(w, "\n%s\n\n", legend)
+
+	// Cycle ruler: '|' every 10 cycles, ':' every 5, counted from cycle 0.
+	ruler := make([]byte, width)
+	for i := range ruler {
+		switch c := lo + int64(i); {
+		case c%10 == 0:
+			ruler[i] = '|'
+		case c%5 == 0:
+			ruler[i] = ':'
+		default:
+			ruler[i] = ' '
+		}
+	}
+	label := fmt.Sprintf("%6s %-9s %-14s ", "seq", "kind", "op")
+	fmt.Fprintf(w, "%s %s\n", label, ruler)
+
+	for _, u := range rows {
+		strip := make([]byte, width)
+		for i := range strip {
+			strip[i] = ' '
+		}
+		mark := func(c int64, ch byte) {
+			if c >= lo && c <= hi {
+				strip[c-lo] = ch
+			}
+		}
+		last := u.Fetch
+		for _, c := range [...]int64{u.Rename, u.Issue, u.Done, u.Ready, u.Commit} {
+			if c > last {
+				last = c
+			}
+		}
+		for c := u.Fetch; c <= last; c++ {
+			mark(c, '.')
+		}
+		if u.Issue >= 0 && u.Done > u.Issue {
+			for c := u.Issue + 1; c < u.Done; c++ {
+				mark(c, '=')
+			}
+		}
+		mark(u.Fetch, 'F')
+		mark(u.Rename, 'R')
+		mark(u.Issue, 'I')
+		mark(u.Done, 'E')
+		if u.Ready >= 0 && u.Ready != u.Done {
+			mark(u.Ready, 'w')
+		}
+		mark(u.Commit, 'C')
+		if u.Squashed {
+			mark(last+1, 'x')
+		}
+
+		annot := ""
+		if u.N > 1 {
+			annot += fmt.Sprintf(" n=%d", u.N)
+		}
+		if u.Replays > 0 {
+			annot += fmt.Sprintf(" replays=%d", u.Replays)
+		}
+		if u.Mispred {
+			annot += " mispred"
+		}
+		if u.Squashed {
+			annot += " squashed"
+		}
+		fmt.Fprintf(w, "%6d %-9s %-14s |%s|%s\n", u.Seq, u.Kind, u.Op, strip, annot)
+	}
+
+	if len(events) > 0 {
+		fmt.Fprintf(w, "\nevents (%d):\n", len(events))
+		for _, e := range events {
+			switch e.Ev {
+			case obs.EvFlush:
+				fmt.Fprintf(w, "  cycle %8d  flush     load seq %d\n", e.Cycle, e.Seq)
+			case obs.EvDisable:
+				fmt.Fprintf(w, "  cycle %8d  disable   template %d\n", e.Cycle, e.Template)
+			case obs.EvReenable:
+				fmt.Fprintf(w, "  cycle %8d  reenable  template %d\n", e.Cycle, e.Template)
+			default:
+				fmt.Fprintf(w, "  cycle %8d  %s\n", e.Cycle, e.Ev)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// summarizeIntervals prints an overview of an interval time series and its
+// trouble spots: the windows with the most rename-stall cycles, the lowest
+// mini-graph coverage, and the heaviest Slack-Dynamic disable activity.
+func summarizeIntervals(w io.Writer, name string, ivs []obs.Interval, top int) {
+	if len(ivs) == 0 {
+		fmt.Fprintf(w, "%s: no intervals\n", name)
+		return
+	}
+	var cycles, instrs, uops, stalls, disables, reenables int64
+	var covWeighted float64
+	for i := range ivs {
+		iv := &ivs[i]
+		cycles += iv.Cycles
+		instrs += iv.Instrs
+		uops += iv.Uops
+		stalls += iv.Stalls()
+		disables += iv.Disables
+		reenables += iv.Reenables
+		covWeighted += iv.Coverage * float64(iv.Instrs)
+	}
+	ipc := float64(instrs) / float64(cycles)
+	upc := float64(uops) / float64(cycles)
+	cov := 0.0
+	if instrs > 0 {
+		cov = covWeighted / float64(instrs)
+	}
+	fmt.Fprintf(w, "%s: %d intervals, %d cycles, %d instrs\n", name, len(ivs), cycles, instrs)
+	fmt.Fprintf(w, "  ipc %.3f  upc %.3f  coverage %.3f  stall-cycles %d  disables %d  reenables %d\n",
+		ipc, upc, cov, stalls, disables, reenables)
+
+	window := func(iv *obs.Interval) string {
+		return fmt.Sprintf("cycles %d..%d", iv.Cycle-iv.Cycles+1, iv.Cycle)
+	}
+
+	// Top stall windows: the intervals where rename spent the most cycles
+	// blocked, with the per-cause breakdown.
+	byStalls := order(ivs, func(a, b *obs.Interval) bool { return a.Stalls() > b.Stalls() })
+	fmt.Fprintf(w, "\ntop stall windows:\n")
+	for k := 0; k < top && k < len(byStalls); k++ {
+		iv := byStalls[k]
+		if iv.Stalls() == 0 {
+			break
+		}
+		fmt.Fprintf(w, "  %-24s stalls %6d (iq %d, rob %d, regs %d, lq %d, sq %d)  ipc %.3f\n",
+			window(iv), iv.Stalls(), iv.StallIQ, iv.StallROB, iv.StallRegs, iv.StallLQ, iv.StallSQ, iv.IPC)
+	}
+
+	// Coverage dips: where mini-graphs stopped covering the dynamic stream
+	// (template disables, outlined execution, or uncovered code paths).
+	if cov > 0 {
+		byCov := order(ivs, func(a, b *obs.Interval) bool { return a.Coverage < b.Coverage })
+		fmt.Fprintf(w, "\ncoverage dips:\n")
+		for k := 0; k < top && k < len(byCov); k++ {
+			iv := byCov[k]
+			fmt.Fprintf(w, "  %-24s coverage %.3f  ipc %.3f  disabled templates %d\n",
+				window(iv), iv.Coverage, iv.IPC, iv.DisabledTemplates)
+		}
+	}
+
+	// Disable storms: bursts of Slack-Dynamic template disables.
+	if disables > 0 {
+		byDis := order(ivs, func(a, b *obs.Interval) bool { return a.Disables > b.Disables })
+		fmt.Fprintf(w, "\ndisable storms:\n")
+		for k := 0; k < top && k < len(byDis); k++ {
+			iv := byDis[k]
+			if iv.Disables == 0 {
+				break
+			}
+			fmt.Fprintf(w, "  %-24s disables %4d  harmful %5d  serialized %5d  now disabled %d\n",
+				window(iv), iv.Disables, iv.Harmful, iv.Serialized, iv.DisabledTemplates)
+		}
+	}
+}
+
+// order returns interval pointers sorted by less, ties broken by cycle
+// (stable on file order).
+func order(ivs []obs.Interval, less func(a, b *obs.Interval) bool) []*obs.Interval {
+	out := make([]*obs.Interval, len(ivs))
+	for i := range ivs {
+		out[i] = &ivs[i]
+	}
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/minigraph"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/selector"
@@ -92,9 +93,10 @@ func (b *Bench) Select(sel *selector.Selector, prof *slack.Profile) *minigraph.S
 	return minigraph.Select(b.Prog, pool, b.Freq, minigraph.DefaultSelectConfig())
 }
 
-// Run executes the timing pipeline on cfg with the given selection (nil for
-// singleton execution) under the policy's dynamic-monitor options.
-func (b *Bench) Run(cfg pipeline.Config, sel *selector.Selector, chosen *minigraph.Selection) (*pipeline.Stats, error) {
+// mgConfigFor assembles the pipeline mini-graph configuration for a
+// selection (nil for singleton execution) under the policy's
+// dynamic-monitor options.
+func mgConfigFor(sel *selector.Selector, chosen *minigraph.Selection) pipeline.MGConfig {
 	mg := pipeline.MGConfig{}
 	if chosen != nil && len(chosen.Instances) > 0 {
 		mg.Selection = chosen
@@ -105,12 +107,41 @@ func (b *Bench) Run(cfg pipeline.Config, sel *selector.Selector, chosen *minigra
 			mg.IdealOutlining = sel.Dyn.IdealOutlining
 		}
 	}
-	return pipeline.Run(b.Prog, b.Trace, cfg, mg, nil)
+	return mg
+}
+
+// Run executes the timing pipeline on cfg with the given selection (nil for
+// singleton execution) under the policy's dynamic-monitor options.
+func (b *Bench) Run(cfg pipeline.Config, sel *selector.Selector, chosen *minigraph.Selection) (*pipeline.Stats, error) {
+	return pipeline.Run(b.Prog, b.Trace, cfg, mgConfigFor(sel, chosen), nil)
+}
+
+// RunObserved is Run with an observer attached collecting pipetrace
+// records and/or interval samples. Observed runs never go through the
+// result cache — the trace is a side effect a cache hit would swallow.
+func (b *Bench) RunObserved(cfg pipeline.Config, sel *selector.Selector, chosen *minigraph.Selection, watch *obs.Observer) (*pipeline.Stats, error) {
+	return pipeline.RunObserved(b.Prog, b.Trace, cfg, mgConfigFor(sel, chosen), nil, watch)
 }
 
 // RunSingleton executes the timing pipeline without mini-graphs.
 func (b *Bench) RunSingleton(cfg pipeline.Config) (*pipeline.Stats, error) {
 	return pipeline.Run(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, nil)
+}
+
+// RunSingletonObserved is RunSingleton with an observer attached.
+func (b *Bench) RunSingletonObserved(cfg pipeline.Config, watch *obs.Observer) (*pipeline.Stats, error) {
+	return pipeline.RunObserved(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, nil, watch)
+}
+
+// ProfileObserved collects a slack profile like Profile but with an
+// observer attached to the profiling run. It bypasses the per-bench
+// profile cache (the trace is the point) and does not populate it.
+func (b *Bench) ProfileObserved(cfg pipeline.Config, watch *obs.Observer) (*slack.Profile, error) {
+	acc := slack.NewAccumulator(b.Prog.Name, b.Prog.NumInstrs())
+	if _, err := pipeline.RunObserved(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, acc, watch); err != nil {
+		return nil, fmt.Errorf("profiling %s on %s: %w", b.Prog.Name, cfg.Name, err)
+	}
+	return acc.Profile(), nil
 }
 
 // Evaluate is the one-stop path used by the experiment drivers: profile on

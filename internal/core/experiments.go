@@ -3,12 +3,15 @@ package core
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/minigraph"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
 	"repro/internal/slack"
@@ -22,6 +25,9 @@ type Options struct {
 	Input string
 	// Suites restricts the workload population (nil = all four suites).
 	Suites []string
+	// Workloads further restricts the population to exact workload names
+	// (applied after Suites; nil = no name filter).
+	Workloads []string
 	// Workers bounds parallelism (0 = GOMAXPROCS); the effective worker
 	// count is additionally capped at the number of schedulable tasks.
 	Workers int
@@ -31,6 +37,13 @@ type Options struct {
 	// is re-prepared and every series re-simulated from scratch (the
 	// timing-accuracy debugging path).
 	NoCache bool
+	// Obs enables per-series-point observability outputs (pipetrace and
+	// interval files under Obs.Dir). Observed series runs bypass the
+	// result cache — the trace is a side effect a cache hit would swallow
+	// — so traces are produced on every run and are byte-identical
+	// regardless of worker count or cache mode (each simulation is
+	// single-threaded and deterministic).
+	Obs *obs.Options
 }
 
 func (o Options) input() string {
@@ -48,12 +61,25 @@ func (o Options) workers() int {
 }
 
 func (o Options) workloads() []*workload.Workload {
-	if len(o.Suites) == 0 {
-		return workload.All()
+	ws := workload.All()
+	if len(o.Suites) > 0 {
+		ws = ws[:0:0]
+		for _, s := range o.Suites {
+			ws = append(ws, workload.BySuite(s)...)
+		}
+	}
+	if len(o.Workloads) == 0 {
+		return ws
+	}
+	keep := make(map[string]bool, len(o.Workloads))
+	for _, n := range o.Workloads {
+		keep[n] = true
 	}
 	var out []*workload.Workload
-	for _, s := range o.Suites {
-		out = append(out, workload.BySuite(s)...)
+	for _, w := range ws {
+		if keep[w.Name] {
+			out = append(out, w)
+		}
 	}
 	return out
 }
@@ -90,6 +116,11 @@ type SweepResult struct {
 // compute it twice). Series ordering in the report is deterministic
 // regardless of completion order.
 func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, error) {
+	started := time.Now()
+	if l := tlog(); l != nil {
+		l.Info("sweep.start", "title", title, "input", opts.input(),
+			"workers", opts.workers(), "nocache", opts.NoCache, "observed", opts.Obs.Active())
+	}
 	res := &SweepResult{
 		Perf:     &stats.Report{Title: title},
 		Coverage: &stats.Report{Title: title + " — coverage"},
@@ -105,9 +136,14 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 
 	ws := opts.workloads()
 	if opts.NoCache {
-		if err := runSweepUncached(opts, ws, specs, perfSeries, covSeries); err != nil {
+		meta, err := runSweepUncached(opts, ws, specs, perfSeries, covSeries)
+		if err != nil {
 			return nil, err
 		}
+		if err := writeSweepManifest(title, opts, started, meta); err != nil {
+			return nil, err
+		}
+		sweepFinishLog(title, started, len(ws)*len(specs))
 		return res, nil
 	}
 
@@ -120,6 +156,7 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 	}
 	vals := make([][2]float64, len(tasks)) // perf, coverage per task
 	errs := make([]error, len(tasks))
+	meta := make([]obs.ManifestTask, len(tasks))
 	pending := make([]int32, len(ws)) // specs left per workload (progress)
 	for i := range pending {
 		pending[i] = int32(len(specs))
@@ -134,21 +171,33 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
 			for ti := range next {
 				t := tasks[ti]
 				w := ws[t.wi]
-				perf, cov, err := evalSpec(w, opts.input(), specs[t.si])
+				sp := specs[t.si]
+				if l := tlog(); l != nil {
+					l.Info("task.start", "sweep", title, "workload", w.Name,
+						"series", sp.Label, "worker", k)
+				}
+				t0 := time.Now()
+				perf, cov, outcome, files, err := evalSpec(w, opts.input(), sp, opts.Obs)
 				vals[ti] = [2]float64{perf, cov}
 				errs[ti] = err
+				meta[ti] = manifestTask(w.Name, sp.Label, k, t0, outcome, files, err)
+				if l := tlog(); l != nil {
+					l.Info("task.finish", "sweep", title, "workload", w.Name,
+						"series", sp.Label, "worker", k,
+						"wall_ms", meta[ti].WallMS, "cache", outcome)
+				}
 				if atomic.AddInt32(&pending[t.wi], -1) == 0 && opts.Progress != nil {
 					mu.Lock()
 					fmt.Fprintf(opts.Progress, "done %s\n", w.Name)
 					mu.Unlock()
 				}
 			}
-		}()
+		}(k)
 	}
 	for ti := range tasks {
 		next <- ti
@@ -163,43 +212,132 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 		perfSeries[t.si].Add(ws[t.wi].Name, vals[ti][0])
 		covSeries[t.si].Add(ws[t.wi].Name, vals[ti][1])
 	}
+	if err := writeSweepManifest(title, opts, started, meta); err != nil {
+		return nil, err
+	}
+	sweepFinishLog(title, started, len(tasks))
 	return res, nil
 }
 
+// manifestTask assembles one manifest entry from a finished task.
+func manifestTask(workload, series string, worker int, started time.Time, outcome string, files []string, err error) obs.ManifestTask {
+	mt := obs.ManifestTask{
+		Workload: workload,
+		Series:   series,
+		Worker:   worker,
+		WallMS:   float64(time.Since(started)) / float64(time.Millisecond),
+		Cache:    outcome,
+		Files:    files,
+	}
+	if err != nil {
+		mt.Error = err.Error()
+	}
+	return mt
+}
+
+// writeSweepManifest writes the run manifest into the observability
+// directory; a no-op when observability is off.
+func writeSweepManifest(title string, opts Options, started time.Time, tasks []obs.ManifestTask) error {
+	if !opts.Obs.Active() {
+		return nil
+	}
+	m := &obs.Manifest{
+		Tool:    "sweep",
+		Title:   title,
+		Started: started.UTC().Format(time.RFC3339),
+		WallMS:  float64(time.Since(started)) / float64(time.Millisecond),
+		Input:   opts.input(),
+		Workers: opts.workers(),
+		Flags: map[string]string{
+			"pipetrace": fmt.Sprint(opts.Obs.Pipetrace),
+			"intervals": fmt.Sprint(opts.Obs.IntervalEvery),
+			"nocache":   fmt.Sprint(opts.NoCache),
+		},
+		Tasks: tasks,
+	}
+	return obs.WriteManifest(filepath.Join(opts.Obs.Dir, obs.Sanitize(title)+".manifest.json"), m)
+}
+
+// sweepFinishLog emits the sweep.finish telemetry event.
+func sweepFinishLog(title string, started time.Time, tasks int) {
+	if l := tlog(); l != nil {
+		l.Info("sweep.finish", "title", title, "tasks", tasks,
+			"wall_ms", float64(time.Since(started))/float64(time.Millisecond))
+	}
+}
+
+// profCfgOf resolves a spec's profiling configuration (self-trained on the
+// run configuration unless overridden).
+func profCfgOf(sp SeriesSpec) pipeline.Config {
+	if sp.ProfCfg != nil {
+		return *sp.ProfCfg
+	}
+	return sp.Cfg
+}
+
 // evalSpec computes one (workload, spec) point through the caches:
-// relative performance vs the fully-provisioned singleton baseline, and
-// coverage.
-func evalSpec(w *workload.Workload, input string, sp SeriesSpec) (perf, cov float64, err error) {
+// relative performance vs the fully-provisioned singleton baseline and
+// coverage, plus the cache outcome and observability files for telemetry.
+func evalSpec(w *workload.Workload, input string, sp SeriesSpec, o *obs.Options) (perf, cov float64, outcome string, files []string, err error) {
 	bench, err := PrepareShared(w, input)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", nil, err
 	}
 	baseStats, err := singletonStats(bench, pipeline.Baseline())
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", nil, err
 	}
 	var st *pipeline.Stats
-	if sp.Sel == nil {
-		st, err = singletonStats(bench, sp.Cfg)
+	if o.Active() {
+		st, files, err = runSpecObserved(bench, sp, o)
+		outcome = cacheTraced
+	} else if sp.Sel == nil {
+		st, outcome, err = singletonStatsNoted(bench, sp.Cfg)
 	} else {
-		profCfg := sp.Cfg
-		if sp.ProfCfg != nil {
-			profCfg = *sp.ProfCfg
-		}
-		st, err = evalStats(bench, sp.Sel, profCfg, sp.ProfInput, sp.Cfg,
+		st, outcome, err = evalStatsNoted(bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg,
 			minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
 	}
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, outcome, files, err
 	}
-	return float64(baseStats.Cycles) / float64(st.Cycles), st.Coverage(), nil
+	return float64(baseStats.Cycles) / float64(st.Cycles), st.Coverage(), outcome, files, nil
+}
+
+// runSpecObserved runs one series point with an observer attached,
+// bypassing the result cache (the trace is a side effect a cache hit
+// would swallow). Selection derivation still goes through the shared
+// caches; only the final timing run is re-executed.
+func runSpecObserved(b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, error) {
+	watch, err := obs.NewRunObserver(o, obs.Sanitize(b.Workload.Name)+"__"+obs.Sanitize(sp.Label))
+	if err != nil {
+		return nil, nil, err
+	}
+	var st *pipeline.Stats
+	if sp.Sel == nil {
+		st, err = b.RunSingletonObserved(sp.Cfg, watch)
+	} else {
+		var chosen *minigraph.Selection
+		chosen, err = deriveSelection(b, sp.Sel, profCfgOf(sp), sp.ProfInput,
+			minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
+		if err == nil {
+			st, err = b.RunObserved(sp.Cfg, sp.Sel, chosen, watch)
+		}
+	}
+	if cerr := watch.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, watch.Files(), err
+	}
+	return st, watch.Files(), nil
 }
 
 // runSweepUncached is the -nocache path: per-workload goroutines, fresh
 // preparation and simulation for every series, nothing shared across
 // sweeps. It exists so timing-accuracy investigations can rule the caches
-// out, and as the reference the cached path is tested against.
-func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec, perfSeries, covSeries []*stats.Series) error {
+// out, and as the reference the cached path is tested against. Returns
+// one manifest entry per (workload, spec), in task order.
+func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec, perfSeries, covSeries []*stats.Series) ([]obs.ManifestTask, error) {
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
@@ -207,15 +345,17 @@ func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec,
 	if workers > len(ws) {
 		workers = len(ws)
 	}
+	meta := make([]obs.ManifestTask, len(ws)*len(specs))
 	sem := make(chan struct{}, workers)
-	for _, w := range ws {
+	for wi, w := range ws {
 		wg.Add(1)
-		go func(w *workload.Workload) {
+		go func(wi int, w *workload.Workload) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
-			vals, covs, err := evalWorkloadUncached(w, opts, specs)
+			vals, covs, tasks, err := evalWorkloadUncached(w, wi, opts, specs)
+			copy(meta[wi*len(specs):], tasks)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -231,22 +371,24 @@ func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec,
 			if opts.Progress != nil {
 				fmt.Fprintf(opts.Progress, "done %s\n", w.Name)
 			}
-		}(w)
+		}(wi, w)
 	}
 	wg.Wait()
-	return firstErr
+	return meta, firstErr
 }
 
 // evalWorkloadUncached runs all specs for one workload from scratch and
-// returns relative performance and coverage per spec.
-func evalWorkloadUncached(w *workload.Workload, opts Options, specs []SeriesSpec) ([]float64, []float64, error) {
+// returns relative performance, coverage, and a manifest entry per spec.
+// wi labels this workload's goroutine in telemetry (the uncached path has
+// no shared worker pool).
+func evalWorkloadUncached(w *workload.Workload, wi int, opts Options, specs []SeriesSpec) ([]float64, []float64, []obs.ManifestTask, error) {
 	bench, err := Prepare(w, opts.input())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	baseStats, err := bench.RunSingleton(pipeline.Baseline())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	base := baseStats.Cycles
 
@@ -255,25 +397,25 @@ func evalWorkloadUncached(w *workload.Workload, opts Options, specs []SeriesSpec
 
 	vals := make([]float64, len(specs))
 	covs := make([]float64, len(specs))
+	meta := make([]obs.ManifestTask, len(specs))
 	for i, sp := range specs {
+		if l := tlog(); l != nil {
+			l.Info("task.start", "workload", w.Name, "series", sp.Label, "worker", wi)
+		}
+		t0 := time.Now()
 		var st *pipeline.Stats
+		var files []string
 		if sp.Sel == nil {
-			st, err = bench.RunSingleton(sp.Cfg)
-			if err != nil {
-				return nil, nil, err
-			}
+			st, files, err = runUncachedSingleton(bench, sp, opts.Obs)
 		} else {
-			profCfg := sp.Cfg
-			if sp.ProfCfg != nil {
-				profCfg = *sp.ProfCfg
-			}
+			profCfg := profCfgOf(sp)
 			profBench := bench
 			if sp.ProfInput != "" && sp.ProfInput != opts.input() {
 				pb, ok := crossBenches[sp.ProfInput]
 				if !ok {
 					pb, err = Prepare(w, sp.ProfInput)
 					if err != nil {
-						return nil, nil, err
+						return nil, nil, nil, err
 					}
 					crossBenches[sp.ProfInput] = pb
 				}
@@ -285,18 +427,60 @@ func evalWorkloadUncached(w *workload.Workload, opts Options, specs []SeriesSpec
 				// bench and apply it here (static indices align — the
 				// code is identical, only the data differs).
 				if prof, err = profBench.Profile(profCfg); err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
 				}
 			}
-			st, _, err = bench.EvaluateWith(sp.Sel, prof, sp.Cfg)
-			if err != nil {
-				return nil, nil, err
-			}
+			st, files, err = runUncachedSelected(bench, sp, prof, opts.Obs)
+		}
+		meta[i] = manifestTask(w.Name, sp.Label, wi, t0, cacheNone, files, err)
+		if l := tlog(); l != nil {
+			l.Info("task.finish", "workload", w.Name, "series", sp.Label,
+				"worker", wi, "wall_ms", meta[i].WallMS, "cache", cacheNone)
+		}
+		if err != nil {
+			return nil, nil, meta, err
 		}
 		vals[i] = float64(base) / float64(st.Cycles)
 		covs[i] = st.Coverage()
 	}
-	return vals, covs, nil
+	return vals, covs, meta, nil
+}
+
+// runUncachedSingleton runs a singleton series point fresh, observed when
+// o is active.
+func runUncachedSingleton(b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, error) {
+	if !o.Active() {
+		st, err := b.RunSingleton(sp.Cfg)
+		return st, nil, err
+	}
+	watch, err := obs.NewRunObserver(o, obs.Sanitize(b.Workload.Name)+"__"+obs.Sanitize(sp.Label))
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := b.RunSingletonObserved(sp.Cfg, watch)
+	if cerr := watch.Close(); err == nil {
+		err = cerr
+	}
+	return st, watch.Files(), err
+}
+
+// runUncachedSelected selects with sp.Sel over prof and runs fresh,
+// observed when o is active.
+func runUncachedSelected(b *Bench, sp SeriesSpec, prof *slack.Profile, o *obs.Options) (*pipeline.Stats, []string, error) {
+	chosen := b.Select(sp.Sel, prof)
+	if !o.Active() {
+		st, err := b.Run(sp.Cfg, sp.Sel, chosen)
+		return st, nil, err
+	}
+	watch, err := obs.NewRunObserver(o, obs.Sanitize(b.Workload.Name)+"__"+obs.Sanitize(sp.Label))
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := b.RunObserved(sp.Cfg, sp.Sel, chosen, watch)
+	if cerr := watch.Close(); err == nil {
+		err = cerr
+	}
+	return st, watch.Files(), err
 }
 
 // --- Figure/table drivers ---

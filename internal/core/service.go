@@ -111,10 +111,53 @@ func identityOf(sel *selector.Selector) selIdentity {
 // singletonStats returns the cached singleton (no mini-graphs) timing of
 // bench b on cfg.
 func singletonStats(b *Bench, cfg pipeline.Config) (*pipeline.Stats, error) {
+	st, _, err := singletonStatsNoted(b, cfg)
+	return st, err
+}
+
+// singletonStatsNoted is singletonStats plus the cache outcome for
+// telemetry.
+func singletonStatsNoted(b *Bench, cfg pipeline.Config) (*pipeline.Stats, string, error) {
 	key := simcache.Fingerprint("singleton", b.Workload.Name, b.Input, cfg)
-	return resultCache.Do(key, func() (*pipeline.Stats, error) {
+	return doNoted(resultCache, key, func() (*pipeline.Stats, error) {
 		return b.RunSingleton(cfg)
 	})
+}
+
+// deriveSelection performs the selection stage of one series point through
+// the shared caches: the slack profile (possibly on a cross-input bench),
+// the candidate pool under limits, the policy filter, and the final
+// budgeted selection. profInput == "" means self-trained (b's own input).
+func deriveSelection(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*minigraph.Selection, error) {
+	var prof *slack.Profile
+	if sel.NeedsProfile() {
+		profBench := b
+		if profInput != "" && profInput != b.Input {
+			// Cross-input robustness: collect the profile on the other
+			// input's bench (static indices align — the code is
+			// identical, only the data differs).
+			pb, err := PrepareShared(b.Workload, profInput)
+			if err != nil {
+				return nil, err
+			}
+			profBench = pb
+		}
+		p, err := profBench.Profile(profCfg)
+		if err != nil {
+			return nil, err
+		}
+		prof = p
+	}
+	cands := b.Cands
+	if limits != minigraph.DefaultLimits() {
+		c, err := enumerateShared(b, limits)
+		if err != nil {
+			return nil, err
+		}
+		cands = c
+	}
+	pool := sel.Pool(b.Prog, cands, prof)
+	return minigraph.Select(b.Prog, pool, b.Freq, selCfg), nil
 }
 
 // evalStats returns the cached outcome of one experiment series point:
@@ -123,41 +166,22 @@ func singletonStats(b *Bench, cfg pipeline.Config) (*pipeline.Stats, error) {
 // budget knobs (pass the defaults for non-ablation series, so equal work
 // dedupes across figure and ablation drivers).
 func evalStats(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*pipeline.Stats, error) {
+	st, _, err := evalStatsNoted(b, sel, profCfg, profInput, runCfg, limits, selCfg)
+	return st, err
+}
+
+// evalStatsNoted is evalStats plus the cache outcome for telemetry.
+func evalStatsNoted(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*pipeline.Stats, string, error) {
 	if profInput == "" {
 		profInput = b.Input
 	}
 	key := simcache.Fingerprint("eval", b.Workload.Name, b.Input,
 		identityOf(sel), profCfg, profInput, runCfg, limits, selCfg)
-	return resultCache.Do(key, func() (*pipeline.Stats, error) {
-		var prof *slack.Profile
-		if sel.NeedsProfile() {
-			profBench := b
-			if profInput != b.Input {
-				// Cross-input robustness: collect the profile on the other
-				// input's bench (static indices align — the code is
-				// identical, only the data differs).
-				pb, err := PrepareShared(b.Workload, profInput)
-				if err != nil {
-					return nil, err
-				}
-				profBench = pb
-			}
-			p, err := profBench.Profile(profCfg)
-			if err != nil {
-				return nil, err
-			}
-			prof = p
+	return doNoted(resultCache, key, func() (*pipeline.Stats, error) {
+		chosen, err := deriveSelection(b, sel, profCfg, profInput, limits, selCfg)
+		if err != nil {
+			return nil, err
 		}
-		cands := b.Cands
-		if limits != minigraph.DefaultLimits() {
-			c, err := enumerateShared(b, limits)
-			if err != nil {
-				return nil, err
-			}
-			cands = c
-		}
-		pool := sel.Pool(b.Prog, cands, prof)
-		chosen := minigraph.Select(b.Prog, pool, b.Freq, selCfg)
 		return b.Run(runCfg, sel, chosen)
 	})
 }

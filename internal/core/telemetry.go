@@ -1,0 +1,81 @@
+package core
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simcache"
+)
+
+// This file is the sweep-telemetry layer: structured task lifecycle
+// logging (log/slog), per-call cache-outcome attribution, expvar
+// publication for the -httpaddr debug server, and the shared
+// cache-counter printer used by the driver commands.
+
+// telemetry is the process-wide structured logger for task lifecycle
+// events. Nil (the default) disables telemetry entirely; drivers install
+// a logger via SetTelemetry for -v runs.
+var telemetry atomic.Pointer[slog.Logger]
+
+// SetTelemetry installs (or, with nil, removes) the structured logger
+// that receives sweep and task lifecycle events.
+func SetTelemetry(l *slog.Logger) { telemetry.Store(l) }
+
+// tlog returns the installed telemetry logger, or nil when telemetry is
+// off. Callers nil-check so disabled telemetry costs one atomic load.
+func tlog() *slog.Logger { return telemetry.Load() }
+
+// Cache outcomes reported per series point (manifest and telemetry).
+const (
+	cacheHit    = "hit"    // answered from a completed cache entry
+	cacheMiss   = "miss"   // this call ran the simulation
+	cacheShared = "shared" // joined another task's in-flight simulation
+	cacheTraced = "traced" // observed run: bypassed the result cache
+	cacheNone   = "nocache"
+)
+
+// doNoted is Cache.Do plus outcome attribution for telemetry: it reports
+// whether this call hit a completed entry, ran the computation, or joined
+// another caller's in-flight computation. (A computation completing
+// between the pre-check and Do is reported "shared" though the cache
+// counted a hit; the distinction is cosmetic.)
+func doNoted[K comparable, V any](c *simcache.Cache[K, V], key K, compute func() (V, error)) (V, string, error) {
+	if _, ok := c.Get(key); ok {
+		v, err := c.Do(key, compute)
+		return v, cacheHit, err
+	}
+	ran := false
+	v, err := c.Do(key, func() (V, error) {
+		ran = true
+		return compute()
+	})
+	outcome := cacheShared
+	if ran || c.Disabled() {
+		outcome = cacheMiss
+	}
+	return v, outcome, err
+}
+
+// FprintCacheStats prints the process-wide simulation-cache counters in
+// the one format shared by every driver command's -cachestats flag.
+func FprintCacheStats(w io.Writer) {
+	c := Caches()
+	fmt.Fprintf(w, "cache: benches %d entries %d hits %d misses %.1f MB; results %d entries %d hits (%d shared) %d misses\n",
+		c.Benches.Entries, c.Benches.Hits+c.Benches.Shared, c.Benches.Misses, float64(c.Benches.Bytes)/(1<<20),
+		c.Results.Entries, c.Results.Hits, c.Results.Shared, c.Results.Misses)
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvars exposes the simulation-cache counters as the expvar
+// variable "simcache" (served at /debug/vars by obs.ServeDebug). Safe to
+// call more than once.
+func PublishExpvars() {
+	expvarOnce.Do(func() {
+		expvar.Publish("simcache", expvar.Func(func() any { return Caches() }))
+	})
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+
+	// Register /debug/vars and /debug/pprof on the default mux; the debug
+	// server exists to watch counters and grab profiles during long sweeps.
+	_ "expvar"
+	_ "net/http/pprof"
+)
+
+// ServeDebug starts an HTTP server on addr exposing expvar counters
+// (/debug/vars) and pprof endpoints (/debug/pprof/). It listens
+// synchronously — so address errors surface immediately — and serves in
+// the background for the life of the process. Returns the bound address
+// (useful with ":0").
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck — background best-effort server
+	return ln.Addr().String(), nil
+}

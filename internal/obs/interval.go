@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CycleSnapshot is the pipeline's cumulative state at one cycle: the
+// counters the sampler differentiates into an Interval, plus the
+// instantaneous queue occupancies.
+type CycleSnapshot struct {
+	Cycle          int64
+	Instrs, Uops   int64
+	EmbeddedInstrs int64
+
+	StallIQ, StallROB, StallRegs, StallLQ, StallSQ int64
+
+	Replays                                  int64
+	Serialized, Harmful, Disables, Reenables int64
+
+	IQOcc, ROBOcc, LQOcc, SQOcc, FreeRegs int
+	DisabledTemplates                     int
+}
+
+// Interval is one time-series sample: rates and deltas over the cycles
+// since the previous sample, plus instantaneous occupancies at the sample
+// point. The field order is the stable JSONL/CSV schema (see
+// testdata/intervals.golden.jsonl); add fields only at the end.
+type Interval struct {
+	Cycle  int64 `json:"cycle"`  // last cycle of the interval
+	Cycles int64 `json:"cycles"` // interval length
+
+	Instrs   int64   `json:"instrs"`
+	Uops     int64   `json:"uops"`
+	IPC      float64 `json:"ipc"`
+	UPC      float64 `json:"upc"`
+	Coverage float64 `json:"coverage"` // embedded/instrs within the interval
+
+	IQOcc    int `json:"iq"` // instantaneous occupancies at the sample point
+	ROBOcc   int `json:"rob"`
+	LQOcc    int `json:"lq"`
+	SQOcc    int `json:"sq"`
+	FreeRegs int `json:"freeregs"`
+
+	StallIQ   int64 `json:"stall_iq"` // rename-blocked cycles in the interval
+	StallROB  int64 `json:"stall_rob"`
+	StallRegs int64 `json:"stall_regs"`
+	StallLQ   int64 `json:"stall_lq"`
+	StallSQ   int64 `json:"stall_sq"`
+
+	Replays           int64 `json:"replays"`
+	Serialized        int64 `json:"serialized"` // Slack-Dynamic serialization detections
+	Harmful           int64 `json:"harmful"`
+	Disables          int64 `json:"disables"`
+	Reenables         int64 `json:"reenables"`
+	DisabledTemplates int   `json:"disabled_templates"` // instantaneous
+}
+
+// Stalls returns the total rename-blocked cycles in the interval.
+func (iv *Interval) Stalls() int64 {
+	return iv.StallIQ + iv.StallROB + iv.StallRegs + iv.StallLQ + iv.StallSQ
+}
+
+// DefaultIntervalCap bounds the sampler ring: when a run produces more
+// intervals than this, the oldest are dropped (Dropped reports how many).
+const DefaultIntervalCap = 1 << 16
+
+// IntervalSampler turns periodic CycleSnapshots into Interval records,
+// kept in a bounded ring.
+type IntervalSampler struct {
+	every   int64
+	ring    []Interval
+	head, n int
+	prev    CycleSnapshot
+	dropped int64
+}
+
+// NewIntervalSampler samples every `every` cycles (ring capacity
+// DefaultIntervalCap).
+func NewIntervalSampler(every int64) *IntervalSampler {
+	if every <= 0 {
+		every = 10_000
+	}
+	return &IntervalSampler{every: every, ring: make([]Interval, 0, 64)}
+}
+
+// Every returns the sampling period in cycles.
+func (s *IntervalSampler) Every() int64 { return s.every }
+
+// Due reports whether the cycle is a sample point.
+func (s *IntervalSampler) Due(cycle int64) bool {
+	return cycle > 0 && cycle%s.every == 0
+}
+
+// Sample records the interval ending at snap.Cycle.
+func (s *IntervalSampler) Sample(snap CycleSnapshot) {
+	d := snap.Cycle - s.prev.Cycle
+	if d <= 0 {
+		return
+	}
+	iv := Interval{
+		Cycle:  snap.Cycle,
+		Cycles: d,
+
+		Instrs: snap.Instrs - s.prev.Instrs,
+		Uops:   snap.Uops - s.prev.Uops,
+
+		IQOcc:    snap.IQOcc,
+		ROBOcc:   snap.ROBOcc,
+		LQOcc:    snap.LQOcc,
+		SQOcc:    snap.SQOcc,
+		FreeRegs: snap.FreeRegs,
+
+		StallIQ:   snap.StallIQ - s.prev.StallIQ,
+		StallROB:  snap.StallROB - s.prev.StallROB,
+		StallRegs: snap.StallRegs - s.prev.StallRegs,
+		StallLQ:   snap.StallLQ - s.prev.StallLQ,
+		StallSQ:   snap.StallSQ - s.prev.StallSQ,
+
+		Replays:           snap.Replays - s.prev.Replays,
+		Serialized:        snap.Serialized - s.prev.Serialized,
+		Harmful:           snap.Harmful - s.prev.Harmful,
+		Disables:          snap.Disables - s.prev.Disables,
+		Reenables:         snap.Reenables - s.prev.Reenables,
+		DisabledTemplates: snap.DisabledTemplates,
+	}
+	iv.IPC = float64(iv.Instrs) / float64(d)
+	iv.UPC = float64(iv.Uops) / float64(d)
+	if iv.Instrs > 0 {
+		iv.Coverage = float64(snap.EmbeddedInstrs-s.prev.EmbeddedInstrs) / float64(iv.Instrs)
+	}
+	s.push(iv)
+	s.prev = snap
+}
+
+// Final records the partial tail interval at end of run, if any cycles
+// have elapsed since the last sample.
+func (s *IntervalSampler) Final(snap CycleSnapshot) { s.Sample(snap) }
+
+func (s *IntervalSampler) push(iv Interval) {
+	if s.n < DefaultIntervalCap {
+		s.ring = append(s.ring, iv)
+		s.n++
+		return
+	}
+	s.ring[s.head] = iv
+	s.head = (s.head + 1) % DefaultIntervalCap
+	s.dropped++
+}
+
+// Dropped reports how many old intervals were evicted by the ring bound.
+func (s *IntervalSampler) Dropped() int64 { return s.dropped }
+
+// Intervals returns the retained intervals, oldest first.
+func (s *IntervalSampler) Intervals() []Interval {
+	out := make([]Interval, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(s.head+i)%len(s.ring)])
+	}
+	return out
+}
+
+// WriteIntervalsJSONL writes intervals as one JSON object per line.
+func WriteIntervalsJSONL(w io.Writer, ivs []Interval) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range ivs {
+		if err := enc.Encode(&ivs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// intervalCSVHeader mirrors the Interval JSON field order.
+var intervalCSVHeader = []string{
+	"cycle", "cycles", "instrs", "uops", "ipc", "upc", "coverage",
+	"iq", "rob", "lq", "sq", "freeregs",
+	"stall_iq", "stall_rob", "stall_regs", "stall_lq", "stall_sq",
+	"replays", "serialized", "harmful", "disables", "reenables", "disabled_templates",
+}
+
+// WriteIntervalsCSV writes intervals as CSV with a header row.
+func WriteIntervalsCSV(w io.Writer, ivs []Interval) error {
+	bw := bufio.NewWriter(w)
+	for i, h := range intervalCSVHeader {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(h)
+	}
+	bw.WriteByte('\n')
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range ivs {
+		iv := &ivs[i]
+		cols := []string{
+			strconv.FormatInt(iv.Cycle, 10), strconv.FormatInt(iv.Cycles, 10),
+			strconv.FormatInt(iv.Instrs, 10), strconv.FormatInt(iv.Uops, 10),
+			f(iv.IPC), f(iv.UPC), f(iv.Coverage),
+			strconv.Itoa(iv.IQOcc), strconv.Itoa(iv.ROBOcc),
+			strconv.Itoa(iv.LQOcc), strconv.Itoa(iv.SQOcc), strconv.Itoa(iv.FreeRegs),
+			strconv.FormatInt(iv.StallIQ, 10), strconv.FormatInt(iv.StallROB, 10),
+			strconv.FormatInt(iv.StallRegs, 10), strconv.FormatInt(iv.StallLQ, 10),
+			strconv.FormatInt(iv.StallSQ, 10),
+			strconv.FormatInt(iv.Replays, 10), strconv.FormatInt(iv.Serialized, 10),
+			strconv.FormatInt(iv.Harmful, 10), strconv.FormatInt(iv.Disables, 10),
+			strconv.FormatInt(iv.Reenables, 10), strconv.Itoa(iv.DisabledTemplates),
+		}
+		for j, c := range cols {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(c)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadIntervals parses an interval JSONL stream, in file order.
+func ReadIntervals(r io.Reader) ([]Interval, error) {
+	var out []Interval
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var iv Interval
+		if err := json.Unmarshal(b, &iv); err != nil {
+			return nil, fmt.Errorf("intervals line %d: %w", line, err)
+		}
+		out = append(out, iv)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

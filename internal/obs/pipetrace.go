@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// UopTrace is one pipetrace record: the stage timestamps of a single
+// committed or squashed uop. Cycles are absolute run cycles; -1 marks a
+// stage the uop never reached (e.g. Issue of a uop squashed in the fetch
+// queue, Commit of any squashed uop).
+//
+// The record layout is the stable on-disk schema (see
+// testdata/pipetrace.golden.jsonl); add fields only at the end.
+type UopTrace struct {
+	Type   string `json:"t"`      // always "uop"
+	Seq    int64  `json:"seq"`    // machine sequence number
+	Static int    `json:"static"` // static index of the (first) instruction
+	Kind   string `json:"kind"`   // "singleton", "handle", or "ovh-jump"
+	Op     string `json:"op"`     // mnemonic of the (first) instruction
+	N      int    `json:"n"`      // architectural instructions carried (0 for overhead jumps)
+
+	Fetch  int64 `json:"fetch"`
+	Rename int64 `json:"rename"`
+	Issue  int64 `json:"issue"`
+	Done   int64 `json:"done"`  // all results produced (commit-eligible)
+	Ready  int64 `json:"ready"` // register output on the bypass network (writers)
+	Commit int64 `json:"commit"`
+
+	Replays  int  `json:"replays"` // issue attempts squashed by missed-load wakeups
+	Mispred  bool `json:"mispred"`
+	Squashed bool `json:"squashed"`
+}
+
+// Trace event kinds.
+const (
+	EvFlush    = "flush"    // memory-ordering violation pipeline flush
+	EvDisable  = "disable"  // Slack-Dynamic template disable
+	EvReenable = "reenable" // Slack-Dynamic template re-enable (resurrection)
+)
+
+// TraceEvent is a non-uop pipeline event. Template is -1 except for
+// disable/reenable; Seq is -1 except for flushes (the violating load).
+type TraceEvent struct {
+	Type     string `json:"t"` // always "ev"
+	Cycle    int64  `json:"cycle"`
+	Ev       string `json:"ev"`
+	Template int    `json:"template"`
+	Seq      int64  `json:"seq"`
+}
+
+// Pipetrace streams uop records and events as JSONL. Write errors are
+// sticky: the first one is retained and reported by Flush, and later
+// writes become no-ops (the simulation must not fail mid-run because a
+// trace disk filled up).
+type Pipetrace struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+
+	// Uops and Events count emitted records.
+	Uops, Events int64
+}
+
+// NewPipetrace creates a pipetrace streaming to w.
+func NewPipetrace(w io.Writer) *Pipetrace {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Pipetrace{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Uop emits one uop record.
+func (t *Pipetrace) Uop(r UopTrace) {
+	if t.err != nil {
+		return
+	}
+	r.Type = "uop"
+	if err := t.enc.Encode(r); err != nil {
+		t.err = err
+		return
+	}
+	t.Uops++
+}
+
+// Event emits one event record. Pass template -1 / seq -1 when not
+// applicable.
+func (t *Pipetrace) Event(cycle int64, ev string, template int, seq int64) {
+	if t.err != nil {
+		return
+	}
+	e := TraceEvent{Type: "ev", Cycle: cycle, Ev: ev, Template: template, Seq: seq}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = err
+		return
+	}
+	t.Events++
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (t *Pipetrace) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// traceLine is the union shape used to decode one JSONL line.
+type traceLine struct {
+	UopTrace
+	Cycle int64  `json:"cycle"`
+	Ev    string `json:"ev"`
+	Tmpl  int    `json:"template"`
+}
+
+// ReadPipetrace parses a pipetrace JSONL stream back into uop records and
+// events, in file order.
+func ReadPipetrace(r io.Reader) ([]UopTrace, []TraceEvent, error) {
+	var uops []UopTrace
+	var events []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var l traceLine
+		if err := json.Unmarshal(b, &l); err != nil {
+			return nil, nil, fmt.Errorf("pipetrace line %d: %w", line, err)
+		}
+		switch l.Type {
+		case "uop":
+			uops = append(uops, l.UopTrace)
+		case "ev":
+			events = append(events, TraceEvent{
+				Type: "ev", Cycle: l.Cycle, Ev: l.Ev, Template: l.Tmpl, Seq: l.Seq,
+			})
+		default:
+			return nil, nil, fmt.Errorf("pipetrace line %d: unknown record type %q", line, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return uops, events, nil
+}

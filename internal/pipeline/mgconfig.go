@@ -1,6 +1,9 @@
 package pipeline
 
-import "repro/internal/minigraph"
+import (
+	"repro/internal/minigraph"
+	"repro/internal/obs"
+)
 
 // MGConfig configures mini-graph processing for a run. The zero value
 // disables mini-graphs entirely (pure singleton execution).
@@ -59,6 +62,7 @@ type mgMonitor struct {
 	interval  int64
 
 	stats *Stats
+	trace *obs.Pipetrace // nil unless a pipetrace is attached
 }
 
 func newMGMonitor(cfg *MGConfig, numTemplates int, stats *Stats) *mgMonitor {
@@ -91,8 +95,9 @@ func newMGMonitor(cfg *MGConfig, numTemplates int, stats *Stats) *mgMonitor {
 // isDisabled reports whether a template is currently disabled.
 func (m *mgMonitor) isDisabled(template int) bool { return m.disabled[template] }
 
-// harmful records a harmful-serialization event for a template.
-func (m *mgMonitor) harmful(template int) {
+// harmful records a harmful-serialization event for a template at the
+// given cycle (the cycle feeds only the pipetrace).
+func (m *mgMonitor) harmful(cycle int64, template int) {
 	m.stats.MGHarmfulEvents++
 	if m.counters[template] < counterMax {
 		m.counters[template]++
@@ -100,6 +105,9 @@ func (m *mgMonitor) harmful(template int) {
 	if !m.disabled[template] && int(m.counters[template]) >= m.threshold {
 		m.disabled[template] = true
 		m.stats.MGDisables++
+		if m.trace != nil {
+			m.trace.Event(cycle, obs.EvDisable, template, -1)
+		}
 	}
 }
 
@@ -124,6 +132,20 @@ func (m *mgMonitor) tick(cycle int64) {
 		if m.disabled[t] && int(m.counters[t]) < m.threshold {
 			m.disabled[t] = false
 			m.stats.MGReenables++
+			if m.trace != nil {
+				m.trace.Event(cycle, obs.EvReenable, t, -1)
+			}
 		}
 	}
+}
+
+// disabledCount returns how many templates are currently disabled.
+func (m *mgMonitor) disabledCount() int {
+	n := 0
+	for _, d := range m.disabled {
+		if d {
+			n++
+		}
+	}
+	return n
 }

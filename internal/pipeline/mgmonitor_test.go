@@ -11,12 +11,12 @@ func newTestMonitor(threshold int, interval int64) (*mgMonitor, *Stats) {
 func TestMonitorDisablesAtThreshold(t *testing.T) {
 	m, st := newTestMonitor(3, 1000)
 	for i := 0; i < 2; i++ {
-		m.harmful(1)
+		m.harmful(0, 1)
 		if m.isDisabled(1) {
 			t.Fatalf("disabled after %d events, threshold 3", i+1)
 		}
 	}
-	m.harmful(1)
+	m.harmful(0, 1)
 	if !m.isDisabled(1) {
 		t.Error("not disabled at threshold")
 	}
@@ -30,16 +30,16 @@ func TestMonitorDisablesAtThreshold(t *testing.T) {
 
 func TestMonitorCleanDecays(t *testing.T) {
 	m, _ := newTestMonitor(3, 1000)
-	m.harmful(0)
-	m.harmful(0)
+	m.harmful(0, 0)
+	m.harmful(0, 0)
 	m.clean(0)
 	m.clean(0)
-	m.harmful(0)
-	m.harmful(0)
+	m.harmful(0, 0)
+	m.harmful(0, 0)
 	if m.isDisabled(0) {
 		t.Error("clean events should have absorbed two harmful ones")
 	}
-	m.harmful(0)
+	m.harmful(0, 0)
 	if !m.isDisabled(0) {
 		t.Error("threshold eventually reached")
 	}
@@ -47,8 +47,8 @@ func TestMonitorCleanDecays(t *testing.T) {
 
 func TestMonitorResurrection(t *testing.T) {
 	m, st := newTestMonitor(2, 100)
-	m.harmful(0)
-	m.harmful(0)
+	m.harmful(0, 0)
+	m.harmful(0, 0)
 	if !m.isDisabled(0) {
 		t.Fatal("not disabled")
 	}
@@ -66,7 +66,7 @@ func TestMonitorResurrection(t *testing.T) {
 func TestMonitorCounterSaturates(t *testing.T) {
 	m, _ := newTestMonitor(3, 1000)
 	for i := 0; i < 100; i++ {
-		m.harmful(0)
+		m.harmful(0, 0)
 	}
 	if m.counters[0] > counterMax {
 		t.Errorf("counter %d exceeds max %d", m.counters[0], counterMax)
@@ -75,7 +75,7 @@ func TestMonitorCounterSaturates(t *testing.T) {
 
 func TestMonitorTickRespectsInterval(t *testing.T) {
 	m, _ := newTestMonitor(3, 100)
-	m.harmful(0)
+	m.harmful(0, 0)
 	m.tick(50) // before the first decay point
 	if m.counters[0] != 1 {
 		t.Errorf("premature decay: counter = %d", m.counters[0])

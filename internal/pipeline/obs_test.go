@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// An attached observer must not perturb timing: the observed run's stats
+// are identical to the plain run's, and the trace accounts for exactly the
+// committed uops.
+func TestObservedRunMatchesPlain(t *testing.T) {
+	p := mgFriendlyLoop(t, 200)
+	sel := selectAll(t, p)
+	tr := trace(t, p)
+	mg := MGConfig{Selection: sel, Dynamic: true}
+
+	plain, err := Run(p, tr, Reduced(), mg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	watch := &obs.Observer{Trace: obs.NewPipetrace(&buf), Intervals: obs.NewIntervalSampler(100)}
+	observed, err := RunObserved(p, tr, Reduced(), mg, nil, watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *plain != *observed {
+		t.Errorf("observer perturbed the run:\nplain    %+v\nobserved %+v", plain, observed)
+	}
+	if err := watch.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	uops, _, err := obs.ReadPipetrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed int64
+	lastCommit := int64(-1)
+	for _, u := range uops {
+		if u.Squashed {
+			if u.Commit != -1 {
+				t.Errorf("squashed uop %d has commit cycle %d", u.Seq, u.Commit)
+			}
+			continue
+		}
+		committed++
+		if u.Commit < lastCommit {
+			t.Errorf("uop %d committed at %d after cycle %d: trace out of commit order",
+				u.Seq, u.Commit, lastCommit)
+		}
+		lastCommit = u.Commit
+		if u.Fetch < 0 || u.Rename < u.Fetch || u.Issue < u.Rename || u.Commit < u.Issue {
+			t.Errorf("uop %d stage order broken: %+v", u.Seq, u)
+		}
+	}
+	if committed != observed.Uops {
+		t.Errorf("trace has %d committed uop records, stats counted %d", committed, observed.Uops)
+	}
+
+	ivs := watch.Intervals.Intervals()
+	if len(ivs) == 0 {
+		t.Fatal("no intervals sampled")
+	}
+	var instrs int64
+	for _, iv := range ivs {
+		instrs += iv.Instrs
+	}
+	if instrs != observed.Instrs {
+		t.Errorf("intervals account for %d instrs, stats counted %d", instrs, observed.Instrs)
+	}
+	if last := ivs[len(ivs)-1].Cycle; last != observed.Cycles {
+		t.Errorf("final interval ends at %d, run took %d cycles", last, observed.Cycles)
+	}
+}
+
+// The same observed run must produce byte-identical traces on every
+// execution (the simulation is deterministic and single-threaded).
+func TestObservedRunDeterministic(t *testing.T) {
+	p := mgFriendlyLoop(t, 100)
+	sel := selectAll(t, p)
+	tr := trace(t, p)
+	mg := MGConfig{Selection: sel, Dynamic: true}
+
+	run := func() []byte {
+		var buf bytes.Buffer
+		watch := &obs.Observer{Trace: obs.NewPipetrace(&buf)}
+		if _, err := RunObserved(p, tr, Reduced(), mg, nil, watch); err != nil {
+			t.Fatal(err)
+		}
+		if err := watch.Trace.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("two identical observed runs produced different trace bytes")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/minigraph"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/slack"
 	"repro/internal/storesets"
@@ -40,6 +41,7 @@ type uop struct {
 
 	fetchCycle  int64
 	renameReady int64
+	renameCycle int64 // actual rename cycle (-1 until renamed; pipetrace)
 	issueCycle  int64 // -1 until issued
 	execDone    int64 // all results produced; commit-eligible after this
 	readyOut    int64 // register output available on the bypass network
@@ -67,6 +69,7 @@ type uop struct {
 	hasBranch bool // this uop resolves a control transfer
 	mispred   bool
 	actualTkn bool
+	replays   uint16 // wasted issue attempts (pipetrace)
 
 	committed bool
 	squashed  bool
@@ -123,6 +126,7 @@ type machine struct {
 
 	stats Stats
 	prof  *slack.Accumulator
+	watch *obs.Observer // nil when observability is off (the common case)
 
 	cycle int64
 	seq   int64
@@ -163,14 +167,26 @@ var noRecycle bool
 // slack profile into it (profiling runs should be singleton runs, matching
 // the paper's use of non-mini-graph profiles).
 func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Accumulator) (*Stats, error) {
+	return RunObserved(p, tr, cfg, mg, prof, nil)
+}
+
+// RunObserved is Run with an attached observer collecting pipetrace
+// records and/or interval samples (see internal/obs). A nil or inactive
+// observer makes it exactly Run: the hot loop pays one nil check per
+// cycle and per committed uop.
+func RunObserved(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Accumulator, watch *obs.Observer) (*Stats, error) {
 	if len(tr) == 0 {
 		return nil, fmt.Errorf("pipeline: empty trace")
+	}
+	if watch != nil && !watch.Active() {
+		watch = nil
 	}
 	m := &machine{
 		cfg:      cfg,
 		mgc:      mg,
 		p:        p,
 		tr:       tr,
+		watch:    watch,
 		hier:     cache.NewHierarchy(cfg.Hier),
 		bp:       bpred.New(cfg.Bpred),
 		ss:       storesets.New(cfg.StoreSetEntries),
@@ -196,6 +212,9 @@ func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Acc
 			m.layout = minigraph.NewLayout(p, mg.Selection)
 		}
 		m.mon = newMGMonitor(&mg, mg.Selection.NumTemplates, &m.stats)
+		if watch != nil {
+			m.mon.trace = watch.Trace
+		}
 	} else {
 		m.layout = minigraph.IdentityLayout(p)
 	}
@@ -223,9 +242,15 @@ func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Acc
 		if m.mon != nil && m.mgc.Dynamic {
 			m.mon.tick(m.cycle)
 		}
+		if m.watch != nil {
+			m.sampleInterval()
+		}
 		m.cycle++
 	}
 
+	if m.watch != nil && m.watch.Intervals != nil {
+		m.watch.Intervals.Final(m.snapshot())
+	}
 	m.drainProfile()
 	m.stats.Cycles = m.cycle
 	m.stats.BranchMispredicts = m.bp.DirMisses + m.stats.RASMispredicts
@@ -291,6 +316,9 @@ func (m *machine) commit() {
 			m.ss.CompleteStore(m.storePC(u), u.seq)
 			// The store's write updates cache state at commit.
 			m.hier.AccessD(m.cycle, u.memAddr, true)
+		}
+		if m.watch != nil && m.watch.Trace != nil {
+			m.traceUop(u, m.cycle, false)
 		}
 		if m.prof != nil {
 			// Retained until drain: the global-slack reverse pass needs the
@@ -445,6 +473,7 @@ func (m *machine) issue() {
 		// when the value truly arrives.
 		if latest := latestSrcReady(u); latest > m.cycle {
 			m.stats.Replays++
+			u.replays++
 			u.earliestIss = latest
 			kept = append(kept, u)
 			continue
@@ -642,7 +671,7 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 			u.serialized = true
 			m.stats.MGSerializedEvents++
 			if m.mgc.DynamicDelayOnly || m.mgc.DynamicSIAL {
-				m.mon.harmful(u.mg.Template)
+				m.mon.harmful(m.cycle, u.mg.Template)
 			}
 		} else {
 			m.mon.clean(u.mg.Template)
@@ -661,7 +690,7 @@ func (m *machine) noteConsumerOfHandle(consumerIssue int64, producer *uop) {
 		return // already counted at the producer
 	}
 	if consumerIssue == producer.readyOut {
-		m.mon.harmful(producer.mg.Template)
+		m.mon.harmful(consumerIssue, producer.mg.Template)
 	} else {
 		// The consumer issued later for its own reasons: the serialization
 		// delay was absorbed. Count the instance as clean so templates
@@ -769,6 +798,9 @@ func (m *machine) checkViolations() {
 		return
 	}
 	m.stats.MemOrderFlushes++
+	if m.watch != nil && m.watch.Trace != nil {
+		m.watch.Trace.Event(m.cycle, obs.EvFlush, -1, fire.load.seq)
+	}
 	if debugViolationHook != nil {
 		debugViolationHook(m.loadPC(fire.load), m.storePC(fire.store))
 	}
@@ -843,6 +875,12 @@ func (m *machine) flushFrom(v *uop) {
 		m.fetchStall = m.cycle + 1
 	}
 
+	if m.watch != nil && m.watch.Trace != nil {
+		for _, u := range m.squashScratch {
+			m.traceUop(u, m.cycle, true)
+		}
+	}
+
 	// Squashed uops are dead immediately: they were the youngest suffix, so
 	// no surviving uop can hold a pointer to one (srcProd, waitStore and
 	// forwardedFrom all point at strictly older uops), and every structure
@@ -885,6 +923,7 @@ func (m *machine) rename() {
 			return
 		}
 		m.fetchQ.popFront()
+		u.renameCycle = m.cycle
 
 		// Dataflow linking.
 		for i := 0; i < u.nSrc; i++ {
@@ -1111,6 +1150,7 @@ func (m *machine) makeUop(it fetchItem) *uop {
 	u.mg = it.mg
 	u.fetchCycle = m.cycle
 	u.renameReady = m.cycle + int64(m.cfg.FetchToRename)
+	u.renameCycle = -1
 	u.issueCycle = -1
 	u.minConsIss = never
 	u.fwdConsExec = never
@@ -1350,6 +1390,87 @@ func (m *machine) foldProfile(u *uop) {
 		}
 	}
 	m.prof.Add(u.static, obs)
+}
+
+// --- observability hooks (see internal/obs) ---
+
+var uopKindNames = [...]string{
+	kindSingleton:    "singleton",
+	kindHandle:       "handle",
+	kindOverheadJump: "ovh-jump",
+}
+
+// traceUop emits the pipetrace record for u at commit (cycle = commit
+// cycle) or squash (squashed = true, no commit cycle). Only called with
+// an active trace.
+func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
+	r := obs.UopTrace{
+		Seq:      u.seq,
+		Static:   u.static,
+		Kind:     uopKindNames[u.kind],
+		Op:       u.op.String(),
+		N:        u.nRecs,
+		Fetch:    u.fetchCycle,
+		Rename:   u.renameCycle,
+		Issue:    u.issueCycle,
+		Done:     u.execDone,
+		Ready:    u.readyOut,
+		Commit:   cycle,
+		Replays:  int(u.replays),
+		Mispred:  u.mispred,
+		Squashed: squashed,
+	}
+	if squashed {
+		r.Commit = -1
+	}
+	if u.issueCycle < 0 {
+		r.Done, r.Ready = -1, -1
+	}
+	m.watch.Trace.Uop(r)
+}
+
+// sampleInterval records a time-series sample when the current cycle is a
+// sampling point. Called once per cycle when an observer is attached.
+func (m *machine) sampleInterval() {
+	iv := m.watch.Intervals
+	if iv == nil || !iv.Due(m.cycle) {
+		return
+	}
+	iv.Sample(m.snapshot())
+}
+
+// snapshot captures the cumulative counters and instantaneous occupancies
+// the interval sampler differentiates.
+func (m *machine) snapshot() obs.CycleSnapshot {
+	disabled := 0
+	if m.mon != nil {
+		disabled = m.mon.disabledCount()
+	}
+	return obs.CycleSnapshot{
+		Cycle:          m.cycle,
+		Instrs:         m.stats.Instrs,
+		Uops:           m.stats.Uops,
+		EmbeddedInstrs: m.stats.EmbeddedInstrs,
+
+		StallIQ:   m.stats.StallIQ,
+		StallROB:  m.stats.StallROB,
+		StallRegs: m.stats.StallRegs,
+		StallLQ:   m.stats.StallLQ,
+		StallSQ:   m.stats.StallSQ,
+
+		Replays:    m.stats.Replays,
+		Serialized: m.stats.MGSerializedEvents,
+		Harmful:    m.stats.MGHarmfulEvents,
+		Disables:   m.stats.MGDisables,
+		Reenables:  m.stats.MGReenables,
+
+		IQOcc:             len(m.iq),
+		ROBOcc:            m.window.len(),
+		LQOcc:             m.lqUsed,
+		SQOcc:             m.sqUsed,
+		FreeRegs:          m.freeRegs,
+		DisabledTemplates: disabled,
+	}
 }
 
 // RunDebugViolations is a diagnostic entry point: it runs like Run (no

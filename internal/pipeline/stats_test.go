@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStatsDerivedMetricsZeroCycles(t *testing.T) {
+	// The zero value must report zeros, not NaN: derived metrics are
+	// printed before any guard in callers.
+	var s Stats
+	if got := s.IPC(); got != 0 {
+		t.Errorf("IPC of zero stats = %v, want 0", got)
+	}
+	if got := s.UPC(); got != 0 {
+		t.Errorf("UPC of zero stats = %v, want 0", got)
+	}
+	if got := s.Coverage(); got != 0 {
+		t.Errorf("Coverage of zero stats = %v, want 0", got)
+	}
+}
+
+func TestStatsDerivedMetricsZeroInstrs(t *testing.T) {
+	// Cycles elapsed but nothing committed (e.g. a run squashed to death):
+	// rates are 0, never a division by the zero instruction count.
+	s := Stats{Cycles: 100}
+	if got := s.IPC(); got != 0 {
+		t.Errorf("IPC = %v, want 0", got)
+	}
+	if got := s.Coverage(); got != 0 || math.IsNaN(got) {
+		t.Errorf("Coverage = %v, want 0", got)
+	}
+}
+
+func TestStatsDerivedMetricsValues(t *testing.T) {
+	s := Stats{Cycles: 200, Instrs: 100, Uops: 50, EmbeddedInstrs: 80}
+	if got := s.IPC(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("IPC = %v, want 0.5", got)
+	}
+	if got := s.UPC(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("UPC = %v, want 0.25", got)
+	}
+	if got := s.Coverage(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Coverage = %v, want 0.8", got)
+	}
+}
+
+func TestStatsStringSlackDynamicBlock(t *testing.T) {
+	// The slack-dynamic line appears exactly when the monitor saw activity.
+	quiet := Stats{Cycles: 10, Instrs: 10, Uops: 10}
+	if strings.Contains(quiet.String(), "slack-dynamic:") {
+		t.Errorf("quiet stats should omit the slack-dynamic block:\n%s", quiet.String())
+	}
+	serialized := Stats{Cycles: 10, Instrs: 10, Uops: 10, MGSerializedEvents: 3, MGHarmfulEvents: 1}
+	if out := serialized.String(); !strings.Contains(out, "slack-dynamic: serialized=3 harmful=1 disables=0 reenables=0") {
+		t.Errorf("missing slack-dynamic block:\n%s", out)
+	}
+	disabled := Stats{Cycles: 10, Instrs: 10, Uops: 10, MGDisables: 2, MGReenables: 1}
+	if out := disabled.String(); !strings.Contains(out, "disables=2 reenables=1") {
+		t.Errorf("disable-only activity must still show the block:\n%s", out)
+	}
+}

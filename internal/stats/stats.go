@@ -49,16 +49,26 @@ func (s *Series) Mean() float64 {
 	return sum / float64(len(s.Values))
 }
 
-// GeoMean returns the geometric mean (values must be positive).
+// GeoMean returns the geometric mean of the positive values. Values <= 0
+// have no geometric mean (log is undefined) and are skipped rather than
+// poisoning the whole series with NaN; a series with no positive values
+// returns 0. All experiment metrics (relative performance, coverage of a
+// non-empty run) are positive, so in practice nothing is skipped and the
+// result is the plain geometric mean.
 func (s *Series) GeoMean() float64 {
-	if len(s.Values) == 0 {
+	var sum float64
+	n := 0
+	for _, v := range s.Values {
+		if v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range s.Values {
-		sum += math.Log(v)
-	}
-	return math.Exp(sum / float64(len(s.Values)))
+	return math.Exp(sum / float64(n))
 }
 
 // Median returns the middle S-curve value.

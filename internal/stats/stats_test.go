@@ -46,6 +46,34 @@ func TestEmptySeries(t *testing.T) {
 	}
 }
 
+func TestGeoMeanSkipsNonPositive(t *testing.T) {
+	// Values <= 0 have no log; they are skipped, not propagated as NaN.
+	s := series(1.0, 4.0, 0, -3)
+	got := s.GeoMean()
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("GeoMean = %v, want finite", got)
+	}
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2 (over the positive values only)", got)
+	}
+}
+
+func TestGeoMeanAllNonPositive(t *testing.T) {
+	if got := series(0, -1).GeoMean(); got != 0 {
+		t.Errorf("GeoMean of non-positive series = %v, want 0", got)
+	}
+}
+
+func TestGeoMeanUnchangedOnPositiveSeries(t *testing.T) {
+	// The guard must not perturb the all-positive case (report output
+	// stays byte-identical).
+	s := series(0.5, 1.0, 2.0, 8.0)
+	want := math.Exp((math.Log(0.5) + math.Log(1.0) + math.Log(2.0) + math.Log(8.0)) / 4)
+	if got := s.GeoMean(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("GeoMean = %v, want %v", got, want)
+	}
+}
+
 func TestCountBelow(t *testing.T) {
 	s := series(0.8, 0.95, 1.0, 1.1)
 	if got := s.CountBelow(1.0); got != 2 {
