@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke bench report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke bench benchjson report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
-## cache and pipeline tests, and an end-to-end observability smoke test.
-## Documented in README.md; run before every merge.
-ci: vet fmt build test race obs-smoke
+## cache and pipeline tests, and end-to-end observability and attribution
+## smoke tests. Documented in README.md; run before every merge.
+ci: vet fmt build test race obs-smoke critpath-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,9 +21,10 @@ test:
 	$(GO) test ./...
 
 # The cache layer and the pipeline's recycling are the concurrency-  and
-# aliasing-sensitive parts; run their tests under the race detector.
+# aliasing-sensitive parts; run their tests under the race detector. The
+# critpath integration tests ride along: they drive observed pipeline runs.
 race:
-	$(GO) test -race ./internal/core ./internal/simcache ./internal/pipeline
+	$(GO) test -race ./internal/core ./internal/simcache ./internal/pipeline ./internal/critpath
 
 # End-to-end observability: one observed run, then render + summarize the
 # files it produced.
@@ -37,8 +38,25 @@ obs-smoke:
 		>/dev/null && \
 	rm -rf $$dir && echo "obs-smoke ok"
 
+# Cycle-loss attribution end to end on the committed tiny trace: the walk
+# must succeed and report the trace's known 2-cycle serialization bucket.
+critpath-smoke:
+	@out=$$($(GO) run ./cmd/mgtrace -critpath cmd/mgtrace/testdata/tiny.pipetrace.jsonl -config reduced -top 3) && \
+	echo "$$out" | grep -q "serialization *2 *22.2%" && echo "critpath-smoke ok" || \
+	{ echo "critpath-smoke FAILED:"; echo "$$out"; exit 1; }
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+# benchjson: machine-readable microbenchmark baseline for the hot paths the
+# attribution engine leans on (pipeline simulation, the walk itself). The
+# revision and date come from the environment — no clock reads in tool code.
+benchjson:
+	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze' -benchtime 2x -benchmem \
+		./internal/pipeline ./internal/critpath | \
+	$(GO) run ./cmd/benchjson -rev "$$(git rev-parse --short HEAD)" \
+		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" > BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json"
 
 report:
 	$(GO) run ./cmd/mgreport -exp all

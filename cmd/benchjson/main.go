@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, tagging it with run metadata
+// passed in from the environment (the tool itself never reads a clock or
+// the repository — `make benchjson` supplies both).
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem ./... | benchjson -rev $(git rev-parse --short HEAD) -date $(date -u +%F)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`  // -1 without -benchmem
+	AllocsPerOp int64   `json:"allocsPerOp"` // -1 without -benchmem
+}
+
+// Doc is the output document.
+type Doc struct {
+	Rev        string      `json:"rev"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		rev  = flag.String("rev", "unknown", "source revision the benchmarks ran at")
+		date = flag.String("date", "unknown", "run date (supplied by the caller)")
+	)
+	flag.Parse()
+
+	benches, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	doc := Doc{Rev: *rev, Date: *date, Go: runtime.Version(), Benchmarks: benches}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark result lines, ignoring everything else
+// (ok/PASS lines, pkg headers, failures are the caller's problem).
+func parseBench(sc *bufio.Scanner) ([]Benchmark, error) {
+	var out []Benchmark
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Name-N iters ns "ns/op" [bytes "B/op" allocs "allocs/op"]
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		b := Benchmark{Name: f[0], BytesPerOp: -1, AllocsPerOp: -1}
+		var err error
+		if b.Iters, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

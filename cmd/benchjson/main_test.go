@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/pipeline
+cpu: something
+BenchmarkSimulatorSingleton-8   	     100	   1234567 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkSimulatorMiniGraphs-8  	      50	   2345678 ns/op
+PASS
+ok  	repro/internal/pipeline	3.456s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkSimulatorSingleton-8" || b.Iters != 100 ||
+		b.NsPerOp != 1234567 || b.BytesPerOp != 4096 || b.AllocsPerOp != 12 {
+		t.Errorf("first benchmark parsed wrong: %+v", b)
+	}
+	if benches[1].BytesPerOp != -1 || benches[1].AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem fields should be -1: %+v", benches[1])
+	}
+}
+
+// The committed baseline written by `make benchjson` must parse back and
+// carry plausible contents — this is the validity check for the artifact
+// itself, not its numbers.
+func TestCommittedBaselineParses(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR3.json"))
+	if err != nil {
+		t.Fatalf("%v (run `make benchjson` to regenerate the baseline)", err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rev == "" || doc.Date == "" || doc.Go == "" {
+		t.Errorf("baseline missing metadata: %+v", doc)
+	}
+	if len(doc.Benchmarks) == 0 {
+		t.Fatal("baseline carries no benchmarks")
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name == "" || b.Iters <= 0 || b.NsPerOp <= 0 {
+			t.Errorf("implausible benchmark row: %+v", b)
+		}
+	}
+}

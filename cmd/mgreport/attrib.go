@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/critpath"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/selector"
+)
+
+// slackTolerance is the predicted-vs-observed agreement window in cycles.
+// The profiler predicts per-static averages while the walk observes one
+// run's mean, so exact agreement is not expected; a few cycles is "the
+// profile would have steered the selector the same way".
+const slackTolerance = 4.0
+
+// selectorByName finds a selection policy by its paper name.
+func selectorByName(name string) (*selector.Selector, error) {
+	for _, s := range selector.Main() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range selector.Main() {
+		names = append(names, s.Name())
+	}
+	return nil, fmt.Errorf("unknown selector %q (want one of %v)", name, names)
+}
+
+// attrib runs the cycle-loss attribution engine end-to-end for one
+// workload: prepare, profile, select under the policy, simulate with a
+// pipetrace attached, walk the critical path, and cross-check the static
+// slack profile against the observed slack. outBase, when non-empty, also
+// writes <outBase>.json (full report) and <outBase>.csv (scoreboard).
+func attrib(w io.Writer, workloadName, input, selName, cfgName, outBase string, top int) error {
+	cfg, ok := pipeline.ConfigByName(cfgName)
+	if !ok {
+		return fmt.Errorf("unknown machine configuration %q (want baseline, reduced, width2, width8, or dmem4)", cfgName)
+	}
+	sel, err := selectorByName(selName)
+	if err != nil {
+		return err
+	}
+	bench, err := core.PrepareByName(workloadName, input)
+	if err != nil {
+		return err
+	}
+	// The profile feeds both the selector (when the policy wants one) and
+	// the predicted-vs-observed comparator.
+	prof, err := bench.Profile(cfg)
+	if err != nil {
+		return err
+	}
+	chosen := bench.Select(sel, prof)
+
+	var buf bytes.Buffer
+	watch := &obs.Observer{Trace: obs.NewPipetrace(&buf)}
+	if _, err := bench.RunObserved(cfg, sel, chosen, watch); err != nil {
+		return err
+	}
+	if err := watch.Trace.Flush(); err != nil {
+		return err
+	}
+	uops, events, err := obs.ReadPipetrace(&buf)
+	if err != nil {
+		return err
+	}
+	rep, err := critpath.Analyze(uops, events, critpath.ParamsFor(cfg))
+	if err != nil {
+		return err
+	}
+
+	name := fmt.Sprintf("%s/%s, %s on %s", workloadName, input, sel.Name(), cfg.Name)
+	if err := critpath.WriteText(w, name, rep, top); err != nil {
+		return err
+	}
+	tmplOut := make(map[int]int)
+	for _, inst := range chosen.Instances {
+		if inst.Cand.OutputIdx >= 0 {
+			tmplOut[inst.Template] = inst.Cand.OutputIdx
+		}
+	}
+	sum := critpath.CompareSlack(prof, rep, tmplOut, slackTolerance)
+	if err := critpath.WriteCompareText(w, sum, top); err != nil {
+		return err
+	}
+
+	if outBase != "" {
+		f, err := os.Create(outBase + ".json")
+		if err != nil {
+			return err
+		}
+		if err := critpath.WriteJSON(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		f, err = os.Create(outBase + ".csv")
+		if err != nil {
+			return err
+		}
+		if err := critpath.WriteScoreboardCSV(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s.json and %s.csv\n", outBase, outBase)
+	}
+	return nil
+}

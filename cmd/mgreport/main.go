@@ -7,9 +7,18 @@
 //	mgreport -exp fig6           # one experiment
 //	mgreport -exp all            # everything (Table 1, Figures 1,3,6,7,8,9)
 //	mgreport -exp fig8 -workload comm.gen01
+//	mgreport -attrib comm.crc32 -input small
 //
 // Experiments: table1, fig1, fig3, fig6, fig7top, fig7bot, fig8, fig9top,
 // fig9bot, sweep, ablation, all.
+//
+// The -attrib mode runs the cycle-loss attribution engine end-to-end for
+// one workload instead of an experiment: it profiles, selects mini-graphs
+// under -attribsel, simulates on -attribcfg with a pipetrace attached,
+// walks the critical path (internal/critpath), and prints the cycle-loss
+// breakdown, the per-template serialization scoreboard, and the
+// predicted-vs-observed slack comparison against the static profiler.
+// -attribout BASE additionally writes BASE.json and BASE.csv.
 package main
 
 import (
@@ -46,8 +55,21 @@ func main() {
 		httpaddr   = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		attribW    = flag.String("attrib", "", "run cycle-loss attribution on this workload instead of an experiment")
+		attribSel  = flag.String("attribsel", "Slack-Profile", "selection policy for -attrib")
+		attribCfg  = flag.String("attribcfg", "reduced", "machine configuration for -attrib")
+		attribOut  = flag.String("attribout", "", "base path for -attrib JSON/CSV artifacts")
+		attribTop  = flag.Int("attribtop", 10, "offender/comparison rows to print in -attrib")
 	)
 	flag.Parse()
+
+	if *attribW != "" {
+		if err := attrib(os.Stdout, *attribW, *input, *attribSel, *attribCfg, *attribOut, *attribTop); err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := core.Options{Input: *input, Workers: *workers, NoCache: *nocache,
 		Obs: obs.FlagOptions(*pipetrace, *intervals, *tracedir)}

@@ -9,6 +9,15 @@
 //	mgtrace -trace run.pipetrace.jsonl [-start seq] [-count n] [-cols n]
 //	mgtrace -summary run.intervals.jsonl [-top k]
 //	mgtrace -csv run.intervals.jsonl > run.csv
+//	mgtrace -critpath run.pipetrace.jsonl [-config reduced] [-top k] [-attribjson f] [-attribcsv f]
+//
+// The -critpath mode runs the cycle-loss attribution engine
+// (internal/critpath) over a pipetrace: it walks the critical path
+// backwards through last-arriving edges and prints where the cycles went
+// (inherent dataflow, mini-graph serialization, cache misses, branch
+// mispredictions, structural stalls, replays), the per-template
+// serialization scoreboard, and the worst static mini-graph sites.
+// -config names the machine configuration the trace was produced under.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/critpath"
 	"repro/internal/obs"
 )
 
@@ -28,6 +38,10 @@ func main() {
 		summary   = flag.String("summary", "", "interval JSONL file to summarize")
 		top       = flag.Int("top", 5, "how many stall windows / coverage dips / storms to list")
 		csvFile   = flag.String("csv", "", "interval JSONL file to convert to CSV on stdout")
+		critFile  = flag.String("critpath", "", "pipetrace JSONL file to run cycle-loss attribution on")
+		cfgName   = flag.String("config", "reduced", "machine configuration the trace was produced under")
+		attribJS  = flag.String("attribjson", "", "also write the attribution report as JSON to this file")
+		attribCSV = flag.String("attribcsv", "", "also write the serialization scoreboard as CSV to this file")
 	)
 	flag.Parse()
 
@@ -60,8 +74,29 @@ func main() {
 			fail(err)
 		}
 	}
+	if *critFile != "" {
+		did = true
+		cfg, err := configByName(*cfgName)
+		if err != nil {
+			fail(err)
+		}
+		uops, events, err := readTrace(*critFile)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := critpath.Analyze(uops, events, critpath.ParamsFor(cfg))
+		if err != nil {
+			fail(err)
+		}
+		if err := critpath.WriteText(os.Stdout, *critFile, rep, *top); err != nil {
+			fail(err)
+		}
+		if err := exportCritpath(rep, *attribJS, *attribCSV); err != nil {
+			fail(err)
+		}
+	}
 	if !did {
-		fmt.Fprintln(os.Stderr, "mgtrace: one of -trace, -summary, -csv required")
+		fmt.Fprintln(os.Stderr, "mgtrace: one of -trace, -summary, -csv, -critpath required")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,28 @@
+package critpath_test
+
+import (
+	"testing"
+
+	"repro/internal/critpath"
+	"repro/internal/pipeline"
+)
+
+// BenchmarkAnalyze measures the full attribution walk — graph
+// reconstruction, backward walk, scoreboard, observed slack — over a real
+// pipeline-generated trace (~9k committed uops).
+func BenchmarkAnalyze(b *testing.B) {
+	cfg := pipeline.Reduced()
+	uops, events, _ := tracedRun(b, ilpLoop(600), cfg)
+	par := paramsFor(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := critpath.Analyze(uops, events, par)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.TotalCycles <= 0 {
+			b.Fatal("degenerate report")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package critpath
+
+import (
+	"sort"
+
+	"repro/internal/slack"
+)
+
+// SlackCompare is one predicted-vs-observed slack comparison: the static
+// profiler's register-output slack prediction for a site against the mean
+// slack the attribution engine measured in the observed run.
+type SlackCompare struct {
+	Static    int     `json:"static"`    // static index of the (first) instruction
+	OutStatic int     `json:"outStatic"` // static index of the output-producing instruction
+	Template  int     `json:"template"`  // -1 for singletons
+	Count     int64   `json:"count"`
+	Observed  float64 `json:"observed"`
+	Predicted float64 `json:"predicted"`
+	Delta     float64 `json:"delta"` // observed - predicted
+	Agree     bool    `json:"agree"` // |delta| <= tolerance
+}
+
+// SlackCompareSummary aggregates the comparison.
+type SlackCompareSummary struct {
+	Tolerance    float64 `json:"tolerance"`
+	Sites        int     `json:"sites"`    // sites with both a prediction and an observation
+	Agreeing     int     `json:"agreeing"` // sites within tolerance
+	MeanAbsDelta float64 `json:"meanAbsDelta"`
+	// ByTemplate maps template id (-1 = singletons) to [agreeing, total].
+	ByTemplate map[int][2]int `json:"byTemplate"`
+	Rows       []SlackCompare `json:"rows"`
+}
+
+// AgreeRate is the fraction of compared sites within tolerance.
+func (s *SlackCompareSummary) AgreeRate() float64 {
+	if s.Sites == 0 {
+		return 0
+	}
+	return float64(s.Agreeing) / float64(s.Sites)
+}
+
+// CompareSlack cross-checks the static slack profile against the report's
+// observed slack. tmplOut maps template id to the offset (within the
+// handle) of its output-producing constituent, so a handle's observed
+// output slack is compared against the profiler's prediction for that
+// constituent; singletons compare against their own static index. Sites
+// the profile never observed (or with no register output prediction) are
+// skipped. tol is the agreement tolerance in cycles.
+func CompareSlack(prof *slack.Profile, rep *Report, tmplOut map[int]int, tol float64) *SlackCompareSummary {
+	sum := &SlackCompareSummary{Tolerance: tol, ByTemplate: map[int][2]int{}}
+	if prof == nil {
+		return sum
+	}
+	var absTotal float64
+	for _, ob := range rep.Slack {
+		out := ob.Static
+		if ob.Template >= 0 {
+			off, ok := tmplOut[ob.Template]
+			if !ok {
+				continue
+			}
+			out = ob.Static + off
+		}
+		pred, ok := prof.RegSlackAt(out)
+		if !ok {
+			continue
+		}
+		row := SlackCompare{
+			Static: ob.Static, OutStatic: out, Template: ob.Template,
+			Count: ob.Count, Observed: ob.MeanSlack, Predicted: pred,
+			Delta: ob.MeanSlack - pred,
+		}
+		row.Agree = row.Delta >= -tol && row.Delta <= tol
+		sum.Rows = append(sum.Rows, row)
+		sum.Sites++
+		if row.Agree {
+			sum.Agreeing++
+		}
+		if row.Delta < 0 {
+			absTotal -= row.Delta
+		} else {
+			absTotal += row.Delta
+		}
+		bt := sum.ByTemplate[ob.Template]
+		bt[1]++
+		if row.Agree {
+			bt[0]++
+		}
+		sum.ByTemplate[ob.Template] = bt
+	}
+	if sum.Sites > 0 {
+		sum.MeanAbsDelta = absTotal / float64(sum.Sites)
+	}
+	sort.Slice(sum.Rows, func(i, j int) bool { return sum.Rows[i].Static < sum.Rows[j].Static })
+	return sum
+}

@@ -1,0 +1,628 @@
+// Package critpath reconstructs the dynamic dependence graph of an
+// observed run from its pipetrace (internal/obs.UopTrace records) and
+// walks the critical path backwards through last-arriving edges
+// (Fields et al., ISCA 2001), attributing every cycle of the path to a
+// cause. On top of the walk it builds a per-template serialization
+// scoreboard (which mini-graph templates cost critical-path cycles, and
+// whether their bandwidth payback covers it) and measures per-output
+// observed slack for cross-checking the static slack profiler
+// (internal/slack).
+//
+// The graph is implicit: node (i, stage) is stage ∈ {fetch, rename,
+// issue, ready, done, commit} of the i-th committed uop, at the cycle the
+// trace recorded. Each backward step picks the predecessor event that
+// arrived last — the edge that actually determined the node's time — and
+// decomposes the full cycle gap into buckets, so the bucket totals sum
+// exactly to the critical-path span (invariant-checked by Analyze).
+package critpath
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/slack"
+)
+
+// Params carries the two machine parameters the walk cannot recover from
+// the trace itself: the front-end depth (fetch→rename latency) and the
+// machine width (converts uops saved by mini-graphs into bandwidth
+// cycles). Build it from the run's pipeline.Config via ParamsFor.
+type Params struct {
+	FetchToRename int64
+	Width         int
+}
+
+// ParamsFor derives the walk parameters from the machine configuration the
+// trace was produced under.
+func ParamsFor(cfg pipeline.Config) Params {
+	return Params{FetchToRename: int64(cfg.FetchToRename), Width: cfg.IssueWidth}
+}
+
+// Bucket classifies critical-path cycles by cause.
+type Bucket int
+
+const (
+	// Inherent: dataflow latency and pipeline depth — cycles a perfect
+	// machine of this shape would also spend.
+	Inherent Bucket = iota
+	// Serialization: delay mini-graph handles induced by executing
+	// internally-independent constituents serially on the ALU pipeline.
+	Serialization
+	// CacheMiss: load cycles beyond the L1-hit path.
+	CacheMiss
+	// Mispredict: branch-misprediction redirect and refill.
+	Mispredict
+	// Structural: bandwidth and capacity waits (fetch/commit width,
+	// scheduler and rename stalls) not explained by a modeled edge.
+	Structural
+	// Replay: issue-attempt replays and memory-ordering flush refills.
+	Replay
+
+	NumBuckets
+)
+
+var bucketNames = [NumBuckets]string{
+	"inherent", "serialization", "cache-miss", "mispredict", "structural", "replay",
+}
+
+func (b Bucket) String() string {
+	if b < 0 || b >= NumBuckets {
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+	return bucketNames[b]
+}
+
+// TemplateScore is one row of the per-template serialization scoreboard.
+type TemplateScore struct {
+	Template     int     `json:"template"`
+	Handles      int64   `json:"handles"`      // committed handle instances
+	Embedded     int64   `json:"embedded"`     // architectural instructions carried
+	UopsSaved    int64   `json:"uopsSaved"`    // Embedded - Handles
+	SavedCycles  float64 `json:"savedCycles"`  // UopsSaved / width: bandwidth payback
+	SerInstances int64   `json:"serInstances"` // instances with internal serialization delay
+	SerDelay     int64   `json:"serDelay"`     // total internal delay across instances
+	ExtBound     int64   `json:"extBound"`     // instances issued data-bound on a serializing input
+	SerCyclesCP  int64   `json:"serCyclesCP"`  // internal serialization cycles on the critical path
+	ExtBoundCP   int64   `json:"extBoundCP"`   // critical-path issue edges through serializing inputs
+	CPShare      float64 `json:"cpShare"`      // SerCyclesCP / TotalCycles
+	Net          float64 `json:"net"`          // SavedCycles - SerCyclesCP
+}
+
+// Offender is a static mini-graph site ranked by critical-path
+// serialization cycles.
+type Offender struct {
+	Static      int    `json:"static"`
+	Op          string `json:"op"`
+	Template    int    `json:"template"`
+	Instances   int64  `json:"instances"`
+	SerDelay    int64  `json:"serDelay"`
+	SerCyclesCP int64  `json:"serCyclesCP"`
+}
+
+// SlackObs aggregates observed output slack per static site: the minimum
+// over consumers of (consumer issue − output ready), capped at
+// slack.BigSlack, averaged over committed instances.
+type SlackObs struct {
+	Static    int     `json:"static"`
+	Template  int     `json:"template"` // -1 for singletons
+	Count     int64   `json:"count"`
+	MeanSlack float64 `json:"meanSlack"`
+}
+
+// Report is the full attribution result.
+type Report struct {
+	// TotalCycles is the critical-path span: last commit minus the cycle
+	// the backward walk terminated at (the first fetch it reached).
+	TotalCycles int64             `json:"totalCycles"`
+	Start       int64             `json:"start"`
+	End         int64             `json:"end"`
+	Buckets     [NumBuckets]int64 `json:"buckets"`
+	Committed   int               `json:"committed"` // committed uops analyzed
+	PathNodes   int               `json:"pathNodes"` // nodes on the critical path
+	// HasDeps reports whether the trace carried dependence fields; without
+	// them (pre-PR-3 traces) only machine edges are walked and the
+	// serialization and cache-miss buckets stay empty.
+	HasDeps bool `json:"hasDeps"`
+
+	Templates []TemplateScore `json:"templates"`
+	Offenders []Offender      `json:"offenders"`
+	Slack     []SlackObs      `json:"slack"`
+}
+
+// BucketShare returns bucket b's fraction of the critical path.
+func (r *Report) BucketShare(b Bucket) float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.Buckets[b]) / float64(r.TotalCycles)
+}
+
+// stage identifies one pipeline event of a committed uop. Ranks order the
+// backward walk: within one uop the walk only moves to lower ranks, across
+// uops only to earlier ones, so it terminates.
+type stage int
+
+const (
+	stF stage = iota // fetch
+	stR              // rename
+	stI              // issue
+	stY              // register output ready
+	stD              // done (all results produced)
+	stC              // commit
+)
+
+type node struct {
+	i  int
+	st stage
+}
+
+type analysis struct {
+	cu  []obs.UopTrace // committed uops, commit order
+	par Params
+
+	dataProd [][]int // per committed uop, per source: producer index or -1
+	memProd  []int   // per committed uop: same-word store index or -1 (loads)
+	lastMisp []int   // per committed uop: latest earlier mispredicted uop or -1
+	flushes  []int64 // flush-event cycles, ascending
+
+	serCP     map[int]int64 // template -> critical-path serialization cycles
+	extCP     map[int]int64 // template -> critical-path serializing-input issue edges
+	siteSerCP map[int]int64 // static -> critical-path serialization cycles
+	pathNodes int
+}
+
+// Analyze attributes the critical path of one observed run. The uops and
+// events are a parsed pipetrace (obs.ReadPipetrace); par comes from the
+// run's machine configuration.
+func Analyze(uops []obs.UopTrace, events []obs.TraceEvent, par Params) (*Report, error) {
+	if par.Width <= 0 {
+		par.Width = 1
+	}
+	a := &analysis{
+		par:       par,
+		serCP:     map[int]int64{},
+		extCP:     map[int]int64{},
+		siteSerCP: map[int]int64{},
+	}
+	for _, u := range uops {
+		if !u.Squashed {
+			a.cu = append(a.cu, u)
+		}
+	}
+	rep := &Report{Committed: len(a.cu), HasDeps: obs.HasDeps(uops)}
+	if len(a.cu) == 0 {
+		return rep, nil
+	}
+	for i := 1; i < len(a.cu); i++ {
+		if a.cu[i].Commit < a.cu[i-1].Commit {
+			return nil, fmt.Errorf("critpath: trace not in commit order at seq %d", a.cu[i].Seq)
+		}
+	}
+	a.precompute(rep.HasDeps)
+	for _, ev := range events {
+		if ev.Ev == obs.EvFlush {
+			a.flushes = append(a.flushes, ev.Cycle)
+		}
+	}
+	sort.Slice(a.flushes, func(i, j int) bool { return a.flushes[i] < a.flushes[j] })
+
+	// Backward walk from the last commit.
+	cur := node{len(a.cu) - 1, stC}
+	rep.End = a.t(cur)
+	for {
+		a.pathNodes++
+		nxt, por, term := a.step(cur)
+		if term {
+			rep.Start = a.t(cur)
+			break
+		}
+		for b := Bucket(0); b < NumBuckets; b++ {
+			rep.Buckets[b] += por[b]
+		}
+		cur = nxt
+	}
+	rep.TotalCycles = rep.End - rep.Start
+	rep.PathNodes = a.pathNodes
+
+	var sum int64
+	for b := Bucket(0); b < NumBuckets; b++ {
+		sum += rep.Buckets[b]
+	}
+	if sum != rep.TotalCycles {
+		return nil, fmt.Errorf("critpath: buckets sum to %d, critical path is %d cycles", sum, rep.TotalCycles)
+	}
+
+	a.scoreboard(rep)
+	a.observedSlack(rep)
+	return rep, nil
+}
+
+// precompute reconstructs register and memory producers by replaying a
+// rename table over the committed uops in commit (= program) order.
+func (a *analysis) precompute(hasDeps bool) {
+	n := len(a.cu)
+	a.dataProd = make([][]int, n)
+	a.memProd = make([]int, n)
+	a.lastMisp = make([]int, n)
+	regProd := map[int]int{}
+	storeWord := map[uint32]int{}
+	misp := -1
+	for i := range a.cu {
+		u := &a.cu[i]
+		a.lastMisp[i] = misp
+		a.memProd[i] = -1
+		if hasDeps {
+			if len(u.Srcs) > 0 {
+				dp := make([]int, len(u.Srcs))
+				for s, r := range u.Srcs {
+					if p, ok := regProd[r]; ok {
+						dp[s] = p
+					} else {
+						dp[s] = -1
+					}
+				}
+				a.dataProd[i] = dp
+			}
+			if u.Mem == obs.MemLoad {
+				if p, ok := storeWord[u.Addr>>2]; ok {
+					a.memProd[i] = p
+				}
+			}
+			if u.Mem == obs.MemStore {
+				storeWord[u.Addr>>2] = i
+			}
+			if u.Dst >= 0 {
+				regProd[u.Dst] = i
+			}
+		}
+		if u.Mispred && u.Done >= 0 {
+			misp = i
+		}
+	}
+}
+
+// t returns the cycle of a node.
+func (a *analysis) t(n node) int64 {
+	u := &a.cu[n.i]
+	switch n.st {
+	case stF:
+		return u.Fetch
+	case stR:
+		return u.Rename
+	case stI:
+		return u.Issue
+	case stY:
+		return u.Ready
+	case stD:
+		return u.Done
+	default:
+		return u.Commit
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// step finds the last-arriving edge into n, returns the predecessor node
+// and the bucket decomposition of the full gap t(n) − t(pred). terminal is
+// true when no predecessor exists (the walk reached the path's start).
+func (a *analysis) step(n node) (next node, por [NumBuckets]int64, terminal bool) {
+	u := &a.cu[n.i]
+	switch n.st {
+	case stC:
+		// Commit waits on own completion (possible the same cycle results
+		// land) or, in order, on the previous commit; residual is
+		// commit-bandwidth wait. Ties prefer the completion edge: it dives
+		// into the uop actually pacing the commit stream.
+		tc := u.Commit
+		bestA := int64(-1)
+		if u.Done >= 0 && u.Done <= tc {
+			bestA, next = u.Done, node{n.i, stD}
+		}
+		if n.i > 0 {
+			if pc := a.cu[n.i-1].Commit; pc <= tc && pc > bestA {
+				bestA, next = pc, node{n.i - 1, stC}
+			}
+		}
+		if bestA < 0 {
+			return node{}, por, true
+		}
+		por[Structural] += tc - bestA
+		return next, por, false
+
+	case stD:
+		// Completion decomposes against own issue: internal serialization
+		// delay, then cache-miss cycles, remainder execution latency.
+		if u.Issue < 0 || u.Issue > u.Done {
+			return node{}, por, true
+		}
+		delta := u.Done - u.Issue
+		ser := min64(u.SerLat, delta)
+		mem := min64(u.MemLat, delta-ser)
+		por[Serialization] += ser
+		por[CacheMiss] += mem
+		por[Inherent] += delta - ser - mem
+		a.noteSerCP(u, ser)
+		return node{n.i, stI}, por, false
+
+	case stY:
+		// Output-ready decomposes like done, using the output's share of
+		// the internal serialization delay. MemLat may overlap the output
+		// path only approximately for handles; min() keeps it bounded.
+		if u.Issue < 0 || u.Issue > u.Ready {
+			return node{}, por, true
+		}
+		delta := u.Ready - u.Issue
+		ser := min64(u.SerOut, delta)
+		mem := min64(u.MemLat, delta-ser)
+		por[Serialization] += ser
+		por[CacheMiss] += mem
+		por[Inherent] += delta - ser - mem
+		a.noteSerCP(u, ser)
+		return node{n.i, stI}, por, false
+
+	case stI:
+		// Issue waits on data (producer outputs), memory ordering (a
+		// same-word older store), or the pipeline minimum past rename;
+		// residual is scheduler wait — replay-caused if the uop replayed.
+		ti := u.Issue
+		bestA, bestPref := int64(-1), 0
+		var fromPipe, fromData bool
+		for _, p := range a.dataProd[n.i] {
+			if p < 0 {
+				continue
+			}
+			if py := a.cu[p].Ready; py >= 0 && py <= ti && (py > bestA || (py == bestA && bestPref < 3)) {
+				bestA, bestPref, next = py, 3, node{p, stY}
+				fromPipe, fromData = false, true
+			}
+		}
+		if mp := a.memProd[n.i]; mp >= 0 {
+			if pd := a.cu[mp].Done; pd >= 0 && pd <= ti && (pd > bestA || (pd == bestA && bestPref < 2)) {
+				bestA, bestPref, next = pd, 2, node{mp, stD}
+				fromPipe, fromData = false, false
+			}
+		}
+		if u.Rename >= 0 && u.Rename+1 <= ti && u.Rename+1 > bestA {
+			bestA, bestPref, next = u.Rename+1, 1, node{n.i, stR}
+			fromPipe, fromData = true, false
+		}
+		if bestA < 0 {
+			return node{}, por, true
+		}
+		_ = bestPref
+		residual := ti - bestA
+		if u.Replays > 0 {
+			por[Replay] += residual
+		} else {
+			por[Structural] += residual
+		}
+		if fromPipe {
+			por[Inherent]++
+		}
+		if fromData && u.SerExt && u.Tmpl >= 0 {
+			a.extCP[u.Tmpl]++
+		}
+		return next, por, false
+
+	case stR:
+		// Rename waits on the front-end fill from own fetch or, in order,
+		// on the previous rename; residual is a back-pressure stall
+		// (ROB/IQ/registers full).
+		tr := u.Rename
+		bestA := int64(-1)
+		var fromFill bool
+		if f := u.Fetch + a.par.FetchToRename; u.Fetch >= 0 && f <= tr {
+			bestA, next, fromFill = f, node{n.i, stF}, true
+		}
+		if n.i > 0 {
+			if pr := a.cu[n.i-1].Rename; pr >= 0 && pr <= tr && pr > bestA {
+				bestA, next, fromFill = pr, node{n.i - 1, stR}, false
+			}
+		}
+		if bestA < 0 {
+			return node{}, por, true
+		}
+		por[Structural] += tr - bestA
+		if fromFill { // the fill edge carries the front-end depth itself
+			por[Inherent] += a.par.FetchToRename
+		}
+		return next, por, false
+
+	default: // stF
+		// Fetch follows the previous fetch (in order), a branch-
+		// misprediction redirect, or a memory-ordering flush refetch.
+		tf := u.Fetch
+		bestA, bestPref := int64(-1), 0
+		kind := 0 // 1 = order, 2 = flush, 3 = redirect
+		if n.i > 0 {
+			if pf := a.cu[n.i-1].Fetch; pf >= 0 && pf <= tf {
+				bestA, bestPref, next, kind = pf, 1, node{n.i - 1, stF}, 1
+			}
+		}
+		if fi := sort.Search(len(a.flushes), func(k int) bool { return a.flushes[k] >= tf }); fi > 0 {
+			cf := a.flushes[fi-1]
+			// Predecessor: the latest uop committed by the flush cycle.
+			if j := sort.Search(len(a.cu), func(k int) bool { return a.cu[k].Commit > cf }); j > 0 && j-1 < n.i {
+				if arr := cf + 1; arr <= tf && (arr > bestA || (arr == bestA && bestPref < 2)) {
+					bestA, bestPref, next, kind = arr, 2, node{j - 1, stC}, 2
+				}
+			}
+		}
+		if b := a.lastMisp[n.i]; b >= 0 {
+			if arr := a.cu[b].Done + 1; arr <= tf && (arr > bestA || (arr == bestA && bestPref < 3)) {
+				bestA, bestPref, next, kind = arr, 3, node{b, stD}, 3
+			}
+		}
+		if bestA < 0 {
+			return node{}, por, true
+		}
+		switch kind {
+		case 3: // redirect + refill are all the misprediction's fault
+			por[Mispredict] += tf - a.t(next)
+		case 2: // flush refetch: charge the ordering violation
+			por[Replay] += tf - a.t(next)
+		default: // fetch order: gaps are front-end bandwidth/i-cache
+			por[Structural] += tf - bestA
+		}
+		return next, por, false
+	}
+}
+
+// noteSerCP charges critical-path serialization cycles to the handle's
+// template and static site.
+func (a *analysis) noteSerCP(u *obs.UopTrace, ser int64) {
+	if ser <= 0 || u.Tmpl < 0 {
+		return
+	}
+	a.serCP[u.Tmpl] += ser
+	a.siteSerCP[u.Static] += ser
+}
+
+// scoreboard aggregates per-template and per-site serialization columns.
+func (a *analysis) scoreboard(rep *Report) {
+	type siteAgg struct {
+		op        string
+		tmpl      int
+		instances int64
+		serDelay  int64
+	}
+	tmpl := map[int]*TemplateScore{}
+	sites := map[int]*siteAgg{}
+	for i := range a.cu {
+		u := &a.cu[i]
+		if u.Tmpl < 0 {
+			continue
+		}
+		ts := tmpl[u.Tmpl]
+		if ts == nil {
+			ts = &TemplateScore{Template: u.Tmpl}
+			tmpl[u.Tmpl] = ts
+		}
+		ts.Handles++
+		ts.Embedded += int64(u.N)
+		ts.UopsSaved += int64(u.N) - 1
+		if u.SerLat > 0 {
+			ts.SerInstances++
+			ts.SerDelay += u.SerLat
+		}
+		if u.SerExt {
+			ts.ExtBound++
+		}
+		sa := sites[u.Static]
+		if sa == nil {
+			sa = &siteAgg{op: u.Op, tmpl: u.Tmpl}
+			sites[u.Static] = sa
+		}
+		sa.instances++
+		sa.serDelay += u.SerLat
+	}
+	for id, ts := range tmpl {
+		ts.SavedCycles = float64(ts.UopsSaved) / float64(a.par.Width)
+		ts.SerCyclesCP = a.serCP[id]
+		ts.ExtBoundCP = a.extCP[id]
+		if rep.TotalCycles > 0 {
+			ts.CPShare = float64(ts.SerCyclesCP) / float64(rep.TotalCycles)
+		}
+		ts.Net = ts.SavedCycles - float64(ts.SerCyclesCP)
+		rep.Templates = append(rep.Templates, *ts)
+	}
+	sort.Slice(rep.Templates, func(i, j int) bool {
+		a, b := rep.Templates[i], rep.Templates[j]
+		if a.SerCyclesCP != b.SerCyclesCP {
+			return a.SerCyclesCP > b.SerCyclesCP
+		}
+		if a.SerDelay != b.SerDelay {
+			return a.SerDelay > b.SerDelay
+		}
+		return a.Template < b.Template
+	})
+	for static, sa := range sites {
+		rep.Offenders = append(rep.Offenders, Offender{
+			Static: static, Op: sa.op, Template: sa.tmpl,
+			Instances: sa.instances, SerDelay: sa.serDelay,
+			SerCyclesCP: a.siteSerCP[static],
+		})
+	}
+	sort.Slice(rep.Offenders, func(i, j int) bool {
+		a, b := rep.Offenders[i], rep.Offenders[j]
+		if a.SerCyclesCP != b.SerCyclesCP {
+			return a.SerCyclesCP > b.SerCyclesCP
+		}
+		if a.SerDelay != b.SerDelay {
+			return a.SerDelay > b.SerDelay
+		}
+		return a.Static < b.Static
+	})
+}
+
+// observedSlack measures, per register-writing committed uop, the minimum
+// over consumers of (consumer issue − output ready), and aggregates the
+// mean per (static, template) site. Outputs with no observed consumer get
+// slack.BigSlack, matching the profiler's convention.
+func (a *analysis) observedSlack(rep *Report) {
+	const noObs = int64(-1)
+	minSlack := make([]int64, len(a.cu))
+	for i := range minSlack {
+		minSlack[i] = noObs
+	}
+	for i := range a.cu {
+		u := &a.cu[i]
+		if u.Issue < 0 {
+			continue
+		}
+		for _, p := range a.dataProd[i] {
+			if p < 0 {
+				continue
+			}
+			py := a.cu[p].Ready
+			if py < 0 {
+				continue
+			}
+			sl := u.Issue - py
+			if sl < 0 {
+				sl = 0
+			}
+			if minSlack[p] == noObs || sl < minSlack[p] {
+				minSlack[p] = sl
+			}
+		}
+	}
+	type key struct{ static, tmpl int }
+	type agg struct {
+		sum   int64
+		count int64
+	}
+	by := map[key]*agg{}
+	for i := range a.cu {
+		u := &a.cu[i]
+		if u.Dst < 0 || u.Ready < 0 {
+			continue
+		}
+		sl := minSlack[i]
+		if sl == noObs || sl > slack.BigSlack {
+			sl = slack.BigSlack
+		}
+		k := key{u.Static, u.Tmpl}
+		g := by[k]
+		if g == nil {
+			g = &agg{}
+			by[k] = g
+		}
+		g.sum += sl
+		g.count++
+	}
+	for k, g := range by {
+		rep.Slack = append(rep.Slack, SlackObs{
+			Static: k.static, Template: k.tmpl,
+			Count: g.count, MeanSlack: float64(g.sum) / float64(g.count),
+		})
+	}
+	sort.Slice(rep.Slack, func(i, j int) bool { return rep.Slack[i].Static < rep.Slack[j].Static })
+}

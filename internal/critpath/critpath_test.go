@@ -1,0 +1,315 @@
+package critpath
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/slack"
+)
+
+var testPar = Params{FetchToRename: 2, Width: 3}
+
+// bucketSum returns the total attributed cycles.
+func bucketSum(rep *Report) int64 {
+	var s int64
+	for b := Bucket(0); b < NumBuckets; b++ {
+		s += rep.Buckets[b]
+	}
+	return s
+}
+
+func analyze(t *testing.T, uops []obs.UopTrace, events []obs.TraceEvent) *Report {
+	t.Helper()
+	rep, err := Analyze(uops, events, testPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bucketSum(rep); got != rep.TotalCycles {
+		t.Fatalf("buckets sum to %d, critical path is %d", got, rep.TotalCycles)
+	}
+	return rep
+}
+
+// singletons3 is three independent single-cycle ops on a 3-wide machine:
+// fetch 0, rename 2 (2-deep front end), issue 3, done and committed at 5.
+func singletons3() []obs.UopTrace {
+	mk := func(seq int64, static, dst int) obs.UopTrace {
+		return obs.UopTrace{
+			Seq: seq, Static: static, Kind: "singleton", Op: "addi", N: 1,
+			Fetch: 0, Rename: 2, Issue: 3, Done: 5, Ready: 5, Commit: 5,
+			Dst: dst, Tmpl: -1,
+		}
+	}
+	return []obs.UopTrace{mk(1, 0, 2), mk(2, 1, 3), mk(3, 2, 4)}
+}
+
+// handle3 is the same three independent ops fused into one mini-graph
+// handle: the serial ALU pipeline finishes them at issue+2+2 instead of
+// issue+2, an induced delay of exactly 2 cycles (SerLat).
+func handle3() []obs.UopTrace {
+	return []obs.UopTrace{{
+		Seq: 1, Static: 0, Kind: "handle", Op: "addi", N: 3,
+		Fetch: 0, Rename: 2, Issue: 3, Done: 7, Ready: 7, Commit: 7,
+		Dst: 4, Tmpl: 5, SerLat: 2, SerOut: 2,
+	}}
+}
+
+// The acceptance golden: a 3-op serialized handle's attribution reports
+// the serialization bucket equal to the known induced delay (2 cycles —
+// also exactly the critical-path difference vs. the 3 singletons), and
+// the scoreboard ranks that template first.
+func TestSerializedHandleVsSingletons(t *testing.T) {
+	sing := analyze(t, singletons3(), nil)
+	if sing.TotalCycles != 5 {
+		t.Errorf("singleton critical path = %d cycles, want 5", sing.TotalCycles)
+	}
+	if sing.Buckets[Serialization] != 0 {
+		t.Errorf("singletons charged %d serialization cycles, want 0", sing.Buckets[Serialization])
+	}
+	if sing.Buckets[Inherent] != 5 {
+		t.Errorf("singleton inherent = %d, want all 5", sing.Buckets[Inherent])
+	}
+
+	hdl := analyze(t, handle3(), nil)
+	if hdl.TotalCycles != 7 {
+		t.Errorf("handle critical path = %d cycles, want 7", hdl.TotalCycles)
+	}
+	const induced = 2
+	if hdl.Buckets[Serialization] != induced {
+		t.Errorf("serialization bucket = %d, want the induced delay %d",
+			hdl.Buckets[Serialization], induced)
+	}
+	if hdl.TotalCycles-sing.TotalCycles != induced {
+		t.Errorf("handle path is %d cycles longer than singletons, want %d",
+			hdl.TotalCycles-sing.TotalCycles, induced)
+	}
+
+	if len(hdl.Templates) != 1 {
+		t.Fatalf("scoreboard has %d templates, want 1", len(hdl.Templates))
+	}
+	top := hdl.Templates[0]
+	if top.Template != 5 || top.SerCyclesCP != induced {
+		t.Errorf("top scoreboard row = %+v, want template 5 with %d CP cycles", top, induced)
+	}
+	if top.Handles != 1 || top.Embedded != 3 || top.UopsSaved != 2 || top.SerInstances != 1 {
+		t.Errorf("scoreboard counts wrong: %+v", top)
+	}
+	if want := float64(2) / 3; top.SavedCycles != want {
+		t.Errorf("SavedCycles = %v, want %v (2 uops saved / width 3)", top.SavedCycles, want)
+	}
+	if top.Net != top.SavedCycles-float64(induced) {
+		t.Errorf("Net = %v, want saved-minus-cost", top.Net)
+	}
+	if len(hdl.Offenders) != 1 || hdl.Offenders[0].Static != 0 || hdl.Offenders[0].SerCyclesCP != induced {
+		t.Errorf("offenders = %+v", hdl.Offenders)
+	}
+}
+
+// A dependence chain routes the walk through data edges: consumer issue
+// waits on producer ready, and the producer's execution is charged deeper.
+func TestDataEdgeWalk(t *testing.T) {
+	uops := []obs.UopTrace{
+		{Seq: 1, Static: 0, Kind: "singleton", Op: "ldw", N: 1,
+			Fetch: 0, Rename: 2, Issue: 3, Done: 14, Ready: 14, Commit: 15,
+			Dst: 2, Tmpl: -1, Mem: obs.MemLoad, Addr: 0x100, MemLat: 9},
+		{Seq: 2, Static: 1, Kind: "singleton", Op: "addi", N: 1,
+			Fetch: 0, Rename: 2, Issue: 14, Done: 16, Ready: 16, Commit: 17,
+			Dst: 3, Srcs: []int{2}, Tmpl: -1},
+	}
+	rep := analyze(t, uops, nil)
+	if rep.TotalCycles != 17 {
+		t.Errorf("critical path = %d, want 17", rep.TotalCycles)
+	}
+	if rep.Buckets[CacheMiss] != 9 {
+		t.Errorf("cache-miss bucket = %d, want the load's 9 extra cycles", rep.Buckets[CacheMiss])
+	}
+	if rep.Buckets[Serialization] != 0 || rep.Buckets[Mispredict] != 0 {
+		t.Errorf("unexpected buckets: %v", rep.Buckets)
+	}
+	// Observed slack of the load: its only consumer issued the cycle it
+	// became ready — zero slack.
+	if len(rep.Slack) != 2 {
+		t.Fatalf("slack rows = %+v, want 2", rep.Slack)
+	}
+	if rep.Slack[0].Static != 0 || rep.Slack[0].MeanSlack != 0 {
+		t.Errorf("load slack = %+v, want mean 0", rep.Slack[0])
+	}
+	// The addi's output is never consumed: BigSlack.
+	if rep.Slack[1].MeanSlack != slack.BigSlack {
+		t.Errorf("unconsumed output slack = %v, want %d", rep.Slack[1].MeanSlack, slack.BigSlack)
+	}
+}
+
+// A mispredicted branch redirects fetch: the refetch gap lands in the
+// mispredict bucket.
+func TestMispredictBucket(t *testing.T) {
+	uops := []obs.UopTrace{
+		{Seq: 1, Static: 0, Kind: "singleton", Op: "bnez", N: 1,
+			Fetch: 0, Rename: 2, Issue: 3, Done: 6, Ready: -1, Commit: 7,
+			Dst: -1, Srcs: []int{2}, Tmpl: -1, Mispred: true},
+		{Seq: 2, Static: 5, Kind: "singleton", Op: "addi", N: 1,
+			Fetch: 7, Rename: 9, Issue: 10, Done: 12, Ready: 12, Commit: 13,
+			Dst: 3, Tmpl: -1},
+	}
+	rep := analyze(t, uops, nil)
+	if rep.Buckets[Mispredict] == 0 {
+		t.Errorf("mispredict bucket empty: %v", rep.Buckets)
+	}
+	// The redirect edge spans resolve (done=6) to refetch (7): 1 cycle.
+	if rep.Buckets[Mispredict] != 1 {
+		t.Errorf("mispredict bucket = %d, want 1", rep.Buckets[Mispredict])
+	}
+}
+
+// Replayed issue attempts charge their scheduler wait to the replay
+// bucket, and memory-ordering flush refetches do too.
+func TestReplayAndFlushBuckets(t *testing.T) {
+	uops := []obs.UopTrace{
+		{Seq: 1, Static: 0, Kind: "singleton", Op: "ldw", N: 1,
+			Fetch: 0, Rename: 2, Issue: 3, Done: 5, Ready: 5, Commit: 6,
+			Dst: 2, Tmpl: -1, Mem: obs.MemLoad, Addr: 0x40},
+		// Replayed consumer: issues 4 cycles after its pipeline minimum.
+		{Seq: 2, Static: 1, Kind: "singleton", Op: "addi", N: 1,
+			Fetch: 0, Rename: 2, Issue: 7, Done: 9, Ready: 9, Commit: 10,
+			Dst: 3, Srcs: []int{2}, Tmpl: -1, Replays: 2},
+		// Refetched after a flush at cycle 11.
+		{Seq: 3, Static: 2, Kind: "singleton", Op: "xori", N: 1,
+			Fetch: 12, Rename: 14, Issue: 15, Done: 17, Ready: 17, Commit: 18,
+			Dst: 4, Tmpl: -1},
+	}
+	events := []obs.TraceEvent{{Type: "ev", Cycle: 11, Ev: obs.EvFlush, Template: -1, Seq: 9}}
+	rep := analyze(t, uops, events)
+	if rep.Buckets[Replay] == 0 {
+		t.Errorf("replay bucket empty: %v", rep.Buckets)
+	}
+}
+
+// Legacy traces (no dependence fields) still analyze: machine edges only,
+// serialization and cache-miss buckets empty, invariant intact.
+func TestLegacyTraceDegrades(t *testing.T) {
+	uops := singletons3()
+	for i := range uops {
+		uops[i].Dst, uops[i].Tmpl = 0, 0 // as decoded from an old trace
+	}
+	if obs.HasDeps(uops) {
+		t.Fatal("test setup: trace should look legacy")
+	}
+	rep := analyze(t, uops, nil)
+	if rep.HasDeps {
+		t.Error("report should flag missing dependence info")
+	}
+	if rep.Buckets[Serialization] != 0 || rep.Buckets[CacheMiss] != 0 {
+		t.Errorf("legacy trace grew data-dependent buckets: %v", rep.Buckets)
+	}
+	if rep.TotalCycles != 5 {
+		t.Errorf("legacy critical path = %d, want 5", rep.TotalCycles)
+	}
+}
+
+func TestEmptyAndSquashedOnly(t *testing.T) {
+	rep, err := Analyze(nil, nil, testPar)
+	if err != nil || rep.TotalCycles != 0 || rep.Committed != 0 {
+		t.Errorf("empty trace: rep=%+v err=%v", rep, err)
+	}
+	sq := []obs.UopTrace{{Seq: 1, Squashed: true, Commit: -1, Issue: -1, Done: -1, Ready: -1}}
+	rep, err = Analyze(sq, nil, testPar)
+	if err != nil || rep.Committed != 0 {
+		t.Errorf("squashed-only trace: rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestCompareSlack(t *testing.T) {
+	prof := &slack.Profile{
+		Count:    []int64{10, 10, 0, 10},
+		RegSlack: []float64{1.0, 60.0, 5.0, math.NaN()},
+	}
+	rep := &Report{Slack: []SlackObs{
+		{Static: 0, Template: -1, Count: 5, MeanSlack: 1.5}, // pred 1.0: agree at tol 2
+		{Static: 1, Template: 7, Count: 3, MeanSlack: 2.0},  // handle, output at 1+0 → pred 60: disagree
+		{Static: 2, Template: -1, Count: 2, MeanSlack: 4.0}, // never profiled: skipped
+		{Static: 3, Template: -1, Count: 2, MeanSlack: 4.0}, // NaN prediction: skipped
+	}}
+	sum := CompareSlack(prof, rep, map[int]int{7: 0}, 2.0)
+	if sum.Sites != 2 || sum.Agreeing != 1 {
+		t.Fatalf("sites=%d agreeing=%d, want 2/1 (rows %+v)", sum.Sites, sum.Agreeing, sum.Rows)
+	}
+	if sum.AgreeRate() != 0.5 {
+		t.Errorf("AgreeRate = %v, want 0.5", sum.AgreeRate())
+	}
+	if bt := sum.ByTemplate[7]; bt != [2]int{0, 1} {
+		t.Errorf("template 7 agreement = %v, want [0 1]", bt)
+	}
+	if bt := sum.ByTemplate[-1]; bt != [2]int{1, 1} {
+		t.Errorf("singleton agreement = %v, want [1 1]", bt)
+	}
+	want := ((1.5 - 1.0) + (60.0 - 2.0)) / 2
+	if math.Abs(sum.MeanAbsDelta-want) > 1e-9 {
+		t.Errorf("MeanAbsDelta = %v, want %v", sum.MeanAbsDelta, want)
+	}
+	// A handle template missing from tmplOut is skipped, not misattributed.
+	sum = CompareSlack(prof, rep, nil, 2.0)
+	if sum.Sites != 1 {
+		t.Errorf("without tmplOut: sites=%d, want 1", sum.Sites)
+	}
+	if CompareSlack(nil, rep, nil, 2.0).Sites != 0 {
+		t.Error("nil profile should compare nothing")
+	}
+}
+
+func TestExports(t *testing.T) {
+	rep := analyze(t, handle3(), nil)
+
+	var jb bytes.Buffer
+	if err := WriteJSON(&jb, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(jb.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse back: %v", err)
+	}
+	by, ok := back["bucketsByName"].(map[string]any)
+	if !ok {
+		t.Fatalf("no bucketsByName in %v", back)
+	}
+	if by["serialization"] != float64(2) {
+		t.Errorf("serialization in JSON = %v, want 2", by["serialization"])
+	}
+	if back["totalCycles"] != float64(7) {
+		t.Errorf("totalCycles in JSON = %v, want 7", back["totalCycles"])
+	}
+
+	var cb bytes.Buffer
+	if err := WriteScoreboardCSV(&cb, rep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(cb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want header + 1 row:\n%s", len(lines), cb.String())
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Errorf("CSV row has %d fields, header %d", len(row), len(header))
+	}
+	if row[0] != "5" {
+		t.Errorf("CSV first row template = %s, want 5", row[0])
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	seen := map[string]bool{}
+	for b := Bucket(0); b < NumBuckets; b++ {
+		s := b.String()
+		if s == "" || seen[s] {
+			t.Errorf("bucket %d has bad or duplicate name %q", b, s)
+		}
+		seen[s] = true
+	}
+	if Bucket(99).String() != "bucket(99)" {
+		t.Error("out-of-range bucket name")
+	}
+}

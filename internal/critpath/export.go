@@ -1,0 +1,47 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits the full report (buckets, scoreboard, offenders,
+// observed slack) as one indented JSON document.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// MarshalJSON adds a name-keyed view of the buckets next to the array, so
+// consumers don't need the bucket ordering.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type plain Report // break the recursion
+	by := make(map[string]int64, NumBuckets)
+	for b := Bucket(0); b < NumBuckets; b++ {
+		by[b.String()] = r.Buckets[b]
+	}
+	return json.Marshal(struct {
+		*plain
+		BucketsByName map[string]int64 `json:"bucketsByName"`
+	}{(*plain)(r), by})
+}
+
+// WriteScoreboardCSV emits the per-template serialization scoreboard as
+// CSV, one row per template, ranked as in the report.
+func WriteScoreboardCSV(w io.Writer, rep *Report) error {
+	if _, err := fmt.Fprintln(w,
+		"template,handles,embedded,uopsSaved,savedCycles,serInstances,serDelay,extBound,serCyclesCP,extBoundCP,cpShare,net"); err != nil {
+		return err
+	}
+	for _, t := range rep.Templates {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%d,%.4f,%.2f\n",
+			t.Template, t.Handles, t.Embedded, t.UopsSaved, t.SavedCycles,
+			t.SerInstances, t.SerDelay, t.ExtBound, t.SerCyclesCP, t.ExtBoundCP,
+			t.CPShare, t.Net); err != nil {
+			return err
+		}
+	}
+	return nil
+}

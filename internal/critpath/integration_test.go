@@ -1,0 +1,172 @@
+package critpath_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/critpath"
+	"repro/internal/emu"
+	"repro/internal/minigraph"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/slack"
+)
+
+// ilpLoop aggregates independent work into mini-graphs — the serialization
+// pathology the attribution engine exists to expose.
+func ilpLoop(iters int64) *prog.Program {
+	b := prog.NewBuilder("ilp")
+	b.Li(1, iters)
+	b.Li(2, 1)
+	b.Li(3, 2)
+	b.Li(4, 3)
+	b.Li(5, 4)
+	b.Label("loop")
+	b.Addi(2, 2, 1)
+	b.Addi(3, 3, 2)
+	b.Addi(4, 4, 3)
+	b.Addi(5, 5, 4)
+	b.Xori(6, 2, 0x0f)
+	b.Xori(7, 3, 0xf0)
+	b.Add(8, 6, 7)
+	b.Add(0, 0, 8)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func tracedRun(t testing.TB, p *prog.Program, cfg pipeline.Config) ([]obs.UopTrace, []obs.TraceEvent, *minigraph.Selection) {
+	t.Helper()
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]int64, len(p.Code))
+	for _, r := range res.Trace {
+		freq[r.Index]++
+	}
+	cands := minigraph.Enumerate(p, minigraph.DefaultLimits())
+	sel := minigraph.Select(p, cands, freq, minigraph.DefaultSelectConfig())
+	if len(sel.Instances) == 0 {
+		t.Fatal("nothing selected")
+	}
+	var buf bytes.Buffer
+	watch := &obs.Observer{Trace: obs.NewPipetrace(&buf)}
+	if _, err := pipeline.RunObserved(p, res.Trace, cfg, pipeline.MGConfig{Selection: sel}, nil, watch); err != nil {
+		t.Fatal(err)
+	}
+	if err := watch.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	uops, events, err := obs.ReadPipetrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uops, events, sel
+}
+
+// paramsFor is the derivation the CLIs use.
+func paramsFor(cfg pipeline.Config) critpath.Params {
+	return critpath.ParamsFor(cfg)
+}
+
+// A real pipeline-generated trace must satisfy the attribution invariant,
+// expose the ilpLoop serialization on the critical path, and fill the
+// scoreboard consistently with the trace's own handle records.
+func TestPipelineTraceAttribution(t *testing.T) {
+	cfg := pipeline.Reduced()
+	uops, events, _ := tracedRun(t, ilpLoop(300), cfg)
+	rep, err := critpath.Analyze(uops, events, paramsFor(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasDeps {
+		t.Fatal("pipeline trace should carry dependence fields")
+	}
+	var sum int64
+	for b := critpath.Bucket(0); b < critpath.NumBuckets; b++ {
+		if rep.Buckets[b] < 0 {
+			t.Errorf("bucket %v negative: %d", b, rep.Buckets[b])
+		}
+		sum += rep.Buckets[b]
+	}
+	if sum != rep.TotalCycles {
+		t.Errorf("buckets sum %d != critical path %d", sum, rep.TotalCycles)
+	}
+	if rep.TotalCycles <= 0 || rep.PathNodes <= 0 {
+		t.Errorf("degenerate report: %+v", rep)
+	}
+	if rep.Buckets[critpath.Serialization] == 0 {
+		t.Error("ilpLoop under Struct-All selection should put serialization on the critical path")
+	}
+	if len(rep.Templates) == 0 {
+		t.Fatal("empty scoreboard")
+	}
+	var handles, embedded int64
+	for _, u := range uops {
+		if !u.Squashed && u.Tmpl >= 0 {
+			handles++
+			embedded += int64(u.N)
+		}
+	}
+	var sbHandles, sbEmbedded, sbSerCP int64
+	for _, ts := range rep.Templates {
+		sbHandles += ts.Handles
+		sbEmbedded += ts.Embedded
+		sbSerCP += ts.SerCyclesCP
+	}
+	if sbHandles != handles || sbEmbedded != embedded {
+		t.Errorf("scoreboard covers %d handles/%d embedded, trace has %d/%d",
+			sbHandles, sbEmbedded, handles, embedded)
+	}
+	if sbSerCP != rep.Buckets[critpath.Serialization] {
+		t.Errorf("scoreboard CP serialization %d != bucket %d",
+			sbSerCP, rep.Buckets[critpath.Serialization])
+	}
+	if rep.Templates[0].SerCyclesCP < rep.Templates[len(rep.Templates)-1].SerCyclesCP {
+		t.Error("scoreboard not ranked by critical-path serialization")
+	}
+	if len(rep.Slack) == 0 {
+		t.Error("no observed slack rows")
+	}
+}
+
+// The comparator runs end-to-end against a real profiler run: profile the
+// program, analyze an observed run, and compare — most sites must yield a
+// comparable prediction.
+func TestCompareSlackEndToEnd(t *testing.T) {
+	p := ilpLoop(300)
+	cfg := pipeline.Reduced()
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := slack.NewAccumulator(p.Name, p.NumInstrs())
+	if _, err := pipeline.Run(p, res.Trace, cfg, pipeline.MGConfig{}, acc); err != nil {
+		t.Fatal(err)
+	}
+	prof := acc.Profile()
+	uops, events, sel := tracedRun(t, p, cfg)
+	rep, err := critpath.Analyze(uops, events, paramsFor(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmplOut := map[int]int{}
+	for _, inst := range sel.Instances {
+		if inst.Cand.OutputIdx >= 0 {
+			tmplOut[inst.Template] = inst.Cand.OutputIdx
+		}
+	}
+	sum := critpath.CompareSlack(prof, rep, tmplOut, 4.0)
+	if sum.Sites == 0 {
+		t.Fatal("comparator matched no sites")
+	}
+	if sum.AgreeRate() < 0 || sum.AgreeRate() > 1 {
+		t.Errorf("agree rate %v out of range", sum.AgreeRate())
+	}
+	if len(sum.ByTemplate) == 0 {
+		t.Error("no per-template agreement")
+	}
+}

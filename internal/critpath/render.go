@@ -1,0 +1,104 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteText renders the attribution report for terminals: the cycle-loss
+// breakdown, the per-template serialization scoreboard, and the worst
+// static mini-graph sites (at most top, all when top <= 0). name labels
+// the analyzed trace or run.
+func WriteText(w io.Writer, name string, rep *Report, top int) error {
+	fmt.Fprintf(w, "critical-path attribution: %s\n", name)
+	fmt.Fprintf(w, "  %d committed uops, cycles %d..%d, %d path nodes\n",
+		rep.Committed, rep.Start, rep.End, rep.PathNodes)
+	if !rep.HasDeps {
+		fmt.Fprintln(w, "  legacy trace without dependence fields: machine edges only;")
+		fmt.Fprintln(w, "  serialization and cache-miss buckets are unavailable")
+	}
+	fmt.Fprintf(w, "\n  %-14s %12s %8s\n", "bucket", "cycles", "share")
+	for b := Bucket(0); b < NumBuckets; b++ {
+		fmt.Fprintf(w, "  %-14s %12d %7.1f%%\n", b, rep.Buckets[b], 100*rep.BucketShare(b))
+	}
+	fmt.Fprintf(w, "  %-14s %12d %7.1f%%\n", "total", rep.TotalCycles, 100.0)
+
+	fmt.Fprintf(w, "\nserialization scoreboard (%d templates):\n", len(rep.Templates))
+	if len(rep.Templates) > 0 {
+		fmt.Fprintf(w, "  %4s %8s %8s %7s %9s %8s %8s %8s %7s %7s %7s %9s\n",
+			"tmpl", "handles", "embed", "saved", "savedCyc", "serInst",
+			"serDelay", "extBound", "serCP", "extCP", "cpShare", "net")
+		for _, t := range rep.Templates {
+			fmt.Fprintf(w, "  %4d %8d %8d %7d %9.2f %8d %8d %8d %7d %7d %6.1f%% %9.2f\n",
+				t.Template, t.Handles, t.Embedded, t.UopsSaved, t.SavedCycles,
+				t.SerInstances, t.SerDelay, t.ExtBound, t.SerCyclesCP, t.ExtBoundCP,
+				100*t.CPShare, t.Net)
+		}
+	}
+
+	offenders := rep.Offenders
+	if top > 0 && len(offenders) > top {
+		offenders = offenders[:top]
+	}
+	fmt.Fprintf(w, "\ntop offenders (%d of %d static mini-graph sites):\n", len(offenders), len(rep.Offenders))
+	if len(offenders) > 0 {
+		fmt.Fprintf(w, "  %6s %-10s %4s %9s %9s %7s\n", "static", "op", "tmpl", "instances", "serDelay", "serCP")
+		for _, o := range offenders {
+			fmt.Fprintf(w, "  %6d %-10s %4d %9d %9d %7d\n",
+				o.Static, o.Op, o.Template, o.Instances, o.SerDelay, o.SerCyclesCP)
+		}
+	}
+	return nil
+}
+
+// WriteCompareText renders the predicted-vs-observed slack comparison: the
+// aggregate agreement, per-template agreement, and the worst-disagreeing
+// sites (at most maxRows, all when maxRows <= 0).
+func WriteCompareText(w io.Writer, sum *SlackCompareSummary, maxRows int) error {
+	fmt.Fprintf(w, "\npredicted vs observed slack (tolerance %.1f cycles):\n", sum.Tolerance)
+	if sum.Sites == 0 {
+		fmt.Fprintln(w, "  no comparable sites (no profile predictions matched observed outputs)")
+		return nil
+	}
+	fmt.Fprintf(w, "  %d sites compared, %d within tolerance (%.1f%%), mean |delta| %.2f\n",
+		sum.Sites, sum.Agreeing, 100*sum.AgreeRate(), sum.MeanAbsDelta)
+	tmpls := make([]int, 0, len(sum.ByTemplate))
+	for t := range sum.ByTemplate {
+		tmpls = append(tmpls, t)
+	}
+	sort.Ints(tmpls)
+	for _, t := range tmpls {
+		bt := sum.ByTemplate[t]
+		label := fmt.Sprintf("template %d", t)
+		if t < 0 {
+			label = "singletons"
+		}
+		fmt.Fprintf(w, "  %-12s %d/%d agree\n", label, bt[0], bt[1])
+	}
+
+	// Worst disagreements first: they are where the static profile misleads
+	// the selector.
+	rows := make([]SlackCompare, len(sum.Rows))
+	copy(rows, sum.Rows)
+	sort.SliceStable(rows, func(i, j int) bool { return abs(rows[i].Delta) > abs(rows[j].Delta) })
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "  %6s %9s %4s %8s %10s %10s %8s\n",
+			"static", "outStatic", "tmpl", "count", "observed", "predicted", "delta")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %6d %9d %4d %8d %10.2f %10.2f %+8.2f\n",
+				r.Static, r.OutStatic, r.Template, r.Count, r.Observed, r.Predicted, r.Delta)
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -134,10 +134,13 @@ func TestPipetraceRoundtrip(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewPipetrace(&buf)
 	u1 := UopTrace{Seq: 1, Static: 10, Kind: "singleton", Op: "addi", N: 1,
-		Fetch: 5, Rename: 7, Issue: 9, Done: 11, Ready: 10, Commit: 12}
+		Fetch: 5, Rename: 7, Issue: 9, Done: 11, Ready: 10, Commit: 12,
+		Dst: 4, Srcs: []int{4}, Tmpl: -1}
 	u2 := UopTrace{Seq: 2, Static: 11, Kind: "handle", Op: "ldw", N: 3,
 		Fetch: 5, Rename: 7, Issue: 9, Done: 15, Ready: 15, Commit: -1,
-		Replays: 1, Squashed: true}
+		Replays: 1, Squashed: true,
+		Dst: 7, Srcs: []int{3, 5}, Tmpl: 2, Mem: MemLoad, Addr: 0x1000,
+		SerLat: 2, SerOut: 1, MemLat: 9, SerExt: true}
 	tr.Uop(u1)
 	tr.Event(13, EvFlush, -1, 2)
 	tr.Uop(u2)
@@ -179,6 +182,101 @@ func TestPipetraceStickyError(t *testing.T) {
 	}
 	if tr.Uops >= n {
 		t.Errorf("writes after the first error should be dropped (Uops=%d of %d)", tr.Uops, n)
+	}
+}
+
+// The first write error must be retained verbatim, later Uop AND Event
+// calls must be no-ops, and Flush must keep reporting the original error.
+func TestPipetraceStickyErrorRetainsFirst(t *testing.T) {
+	tr := NewPipetrace(failWriter{})
+	// Spill the 64 KB buffer so the failing write surfaces.
+	for i := 0; i < 2000 && tr.err == nil; i++ {
+		tr.Uop(UopTrace{Seq: int64(i), Op: strings.Repeat("y", 64)})
+	}
+	if tr.err == nil {
+		t.Fatal("write error never surfaced")
+	}
+	uops, events := tr.Uops, tr.Events
+	tr.Uop(UopTrace{Seq: 9999})
+	tr.Event(1, EvFlush, -1, 9999)
+	if tr.Uops != uops || tr.Events != events {
+		t.Errorf("post-error emissions counted: uops %d->%d, events %d->%d",
+			uops, tr.Uops, events, tr.Events)
+	}
+	if err := tr.Flush(); err != os.ErrClosed {
+		t.Errorf("Flush = %v, want the retained first error %v", err, os.ErrClosed)
+	}
+	if err := tr.Flush(); err != os.ErrClosed {
+		t.Errorf("second Flush = %v, want the same sticky error", err)
+	}
+}
+
+// A line longer than the scanner buffer must fail with a line-numbered
+// error, not a bare bufio.ErrTooLong.
+func TestReadPipetraceLineTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewPipetrace(&buf)
+	tr.Uop(UopTrace{Seq: 1, Kind: "singleton", Op: "addi", N: 1, Dst: -1, Tmpl: -1})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"t":"uop","seq":2,"op":"` + strings.Repeat("x", 1<<20) + `"}` + "\n")
+	_, _, err := ReadPipetrace(&buf)
+	if err == nil {
+		t.Fatal("oversized line should fail the parse")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the offending line", err)
+	}
+}
+
+// Traces written before the schema gained dependence fields (the PR-2
+// golden content, embedded verbatim) must still parse, and HasDeps must
+// report that they lack dependence information.
+func TestLegacySchemaParses(t *testing.T) {
+	legacy := `{"t":"uop","seq":7,"static":3,"kind":"handle","op":"addi","n":3,"fetch":10,"rename":12,"issue":14,"done":17,"ready":16,"commit":18,"replays":0,"mispred":false,"squashed":false}
+{"t":"uop","seq":8,"static":6,"kind":"singleton","op":"bnez","n":1,"fetch":10,"rename":12,"issue":15,"done":16,"ready":-1,"commit":-1,"replays":0,"mispred":true,"squashed":true}
+{"t":"uop","seq":9,"static":0,"kind":"ovh-jump","op":"jmp","n":0,"fetch":11,"rename":13,"issue":16,"done":17,"ready":-1,"commit":19,"replays":2,"mispred":false,"squashed":false}
+{"t":"ev","cycle":17,"ev":"flush","template":-1,"seq":8}
+{"t":"ev","cycle":30,"ev":"disable","template":2,"seq":-1}
+{"t":"ev","cycle":90,"ev":"reenable","template":2,"seq":-1}
+`
+	uops, events, err := ReadPipetrace(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uops) != 3 || len(events) != 3 {
+		t.Fatalf("parsed %d uops / %d events, want 3 / 3", len(uops), len(events))
+	}
+	if uops[0].Seq != 7 || uops[0].Kind != "handle" || uops[0].Done != 17 {
+		t.Errorf("legacy uop decoded wrong: %+v", uops[0])
+	}
+	if HasDeps(uops) {
+		t.Error("legacy trace must report HasDeps == false")
+	}
+	// Current-writer records (Tmpl -1 for non-handles) do carry deps.
+	if !HasDeps([]UopTrace{{Seq: 1, Tmpl: -1}}) {
+		t.Error("current-schema trace must report HasDeps == true")
+	}
+}
+
+// A file truncated mid-record must fail with a line-numbered error.
+func TestReadPipetraceTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewPipetrace(&buf)
+	tr.Uop(UopTrace{Seq: 1, Kind: "singleton", Op: "addi", N: 1, Dst: -1, Tmpl: -1})
+	tr.Uop(UopTrace{Seq: 2, Kind: "singleton", Op: "xori", N: 1, Dst: -1, Tmpl: -1})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.String()
+	cut := whole[:len(whole)-20] // chop the tail of the final record
+	_, _, err := ReadPipetrace(strings.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated file should fail the parse")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the truncated line", err)
 	}
 }
 
@@ -290,12 +388,14 @@ func TestSchemaGoldens(t *testing.T) {
 	var trace bytes.Buffer
 	tr := NewPipetrace(&trace)
 	tr.Uop(UopTrace{Seq: 7, Static: 3, Kind: "handle", Op: "addi", N: 3,
-		Fetch: 10, Rename: 12, Issue: 14, Done: 17, Ready: 16, Commit: 18})
+		Fetch: 10, Rename: 12, Issue: 14, Done: 17, Ready: 16, Commit: 18,
+		Dst: 5, Srcs: []int{1, 2}, Tmpl: 2, Mem: MemNone, SerLat: 2, SerOut: 1})
 	tr.Uop(UopTrace{Seq: 8, Static: 6, Kind: "singleton", Op: "bnez", N: 1,
 		Fetch: 10, Rename: 12, Issue: 15, Done: 16, Ready: -1, Commit: -1,
-		Mispred: true, Squashed: true})
+		Mispred: true, Squashed: true, Dst: -1, Srcs: []int{5}, Tmpl: -1})
 	tr.Uop(UopTrace{Seq: 9, Static: 0, Kind: "ovh-jump", Op: "jmp", N: 0,
-		Fetch: 11, Rename: 13, Issue: 16, Done: 17, Ready: -1, Commit: 19, Replays: 2})
+		Fetch: 11, Rename: 13, Issue: 16, Done: 17, Ready: -1, Commit: 19, Replays: 2,
+		Dst: -1, Tmpl: -1})
 	tr.Event(17, EvFlush, -1, 8)
 	tr.Event(30, EvDisable, 2, -1)
 	tr.Event(90, EvReenable, 2, -1)

@@ -32,6 +32,39 @@ type UopTrace struct {
 	Replays  int  `json:"replays"` // issue attempts squashed by missed-load wakeups
 	Mispred  bool `json:"mispred"`
 	Squashed bool `json:"squashed"`
+
+	// Dependence and serialization fields (appended for the critical-path
+	// attribution engine, see internal/critpath; absent in older traces and
+	// decoded as zero values — analyzers must treat such traces as lacking
+	// dependence information).
+	Dst    int    `json:"dst"`            // architectural output register, -1 if none
+	Srcs   []int  `json:"srcs,omitempty"` // architectural source registers (external inputs for handles)
+	Tmpl   int    `json:"tmpl"`           // mini-graph template id, -1 for non-handles
+	Mem    int    `json:"mem"`            // 0 none, 1 load, 2 store (the handle's single memory op)
+	Addr   uint32 `json:"addr"`           // memory effective address, 0 when Mem == 0
+	SerLat int64  `json:"serlat"`         // intra-handle serialization delay on completion (cycles)
+	SerOut int64  `json:"serout"`         // intra-handle serialization delay on the register output
+	MemLat int64  `json:"mlat"`           // load latency beyond the L1-hit path (cache-miss cycles)
+	SerExt bool   `json:"serext"`         // issued data-bound on a serializing external input
+}
+
+// Memory-op kinds for UopTrace.Mem.
+const (
+	MemNone  = 0
+	MemLoad  = 1
+	MemStore = 2
+)
+
+// HasDeps reports whether a parsed trace carries the dependence fields:
+// traces written before the schema gained them decode with Tmpl == 0 on
+// every record, while the current writer emits -1 for non-handles.
+func HasDeps(uops []UopTrace) bool {
+	for i := range uops {
+		if uops[i].Tmpl != 0 || uops[i].Dst != 0 || len(uops[i].Srcs) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Trace event kinds.
@@ -108,9 +141,9 @@ func (t *Pipetrace) Flush() error {
 // traceLine is the union shape used to decode one JSONL line.
 type traceLine struct {
 	UopTrace
-	Cycle int64  `json:"cycle"`
-	Ev    string `json:"ev"`
-	Tmpl  int    `json:"template"`
+	Cycle    int64  `json:"cycle"`
+	Ev       string `json:"ev"`
+	Template int    `json:"template"`
 }
 
 // ReadPipetrace parses a pipetrace JSONL stream back into uop records and
@@ -136,14 +169,17 @@ func ReadPipetrace(r io.Reader) ([]UopTrace, []TraceEvent, error) {
 			uops = append(uops, l.UopTrace)
 		case "ev":
 			events = append(events, TraceEvent{
-				Type: "ev", Cycle: l.Cycle, Ev: l.Ev, Template: l.Tmpl, Seq: l.Seq,
+				Type: "ev", Cycle: l.Cycle, Ev: l.Ev, Template: l.Template, Seq: l.Seq,
 			})
 		default:
 			return nil, nil, fmt.Errorf("pipetrace line %d: unknown record type %q", line, l.Type)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		// A scanner error aborts the parse mid-file; the record after the
+		// last parsed line is the culprit (e.g. a line longer than the 1 MiB
+		// buffer reports bufio.ErrTooLong with no position of its own).
+		return nil, nil, fmt.Errorf("pipetrace line %d: %w", line+1, err)
 	}
 	return uops, events, nil
 }

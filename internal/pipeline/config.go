@@ -137,6 +137,25 @@ func Width8() Config {
 	return c
 }
 
+// ConfigByName maps a machine-configuration name — a short alias or the
+// full Config.Name — to its Table 1 / Figure 9 machine. The CLIs use it to
+// recover the configuration a pipetrace was produced under.
+func ConfigByName(name string) (Config, bool) {
+	switch name {
+	case "baseline", "baseline-4way":
+		return Baseline(), true
+	case "reduced", "reduced-3way":
+		return Reduced(), true
+	case "width2", "cross-2way":
+		return Width2(), true
+	case "width8", "cross-8way":
+		return Width8(), true
+	case "dmem4", "cross-dmem4":
+		return SmallDMem(), true
+	}
+	return Config{}, false
+}
+
 // SmallDMem is the reduced machine with a quarter-size data memory system
 // (8KB L1D, 256KB L2) for Figure 9's "cross dmem/4" robustness point.
 func SmallDMem() Config {

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/prog"
 )
 
 // An attached observer must not perturb timing: the observed run's stats
@@ -74,6 +76,103 @@ func TestObservedRunMatchesPlain(t *testing.T) {
 	}
 	if last := ivs[len(ivs)-1].Cycle; last != observed.Cycles {
 		t.Errorf("final interval ends at %d, run took %d cycles", last, observed.Cycles)
+	}
+}
+
+// The dependence/serialization fields appended to the trace schema must be
+// populated: handles carry their template id, register writers their dst,
+// memory ops their kind and address, and serialization delay is measured
+// against the dataflow-feasible internal schedule (pure chain handles
+// report 0, handles aggregating independent ops report the induced delay).
+func TestTraceDependenceFields(t *testing.T) {
+	runTraced := func(p *prog.Program) []obs.UopTrace {
+		t.Helper()
+		sel := selectAll(t, p)
+		var buf bytes.Buffer
+		watch := &obs.Observer{Trace: obs.NewPipetrace(&buf)}
+		if _, err := RunObserved(p, trace(t, p), Reduced(), MGConfig{Selection: sel}, nil, watch); err != nil {
+			t.Fatal(err)
+		}
+		if err := watch.Trace.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		uops, _, err := obs.ReadPipetrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !obs.HasDeps(uops) {
+			t.Fatal("trace should carry dependence fields")
+		}
+		return uops
+	}
+
+	// ilpLoop handles aggregate independent work: internal serialization.
+	handles, serialized := 0, 0
+	for _, u := range runTraced(ilpLoop(t, 100)) {
+		if u.Kind == "handle" {
+			handles++
+			if u.Tmpl < 0 {
+				t.Errorf("handle uop %d has no template id", u.Seq)
+			}
+			if u.SerLat > 0 {
+				serialized++
+			}
+		} else if u.Tmpl != -1 {
+			t.Errorf("non-handle uop %d has template id %d", u.Seq, u.Tmpl)
+		}
+		if u.Dst < -1 || u.Dst >= isa.NumRegs {
+			t.Errorf("uop %d dst %d out of range", u.Seq, u.Dst)
+		}
+		for _, s := range u.Srcs {
+			if s < 0 || s >= isa.NumRegs {
+				t.Errorf("uop %d src %d out of range", u.Seq, s)
+			}
+		}
+		if u.SerLat < 0 || u.SerOut < 0 || u.MemLat < 0 {
+			t.Errorf("uop %d negative delay fields: %+v", u.Seq, u)
+		}
+	}
+	if handles == 0 {
+		t.Fatal("no handles traced")
+	}
+	if serialized == 0 {
+		t.Error("ilpLoop handles aggregate independent ops; expected positive SerLat instances")
+	}
+
+	// mgFriendlyLoop handles are pure 2-op chains: zero induced delay.
+	for _, u := range runTraced(mgFriendlyLoop(t, 100)) {
+		if u.Kind == "handle" && (u.SerLat != 0 || u.SerOut != 0) {
+			t.Errorf("chain handle %d measured serialization %d/%d, want 0",
+				u.Seq, u.SerLat, u.SerOut)
+		}
+	}
+
+	// A load/store loop: memory kind and address recorded.
+	b := prog.NewBuilder("ldst")
+	slot := b.Space(4)
+	b.Li(9, slot)
+	b.Li(1, 50)
+	b.Label("loop")
+	b.Ldw(3, 9, 0)
+	b.Addi(3, 3, 1)
+	b.Stw(3, 9, 0)
+	b.Subi(1, 1, 1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	loads, stores := 0, 0
+	for _, u := range runTraced(b.MustBuild()) {
+		switch u.Mem {
+		case obs.MemLoad:
+			loads++
+			if !u.Squashed && u.Addr == 0 {
+				t.Errorf("committed load uop %d has no address", u.Seq)
+			}
+		case obs.MemStore:
+			stores++
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Errorf("load loop traced %d loads, %d stores; want both > 0", loads, stores)
 	}
 }
 

@@ -88,6 +88,14 @@ type uop struct {
 	// Slack-Dynamic per-instance detection state.
 	serialized bool
 
+	// Pipetrace-only dependence/serialization observables (populated only
+	// when an observer with an active trace is attached; stay zero and cost
+	// nothing otherwise).
+	serLat int64 // completion delay vs. the dataflow-feasible internal schedule
+	serOut int64 // register-output delay vs. that schedule
+	memLat int64 // load cycles beyond the L1-hit path
+	serExt bool  // issued data-bound on a serializing external input
+
 	// Profiling.
 	bbHead      *uop
 	minConsIss  int64
@@ -617,6 +625,7 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 	c := u.mg.Cand
 	t := u.issueCycle // constituent-k issue time (rule #2 of the paper)
 	var maxDone int64
+	var lats [4]int64 // per-constituent latencies (pipetrace attribution)
 	for k := 0; k < u.mg.N; k++ {
 		in := m.p.Code[u.static+k]
 		ek := t + int64(m.cfg.IssueToExec)
@@ -627,6 +636,12 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 			u.memCycle = ek + 1
 			rk = m.loadAccess(u, u.memCycle)
 			lat = rk - ek
+			if m.watch != nil && m.watch.Trace != nil {
+				u.memLat = rk - (u.memCycle + int64(m.hier.L1DHitLatency()))
+				if u.memLat < 0 {
+					u.memLat = 0
+				}
+			}
 		case in.IsStore():
 			u.resolve = ek
 			rk = ek
@@ -645,6 +660,7 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 		if rk > maxDone {
 			maxDone = rk
 		}
+		lats[k] = lat
 		t += lat
 	}
 	u.execDone = maxDone
@@ -653,6 +669,40 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 	}
 	if u.isStore {
 		m.storeIssueChecks(u)
+	}
+
+	// Pipetrace attribution: measure the handle's serialization delay
+	// against the dataflow-feasible internal schedule — constituent k could
+	// have started once its internal producers finished, so any completion
+	// beyond that is the serial ALU pipeline's doing. A pure dependence
+	// chain measures 0; independent constituents measure the induced delay.
+	if m.watch != nil && m.watch.Trace != nil {
+		var f [4]int64
+		var maxF int64
+		for k := 0; k < u.mg.N; k++ {
+			var start int64
+			deps := c.InternalDeps(k)
+			for j := 0; j < k; j++ {
+				if deps&(1<<uint(j)) != 0 && f[j] > start {
+					start = f[j]
+				}
+			}
+			f[k] = start + lats[k]
+			if f[k] > maxF {
+				maxF = f[k]
+			}
+		}
+		u.serLat = u.execDone - (exec + maxF)
+		if u.serLat < 0 {
+			u.serLat = 0
+		}
+		if c.OutputIdx >= 0 {
+			u.serOut = u.readyOut - (exec + f[c.OutputIdx])
+			if u.serOut < 0 {
+				u.serOut = 0
+			}
+		}
+		u.serExt = lastIdx >= 0 && c.FirstUse[lastIdx] > 0 && u.issueCycle == lastReady
 	}
 
 	// Slack-Dynamic serialization detection. An instance suffered
@@ -1419,6 +1469,39 @@ func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
 		Replays:  int(u.replays),
 		Mispred:  u.mispred,
 		Squashed: squashed,
+
+		Dst:    -1,
+		Tmpl:   -1,
+		SerLat: u.serLat,
+		SerOut: u.serOut,
+		MemLat: u.memLat,
+		SerExt: u.serExt,
+	}
+	if u.writesReg {
+		r.Dst = int(u.dstReg)
+	}
+	if u.nSrc > 0 {
+		r.Srcs = make([]int, u.nSrc)
+		for i := 0; i < u.nSrc; i++ {
+			r.Srcs[i] = int(u.srcReg[i])
+		}
+	}
+	if u.kind == kindHandle {
+		r.Tmpl = u.mg.Template
+	}
+	switch {
+	case u.isLoad:
+		r.Mem = obs.MemLoad
+	case u.isStore:
+		r.Mem = obs.MemStore
+	}
+	if r.Mem != obs.MemNone && u.issueCycle >= 0 {
+		r.Addr = u.memAddr
+	}
+	// Singleton loads: cycles beyond the L1-hit wakeup the consumers saw
+	// (specReady is capped at readyOut, so this is never negative).
+	if u.kind != kindHandle && u.isLoad && u.issueCycle >= 0 {
+		r.MemLat = u.readyOut - u.specReady
 	}
 	if squashed {
 		r.Commit = -1

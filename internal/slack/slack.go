@@ -61,6 +61,21 @@ func (p *Profile) Valid(i int) bool {
 	return i >= 0 && i < len(p.Count) && p.Count[i] > 0
 }
 
+// RegSlackAt returns the predicted register-output local slack of static
+// instruction i, reporting ok=false when the instruction was never
+// observed or has no register-output slack (NaN). It is the accessor the
+// critical-path comparator (internal/critpath) validates against.
+func (p *Profile) RegSlackAt(i int) (v float64, ok bool) {
+	if !p.Valid(i) || i >= len(p.RegSlack) {
+		return 0, false
+	}
+	v = p.RegSlack[i]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
 // nanSentinel encodes NaN in JSON (which cannot represent NaN directly).
 const nanSentinel = -1e300
 
