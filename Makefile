@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke critpath-smoke bench benchjson report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke bench benchjson report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
-## cache and pipeline tests, and end-to-end observability and attribution
-## smoke tests. Documented in README.md; run before every merge.
-ci: vet fmt build test race obs-smoke critpath-smoke
+## cache and pipeline tests, the scheduler differential, and end-to-end
+## observability and attribution smoke tests. Documented in README.md; run
+## before every merge.
+ci: vet fmt build test race sched-smoke obs-smoke critpath-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +39,13 @@ obs-smoke:
 		>/dev/null && \
 	rm -rf $$dir && echo "obs-smoke ok"
 
+# Scheduler differential: the event-driven scheduler must match the scan
+# reference bit for bit (Stats, pipetrace bytes, interval samples) on every
+# workload across the singleton / mini-graph / Slack-Dynamic configurations.
+sched-smoke:
+	$(GO) test -run 'TestSchedulerDifferential' -count=1 ./internal/pipeline
+	@echo "sched-smoke ok"
+
 # Cycle-loss attribution end to end on the committed tiny trace: the walk
 # must succeed and report the trace's known 2-cycle serialization bucket.
 critpath-smoke:
@@ -51,12 +59,19 @@ bench:
 # benchjson: machine-readable microbenchmark baseline for the hot paths the
 # attribution engine leans on (pipeline simulation, the walk itself). The
 # revision and date come from the environment — no clock reads in tool code.
+# The fresh numbers are diffed against the previous PR's committed baseline;
+# a >15% ns/op regression on any shared benchmark fails the target. Each
+# benchmark runs three times and benchjson keeps the fastest, damping
+# scheduler noise. Note the baselines were recorded on whatever machine ran
+# them — cross-machine deltas measure the hardware as much as the code (see
+# README "Performance").
 benchjson:
-	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze' -benchtime 2x -benchmem \
+	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze' -benchtime 5x -count 3 -benchmem \
 		./internal/pipeline ./internal/critpath | \
 	$(GO) run ./cmd/benchjson -rev "$$(git rev-parse --short HEAD)" \
-		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" > BENCH_PR3.json
-	@echo "wrote BENCH_PR3.json"
+		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		-baseline BENCH_PR3.json > BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
 
 report:
 	$(GO) run ./cmd/mgreport -exp all

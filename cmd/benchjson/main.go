@@ -3,6 +3,12 @@
 // passed in from the environment (the tool itself never reads a clock or
 // the repository — `make benchjson` supplies both).
 //
+// With -baseline it also diffs the fresh numbers against a previously
+// committed document, prints per-benchmark ns/op deltas on stderr, and
+// exits non-zero when any shared benchmark regressed by more than
+// -max-regress (the JSON is still written first, so the artifact survives
+// a failing gate for inspection).
+//
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem ./... | benchjson -rev $(git rev-parse --short HEAD) -date $(date -u +%F)
@@ -38,8 +44,10 @@ type Doc struct {
 
 func main() {
 	var (
-		rev  = flag.String("rev", "unknown", "source revision the benchmarks ran at")
-		date = flag.String("date", "unknown", "run date (supplied by the caller)")
+		rev      = flag.String("rev", "unknown", "source revision the benchmarks ran at")
+		date     = flag.String("date", "unknown", "run date (supplied by the caller)")
+		baseline = flag.String("baseline", "", "prior benchjson document to diff against")
+		maxReg   = flag.Float64("max-regress", 0.15, "ns/op regression vs -baseline that fails the run")
 	)
 	flag.Parse()
 
@@ -48,6 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	benches = bestOf(benches)
 	if len(benches) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
@@ -59,6 +68,91 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	lines, regressions := diffDocs(doc, base, *maxReg)
+	fmt.Fprintf(os.Stderr, "benchjson: vs baseline %s (rev %s)\n", *baseline, base.Rev)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, "  "+l)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed more than %.0f%%: %s\n",
+			len(regressions), *maxReg*100, strings.Join(regressions, ", "))
+		os.Exit(2)
+	}
+}
+
+// bestOf collapses repeated runs of the same benchmark (`go test -count N`)
+// into one row keeping the fastest ns/op — the run least disturbed by
+// scheduler noise, which is what a regression gate should compare.
+func bestOf(benches []Benchmark) []Benchmark {
+	byName := make(map[string]int)
+	var out []Benchmark
+	for _, b := range benches {
+		i, seen := byName[b.Name]
+		if !seen {
+			byName[b.Name] = len(out)
+			out = append(out, b)
+			continue
+		}
+		if b.NsPerOp < out[i].NsPerOp {
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// benchKey normalizes a benchmark name for cross-run matching by dropping
+// the -GOMAXPROCS suffix go test appends on multi-proc runs.
+func benchKey(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diffDocs compares cur against base benchmark by benchmark. It returns
+// human-readable delta lines (in cur's order, then base-only leftovers) and
+// the names of benchmarks whose ns/op regressed by more than tol.
+func diffDocs(cur, base Doc, tol float64) (lines, regressions []string) {
+	prior := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prior[benchKey(b.Name)] = b
+	}
+	for _, b := range cur.Benchmarks {
+		key := benchKey(b.Name)
+		old, ok := prior[key]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%-44s %12.0f ns/op  (new)", key, b.NsPerOp))
+			continue
+		}
+		delete(prior, key)
+		pct := (b.NsPerOp - old.NsPerOp) / old.NsPerOp
+		lines = append(lines, fmt.Sprintf("%-44s %12.0f -> %12.0f ns/op  %+6.1f%%",
+			key, old.NsPerOp, b.NsPerOp, pct*100))
+		if pct > tol {
+			regressions = append(regressions, key)
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if _, left := prior[benchKey(b.Name)]; left {
+			lines = append(lines, fmt.Sprintf("%-44s %12.0f ns/op  (gone)", benchKey(b.Name), b.NsPerOp))
+		}
+	}
+	return lines, regressions
 }
 
 // parseBench extracts benchmark result lines, ignoring everything else

@@ -37,27 +37,91 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
-// The committed baseline written by `make benchjson` must parse back and
-// carry plausible contents — this is the validity check for the artifact
-// itself, not its numbers.
+// The committed baselines written by `make benchjson` must parse back and
+// carry plausible contents — this is the validity check for the artifacts
+// themselves, not their numbers.
 func TestCommittedBaselineParses(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR3.json"))
-	if err != nil {
-		t.Fatalf("%v (run `make benchjson` to regenerate the baseline)", err)
-	}
-	var doc Doc
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		t.Fatal(err)
-	}
-	if doc.Rev == "" || doc.Date == "" || doc.Go == "" {
-		t.Errorf("baseline missing metadata: %+v", doc)
-	}
-	if len(doc.Benchmarks) == 0 {
-		t.Fatal("baseline carries no benchmarks")
-	}
-	for _, b := range doc.Benchmarks {
-		if b.Name == "" || b.Iters <= 0 || b.NsPerOp <= 0 {
-			t.Errorf("implausible benchmark row: %+v", b)
+	for _, file := range []string{"BENCH_PR3.json", "BENCH_PR4.json"} {
+		raw, err := os.ReadFile(filepath.Join("..", "..", file))
+		if err != nil {
+			t.Fatalf("%v (run `make benchjson` to regenerate the baseline)", err)
 		}
+		var doc Doc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if doc.Rev == "" || doc.Date == "" || doc.Go == "" {
+			t.Errorf("%s: baseline missing metadata: %+v", file, doc)
+		}
+		if len(doc.Benchmarks) == 0 {
+			t.Fatalf("%s: baseline carries no benchmarks", file)
+		}
+		for _, b := range doc.Benchmarks {
+			if b.Name == "" || b.Iters <= 0 || b.NsPerOp <= 0 {
+				t.Errorf("%s: implausible benchmark row: %+v", file, b)
+			}
+		}
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	in := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 9},
+		{Name: "BenchmarkB", NsPerOp: 500},
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 7},
+		{Name: "BenchmarkA", NsPerOp: 1100, AllocsPerOp: 8},
+	}
+	out := bestOf(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(out), out)
+	}
+	if out[0].Name != "BenchmarkA" || out[0].NsPerOp != 1000 || out[0].AllocsPerOp != 7 {
+		t.Errorf("fastest BenchmarkA row not kept: %+v", out[0])
+	}
+	if out[1].Name != "BenchmarkB" || out[1].NsPerOp != 500 {
+		t.Errorf("single-run benchmark mangled: %+v", out[1])
+	}
+}
+
+func TestBenchKey(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":    "BenchmarkFoo",
+		"BenchmarkFoo-16":   "BenchmarkFoo",
+		"BenchmarkFoo":      "BenchmarkFoo",
+		"BenchmarkFoo/x-2":  "BenchmarkFoo/x",
+		"BenchmarkFoo-bar":  "BenchmarkFoo-bar",
+		"BenchmarkFoo/a-b4": "BenchmarkFoo/a-b4",
+	}
+	for in, want := range cases {
+		if got := benchKey(in); got != want {
+			t.Errorf("benchKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiffDocs(t *testing.T) {
+	base := Doc{Rev: "old", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	}}
+	cur := Doc{Rev: "new", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1100},  // +10%: within tolerance
+		{Name: "BenchmarkB-8", NsPerOp: 2400},  // +20%: regression
+		{Name: "BenchmarkNew-8", NsPerOp: 300}, // no baseline: never fails
+	}}
+	lines, regressions := diffDocs(cur, base, 0.15)
+	if len(lines) != 4 {
+		t.Fatalf("got %d delta lines, want 4:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if len(regressions) != 1 || regressions[0] != "BenchmarkB" {
+		t.Errorf("regressions = %v, want [BenchmarkB]", regressions)
+	}
+
+	// An improvement (negative delta) is never a regression, whatever tol.
+	cur.Benchmarks[0].NsPerOp = 900
+	cur.Benchmarks[1].NsPerOp = 100
+	if _, reg := diffDocs(cur, base, 0); len(reg) != 0 {
+		t.Errorf("improvement flagged as regression: %v", reg)
 	}
 }

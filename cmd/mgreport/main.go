@@ -60,8 +60,12 @@ func main() {
 		attribCfg  = flag.String("attribcfg", "reduced", "machine configuration for -attrib")
 		attribOut  = flag.String("attribout", "", "base path for -attrib JSON/CSV artifacts")
 		attribTop  = flag.Int("attribtop", 10, "offender/comparison rows to print in -attrib")
+		refsched   = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
 	)
 	flag.Parse()
+	if *refsched {
+		pipeline.SetDefaultScheduler(pipeline.SchedScan)
+	}
 
 	if *attribW != "" {
 		if err := attrib(os.Stdout, *attribW, *input, *attribSel, *attribCfg, *attribOut, *attribTop); err != nil {

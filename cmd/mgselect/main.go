@@ -34,8 +34,12 @@ func main() {
 		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		verbose    = flag.Bool("v", false, "structured telemetry on stderr")
 		httpaddr   = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
+		refsched   = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
 	)
 	flag.Parse()
+	if *refsched {
+		pipeline.SetDefaultScheduler(pipeline.SchedScan)
+	}
 	if *wName == "" {
 		fmt.Fprintln(os.Stderr, "mgselect: -workload required")
 		os.Exit(2)

@@ -75,8 +75,12 @@ func main() {
 		intervals = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
 		tracedir  = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		httpaddr  = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
+		refsched  = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
 	)
 	flag.Parse()
+	if *refsched {
+		pipeline.SetDefaultScheduler(pipeline.SchedScan)
+	}
 
 	if *list {
 		for _, w := range workload.All() {

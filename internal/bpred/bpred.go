@@ -197,10 +197,16 @@ type btbEntry struct {
 	lru    uint64
 }
 
+// btb entries are stored flat and set-major; set indexing is mask/shift
+// when the set count is a power of two (every practical configuration),
+// avoiding two integer divisions per lookup on the fetch hot path.
 type btb struct {
-	sets  [][]btbEntry
-	assoc int
-	tick  uint64
+	entries  []btbEntry
+	nsets    uint32
+	assoc    int
+	setMask  uint32 // nsets-1, used when setShift >= 0
+	setShift int    // log2(nsets), or -1 when nsets is not a power of two
+	tick     uint64
 }
 
 func newBTB(entries, assoc int) *btb {
@@ -211,23 +217,43 @@ func newBTB(entries, assoc int) *btb {
 	if nsets < 1 {
 		nsets = 1
 	}
-	sets := make([][]btbEntry, nsets)
-	for i := range sets {
-		sets[i] = make([]btbEntry, assoc)
+	b := &btb{
+		entries:  make([]btbEntry, nsets*assoc),
+		nsets:    uint32(nsets),
+		assoc:    assoc,
+		setShift: -1,
 	}
-	return &btb{sets: sets, assoc: assoc}
+	if nsets&(nsets-1) == 0 {
+		b.setMask = uint32(nsets - 1)
+		sh := 0
+		for 1<<sh != nsets {
+			sh++
+		}
+		b.setShift = sh
+	}
+	return b
 }
 
 func (b *btb) index(pc uint32) (set uint32, tag uint32) {
 	idx := pc >> 2
-	return idx % uint32(len(b.sets)), idx / uint32(len(b.sets))
+	if b.setShift >= 0 {
+		return idx & b.setMask, idx >> uint(b.setShift)
+	}
+	return idx % b.nsets, idx / b.nsets
+}
+
+// set returns the ways of one set.
+func (b *btb) set(set uint32) []btbEntry {
+	i := int(set) * b.assoc
+	return b.entries[i : i+b.assoc]
 }
 
 func (b *btb) lookup(pc uint32) (uint32, bool) {
 	set, tag := b.index(pc)
 	b.tick++
-	for i := range b.sets[set] {
-		e := &b.sets[set][i]
+	s := b.set(set)
+	for i := range s {
+		e := &s[i]
 		if e.valid && e.tag == tag {
 			e.lru = b.tick
 			return e.target, true
@@ -239,9 +265,10 @@ func (b *btb) lookup(pc uint32) (uint32, bool) {
 func (b *btb) insert(pc, target uint32) {
 	set, tag := b.index(pc)
 	b.tick++
+	s := b.set(set)
 	victim := 0
-	for i := range b.sets[set] {
-		e := &b.sets[set][i]
+	for i := range s {
+		e := &s[i]
 		if e.valid && e.tag == tag {
 			e.target = target
 			e.lru = b.tick
@@ -251,11 +278,11 @@ func (b *btb) insert(pc, target uint32) {
 			victim = i
 			break
 		}
-		if e.lru < b.sets[set][victim].lru {
+		if e.lru < s[victim].lru {
 			victim = i
 		}
 	}
-	b.sets[set][victim] = btbEntry{valid: true, tag: tag, target: target, lru: b.tick}
+	s[victim] = btbEntry{valid: true, tag: tag, target: target, lru: b.tick}
 }
 
 // --- RAS ---

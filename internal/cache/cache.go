@@ -24,11 +24,20 @@ type line struct {
 	lru   uint64
 }
 
-// Cache is one set-associative, LRU, write-back cache level.
+// Cache is one set-associative, LRU, write-back cache level. The line
+// array is flat and set-major (set s occupies lines[s*assoc:(s+1)*assoc]):
+// set indexing is on the simulator's per-access hot path, and the flat
+// layout plus mask/shift indexing (all practical configurations have a
+// power-of-two set count) avoids a pointer chase and two integer divisions
+// per access.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line
+	nsets    uint32
+	assoc    int
 	lineBits uint
+	setMask  uint32 // nsets-1, used when setShift >= 0
+	setShift int    // log2(nsets), or -1 when nsets is not a power of two
 	tick     uint64
 
 	Hits, Misses, Evictions, DirtyEvictions int64
@@ -40,15 +49,27 @@ func New(cfg Config) *Cache {
 	if nsets < 1 {
 		nsets = 1
 	}
-	sets := make([][]line, nsets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
-	}
 	lb := uint(0)
 	for 1<<lb < cfg.LineSize {
 		lb++
 	}
-	return &Cache{cfg: cfg, sets: sets, lineBits: lb}
+	c := &Cache{
+		cfg:      cfg,
+		lines:    make([]line, nsets*cfg.Assoc),
+		nsets:    uint32(nsets),
+		assoc:    cfg.Assoc,
+		lineBits: lb,
+		setShift: -1,
+	}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = uint32(nsets - 1)
+		sh := 0
+		for 1<<sh != nsets {
+			sh++
+		}
+		c.setShift = sh
+	}
+	return c
 }
 
 // Latency returns the hit latency.
@@ -56,14 +77,23 @@ func (c *Cache) Latency() int { return c.cfg.Latency }
 
 func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
 	l := addr >> c.lineBits
-	return l % uint32(len(c.sets)), l / uint32(len(c.sets))
+	if c.setShift >= 0 {
+		return l & c.setMask, l >> uint(c.setShift)
+	}
+	return l % c.nsets, l / c.nsets
+}
+
+// set returns the ways of one set.
+func (c *Cache) set(set uint32) []line {
+	i := int(set) * c.assoc
+	return c.lines[i : i+c.assoc]
 }
 
 // Lookup probes the cache without filling. Returns hit.
 func (c *Cache) Lookup(addr uint32) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+	for _, l := range c.set(set) {
+		if l.valid && l.tag == tag {
 			return true
 		}
 	}
@@ -76,7 +106,7 @@ func (c *Cache) Lookup(addr uint32) bool {
 func (c *Cache) Access(addr uint32, write bool) (hit, dirtyEvict bool) {
 	set, tag := c.index(addr)
 	c.tick++
-	s := c.sets[set]
+	s := c.set(set)
 	for i := range s {
 		if s[i].valid && s[i].tag == tag {
 			s[i].lru = c.tick

@@ -255,14 +255,21 @@ func (in Instr) WritesReg() bool {
 // Sources returns the register sources actually read (excluding the zero
 // register, which needs no dataflow edge: it is always ready).
 func (in Instr) Sources() []Reg {
-	var out []Reg
+	var buf [2]Reg
+	return in.AppendSources(buf[:0])
+}
+
+// AppendSources appends the instruction's register sources to dst and
+// returns it. With a caller-provided backing array it is the
+// allocation-free form of Sources for per-uop hot paths.
+func (in Instr) AppendSources(dst []Reg) []Reg {
 	if in.Rs1 != NoReg && in.Rs1 != ZeroReg && in.Rs1.Valid() {
-		out = append(out, in.Rs1)
+		dst = append(dst, in.Rs1)
 	}
 	if in.Rs2 != NoReg && in.Rs2 != ZeroReg && in.Rs2.Valid() {
-		out = append(out, in.Rs2)
+		dst = append(dst, in.Rs2)
 	}
-	return out
+	return dst
 }
 
 // ReadsReg reports whether the instruction reads register r (excluding zero).

@@ -88,6 +88,12 @@ type uop struct {
 	// Slack-Dynamic per-instance detection state.
 	serialized bool
 
+	// Event-scheduler state (SchedEvent only): consumers registered for
+	// wakeup when this uop issues, and the count of unissued producers
+	// gating this uop's entry into the ready queue.
+	wakeList []*uop
+	waitCnt  int32
+
 	// Pipetrace-only dependence/serialization observables (populated only
 	// when an observer with an active trace is attached; stay zero and cost
 	// nothing otherwise).
@@ -163,6 +169,32 @@ type machine struct {
 	freeUops      []*uop
 	retired       ring[*uop]
 	squashScratch []*uop
+
+	// Event-scheduler state (see sched.go): the ready-queue heap of issue
+	// candidates keyed by earliest-issue cycle, the flat list of candidates
+	// waking exactly next cycle (the dominant case, kept off the heap), the
+	// per-cycle candidate scratch, and the issue-queue occupancy (the scan
+	// scheduler reads len(iq) instead).
+	sched        SchedKind
+	readyQ       []readyEnt
+	readyNext    []*uop
+	issueScratch []*uop
+	iqCount      int
+
+	// Calendar wheel for wakes within wheelSize cycles: slot s holds uops
+	// waking at cycles ≡ s (mod wheelSize), with an occupancy bitmap so the
+	// idle-skip logic finds the earliest pending wake in a few word scans.
+	wheel     [wheelSize][]*uop
+	wheelBits [wheelSize / 64]uint64
+	wheelCnt  int
+}
+
+// iqLen returns the issue-queue occupancy under either scheduler.
+func (m *machine) iqLen() int {
+	if m.sched == SchedScan {
+		return len(m.iq)
+	}
+	return m.iqCount
 }
 
 // noRecycle disables uop recycling even in non-profiling runs; tests flip
@@ -175,7 +207,7 @@ var noRecycle bool
 // slack profile into it (profiling runs should be singleton runs, matching
 // the paper's use of non-mini-graph profiles).
 func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Accumulator) (*Stats, error) {
-	return RunObserved(p, tr, cfg, mg, prof, nil)
+	return RunSched(p, tr, cfg, mg, prof, nil, DefaultScheduler())
 }
 
 // RunObserved is Run with an attached observer collecting pipetrace
@@ -183,6 +215,13 @@ func Run(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Acc
 // observer makes it exactly Run: the hot loop pays one nil check per
 // cycle and per committed uop.
 func RunObserved(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Accumulator, watch *obs.Observer) (*Stats, error) {
+	return RunSched(p, tr, cfg, mg, prof, watch, DefaultScheduler())
+}
+
+// RunSched is RunObserved with an explicit scheduler choice, bypassing the
+// process-wide default. The differential tests use it to run both
+// schedulers side by side; results are byte-identical either way.
+func RunSched(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slack.Accumulator, watch *obs.Observer, sched SchedKind) (*Stats, error) {
 	if len(tr) == 0 {
 		return nil, fmt.Errorf("pipeline: empty trace")
 	}
@@ -195,6 +234,7 @@ func RunObserved(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *s
 		p:        p,
 		tr:       tr,
 		watch:    watch,
+		sched:    sched,
 		hier:     cache.NewHierarchy(cfg.Hier),
 		bp:       bpred.New(cfg.Bpred),
 		ss:       storesets.New(cfg.StoreSetEntries),
@@ -207,12 +247,25 @@ func RunObserved(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *s
 		fetchPending:   newRing[fetchItem](8),
 		fetchQ:         newRing[*uop](cfg.FetchWidth * 9),
 		window:         newRing[*uop](cfg.ROBEntries),
-		iq:             make([]*uop, 0, cfg.IQEntries),
 		inflightLoads:  make([]*uop, 0, cfg.LQEntries),
 		inflightStores: make([]*uop, 0, cfg.SQEntries),
 		pendingViol:    make([]violation, 0, 16),
 		recycle:        prof == nil && !noRecycle,
 		retired:        newRing[*uop](cfg.ROBEntries),
+	}
+	if sched == SchedScan {
+		m.iq = make([]*uop, 0, cfg.IQEntries)
+	} else {
+		m.readyQ = make([]readyEnt, 0, cfg.IQEntries)
+		m.readyNext = make([]*uop, 0, cfg.IQEntries)
+		m.issueScratch = make([]*uop, 0, cfg.IQEntries)
+		// Carve every wheel slot's initial capacity out of one arena; slots
+		// that overflow it (rare pile-ups) grow individually via append.
+		const slotCap = 4
+		arena := make([]*uop, wheelSize*slotCap)
+		for i := range m.wheel {
+			m.wheel[i] = arena[i*slotCap : i*slotCap : (i+1)*slotCap]
+		}
 	}
 	if mg.Enabled() {
 		m.layout = mg.Layout
@@ -234,6 +287,7 @@ func RunObserved(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *s
 		maxCycles = DefaultMaxCycles
 	}
 
+	event := m.sched != SchedScan
 	for {
 		if m.done() {
 			break
@@ -244,7 +298,11 @@ func RunObserved(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *s
 		m.checkViolations()
 		m.commit()
 		m.resolvePendingBranch()
-		m.issue()
+		if event {
+			m.issueEvent()
+		} else {
+			m.issue()
+		}
 		m.rename()
 		m.fetch()
 		if m.mon != nil && m.mgc.Dynamic {
@@ -253,7 +311,11 @@ func RunObserved(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *s
 		if m.watch != nil {
 			m.sampleInterval()
 		}
-		m.cycle++
+		if event {
+			m.advanceCycle(maxCycles)
+		} else {
+			m.cycle++
+		}
 	}
 
 	if m.watch != nil && m.watch.Intervals != nil {
@@ -420,15 +482,11 @@ func (m *machine) resolvePendingBranch() {
 // --- issue ---
 
 func (m *machine) issue() {
-	issueLeft := m.cfg.IssueWidth
-	simple, complx := m.cfg.SimplePorts, m.cfg.ComplexPorts
-	loads, stores := m.cfg.LoadPorts, m.cfg.StorePorts
-	mgLeft, mgMemLeft := m.cfg.MaxMGIssue, m.cfg.MaxMemMGIssue
-
+	bud := m.newIssueBudget()
 	kept := m.iq[:0]
 	for qi := 0; qi < len(m.iq); qi++ {
 		u := m.iq[qi]
-		if issueLeft == 0 {
+		if bud.width == 0 {
 			kept = append(kept, m.iq[qi:]...)
 			break
 		}
@@ -436,46 +494,11 @@ func (m *machine) issue() {
 			kept = append(kept, u)
 			continue
 		}
-		// Port check.
-		ok := true
-		if u.kind == kindHandle {
-			if mgLeft == 0 || (u.isLoad || u.isStore) && mgMemLeft == 0 {
-				ok = false
-			}
-		} else {
-			switch u.class {
-			case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
-				ok = simple > 0
-			case isa.ClassComplex:
-				ok = complx > 0
-			case isa.ClassLoad:
-				ok = loads > 0
-			case isa.ClassStore:
-				ok = stores > 0
-			}
-		}
-		if !ok {
+		if !bud.admits(u) {
 			kept = append(kept, u)
 			continue
 		}
-		issueLeft--
-		if u.kind == kindHandle {
-			mgLeft--
-			if u.isLoad || u.isStore {
-				mgMemLeft--
-			}
-		} else {
-			switch u.class {
-			case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
-				simple--
-			case isa.ClassComplex:
-				complx--
-			case isa.ClassLoad:
-				loads--
-			case isa.ClassStore:
-				stores--
-			}
-		}
+		bud.consume(u)
 		// Register read: if a speculatively-woken source turns out to be a
 		// missed load, this issue attempt is wasted and the uop replays
 		// when the value truly arrives.
@@ -881,6 +904,13 @@ func (m *machine) flushFrom(v *uop) {
 		cut = i
 		u.squashed = true
 		m.squashScratch = append(m.squashScratch, u)
+		if m.sched != SchedScan && u.issueCycle < 0 {
+			// Unissued: leave no event-scheduler references behind. Uops
+			// waiting on a producer are scrubbed from its wakeup list;
+			// ready-queue entries are purged wholesale below.
+			m.iqCount--
+			m.unregisterWaiter(u)
+		}
 		if u.writesReg {
 			if m.lastWriter[u.dstReg] == u {
 				m.lastWriter[u.dstReg] = u.prevWriter
@@ -900,13 +930,17 @@ func (m *machine) flushFrom(v *uop) {
 	m.window.truncBack(cut)
 
 	// Purge squashed uops from the IQ and violation list.
-	kept := m.iq[:0]
-	for _, u := range m.iq {
-		if !u.squashed {
-			kept = append(kept, u)
+	if m.sched == SchedScan {
+		kept := m.iq[:0]
+		for _, u := range m.iq {
+			if !u.squashed {
+				kept = append(kept, u)
+			}
 		}
+		m.iq = kept
+	} else {
+		m.purgeReadyQ()
 	}
-	m.iq = kept
 	keptV := m.pendingViol[:0]
 	for _, pv := range m.pendingViol {
 		if !pv.load.squashed && !pv.store.squashed {
@@ -951,25 +985,10 @@ func (m *machine) rename() {
 		if u.renameReady > m.cycle {
 			return
 		}
-		// Structural resources.
-		if len(m.iq) >= m.cfg.IQEntries {
-			m.stats.StallIQ++
-			return
-		}
-		if m.window.len() >= m.cfg.ROBEntries {
-			m.stats.StallROB++
-			return
-		}
-		if u.writesReg && m.freeRegs == 0 {
-			m.stats.StallRegs++
-			return
-		}
-		if u.isLoad && m.lqUsed >= m.cfg.LQEntries {
-			m.stats.StallLQ++
-			return
-		}
-		if u.isStore && m.sqUsed >= m.cfg.SQEntries {
-			m.stats.StallSQ++
+		// Structural resources (the check order is shared with the event
+		// scheduler's bulk stall accounting; see renameStallCounter).
+		if ctr := m.renameStallCounter(u); ctr != nil {
+			*ctr++
 			return
 		}
 		m.fetchQ.popFront()
@@ -1018,7 +1037,11 @@ func (m *machine) rename() {
 		}
 
 		m.window.pushBack(u)
-		m.iq = append(m.iq, u)
+		if m.sched == SchedScan {
+			m.iq = append(m.iq, u)
+		} else {
+			m.admitEvent(u)
+		}
 	}
 }
 
@@ -1033,10 +1056,17 @@ func (m *machine) fetch() {
 	}
 	var curLine uint32 = math.MaxUint32
 	for n := 0; n < m.cfg.FetchWidth; n++ {
-		if m.fetchPending.len() == 0 && !m.prepareNext() {
-			return
+		var it fetchItem
+		direct := false // it came straight from prepareNext, not the ring
+		if m.fetchPending.len() > 0 {
+			it = m.fetchPending.at(0)
+		} else {
+			var ok bool
+			if it, ok = m.prepareNext(); !ok {
+				return
+			}
+			direct = true
 		}
-		it := m.fetchPending.at(0)
 		// Instruction cache access, one per line per cycle.
 		line := it.addr >> 5
 		if line != curLine {
@@ -1044,11 +1074,16 @@ func (m *machine) fetch() {
 			if done > m.cycle+int64(m.cfg.Hier.L1I.Latency) {
 				// Miss: stall fetch until the line arrives.
 				m.fetchStall = done
+				if direct {
+					m.fetchPending.pushFront(it)
+				}
 				return
 			}
 			curLine = line
 		}
-		m.fetchPending.popFront()
+		if !direct {
+			m.fetchPending.popFront()
+		}
 		u := m.makeUop(it)
 		m.fetchQ.pushBack(u)
 		if u.mispred {
@@ -1061,11 +1096,14 @@ func (m *machine) fetch() {
 	}
 }
 
-// prepareNext converts the next trace record(s) into fetch items. Returns
-// false when the trace is exhausted.
-func (m *machine) prepareNext() bool {
+// prepareNext converts the next trace record(s) into fetch items. The
+// first item is returned directly — the common singleton/handle case never
+// round-trips through the pending ring — and any remainder (outlined
+// mini-graph expansions) is queued. ok is false when the trace is
+// exhausted. Only called with an empty pending ring.
+func (m *machine) prepareNext() (it fetchItem, ok bool) {
 	if m.fetchIdx >= len(m.tr) {
-		return false
+		return fetchItem{}, false
 	}
 	rec := m.tr[m.fetchIdx]
 	static := int(rec.Index)
@@ -1074,14 +1112,14 @@ func (m *machine) prepareNext() bool {
 		if inst := m.mgc.Selection.InstanceAt(static); inst != nil && m.fetchIdx+inst.N <= len(m.tr) {
 			if m.mon != nil && m.mon.isDisabled(inst.Template) && !m.mgc.IdealOutlining {
 				m.prepareOutlined(inst)
-				return true
+				return m.fetchPending.popFront(), true
 			}
 			if m.mon != nil && m.mon.isDisabled(inst.Template) && m.mgc.IdealOutlining {
 				m.prepareInlineSingletons(inst)
-				return true
+				return m.fetchPending.popFront(), true
 			}
 			last := m.tr[m.fetchIdx+inst.N-1]
-			m.fetchPending.pushBack(fetchItem{
+			it = fetchItem{
 				kind:      kindHandle,
 				static:    static,
 				traceIdx:  m.fetchIdx,
@@ -1089,22 +1127,22 @@ func (m *machine) prepareNext() bool {
 				addr:      m.layout.InlineAddr(static),
 				mg:        inst,
 				endsGroup: inst.Cand.CtrlIdx >= 0 && last.Taken,
-			})
+			}
 			m.fetchIdx += inst.N
-			return true
+			return it, true
 		}
 	}
 
-	m.fetchPending.pushBack(fetchItem{
+	it = fetchItem{
 		kind:      kindSingleton,
 		static:    static,
 		traceIdx:  m.fetchIdx,
 		nRecs:     1,
 		addr:      m.layout.InlineAddr(static),
 		endsGroup: rec.Taken,
-	})
+	}
 	m.fetchIdx++
-	return true
+	return it, true
 }
 
 // prepareOutlined queues the outlined (disabled) execution of a mini-graph:
@@ -1179,10 +1217,22 @@ func (m *machine) newUop() *uop {
 	if n := len(m.freeUops); n > 0 {
 		u := m.freeUops[n-1]
 		m.freeUops = m.freeUops[:n-1]
+		wl := u.wakeList
 		*u = uop{} // full reset: recycled uops carry no history
+		u.wakeList = wl[:0]
 		return u
 	}
 	slab := make([]uop, uopSlabSize)
+	if m.sched != SchedScan {
+		// Seed each uop's wakeup list with arena-backed capacity: most
+		// producers wake at most two consumers, and newUop preserves the
+		// capacity across recycling, so steady state never grows them.
+		const wakeCap = 2
+		arena := make([]*uop, uopSlabSize*wakeCap)
+		for i := range slab {
+			slab[i].wakeList = arena[i*wakeCap : i*wakeCap : (i+1)*wakeCap]
+		}
+	}
 	for i := 1; i < len(slab); i++ {
 		m.freeUops = append(m.freeUops, &slab[i])
 	}
@@ -1243,10 +1293,7 @@ func (m *machine) makeUop(it fetchItem) *uop {
 	rec := m.tr[it.traceIdx]
 	u.op = in.Op
 	u.class = isa.ClassOf(in.Op)
-	for _, r := range in.Sources() {
-		u.srcReg[u.nSrc] = r
-		u.nSrc++
-	}
+	u.nSrc = len(in.AppendSources(u.srcReg[:0]))
 	if in.WritesReg() {
 		u.writesReg = true
 		u.dstReg = in.Rd
@@ -1547,7 +1594,7 @@ func (m *machine) snapshot() obs.CycleSnapshot {
 		Disables:   m.stats.MGDisables,
 		Reenables:  m.stats.MGReenables,
 
-		IQOcc:             len(m.iq),
+		IQOcc:             m.iqLen(),
 		ROBOcc:            m.window.len(),
 		LQOcc:             m.lqUsed,
 		SQOcc:             m.sqUsed,

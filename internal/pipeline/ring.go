@@ -32,6 +32,17 @@ func (r *ring[T]) pushBack(v T) {
 	r.n++
 }
 
+// pushFront prepends v (used to return a not-yet-consumed item to the
+// front of the queue, e.g. a fetch item stalled on an I-cache miss).
+func (r *ring[T]) pushFront(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1) & (len(r.buf) - 1)
+	r.buf[r.head] = v
+	r.n++
+}
+
 func (r *ring[T]) popFront() T {
 	var zero T
 	i := r.head

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/emu"
 	"repro/internal/prog"
@@ -18,6 +19,11 @@ type SampleSpec struct {
 	// Warmup is the number of instructions simulated before each window to
 	// warm the caches, predictors and window without being measured.
 	Warmup int
+	// Workers bounds how many sample windows simulate concurrently; 0 or 1
+	// runs them serially. Windows are independent (each gets a fresh
+	// machine) and results are aggregated in window order, so the estimate
+	// is identical for any worker count.
+	Workers int
 }
 
 // Rate returns the fraction of the program actually measured.
@@ -35,12 +41,62 @@ func (s SampleSpec) validate() error {
 	return nil
 }
 
+// windowResult carries one sample window's measured deltas (full subtrace
+// run minus the warm-up prefix rerun) back to the aggregation loop.
+type windowResult struct {
+	cycles, instrs, uops, simulated        int64
+	handles, embedded, mispredicts, replay int64
+	err                                    error
+}
+
+// runWindow simulates one sample window on a fresh machine: the warm-up
+// prefix alone, then the whole subtrace, reporting the difference as the
+// measured region.
+func runWindow(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec SampleSpec, start int) windowResult {
+	warmStart := start - spec.Warmup
+	if warmStart < 0 {
+		warmStart = 0
+	}
+	// A window must begin at a control-transfer boundary so the first
+	// fetched instruction starts a fetch group cleanly; any boundary
+	// works since the machine is fresh. Simulate [warmStart, end).
+	end := start + spec.Window
+	sub := tr[warmStart:end]
+	warmLen := int64(start - warmStart)
+
+	warmStats := &Stats{}
+	if warmLen > 0 {
+		var err error
+		warmStats, err = Run(p, sub[:warmLen], cfg, mg, nil)
+		if err != nil {
+			return windowResult{err: err}
+		}
+	}
+	fullStats, err := Run(p, sub, cfg, mg, nil)
+	if err != nil {
+		return windowResult{err: err}
+	}
+	return windowResult{
+		cycles:      fullStats.Cycles - warmStats.Cycles,
+		instrs:      fullStats.Instrs - warmStats.Instrs,
+		uops:        fullStats.Uops - warmStats.Uops,
+		simulated:   fullStats.Instrs + warmStats.Instrs,
+		handles:     fullStats.Handles - warmStats.Handles,
+		embedded:    fullStats.EmbeddedInstrs - warmStats.EmbeddedInstrs,
+		mispredicts: fullStats.BranchMispredicts - warmStats.BranchMispredicts,
+		replay:      fullStats.Replays - warmStats.Replays,
+	}
+}
+
 // RunSampled estimates a full run's statistics by simulating periodic
-// sample windows with warm-up, extrapolating cycles from the measured
-// instruction share. Each sample runs on a fresh machine whose structures
-// are warmed by the preceding Warmup instructions (cold-start bias beyond
-// the warm-up is the standard cost of this methodology). Returns estimated
-// statistics plus the fraction of instructions actually simulated.
+// sample windows with warm-up, extrapolating cycles and uops from the
+// measured instruction share. Each sample runs on a fresh machine whose
+// structures are warmed by the preceding Warmup instructions (cold-start
+// bias beyond the warm-up is the standard cost of this methodology).
+// Windows are simulated serially or by spec.Workers goroutines; either way
+// the aggregation happens in window order, so the estimate is
+// deterministic. Returns estimated statistics plus the fraction of
+// instructions actually simulated.
 func RunSampled(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec SampleSpec) (*Stats, float64, error) {
 	if err := spec.validate(); err != nil {
 		return nil, 0, err
@@ -51,41 +107,44 @@ func RunSampled(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec Sam
 		return st, 1, err
 	}
 
-	est := &Stats{}
-	var measuredInstrs, measuredCycles, simulated int64
+	var starts []int
 	for start := spec.Interval; start+spec.Window <= len(tr); start += spec.Interval {
-		warmStart := start - spec.Warmup
-		if warmStart < 0 {
-			warmStart = 0
+		starts = append(starts, start)
+	}
+	results := make([]windowResult, len(starts))
+	if spec.Workers > 1 {
+		sem := make(chan struct{}, spec.Workers)
+		var wg sync.WaitGroup
+		for i, start := range starts {
+			wg.Add(1)
+			go func(i, start int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = runWindow(p, tr, cfg, mg, spec, start)
+			}(i, start)
 		}
-		// A window must begin at a control-transfer boundary so the first
-		// fetched instruction starts a fetch group cleanly; any boundary
-		// works since the machine is fresh. Simulate [warmStart, end).
-		end := start + spec.Window
-		sub := tr[warmStart:end]
-		warmLen := int64(start - warmStart)
+		wg.Wait()
+	} else {
+		for i, start := range starts {
+			results[i] = runWindow(p, tr, cfg, mg, spec, start)
+		}
+	}
 
-		warmStats := &Stats{}
-		if warmLen > 0 {
-			var err error
-			warmStats, err = Run(p, sub[:warmLen], cfg, mg, nil)
-			if err != nil {
-				return nil, 0, err
-			}
+	est := &Stats{}
+	var measuredInstrs, measuredCycles, measuredUops, simulated int64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, 0, r.err
 		}
-		fullStats, err := Run(p, sub, cfg, mg, nil)
-		if err != nil {
-			return nil, 0, err
-		}
-		// Measured region = whole subtrace minus the warm-up prefix rerun.
-		measuredCycles += fullStats.Cycles - warmStats.Cycles
-		measuredInstrs += fullStats.Instrs - warmStats.Instrs
-		simulated += fullStats.Instrs + warmStats.Instrs
-
-		est.Handles += fullStats.Handles - warmStats.Handles
-		est.EmbeddedInstrs += fullStats.EmbeddedInstrs - warmStats.EmbeddedInstrs
-		est.BranchMispredicts += fullStats.BranchMispredicts - warmStats.BranchMispredicts
-		est.Replays += fullStats.Replays - warmStats.Replays
+		measuredCycles += r.cycles
+		measuredInstrs += r.instrs
+		measuredUops += r.uops
+		simulated += r.simulated
+		est.Handles += r.handles
+		est.EmbeddedInstrs += r.embedded
+		est.BranchMispredicts += r.mispredicts
+		est.Replays += r.replay
 	}
 	if measuredInstrs <= 0 {
 		return nil, 0, fmt.Errorf("pipeline: sampling measured nothing (trace %d, spec %+v)", len(tr), spec)
@@ -93,6 +152,6 @@ func RunSampled(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec Sam
 	scale := float64(len(tr)) / float64(measuredInstrs)
 	est.Instrs = int64(len(tr))
 	est.Cycles = int64(float64(measuredCycles) * scale)
-	est.Uops = est.Instrs // approximation: uop accounting is not extrapolated
+	est.Uops = int64(float64(measuredUops) * scale)
 	return est, float64(simulated) / float64(len(tr)), nil
 }

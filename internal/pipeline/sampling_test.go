@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/emu"
+	"repro/internal/minigraph"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,85 @@ func TestSampledMatchesFullRun(t *testing.T) {
 		}
 		if est.Instrs != full.Instrs {
 			t.Errorf("%s: instruction accounting %d vs %d", name, est.Instrs, full.Instrs)
+		}
+	}
+}
+
+func TestSampledUopExtrapolation(t *testing.T) {
+	// Under a mini-graph configuration the uop count is genuinely smaller
+	// than the instruction count (handles amortize their constituents), so
+	// the sampled estimate must extrapolate uops from the measured windows
+	// — not approximate them with est.Instrs, which would erase the very
+	// bandwidth amplification the experiments report.
+	w := workload.Find("comm.crc32")
+	p, _, _, err := w.Build("large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]int64, p.NumInstrs())
+	for _, r := range res.Trace {
+		freq[r.Index]++
+	}
+	sel := minigraph.Select(p, minigraph.Enumerate(p, minigraph.DefaultLimits()),
+		freq, minigraph.DefaultSelectConfig())
+	cfg, mg := Reduced(), MGConfig{Selection: sel}
+
+	full, err := Run(p, res.Trace, cfg, mg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Uops >= full.Instrs {
+		t.Fatalf("test premise broken: full run has %d uops for %d instrs", full.Uops, full.Instrs)
+	}
+	spec := SampleSpec{Interval: 10_000, Window: 2_000, Warmup: 1_000}
+	est, _, err := RunSampled(p, res.Trace, cfg, mg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Uops == est.Instrs {
+		t.Error("sampled uops equal sampled instrs: extrapolation not applied")
+	}
+	ratio := float64(est.Uops) / float64(full.Uops)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("sampled uop estimate %.0f%% of full uops (%d vs %d)",
+			100*ratio, est.Uops, full.Uops)
+	}
+}
+
+func TestSampledWorkersDeterministic(t *testing.T) {
+	// The parallel window pool must be invisible in the results: any worker
+	// count yields the same estimate as the serial path.
+	w := workload.Find("media.fir")
+	p, _, _, err := w.Build("large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SampleSpec{Interval: 10_000, Window: 2_000, Warmup: 1_000}
+	serial, serialFrac, err := RunSampled(p, res.Trace, Reduced(), MGConfig{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		spec := base
+		spec.Workers = workers
+		par, parFrac, err := RunSampled(p, res.Trace, Reduced(), MGConfig{}, spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *par != *serial {
+			t.Errorf("workers=%d: stats diverge from serial:\nserial %+v\npar    %+v",
+				workers, serial, par)
+		}
+		if parFrac != serialFrac {
+			t.Errorf("workers=%d: simulated fraction %v != %v", workers, parFrac, serialFrac)
 		}
 	}
 }

@@ -1,0 +1,560 @@
+package pipeline
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/isa"
+)
+
+// SchedKind selects the issue-scheduler implementation. Both schedulers
+// simulate the same machine and produce byte-identical statistics and
+// pipetraces; they differ only in how the simulator finds work.
+//
+// SchedEvent (the default) is event-driven: issue() pops candidates from a
+// ready-queue that producers populate on wakeup broadcast, and the main
+// loop jumps over cycles in which no pipeline stage can make progress.
+// SchedScan is the original per-cycle implementation — tick every cycle,
+// rescan the whole issue queue — kept as the differential oracle behind
+// the CLIs' -refsched flag.
+type SchedKind uint8
+
+const (
+	// SchedEvent is the event-driven scheduler: producer-wakeup issue
+	// queue plus idle-cycle skipping.
+	SchedEvent SchedKind = iota
+	// SchedScan is the reference per-cycle scan scheduler.
+	SchedScan
+)
+
+func (k SchedKind) String() string {
+	if k == SchedScan {
+		return "scan"
+	}
+	return "event"
+}
+
+// defaultSched is the scheduler Run and RunObserved use. Atomic so that a
+// CLI flipping it at startup never races concurrent simulations.
+var defaultSched atomic.Uint32
+
+// SetDefaultScheduler selects the scheduler used by Run and RunObserved.
+// Intended for CLI startup (-refsched); set it before starting runs.
+func SetDefaultScheduler(k SchedKind) { defaultSched.Store(uint32(k)) }
+
+// DefaultScheduler returns the scheduler Run and RunObserved will use.
+func DefaultScheduler() SchedKind { return SchedKind(defaultSched.Load()) }
+
+// --- issue bandwidth bookkeeping (shared by both schedulers) ---
+
+// issueBudget tracks the per-cycle issue bandwidth and port budget.
+type issueBudget struct {
+	width, simple, complx, loads, stores, mg, mgMem int
+}
+
+func (m *machine) newIssueBudget() issueBudget {
+	return issueBudget{
+		width:  m.cfg.IssueWidth,
+		simple: m.cfg.SimplePorts,
+		complx: m.cfg.ComplexPorts,
+		loads:  m.cfg.LoadPorts,
+		stores: m.cfg.StorePorts,
+		mg:     m.cfg.MaxMGIssue,
+		mgMem:  m.cfg.MaxMemMGIssue,
+	}
+}
+
+// admits reports whether a port is available for u this cycle.
+func (b *issueBudget) admits(u *uop) bool {
+	if u.kind == kindHandle {
+		return b.mg > 0 && !((u.isLoad || u.isStore) && b.mgMem == 0)
+	}
+	switch u.class {
+	case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
+		return b.simple > 0
+	case isa.ClassComplex:
+		return b.complx > 0
+	case isa.ClassLoad:
+		return b.loads > 0
+	case isa.ClassStore:
+		return b.stores > 0
+	}
+	return true
+}
+
+// consume charges u's issue against the budget.
+func (b *issueBudget) consume(u *uop) {
+	b.width--
+	if u.kind == kindHandle {
+		b.mg--
+		if u.isLoad || u.isStore {
+			b.mgMem--
+		}
+		return
+	}
+	switch u.class {
+	case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
+		b.simple--
+	case isa.ClassComplex:
+		b.complx--
+	case isa.ClassLoad:
+		b.loads--
+	case isa.ClassStore:
+		b.stores--
+	}
+}
+
+// --- event scheduler: ready queue ---
+
+// readyEnt is one ready-queue entry: uop u may attempt issue at cycle
+// wake. The heap orders by (wake, seq) so same-cycle candidates pop in
+// program order, matching the scan scheduler's issue-queue order.
+type readyEnt struct {
+	wake int64
+	seq  int64
+	u    *uop
+}
+
+func entBefore(a, b readyEnt) bool {
+	return a.wake < b.wake || (a.wake == b.wake && a.seq < b.seq)
+}
+
+// wheelSize is the calendar-wheel horizon in cycles. Wakes beyond it (rare
+// bus-contention pile-ups) fall back to the overflow heap. Power of two.
+const wheelSize = 512
+
+// pushReady schedules u's next issue attempt at cycle wake, choosing the
+// cheapest structure that can represent it: the flat readyNext list when
+// wake is exactly next cycle (port/bandwidth rejects, operands already
+// ready at rename — the dominant case), a calendar-wheel slot for wakes
+// within the wheel horizon (load misses, latency chains), and the overflow
+// heap beyond that.
+func (m *machine) pushReady(u *uop, wake int64) {
+	d := wake - m.cycle
+	if d <= 1 {
+		// Exotic configurations can broadcast a same-cycle wake (d <= 0);
+		// those must stay visible to the current issue drain, which re-reads
+		// the wheel slot — readyNext is only read next cycle.
+		if d == 1 {
+			m.readyNext = append(m.readyNext, u)
+			return
+		}
+		m.pushReadyHeap(u, wake)
+		return
+	}
+	if d < wheelSize {
+		s := int(wake) & (wheelSize - 1)
+		if len(m.wheel[s]) == 0 {
+			m.wheelBits[s>>6] |= 1 << uint(s&63)
+		}
+		m.wheel[s] = append(m.wheel[s], u)
+		m.wheelCnt++
+		return
+	}
+	m.pushReadyHeap(u, wake)
+}
+
+func (m *machine) pushReadyHeap(u *uop, wake int64) {
+	q := append(m.readyQ, readyEnt{wake: wake, seq: u.seq, u: u})
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entBefore(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	m.readyQ = q
+}
+
+func (m *machine) popReady() *uop {
+	q := m.readyQ
+	u := q[0].u
+	n := len(q) - 1
+	q[0] = q[n]
+	m.readyQ = q[:n]
+	siftDownReady(m.readyQ, 0)
+	return u
+}
+
+func siftDownReady(q []readyEnt, i int) {
+	n := len(q)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && entBefore(q[l], q[smallest]) {
+			smallest = l
+		}
+		if r < n && entBefore(q[r], q[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+}
+
+// purgeReadyQ drops squashed uops after a flush — they are about to be
+// recycled, so stale entries must go — and restores heap order.
+func (m *machine) purgeReadyQ() {
+	q := m.readyQ[:0]
+	for _, e := range m.readyQ {
+		if !e.u.squashed {
+			q = append(q, e)
+		}
+	}
+	m.readyQ = q
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		siftDownReady(q, i)
+	}
+	nx := m.readyNext[:0]
+	for _, u := range m.readyNext {
+		if !u.squashed {
+			nx = append(nx, u)
+		}
+	}
+	m.readyNext = nx
+	if m.wheelCnt == 0 {
+		return
+	}
+	for w, word := range m.wheelBits {
+		for word != 0 {
+			s := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			ws := m.wheel[s]
+			kept := ws[:0]
+			for _, u := range ws {
+				if !u.squashed {
+					kept = append(kept, u)
+				}
+			}
+			m.wheelCnt -= len(ws) - len(kept)
+			m.wheel[s] = kept
+			if len(kept) == 0 {
+				m.wheelBits[w] &^= 1 << uint(s&63)
+			}
+		}
+	}
+}
+
+// nextWheelWake returns the earliest wake cycle pending in the calendar
+// wheel. Caller guarantees wheelCnt > 0; remaining entries wake within
+// (cycle, cycle+wheelSize), so a circular bitmap scan starting at the slot
+// for cycle+1 finds the earliest in at most wheelSize/64+1 word reads.
+func (m *machine) nextWheelWake() int64 {
+	start := int(m.cycle+1) & (wheelSize - 1)
+	w := start >> 6
+	word := m.wheelBits[w] & (^uint64(0) << uint(start&63))
+	for i := 0; i <= len(m.wheelBits); i++ {
+		if word != 0 {
+			s := w<<6 + bits.TrailingZeros64(word)
+			return m.cycle + 1 + int64((s-start)&(wheelSize-1))
+		}
+		w = (w + 1) & (len(m.wheelBits) - 1)
+		word = m.wheelBits[w]
+	}
+	return never // unreachable while wheelCnt > 0
+}
+
+// --- event scheduler: producer wakeup ---
+
+// admitEvent registers a freshly renamed uop with the event scheduler:
+// either it waits on unissued producers (which will wake it when they
+// broadcast at issue), or it goes straight onto the ready queue.
+func (m *machine) admitEvent(u *uop) {
+	m.iqCount++
+	cnt := int32(0)
+	for i := 0; i < u.nSrc; i++ {
+		if p := u.srcProd[i]; p != nil && p.issueCycle < 0 {
+			p.wakeList = append(p.wakeList, u)
+			cnt++
+		}
+	}
+	if ws := u.waitStore; ws != nil && ws.issueCycle < 0 {
+		ws.wakeList = append(ws.wakeList, u)
+		cnt++
+	}
+	u.waitCnt = cnt
+	if cnt == 0 {
+		m.enqueueReady(u)
+	}
+}
+
+// enqueueReady computes the first cycle at which the scan scheduler's
+// ready() would admit u — every producer has issued by now, so all wakeup
+// times are known — and pushes it onto the ready queue.
+func (m *machine) enqueueReady(u *uop) {
+	wake := u.renameCycle + 1 // first cycle issue() sees a renamed uop
+	if u.earliestIss > wake {
+		wake = u.earliestIss
+	}
+	for i := 0; i < u.nSrc; i++ {
+		p := u.srcProd[i]
+		if p == nil {
+			continue
+		}
+		w := p.readyOut
+		if p.specReady > 0 && p.specReady < w {
+			w = p.specReady // speculative load-hit wakeup
+		}
+		if p.issueCycle > w {
+			w = p.issueCycle // consumer scans after producer the same cycle
+		}
+		if w > wake {
+			wake = w
+		}
+	}
+	if ws := u.waitStore; ws != nil && !ws.committed && !ws.squashed {
+		w := ws.resolve
+		if ws.issueCycle > w {
+			w = ws.issueCycle
+		}
+		if w > wake {
+			wake = w
+		}
+	}
+	m.pushReady(u, wake)
+}
+
+// broadcast wakes the consumers waiting on u, which has just issued (its
+// readyOut/specReady/resolve are now known). Consumers whose last
+// outstanding producer this was move onto the ready queue.
+func (m *machine) broadcast(u *uop) {
+	wl := u.wakeList
+	if len(wl) == 0 {
+		return
+	}
+	for _, c := range wl {
+		c.waitCnt--
+		if c.waitCnt == 0 && !c.squashed {
+			m.enqueueReady(c)
+		}
+	}
+	u.wakeList = wl[:0]
+}
+
+// unregisterWaiter removes a squashed, never-issued uop from its
+// producers' wakeup lists so their broadcasts never touch a recycled uop.
+// Uops already on the ready queue (waitCnt 0) are purged wholesale by
+// purgeReadyQ instead.
+func (m *machine) unregisterWaiter(u *uop) {
+	if u.waitCnt == 0 {
+		return
+	}
+	for i := 0; i < u.nSrc; i++ {
+		if p := u.srcProd[i]; p != nil && p.issueCycle < 0 {
+			removeWaiter(p, u)
+		}
+	}
+	if ws := u.waitStore; ws != nil && ws.issueCycle < 0 {
+		removeWaiter(ws, u)
+	}
+	u.waitCnt = 0
+}
+
+func removeWaiter(p, u *uop) {
+	wl := p.wakeList
+	kept := wl[:0]
+	for _, w := range wl {
+		if w != u {
+			kept = append(kept, w)
+		}
+	}
+	p.wakeList = kept
+}
+
+// --- event scheduler: issue ---
+
+// issueEvent is the event-driven issue stage: pop every candidate whose
+// wake cycle has arrived, attempt them in program order under the same
+// bandwidth/port/register-read rules as the scan scheduler, and re-queue
+// rejects at their next feasible cycle (next cycle for structural
+// rejects, the true operand-ready cycle for register-read replays).
+func (m *machine) issueEvent() {
+	slot := int(m.cycle) & (wheelSize - 1)
+	if len(m.readyNext) == 0 && len(m.wheel[slot]) == 0 &&
+		(len(m.readyQ) == 0 || m.readyQ[0].wake > m.cycle) {
+		return
+	}
+	bud := m.newIssueBudget()
+	cand := append(m.issueScratch[:0], m.readyNext...)
+	m.readyNext = m.readyNext[:0]
+	// The outer loop re-drains the wheel and heap in case a broadcast
+	// enqueued a consumer already eligible this cycle (impossible with a
+	// non-zero issue-to-execute depth, but kept for exotic configurations;
+	// such wakes never land on readyNext).
+	for {
+		// Every entry in the current wheel slot is due exactly now: pushes
+		// place wakes at most wheelSize-1 cycles out, and the idle-skip
+		// logic never jumps past a pending wake.
+		if ws := m.wheel[slot]; len(ws) > 0 {
+			cand = append(cand, ws...)
+			m.wheelCnt -= len(ws)
+			m.wheel[slot] = ws[:0]
+			m.wheelBits[slot>>6] &^= 1 << uint(slot&63)
+		}
+		for len(m.readyQ) > 0 && m.readyQ[0].wake <= m.cycle {
+			cand = append(cand, m.popReady())
+		}
+		if len(cand) == 0 {
+			break
+		}
+		sortUopsBySeq(cand)
+		for i, u := range cand {
+			if u.squashed {
+				continue
+			}
+			if bud.width == 0 {
+				// Out of issue bandwidth: everything still eligible
+				// retries next cycle, like the scan's early exit.
+				m.readyNext = append(m.readyNext, cand[i:]...)
+				break
+			}
+			if !bud.admits(u) {
+				m.readyNext = append(m.readyNext, u)
+				continue
+			}
+			bud.consume(u)
+			// Register read: a speculatively-woken consumer of a missed
+			// load wastes this attempt and replays at the true ready time.
+			if latest := latestSrcReady(u); latest > m.cycle {
+				m.stats.Replays++
+				u.replays++
+				u.earliestIss = latest
+				m.pushReady(u, latest)
+				continue
+			}
+			m.execute(u)
+			m.iqCount--
+			m.broadcast(u)
+		}
+		cand = cand[:0]
+	}
+	m.issueScratch = cand[:0]
+}
+
+// sortUopsBySeq is an insertion sort: candidate batches are small (bounded
+// by the issue queue) and usually nearly sorted, arriving in (wake, seq)
+// heap order.
+func sortUopsBySeq(us []*uop) {
+	for i := 1; i < len(us); i++ {
+		u := us[i]
+		j := i - 1
+		for j >= 0 && us[j].seq > u.seq {
+			us[j+1] = us[j]
+			j--
+		}
+		us[j+1] = u
+	}
+}
+
+// --- event scheduler: idle-cycle skipping ---
+
+// renameStallCounter returns the stall counter rename would charge this
+// cycle for head-of-queue uop u, or nil if u can rename now. The check
+// order must match rename().
+func (m *machine) renameStallCounter(u *uop) *int64 {
+	if m.iqLen() >= m.cfg.IQEntries {
+		return &m.stats.StallIQ
+	}
+	if m.window.len() >= m.cfg.ROBEntries {
+		return &m.stats.StallROB
+	}
+	if u.writesReg && m.freeRegs == 0 {
+		return &m.stats.StallRegs
+	}
+	if u.isLoad && m.lqUsed >= m.cfg.LQEntries {
+		return &m.stats.StallLQ
+	}
+	if u.isStore && m.sqUsed >= m.cfg.SQEntries {
+		return &m.stats.StallSQ
+	}
+	return nil
+}
+
+// nextEventCycle returns the next cycle at which any pipeline stage might
+// make progress or any per-cycle side channel (Slack-Dynamic decay,
+// interval sampling) must observe the machine. Cycles before it are
+// provably inert except for rename stall counting, which advanceCycle
+// accounts in bulk. Returns never if no event is pending (deadlock).
+func (m *machine) nextEventCycle() int64 {
+	c := m.cycle
+	next := never
+	if len(m.readyNext) > 0 {
+		next = c + 1 // readyNext entries wake next cycle by construction
+	}
+	if len(m.readyQ) > 0 {
+		next = min(next, max(c+1, m.readyQ[0].wake))
+	}
+	if m.wheelCnt > 0 && next > c+1 {
+		next = min(next, m.nextWheelWake())
+	}
+	if m.window.len() > 0 {
+		if h := m.window.at(0); h.issueCycle >= 0 {
+			next = min(next, max(c+1, h.execDone))
+		}
+	}
+	for i := range m.pendingViol {
+		v := &m.pendingViol[i]
+		if v.load.squashed || v.store.squashed {
+			continue
+		}
+		next = min(next, max(c+1, v.atCycle))
+	}
+	if b := m.pendingBranch; b != nil && b.issueCycle >= 0 {
+		next = min(next, max(c+1, b.resolve))
+	}
+	if m.fetchQ.len() > 0 {
+		h := m.fetchQ.at(0)
+		if m.renameStallCounter(h) == nil {
+			// Head can rename once its rename latency elapses. (When it is
+			// structurally blocked, only another event — a commit, issue or
+			// flush — can unblock it, so no event is needed here.)
+			next = min(next, max(c+1, h.renameReady))
+		}
+	}
+	if m.pendingBranch == nil && m.fetchQ.len() < m.cfg.FetchWidth*8 &&
+		(m.fetchPending.len() > 0 || m.fetchIdx < len(m.tr)) {
+		next = min(next, max(c+1, m.fetchStall))
+	}
+	if m.mon != nil && m.mgc.Dynamic {
+		next = min(next, max(c+1, m.mon.decayAt))
+	}
+	if m.watch != nil && m.watch.Intervals != nil {
+		every := m.watch.Intervals.Every()
+		next = min(next, (c/every+1)*every)
+	}
+	return next
+}
+
+// advanceCycle jumps the machine to the next interesting cycle, charging
+// the rename stall counters for the skipped cycles exactly as the scan
+// scheduler would have, one per cycle, against the head-of-queue block
+// reason (which cannot change across inert cycles).
+func (m *machine) advanceCycle(maxCycles int64) {
+	if m.done() {
+		m.cycle++
+		return
+	}
+	next := m.nextEventCycle()
+	if next == never {
+		// No pending event and not done: the machine is wedged. Jump past
+		// the cycle bound so the run surfaces the same deadlock error the
+		// scan scheduler's cycle-by-cycle crawl would eventually hit.
+		m.cycle = maxCycles + 1
+		return
+	}
+	if next > m.cycle+1 && m.fetchQ.len() > 0 {
+		h := m.fetchQ.at(0)
+		from := max(m.cycle+1, h.renameReady)
+		if from < next {
+			if ctr := m.renameStallCounter(h); ctr != nil {
+				*ctr += next - from
+			}
+		}
+	}
+	m.cycle = next
+}

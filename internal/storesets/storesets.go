@@ -23,6 +23,7 @@ type Predictor struct {
 	ssit []int32 // pc hash -> store set id, or invalidSSID
 	lfst []int64 // ssid -> tag of last fetched store (caller-defined), -1 if none
 
+	idxMask  uint32 // len(ssit)-1 when the table is a power of two, else 0
 	nextSSID int32
 
 	// Stats.
@@ -45,10 +46,18 @@ func New(entries int) *Predictor {
 	for i := range p.lfst {
 		p.lfst[i] = -1
 	}
+	if entries&(entries-1) == 0 {
+		p.idxMask = uint32(entries - 1)
+	}
 	return p
 }
 
 func (p *Predictor) idx(pc uint32) int {
+	// Rename-time hot path: mask instead of modulo for the usual
+	// power-of-two table (the mask is also correct for a 1-entry table).
+	if p.idxMask != 0 || len(p.ssit) == 1 {
+		return int((pc >> 2) & p.idxMask)
+	}
 	return int((pc >> 2) % uint32(len(p.ssit)))
 }
 
