@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke bench benchjson report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke metrics-smoke bench benchjson report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
 ## cache and pipeline tests, the scheduler differential, and end-to-end
-## observability and attribution smoke tests. Documented in README.md; run
-## before every merge.
-ci: vet fmt build test race sched-smoke obs-smoke critpath-smoke
+## observability, attribution and metrics/tracing smoke tests. Documented
+## in README.md; run before every merge.
+ci: vet fmt build test race sched-smoke obs-smoke critpath-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,16 @@ critpath-smoke:
 	echo "$$out" | grep -q "serialization *2 *22.2%" && echo "critpath-smoke ok" || \
 	{ echo "critpath-smoke FAILED:"; echo "$$out"; exit 1; }
 
+# End-to-end metrics/tracing: run one tiny sweep with -trace-out, then
+# validate the Chrome trace it wrote (matched B/E pairs, monotonic
+# timestamps) and print nothing on success.
+metrics-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/mgreport -exp fig1 -only comm.crc32 -input small -plots=false \
+		-trace-out $$dir/sweep.trace >/dev/null && \
+	$(GO) run ./cmd/mgtrace -spans $$dir/sweep.trace >/dev/null && \
+	rm -rf $$dir && echo "metrics-smoke ok"
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
@@ -70,8 +80,8 @@ benchjson:
 		./internal/pipeline ./internal/critpath | \
 	$(GO) run ./cmd/benchjson -rev "$$(git rev-parse --short HEAD)" \
 		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-		-baseline BENCH_PR3.json > BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
+		-baseline BENCH_PR4.json > BENCH_PR5.json
+	@echo "wrote BENCH_PR5.json"
 
 report:
 	$(GO) run ./cmd/mgreport -exp all

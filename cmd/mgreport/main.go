@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
@@ -52,7 +53,8 @@ func main() {
 		intervals  = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
 		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		verbose    = flag.Bool("v", false, "structured task telemetry on stderr")
-		httpaddr   = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
+		httpaddr   = flag.String("httpaddr", "", "serve expvar, pprof, /metrics and /debug/sweep on this address during the run")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace (and FILE.spans.jsonl) of the run's spans to FILE")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		attribW    = flag.String("attrib", "", "run cycle-loss attribution on this workload instead of an experiment")
@@ -91,12 +93,20 @@ func main() {
 	}
 	if *httpaddr != "" {
 		core.PublishExpvars()
+		core.EnableMetrics()
 		addr, err := obs.ServeDebug(*httpaddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mgreport:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s — /debug/vars /debug/pprof/ /metrics /debug/sweep\n", addr)
+	}
+	var tracer *metrics.Tracer
+	if *traceOut != "" {
+		core.EnableMetrics()
+		tracer = metrics.NewTracer()
+		metrics.InstallTracer(tracer)
+		metrics.SetTraceOut(*traceOut)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -117,6 +127,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n[%s completed in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
+	if tracer != nil {
+		jsonl, err := metrics.WriteTraceFiles(*traceOut, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (Chrome/Perfetto), %s (JSONL)\n", *traceOut, jsonl)
+	}
 	if *cacheStats {
 		core.FprintCacheStats(os.Stderr)
 	}

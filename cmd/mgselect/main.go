@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -15,6 +16,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
@@ -33,7 +35,8 @@ func main() {
 		intervals  = flag.Int64("intervals", 0, "sample interval metrics of the profiling run every N cycles (0 = off)")
 		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		verbose    = flag.Bool("v", false, "structured telemetry on stderr")
-		httpaddr   = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
+		httpaddr   = flag.String("httpaddr", "", "serve expvar, pprof, /metrics and /debug/sweep on this address during the run")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace (and FILE.spans.jsonl) of the run's spans to FILE")
 		refsched   = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
 	)
 	flag.Parse()
@@ -54,12 +57,20 @@ func main() {
 	}
 	if *httpaddr != "" {
 		core.PublishExpvars()
+		core.EnableMetrics()
 		addr, err := obs.ServeDebug(*httpaddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mgselect:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s — /debug/vars /debug/pprof/ /metrics /debug/sweep\n", addr)
+	}
+	var tracer *metrics.Tracer
+	if *traceOut != "" {
+		core.EnableMetrics()
+		tracer = metrics.NewTracer()
+		metrics.InstallTracer(tracer)
+		metrics.SetTraceOut(*traceOut)
 	}
 
 	var sel *selector.Selector
@@ -83,6 +94,8 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, runSpan := metrics.StartSpan(context.Background(), "mgselect.run",
+		metrics.L("workload", *wName), metrics.L("selector", *selName))
 	bench, err := core.PrepareSharedByName(*wName, *input)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mgselect:", err)
@@ -117,7 +130,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "observability files: %v\n", watch.Files())
 			}
 		} else {
-			prof, err = bench.Profile(cfg)
+			pctx, prsp := metrics.StartSpan(ctx, "profile", metrics.L("config", cfg.Name))
+			prof, err = bench.ProfileCtx(pctx, cfg)
+			prsp.End()
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mgselect:", err)
@@ -125,7 +140,18 @@ func main() {
 		}
 	}
 
+	_, ssp := metrics.StartSpan(ctx, "select", metrics.L("policy", sel.Name()))
 	chosen := bench.Select(sel, prof)
+	ssp.End()
+	runSpan.End()
+	if tracer != nil {
+		jsonl, terr := metrics.WriteTraceFiles(*traceOut, tracer)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "mgselect:", terr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (Chrome/Perfetto), %s (JSONL)\n", *traceOut, jsonl)
+	}
 	fmt.Printf("workload=%s selector=%s candidates=%d\n", *wName, sel.Name(), len(bench.Cands))
 	fmt.Printf("selected: %d instances, %d templates, %.1f%% dynamic coverage\n",
 		len(chosen.Instances), chosen.NumTemplates, 100*chosen.Coverage())

@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
@@ -74,7 +76,8 @@ func main() {
 		pipetrace = flag.Bool("pipetrace", false, "write a per-uop pipetrace JSONL of the run")
 		intervals = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
 		tracedir  = flag.String("tracedir", "", "observability output directory (default \"obs\")")
-		httpaddr  = flag.String("httpaddr", "", "serve expvar and pprof on this address during the run")
+		httpaddr  = flag.String("httpaddr", "", "serve expvar, pprof, /metrics and /debug/sweep on this address during the run")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace (and FILE.spans.jsonl) of the run's spans to FILE")
 		refsched  = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
 	)
 	flag.Parse()
@@ -107,15 +110,28 @@ func main() {
 	}
 	if *httpaddr != "" {
 		core.PublishExpvars()
+		core.EnableMetrics()
 		addr, err := obs.ServeDebug(*httpaddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mgsim:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s — /debug/vars /debug/pprof/ /metrics /debug/sweep\n", addr)
+	}
+	var tracer *metrics.Tracer
+	if *traceOut != "" {
+		core.EnableMetrics()
+		tracer = metrics.NewTracer()
+		metrics.InstallTracer(tracer)
+		metrics.SetTraceOut(*traceOut)
 	}
 
+	ctx, runSpan := metrics.StartSpan(context.Background(), "mgsim.run",
+		metrics.L("workload", *wName), metrics.L("config", *cfgName), metrics.L("selector", *selName))
+	_, psp := metrics.StartSpan(ctx, "prepare",
+		metrics.L("workload", *wName), metrics.L("input", *input))
 	bench, err := core.PrepareByName(*wName, *input)
+	psp.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mgsim:", err)
 		os.Exit(1)
@@ -132,27 +148,46 @@ func main() {
 
 	var st *pipeline.Stats
 	if sel == nil {
+		_, ssp := metrics.StartSpan(ctx, "simulate", metrics.L("config", cfg.Name))
 		if watch != nil {
 			st, err = bench.RunSingletonObserved(cfg, watch)
 		} else {
 			st, err = bench.RunSingleton(cfg)
 		}
+		ssp.End()
 	} else {
 		var prof *slack.Profile
 		if sel.NeedsProfile() {
-			if prof, err = bench.Profile(cfg); err != nil {
+			pctx, prsp := metrics.StartSpan(ctx, "profile", metrics.L("config", cfg.Name))
+			prof, err = bench.ProfileCtx(pctx, cfg)
+			prsp.End()
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "mgsim:", err)
 				os.Exit(1)
 			}
 		}
+		_, sesp := metrics.StartSpan(ctx, "select", metrics.L("policy", sel.Name()))
 		chosen := bench.Select(sel, prof)
+		sesp.End()
 		if *verbose {
 			fmt.Printf("selection coverage (static estimate): %.1f%%\n", 100*chosen.Coverage())
 		}
+		_, ssp := metrics.StartSpan(ctx, "simulate",
+			metrics.L("config", cfg.Name), metrics.L("policy", sel.Name()))
 		if watch != nil {
 			st, err = bench.RunObserved(cfg, sel, chosen, watch)
 		} else {
 			st, err = bench.Run(cfg, sel, chosen)
+		}
+		ssp.End()
+	}
+	runSpan.End()
+	if tracer != nil {
+		if jsonl, terr := metrics.WriteTraceFiles(*traceOut, tracer); terr != nil {
+			fmt.Fprintln(os.Stderr, "mgsim:", terr)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace: %s (Chrome/Perfetto), %s (JSONL)\n", *traceOut, jsonl)
 		}
 	}
 	if watch != nil {

@@ -10,6 +10,11 @@
 //	mgtrace -summary run.intervals.jsonl [-top k]
 //	mgtrace -csv run.intervals.jsonl > run.csv
 //	mgtrace -critpath run.pipetrace.jsonl [-config reduced] [-top k] [-attribjson f] [-attribcsv f]
+//	mgtrace -spans sweep.trace
+//
+// The -spans mode validates a Chrome trace-event file produced by the
+// -trace-out flag of mgreport/mgsim/mgselect (matched B/E pairs, monotonic
+// timestamps) and prints a per-span-name duration summary.
 //
 // The -critpath mode runs the cycle-loss attribution engine
 // (internal/critpath) over a pipetrace: it walks the critical path
@@ -42,6 +47,7 @@ func main() {
 		cfgName   = flag.String("config", "reduced", "machine configuration the trace was produced under")
 		attribJS  = flag.String("attribjson", "", "also write the attribution report as JSON to this file")
 		attribCSV = flag.String("attribcsv", "", "also write the serialization scoreboard as CSV to this file")
+		spansFile = flag.String("spans", "", "Chrome trace file (from -trace-out) to validate and summarize")
 	)
 	flag.Parse()
 
@@ -95,8 +101,14 @@ func main() {
 			fail(err)
 		}
 	}
+	if *spansFile != "" {
+		did = true
+		if err := summarizeSpans(os.Stdout, *spansFile); err != nil {
+			fail(err)
+		}
+	}
 	if !did {
-		fmt.Fprintln(os.Stderr, "mgtrace: one of -trace, -summary, -csv, -critpath required")
+		fmt.Fprintln(os.Stderr, "mgtrace: one of -trace, -summary, -csv, -critpath, -spans required")
 		flag.Usage()
 		os.Exit(2)
 	}

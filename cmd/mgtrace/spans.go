@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// summarizeSpans validates a Chrome trace-event file written by -trace-out
+// and prints a per-name span summary: counts and aggregate durations, plus
+// the process/thread rows the trace occupies. A structurally invalid trace
+// (unmatched B/E, time travel) is an error.
+func summarizeSpans(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := metrics.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	if err := metrics.ValidateChromeTrace(tr); err != nil {
+		return fmt.Errorf("%s: invalid trace: %w", path, err)
+	}
+
+	type agg struct {
+		count   int
+		totalUS float64
+	}
+	byName := map[string]*agg{}
+	rows := map[[2]int]bool{}
+	// Durations via per-(pid,tid) name stacks — validation above guarantees
+	// the B/E pairing is sound.
+	open := map[[2]int][]metrics.TraceEvent{}
+	spans := 0
+	for _, e := range tr.TraceEvents {
+		k := [2]int{e.Pid, e.Tid}
+		switch e.Ph {
+		case "B":
+			rows[k] = true
+			open[k] = append(open[k], e)
+		case "E":
+			st := open[k]
+			b := st[len(st)-1]
+			open[k] = st[:len(st)-1]
+			a := byName[b.Name]
+			if a == nil {
+				a = &agg{}
+				byName[b.Name] = a
+			}
+			a.count++
+			a.totalUS += e.Ts - b.Ts
+			spans++
+		}
+	}
+
+	fmt.Fprintf(w, "%s: valid Chrome trace, %d spans across %d thread rows\n", path, spans, len(rows))
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if byName[names[i]].totalUS != byName[names[j]].totalUS {
+			return byName[names[i]].totalUS > byName[names[j]].totalUS
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(w, "%-24s %8s %14s\n", "span", "count", "total ms")
+	for _, n := range names {
+		a := byName[n]
+		fmt.Fprintf(w, "%-24s %8d %14.3f\n", n, a.count, a.totalUS/1e3)
+	}
+	return nil
+}

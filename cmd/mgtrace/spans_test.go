@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// writeTestTrace records a tiny deterministic span tree and writes it as a
+// Chrome trace file, returning the path.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	var now int64
+	tr := metrics.NewTracerClock(func() int64 { now += 1000; return now })
+	metrics.InstallTracer(tr)
+	defer metrics.InstallTracer(nil)
+
+	ctx := metrics.WithTask(context.Background(), 1, 0)
+	ctx, sweep := metrics.StartSpan(ctx, "sweep")
+	tctx, task := metrics.StartSpan(metrics.WithTid(ctx, 1), "task")
+	_, sim := metrics.StartSpan(tctx, "simulate")
+	sim.End()
+	task.End()
+	sweep.End()
+
+	path := filepath.Join(t.TempDir(), "test.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteChromeTrace(f, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSummarizeSpans checks the -spans mode validates a trace and prints
+// the per-name duration table.
+func TestSummarizeSpans(t *testing.T) {
+	path := writeTestTrace(t)
+	var b bytes.Buffer
+	if err := summarizeSpans(&b, path); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "valid Chrome trace, 3 spans across 2 thread rows") {
+		t.Errorf("summary header wrong:\n%s", out)
+	}
+	for _, name := range []string{"sweep", "task", "simulate"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("summary missing span %q:\n%s", name, out)
+		}
+	}
+	// The sweep span encloses everything, so it must sort first.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 || !strings.HasPrefix(lines[2], "sweep") {
+		t.Errorf("widest span not first:\n%s", out)
+	}
+}
+
+// TestSummarizeSpansRejectsCorrupt checks an invalid trace is an error,
+// not a bogus summary.
+func TestSummarizeSpansRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	// An unmatched B event.
+	bad := `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":0}]}`
+	if err := os.WriteFile(path, []byte(bad), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarizeSpans(&bytes.Buffer{}, path); err == nil {
+		t.Error("corrupt trace accepted")
+	}
+	if err := summarizeSpans(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

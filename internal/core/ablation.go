@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -98,11 +99,12 @@ func RunAblation(title string, opts Options, variants []AblationVariant) (*Sweep
 }
 
 func evalAblation(w *workload.Workload, opts Options, variants []AblationVariant) ([]float64, []float64, error) {
-	bench, err := PrepareShared(w, opts.input())
+	ctx := context.Background()
+	bench, err := PrepareSharedCtx(ctx, w, opts.input())
 	if err != nil {
 		return nil, nil, err
 	}
-	baseStats, err := singletonStats(bench, pipeline.Baseline())
+	baseStats, err := singletonStats(ctx, bench, pipeline.Baseline())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,7 +113,7 @@ func evalAblation(w *workload.Workload, opts Options, variants []AblationVariant
 	vals := make([]float64, len(variants))
 	covs := make([]float64, len(variants))
 	for i, v := range variants {
-		st, err := evalStats(bench, v.Sel, v.Cfg, "", v.Cfg, v.limits(), v.selectCfg())
+		st, err := evalStats(ctx, bench, v.Sel, v.Cfg, "", v.Cfg, v.limits(), v.selectCfg())
 		if err != nil {
 			return nil, nil, err
 		}

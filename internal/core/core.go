@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/emu"
@@ -59,7 +60,7 @@ func Prepare(w *workload.Workload, input string) (*Bench, error) {
 		Trace:    res.Trace,
 		Freq:     freq,
 		Cands:    minigraph.Enumerate(p, minigraph.DefaultLimits()),
-		profiles: simcache.New[simcache.Key, *slack.Profile](),
+		profiles: simcache.Named[simcache.Key, *slack.Profile]("profiles"),
 	}, nil
 }
 
@@ -77,13 +78,21 @@ func PrepareByName(name, input string) (*Bench, error) {
 // cannot collide). This matches the paper: profiles are collected from
 // non-mini-graph executions. Concurrent callers share one computation.
 func (b *Bench) Profile(cfg pipeline.Config) (*slack.Profile, error) {
-	return b.profiles.Do(simcache.Fingerprint(cfg), func() (*slack.Profile, error) {
+	return b.ProfileCtx(context.Background(), cfg)
+}
+
+// ProfileCtx is Profile with the caller's context threaded through, so the
+// per-bench profile-cache lookup (and, on a miss, the profiling run)
+// appears as a nested span in exported traces.
+func (b *Bench) ProfileCtx(ctx context.Context, cfg pipeline.Config) (*slack.Profile, error) {
+	prof, _, err := b.profiles.DoCtx(ctx, simcache.Fingerprint(cfg), func(context.Context) (*slack.Profile, error) {
 		acc := slack.NewAccumulator(b.Prog.Name, b.Prog.NumInstrs())
 		if _, err := pipeline.Run(b.Prog, b.Trace, cfg, pipeline.MGConfig{}, acc); err != nil {
 			return nil, fmt.Errorf("profiling %s on %s: %w", b.Prog.Name, cfg.Name, err)
 		}
 		return acc.Profile(), nil
 	})
+	return prof, err
 }
 
 // Select applies a selection policy, producing the mini-graph set. prof may

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/minigraph"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -117,6 +119,13 @@ type SweepResult struct {
 // regardless of completion order.
 func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, error) {
 	started := time.Now()
+	// Each sweep is one trace process: tid 0 is the orchestrator, worker k
+	// runs as tid k+1.
+	ctx := metrics.WithTask(context.Background(), metrics.NextPid(), 0)
+	ctx, sweepSpan := metrics.StartSpan(ctx, "sweep",
+		metrics.L("title", title), metrics.L("input", opts.input()))
+	defer sweepSpan.End()
+	sweepSeries.sweeps.Inc()
 	if l := tlog(); l != nil {
 		l.Info("sweep.start", "title", title, "input", opts.input(),
 			"workers", opts.workers(), "nocache", opts.NoCache, "observed", opts.Obs.Active())
@@ -135,8 +144,19 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 	}
 
 	ws := opts.workloads()
+	// Live-progress tracking for /debug/sweep: one entry per (workload,
+	// series) task, in the same order both execution paths schedule them.
+	refs := make([][2]string, 0, len(ws)*len(specs))
+	for _, w := range ws {
+		for _, sp := range specs {
+			refs = append(refs, [2]string{w.Name, sp.Label})
+		}
+	}
+	track := metrics.StartSweep(title, refs)
+	defer track.Finish()
+
 	if opts.NoCache {
-		meta, err := runSweepUncached(opts, ws, specs, perfSeries, covSeries)
+		meta, err := runSweepUncached(ctx, opts, ws, specs, perfSeries, covSeries, track)
 		if err != nil {
 			return nil, err
 		}
@@ -173,6 +193,7 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			wctx := metrics.WithTid(ctx, k+1) // worker k is trace tid k+1 (same pid as the sweep)
 			for ti := range next {
 				t := tasks[ti]
 				w := ws[t.wi]
@@ -181,11 +202,18 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 					l.Info("task.start", "sweep", title, "workload", w.Name,
 						"series", sp.Label, "worker", k)
 				}
+				track.TaskRunning(ti, k)
 				t0 := time.Now()
-				perf, cov, outcome, files, err := evalSpec(w, opts.input(), sp, opts.Obs)
+				tctx, span := metrics.StartSpan(wctx, "task",
+					metrics.L("workload", w.Name), metrics.L("series", sp.Label))
+				perf, cov, outcome, files, err := evalSpec(tctx, w, opts.input(), sp, opts.Obs)
+				span.SetAttr("cache", outcome)
+				span.End()
 				vals[ti] = [2]float64{perf, cov}
 				errs[ti] = err
 				meta[ti] = manifestTask(w.Name, sp.Label, k, t0, outcome, files, err)
+				track.TaskDone(ti, outcome, err)
+				noteTaskMetrics(meta[ti])
 				if l := tlog(); l != nil {
 					l.Info("task.finish", "sweep", title, "workload", w.Name,
 						"series", sp.Label, "worker", k,
@@ -253,6 +281,7 @@ func writeSweepManifest(title string, opts Options, started time.Time, tasks []o
 			"intervals": fmt.Sprint(opts.Obs.IntervalEvery),
 			"nocache":   fmt.Sprint(opts.NoCache),
 		},
+		Spans: metrics.TraceOut(),
 		Tasks: tasks,
 	}
 	return obs.WriteManifest(filepath.Join(opts.Obs.Dir, obs.Sanitize(title)+".manifest.json"), m)
@@ -278,23 +307,23 @@ func profCfgOf(sp SeriesSpec) pipeline.Config {
 // evalSpec computes one (workload, spec) point through the caches:
 // relative performance vs the fully-provisioned singleton baseline and
 // coverage, plus the cache outcome and observability files for telemetry.
-func evalSpec(w *workload.Workload, input string, sp SeriesSpec, o *obs.Options) (perf, cov float64, outcome string, files []string, err error) {
-	bench, err := PrepareShared(w, input)
+func evalSpec(ctx context.Context, w *workload.Workload, input string, sp SeriesSpec, o *obs.Options) (perf, cov float64, outcome string, files []string, err error) {
+	bench, err := PrepareSharedCtx(ctx, w, input)
 	if err != nil {
 		return 0, 0, "", nil, err
 	}
-	baseStats, err := singletonStats(bench, pipeline.Baseline())
+	baseStats, err := singletonStats(ctx, bench, pipeline.Baseline())
 	if err != nil {
 		return 0, 0, "", nil, err
 	}
 	var st *pipeline.Stats
 	if o.Active() {
-		st, files, err = runSpecObserved(bench, sp, o)
+		st, files, err = runSpecObserved(ctx, bench, sp, o)
 		outcome = cacheTraced
 	} else if sp.Sel == nil {
-		st, outcome, err = singletonStatsNoted(bench, sp.Cfg)
+		st, outcome, err = singletonStatsNoted(ctx, bench, sp.Cfg)
 	} else {
-		st, outcome, err = evalStatsNoted(bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg,
+		st, outcome, err = evalStatsNoted(ctx, bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg,
 			minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
 	}
 	if err != nil {
@@ -307,20 +336,27 @@ func evalSpec(w *workload.Workload, input string, sp SeriesSpec, o *obs.Options)
 // bypassing the result cache (the trace is a side effect a cache hit
 // would swallow). Selection derivation still goes through the shared
 // caches; only the final timing run is re-executed.
-func runSpecObserved(b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, error) {
+func runSpecObserved(ctx context.Context, b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, error) {
 	watch, err := obs.NewRunObserver(o, obs.Sanitize(b.Workload.Name)+"__"+obs.Sanitize(sp.Label))
 	if err != nil {
 		return nil, nil, err
 	}
 	var st *pipeline.Stats
 	if sp.Sel == nil {
+		_, span := metrics.StartSpan(ctx, "simulate",
+			metrics.L("workload", b.Workload.Name), metrics.L("config", sp.Cfg.Name))
 		st, err = b.RunSingletonObserved(sp.Cfg, watch)
+		span.End()
 	} else {
 		var chosen *minigraph.Selection
-		chosen, err = deriveSelection(b, sp.Sel, profCfgOf(sp), sp.ProfInput,
+		chosen, err = deriveSelection(ctx, b, sp.Sel, profCfgOf(sp), sp.ProfInput,
 			minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
 		if err == nil {
+			_, span := metrics.StartSpan(ctx, "simulate",
+				metrics.L("workload", b.Workload.Name), metrics.L("config", sp.Cfg.Name),
+				metrics.L("policy", sp.Sel.Name()))
 			st, err = b.RunObserved(sp.Cfg, sp.Sel, chosen, watch)
+			span.End()
 		}
 	}
 	if cerr := watch.Close(); err == nil {
@@ -337,7 +373,7 @@ func runSpecObserved(b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, 
 // sweeps. It exists so timing-accuracy investigations can rule the caches
 // out, and as the reference the cached path is tested against. Returns
 // one manifest entry per (workload, spec), in task order.
-func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec, perfSeries, covSeries []*stats.Series) ([]obs.ManifestTask, error) {
+func runSweepUncached(ctx context.Context, opts Options, ws []*workload.Workload, specs []SeriesSpec, perfSeries, covSeries []*stats.Series, track *metrics.SweepProgress) ([]obs.ManifestTask, error) {
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
@@ -354,7 +390,7 @@ func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec,
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
-			vals, covs, tasks, err := evalWorkloadUncached(w, wi, opts, specs)
+			vals, covs, tasks, err := evalWorkloadUncached(ctx, w, wi, opts, specs, track)
 			copy(meta[wi*len(specs):], tasks)
 			mu.Lock()
 			defer mu.Unlock()
@@ -381,12 +417,21 @@ func runSweepUncached(opts Options, ws []*workload.Workload, specs []SeriesSpec,
 // returns relative performance, coverage, and a manifest entry per spec.
 // wi labels this workload's goroutine in telemetry (the uncached path has
 // no shared worker pool).
-func evalWorkloadUncached(w *workload.Workload, wi int, opts Options, specs []SeriesSpec) ([]float64, []float64, []obs.ManifestTask, error) {
+func evalWorkloadUncached(ctx context.Context, w *workload.Workload, wi int, opts Options, specs []SeriesSpec, track *metrics.SweepProgress) ([]float64, []float64, []obs.ManifestTask, error) {
+	// Each workload goroutine is one trace thread (tid wi+1) within the
+	// sweep; its tasks occupy the progress slots [wi*len(specs), ...).
+	ctx = metrics.WithTid(ctx, wi+1)
+	_, psp := metrics.StartSpan(ctx, "prepare",
+		metrics.L("workload", w.Name), metrics.L("input", opts.input()))
 	bench, err := Prepare(w, opts.input())
+	psp.End()
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	_, bsp := metrics.StartSpan(ctx, "simulate",
+		metrics.L("workload", w.Name), metrics.L("config", pipeline.Baseline().Name))
 	baseStats, err := bench.RunSingleton(pipeline.Baseline())
+	bsp.End()
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -402,7 +447,11 @@ func evalWorkloadUncached(w *workload.Workload, wi int, opts Options, specs []Se
 		if l := tlog(); l != nil {
 			l.Info("task.start", "workload", w.Name, "series", sp.Label, "worker", wi)
 		}
+		track.TaskRunning(wi*len(specs)+i, wi)
 		t0 := time.Now()
+		tctx, span := metrics.StartSpan(ctx, "task",
+			metrics.L("workload", w.Name), metrics.L("series", sp.Label),
+			metrics.L("cache", cacheNone))
 		var st *pipeline.Stats
 		var files []string
 		if sp.Sel == nil {
@@ -415,6 +464,7 @@ func evalWorkloadUncached(w *workload.Workload, wi int, opts Options, specs []Se
 				if !ok {
 					pb, err = Prepare(w, sp.ProfInput)
 					if err != nil {
+						span.End()
 						return nil, nil, nil, err
 					}
 					crossBenches[sp.ProfInput] = pb
@@ -426,13 +476,21 @@ func evalWorkloadUncached(w *workload.Workload, wi int, opts Options, specs []Se
 				// Cross-input: collect the profile on the other input's
 				// bench and apply it here (static indices align — the
 				// code is identical, only the data differs).
-				if prof, err = profBench.Profile(profCfg); err != nil {
+				_, prsp := metrics.StartSpan(tctx, "profile",
+					metrics.L("workload", w.Name), metrics.L("config", profCfg.Name))
+				prof, err = profBench.Profile(profCfg)
+				prsp.End()
+				if err != nil {
+					span.End()
 					return nil, nil, nil, err
 				}
 			}
 			st, files, err = runUncachedSelected(bench, sp, prof, opts.Obs)
 		}
+		span.End()
 		meta[i] = manifestTask(w.Name, sp.Label, wi, t0, cacheNone, files, err)
+		track.TaskDone(wi*len(specs)+i, cacheNone, err)
+		noteTaskMetrics(meta[i])
 		if l := tlog(); l != nil {
 			l.Info("task.finish", "workload", w.Name, "series", sp.Label,
 				"worker", wi, "wall_ms", meta[i].WallMS, "cache", cacheNone)
@@ -648,7 +706,7 @@ func LimitStudy(workloadName, input string, workers int) (*LimitResult, error) {
 	n := len(top)
 	red := pipeline.Reduced()
 
-	baseStats, err := singletonStats(bench, pipeline.Baseline())
+	baseStats, err := singletonStats(context.Background(), bench, pipeline.Baseline())
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
 	"repro/internal/emu"
+	"repro/internal/metrics"
 	"repro/internal/minigraph"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
@@ -30,16 +32,16 @@ type benchKey struct {
 var (
 	// benchCache memoizes workload preparation (build, functional
 	// emulation, candidate enumeration) per (workload, input).
-	benchCache = simcache.New[benchKey, *Bench]()
+	benchCache = simcache.Named[benchKey, *Bench]("benches")
 
 	// resultCache memoizes timing-simulation outcomes per fingerprint of
 	// everything that determines them (workload, input, machine config,
 	// selector identity, profile provenance, enumeration limits, MGT
 	// budget).
-	resultCache = simcache.New[simcache.Key, *pipeline.Stats]()
+	resultCache = simcache.Named[simcache.Key, *pipeline.Stats]("results")
 
 	// candsCache memoizes non-default candidate enumerations (ablations).
-	candsCache = simcache.New[simcache.Key, []*minigraph.Candidate]()
+	candsCache = simcache.Named[simcache.Key, []*minigraph.Candidate]("cands")
 )
 
 func init() {
@@ -82,9 +84,20 @@ func SetCachingDisabled(d bool) {
 // (workload, input) pair is built and functionally emulated exactly once
 // per process, no matter how many sweeps request it.
 func PrepareShared(w *workload.Workload, input string) (*Bench, error) {
-	return benchCache.Do(benchKey{w.Name, input}, func() (*Bench, error) {
+	return PrepareSharedCtx(context.Background(), w, input)
+}
+
+// PrepareSharedCtx is PrepareShared with the caller's context threaded
+// through: the bench-cache lookup and, on a miss, the preparation itself
+// appear as spans in exported traces.
+func PrepareSharedCtx(ctx context.Context, w *workload.Workload, input string) (*Bench, error) {
+	b, _, err := benchCache.DoCtx(ctx, benchKey{w.Name, input}, func(ctx context.Context) (*Bench, error) {
+		_, sp := metrics.StartSpan(ctx, "prepare",
+			metrics.L("workload", w.Name), metrics.L("input", input))
+		defer sp.End()
 		return Prepare(w, input)
 	})
+	return b, err
 }
 
 // PrepareSharedByName is PrepareShared by workload name.
@@ -110,16 +123,19 @@ func identityOf(sel *selector.Selector) selIdentity {
 
 // singletonStats returns the cached singleton (no mini-graphs) timing of
 // bench b on cfg.
-func singletonStats(b *Bench, cfg pipeline.Config) (*pipeline.Stats, error) {
-	st, _, err := singletonStatsNoted(b, cfg)
+func singletonStats(ctx context.Context, b *Bench, cfg pipeline.Config) (*pipeline.Stats, error) {
+	st, _, err := singletonStatsNoted(ctx, b, cfg)
 	return st, err
 }
 
 // singletonStatsNoted is singletonStats plus the cache outcome for
 // telemetry.
-func singletonStatsNoted(b *Bench, cfg pipeline.Config) (*pipeline.Stats, string, error) {
+func singletonStatsNoted(ctx context.Context, b *Bench, cfg pipeline.Config) (*pipeline.Stats, string, error) {
 	key := simcache.Fingerprint("singleton", b.Workload.Name, b.Input, cfg)
-	return doNoted(resultCache, key, func() (*pipeline.Stats, error) {
+	return doNoted(ctx, resultCache, key, func(ctx context.Context) (*pipeline.Stats, error) {
+		_, sp := metrics.StartSpan(ctx, "simulate",
+			metrics.L("workload", b.Workload.Name), metrics.L("config", cfg.Name))
+		defer sp.End()
 		return b.RunSingleton(cfg)
 	})
 }
@@ -128,21 +144,13 @@ func singletonStatsNoted(b *Bench, cfg pipeline.Config) (*pipeline.Stats, string
 // the shared caches: the slack profile (possibly on a cross-input bench),
 // the candidate pool under limits, the policy filter, and the final
 // budgeted selection. profInput == "" means self-trained (b's own input).
-func deriveSelection(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*minigraph.Selection, error) {
+func deriveSelection(ctx context.Context, b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*minigraph.Selection, error) {
 	var prof *slack.Profile
 	if sel.NeedsProfile() {
-		profBench := b
-		if profInput != "" && profInput != b.Input {
-			// Cross-input robustness: collect the profile on the other
-			// input's bench (static indices align — the code is
-			// identical, only the data differs).
-			pb, err := PrepareShared(b.Workload, profInput)
-			if err != nil {
-				return nil, err
-			}
-			profBench = pb
-		}
-		p, err := profBench.Profile(profCfg)
+		pctx, psp := metrics.StartSpan(ctx, "profile",
+			metrics.L("workload", b.Workload.Name), metrics.L("config", profCfg.Name))
+		p, err := collectProfile(pctx, b, profCfg, profInput)
+		psp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -150,14 +158,34 @@ func deriveSelection(b *Bench, sel *selector.Selector, profCfg pipeline.Config, 
 	}
 	cands := b.Cands
 	if limits != minigraph.DefaultLimits() {
-		c, err := enumerateShared(b, limits)
+		c, err := enumerateShared(ctx, b, limits)
 		if err != nil {
 			return nil, err
 		}
 		cands = c
 	}
+	_, ssp := metrics.StartSpan(ctx, "select",
+		metrics.L("workload", b.Workload.Name), metrics.L("policy", sel.Name()))
+	defer ssp.End()
 	pool := sel.Pool(b.Prog, cands, prof)
 	return minigraph.Select(b.Prog, pool, b.Freq, selCfg), nil
+}
+
+// collectProfile resolves the profiling bench (possibly cross-input) and
+// returns its slack profile on profCfg.
+func collectProfile(ctx context.Context, b *Bench, profCfg pipeline.Config, profInput string) (*slack.Profile, error) {
+	profBench := b
+	if profInput != "" && profInput != b.Input {
+		// Cross-input robustness: collect the profile on the other
+		// input's bench (static indices align — the code is
+		// identical, only the data differs).
+		pb, err := PrepareSharedCtx(ctx, b.Workload, profInput)
+		if err != nil {
+			return nil, err
+		}
+		profBench = pb
+	}
+	return profBench.ProfileCtx(ctx, profCfg)
 }
 
 // evalStats returns the cached outcome of one experiment series point:
@@ -165,32 +193,37 @@ func deriveSelection(b *Bench, sel *selector.Selector, profCfg pipeline.Config, 
 // run on runCfg. limits and selCfg are the candidate-enumeration and MGT
 // budget knobs (pass the defaults for non-ablation series, so equal work
 // dedupes across figure and ablation drivers).
-func evalStats(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*pipeline.Stats, error) {
-	st, _, err := evalStatsNoted(b, sel, profCfg, profInput, runCfg, limits, selCfg)
+func evalStats(ctx context.Context, b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*pipeline.Stats, error) {
+	st, _, err := evalStatsNoted(ctx, b, sel, profCfg, profInput, runCfg, limits, selCfg)
 	return st, err
 }
 
 // evalStatsNoted is evalStats plus the cache outcome for telemetry.
-func evalStatsNoted(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*pipeline.Stats, string, error) {
+func evalStatsNoted(ctx context.Context, b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config, limits minigraph.Limits, selCfg minigraph.SelectConfig) (*pipeline.Stats, string, error) {
 	if profInput == "" {
 		profInput = b.Input
 	}
 	key := simcache.Fingerprint("eval", b.Workload.Name, b.Input,
 		identityOf(sel), profCfg, profInput, runCfg, limits, selCfg)
-	return doNoted(resultCache, key, func() (*pipeline.Stats, error) {
-		chosen, err := deriveSelection(b, sel, profCfg, profInput, limits, selCfg)
+	return doNoted(ctx, resultCache, key, func(ctx context.Context) (*pipeline.Stats, error) {
+		chosen, err := deriveSelection(ctx, b, sel, profCfg, profInput, limits, selCfg)
 		if err != nil {
 			return nil, err
 		}
+		_, sp := metrics.StartSpan(ctx, "simulate",
+			metrics.L("workload", b.Workload.Name), metrics.L("config", runCfg.Name),
+			metrics.L("policy", sel.Name()))
+		defer sp.End()
 		return b.Run(runCfg, sel, chosen)
 	})
 }
 
 // enumerateShared returns the cached candidate pool of b under non-default
 // enumeration limits.
-func enumerateShared(b *Bench, limits minigraph.Limits) ([]*minigraph.Candidate, error) {
+func enumerateShared(ctx context.Context, b *Bench, limits minigraph.Limits) ([]*minigraph.Candidate, error) {
 	key := simcache.Fingerprint("cands", b.Workload.Name, b.Input, limits)
-	return candsCache.Do(key, func() ([]*minigraph.Candidate, error) {
+	c, _, err := candsCache.DoCtx(ctx, key, func(context.Context) ([]*minigraph.Candidate, error) {
 		return minigraph.Enumerate(b.Prog, limits), nil
 	})
+	return c, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -8,13 +9,17 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/simcache"
 )
 
 // This file is the sweep-telemetry layer: structured task lifecycle
 // logging (log/slog), per-call cache-outcome attribution, expvar
-// publication for the -httpaddr debug server, and the shared
-// cache-counter printer used by the driver commands.
+// publication for the -httpaddr debug server, the /metrics registry
+// bootstrap, and the shared cache-counter printer used by the driver
+// commands.
 
 // telemetry is the process-wide structured logger for task lifecycle
 // events. Nil (the default) disables telemetry entirely; drivers install
@@ -29,35 +34,24 @@ func SetTelemetry(l *slog.Logger) { telemetry.Store(l) }
 // off. Callers nil-check so disabled telemetry costs one atomic load.
 func tlog() *slog.Logger { return telemetry.Load() }
 
-// Cache outcomes reported per series point (manifest and telemetry).
+// Cache outcomes reported per series point (manifest and telemetry). The
+// first three match the simcache outcome strings, so DoCtx results pass
+// through unchanged.
 const (
-	cacheHit    = "hit"    // answered from a completed cache entry
-	cacheMiss   = "miss"   // this call ran the simulation
-	cacheShared = "shared" // joined another task's in-flight simulation
-	cacheTraced = "traced" // observed run: bypassed the result cache
+	cacheHit    = simcache.Hit    // answered from a completed cache entry
+	cacheMiss   = simcache.Miss   // this call ran the simulation
+	cacheShared = simcache.Shared // joined another task's in-flight simulation
+	cacheTraced = "traced"        // observed run: bypassed the result cache
 	cacheNone   = "nocache"
 )
 
-// doNoted is Cache.Do plus outcome attribution for telemetry: it reports
-// whether this call hit a completed entry, ran the computation, or joined
-// another caller's in-flight computation. (A computation completing
-// between the pre-check and Do is reported "shared" though the cache
-// counted a hit; the distinction is cosmetic.)
-func doNoted[K comparable, V any](c *simcache.Cache[K, V], key K, compute func() (V, error)) (V, string, error) {
-	if _, ok := c.Get(key); ok {
-		v, err := c.Do(key, compute)
-		return v, cacheHit, err
-	}
-	ran := false
-	v, err := c.Do(key, func() (V, error) {
-		ran = true
-		return compute()
-	})
-	outcome := cacheShared
-	if ran || c.Disabled() {
-		outcome = cacheMiss
-	}
-	return v, outcome, err
+// doNoted is Cache.DoCtx under its telemetry alias: it returns the cache
+// outcome ("hit", "miss", "shared") alongside the value, emits a cache
+// span when tracing is on, and hands the computation the span's context
+// so its own phase spans nest under the cache lookup. A disabled cache
+// reports every call as a miss.
+func doNoted[K comparable, V any](ctx context.Context, c *simcache.Cache[K, V], key K, compute func(context.Context) (V, error)) (V, string, error) {
+	return c.DoCtx(ctx, key, compute)
 }
 
 // FprintCacheStats prints the process-wide simulation-cache counters in
@@ -73,9 +67,87 @@ var expvarOnce sync.Once
 
 // PublishExpvars exposes the simulation-cache counters as the expvar
 // variable "simcache" (served at /debug/vars by obs.ServeDebug). Safe to
-// call more than once.
+// call more than once. Each scrape takes one consistent snapshot per
+// cache (Cache.Stats reads all counters in a single critical section),
+// so a mid-sweep scrape never observes a half-updated counter set.
 func PublishExpvars() {
 	expvarOnce.Do(func() {
-		expvar.Publish("simcache", expvar.Func(func() any { return Caches() }))
+		expvar.Publish("simcache", expvar.Func(func() any {
+			snap := Caches()
+			return snap
+		}))
 	})
+}
+
+// sweepSeries holds the sweep-level metric instruments. The fields stay
+// nil until EnableMetrics runs; all instrument methods are no-ops on nil,
+// so feeding them needs no guards.
+var sweepSeries struct {
+	sweeps      *metrics.Counter
+	tasksDone   *metrics.Counter
+	tasksFailed *metrics.Counter
+	taskSeconds *metrics.Histogram
+}
+
+// taskWallBuckets covers task wall times from sub-millisecond cache hits
+// to multi-minute uncached simulations.
+var taskWallBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+var enableMetricsOnce sync.Once
+
+// EnableMetrics installs the process-wide metrics registry (served at
+// /metrics by obs.ServeDebug) and registers the core and pipeline series
+// on it: sweep/task counters, the task wall-time histogram, per-cache
+// lookup counters, and the simulation cycle/uop/instruction totals.
+// Idempotent; returns the installed registry.
+func EnableMetrics() *metrics.Registry {
+	enableMetricsOnce.Do(func() {
+		reg := metrics.NewRegistry()
+		registerCacheSeries(reg, "benches", benchCache.Stats)
+		registerCacheSeries(reg, "results", resultCache.Stats)
+		sweepSeries.sweeps = reg.Counter("mg_sweeps_total", "experiment sweeps started")
+		sweepSeries.tasksDone = reg.Counter("mg_sweep_tasks_total",
+			"sweep (workload, series) tasks finished, by final state", metrics.L("state", "done"))
+		sweepSeries.tasksFailed = reg.Counter("mg_sweep_tasks_total",
+			"sweep (workload, series) tasks finished, by final state", metrics.L("state", "error"))
+		sweepSeries.taskSeconds = reg.Histogram("mg_task_wall_seconds",
+			"wall time per sweep task", taskWallBuckets)
+		pipeline.InstallMetrics(reg)
+		metrics.Install(reg)
+	})
+	return metrics.Default()
+}
+
+// registerCacheSeries exposes one simulation cache's counters: lookup
+// outcomes as counters, retained entries/bytes as gauges. Values are read
+// from a consistent Stats snapshot at scrape time — no per-operation cost.
+func registerCacheSeries(reg *metrics.Registry, name string, stats func() simcache.Counters) {
+	cacheL := metrics.L("cache", name)
+	for _, oc := range []struct {
+		outcome string
+		get     func(simcache.Counters) int64
+	}{
+		{"hit", func(c simcache.Counters) int64 { return c.Hits }},
+		{"shared", func(c simcache.Counters) int64 { return c.Shared }},
+		{"miss", func(c simcache.Counters) int64 { return c.Misses }},
+	} {
+		get := oc.get
+		reg.CounterFunc("mg_cache_lookups_total", "simulation-cache lookups by outcome",
+			func() float64 { return float64(get(stats())) }, cacheL, metrics.L("outcome", oc.outcome))
+	}
+	reg.GaugeFunc("mg_cache_entries", "simulation-cache entries retained",
+		func() float64 { return float64(stats().Entries) }, cacheL)
+	reg.GaugeFunc("mg_cache_bytes", "estimated simulation-cache payload bytes",
+		func() float64 { return float64(stats().Bytes) }, cacheL)
+}
+
+// noteTaskMetrics feeds one finished task into the sweep series; no-ops
+// until EnableMetrics has run.
+func noteTaskMetrics(mt obs.ManifestTask) {
+	if mt.Error != "" {
+		sweepSeries.tasksFailed.Inc()
+	} else {
+		sweepSeries.tasksDone.Inc()
+	}
+	sweepSeries.taskSeconds.Observe(mt.WallMS / 1e3)
 }

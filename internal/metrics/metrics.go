@@ -1,0 +1,391 @@
+// Package metrics is the sweep-wide metrics-and-tracing layer: a typed
+// metric registry rendered in Prometheus text exposition format, hierarchical
+// task spans exported as JSONL and Chrome trace-event JSON (Perfetto /
+// chrome://tracing), and a live sweep-progress endpoint.
+//
+// Everything is dependency-free (stdlib only) and nil-guarded: with no
+// registry or tracer installed — the default — instrumented code paths pay
+// one atomic load (and nil-receiver method calls are no-ops), so simulation
+// output stays byte-identical to an uninstrumented build.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric or span attribute: a key/value pair. Metric series
+// with the same name are distinguished by their label sets, matching the
+// Prometheus data model.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{key, value} }
+
+// kind is the metric family type, named after the Prometheus types.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use. Registering
+// the same (name, labels) twice returns the existing instance, so package
+// init-style registration is idempotent.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	byID     map[string]any // "name|rendered-labels" -> metric instance
+}
+
+type family struct {
+	name, help string
+	kind       kind
+	metrics    []renderable // one per distinct label set, registration order
+}
+
+// renderable is one metric instance: it appends its sample lines (already
+// sorted internally for histograms) to the output.
+type renderable interface {
+	write(w io.Writer, name string) error
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family), byID: make(map[string]any)}
+}
+
+// --- global install ---
+
+// defaultReg is the process-wide registry; nil (the default) disables all
+// metric collection.
+var defaultReg atomic.Pointer[Registry]
+
+// Install makes r the process-wide registry served at /metrics. Passing nil
+// disables collection again.
+func Install(r *Registry) { defaultReg.Store(r) }
+
+// Default returns the installed registry, or nil when metrics are off.
+func Default() *Registry { return defaultReg.Load() }
+
+// Enabled reports whether a process-wide registry is installed.
+func Enabled() bool { return defaultReg.Load() != nil }
+
+// --- registration ---
+
+func (r *Registry) register(name, help string, k kind, id string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byID[id]; ok {
+		return m
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, k))
+	}
+	m := mk()
+	f.metrics = append(f.metrics, m.(renderable))
+	r.byID[id] = m
+	return m
+}
+
+func metricID(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('|')
+	writeLabels(&b, labels, "")
+	return b.String()
+}
+
+// Counter returns (registering if needed) a monotonically increasing
+// integer counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, kindCounter, metricID(name, labels), func() any {
+		return &Counter{labels: labels}
+	})
+	return m.(*Counter)
+}
+
+// Gauge returns (registering if needed) a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, kindGauge, metricID(name, labels), func() any {
+		return &Gauge{labels: labels}
+	})
+	return m.(*Gauge)
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time (for counters maintained elsewhere, e.g. the simulation caches).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindCounter, metricID(name, labels), func() any {
+		return &funcMetric{labels: labels, fn: fn}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, metricID(name, labels), func() any {
+		return &funcMetric{labels: labels, fn: fn}
+	})
+}
+
+// Histogram returns (registering if needed) a histogram with the given
+// fixed bucket upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets not ascending: %v", name, buckets))
+		}
+	}
+	m := r.register(name, help, kindHistogram, metricID(name, labels), func() any {
+		return &Histogram{labels: labels, upper: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+	})
+	return m.(*Histogram)
+}
+
+// --- metric types ---
+
+// Counter is a monotonically increasing integer counter. All methods are
+// safe on a nil receiver (no-ops), so disabled-metrics call sites need no
+// guard.
+type Counter struct {
+	labels []Label
+	v      atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) write(w io.Writer, name string) error {
+	return writeSample(w, name, c.labels, "", strconv.FormatInt(c.v.Load(), 10))
+}
+
+// Gauge is a settable float gauge. Methods are nil-safe no-ops.
+type Gauge struct {
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (compare-and-swap loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) write(w io.Writer, name string) error {
+	return writeSample(w, name, g.labels, "", formatFloat(g.Value()))
+}
+
+// funcMetric reads its value at render time.
+type funcMetric struct {
+	labels []Label
+	fn     func() float64
+}
+
+func (f *funcMetric) write(w io.Writer, name string) error {
+	return writeSample(w, name, f.labels, "", formatFloat(f.fn()))
+}
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free (atomic
+// bucket counters plus a CAS loop for the sum). Methods are nil-safe
+// no-ops.
+type Histogram struct {
+	labels  []Label
+	upper   []float64      // ascending bucket upper bounds; +Inf implicit
+	counts  []atomic.Int64 // len(upper)+1, last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) write(w io.Writer, name string) error {
+	var cum int64
+	for i, up := range h.upper {
+		cum += h.counts[i].Load()
+		if err := writeSample(w, name+"_bucket", h.labels, formatFloat(up), strconv.FormatInt(cum, 10)); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.upper)].Load()
+	if err := writeSample(w, name+"_bucket", h.labels, "+Inf", strconv.FormatInt(cum, 10)); err != nil {
+		return err
+	}
+	sum := math.Float64frombits(h.sumBits.Load())
+	if err := writeSample(w, name+"_sum", h.labels, "", formatFloat(sum)); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", h.labels, "", strconv.FormatInt(h.count.Load(), 10))
+}
+
+// --- rendering ---
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format, families sorted by name, series in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# no metrics registry installed\n")
+		return err
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		// Copy the instance slice so rendering happens outside the lock
+		// (func metrics may themselves take locks elsewhere).
+		fams = append(fams, &family{name: f.name, help: f.help, kind: f.kind,
+			metrics: append([]renderable(nil), f.metrics...)})
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, m := range f.metrics {
+			if err := m.write(w, f.name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one exposition line: name{labels[,le]} value.
+func writeSample(w io.Writer, name string, labels []Label, le, value string) error {
+	var b strings.Builder
+	b.WriteString(name)
+	writeLabels(&b, labels, le)
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeLabels(b *strings.Builder, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusRender pins the text exposition format: HELP/TYPE comments,
+// label rendering, histogram cumulative buckets with le, sum and count.
+func TestPrometheusRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mg_test_total", "a counter", L("kind", "x"))
+	c.Add(3)
+	g := r.Gauge("mg_test_gauge", "a gauge")
+	g.Set(2.5)
+	r.GaugeFunc("mg_test_func", "a func gauge", func() float64 { return 7 })
+	h := r.Histogram("mg_test_seconds", "a histogram", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP mg_test_func a func gauge
+# TYPE mg_test_func gauge
+mg_test_func 7
+# HELP mg_test_gauge a gauge
+# TYPE mg_test_gauge gauge
+mg_test_gauge 2.5
+# HELP mg_test_seconds a histogram
+# TYPE mg_test_seconds histogram
+mg_test_seconds_bucket{le="0.1"} 1
+mg_test_seconds_bucket{le="1"} 2
+mg_test_seconds_bucket{le="10"} 3
+mg_test_seconds_bucket{le="+Inf"} 4
+mg_test_seconds_sum 55.55
+mg_test_seconds_count 4
+# HELP mg_test_total a counter
+# TYPE mg_test_total counter
+mg_test_total{kind="x"} 3
+`
+	if got != want {
+		t.Errorf("render mismatch.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRegisterIdempotent checks that re-registering the same (name, labels)
+// returns the same instance, and that distinct label sets coexist.
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("mg_tasks_total", "", L("state", "done"))
+	b := r.Counter("mg_tasks_total", "", L("state", "done"))
+	if a != b {
+		t.Error("same (name, labels) registered twice returned distinct counters")
+	}
+	c := r.Counter("mg_tasks_total", "", L("state", "error"))
+	if a == c {
+		t.Error("distinct label sets share a counter")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Errorf("counter aliasing wrong: b=%d c=%d", b.Value(), c.Value())
+	}
+}
+
+// TestNilInstruments checks every instrument method is a no-op on nil — the
+// guarantee that lets instrumented code run unguarded with metrics off.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Error("nil histogram has a count")
+	}
+	var reg *Registry
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "#") {
+		t.Errorf("nil registry rendered a non-comment: %q", b.String())
+	}
+}
+
+// TestParseRoundTrip renders a registry and parses it back, checking names,
+// labels (including escaped values) and numeric values survive.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mg_lookups_total", "lookups", L("cache", "benches"), L("outcome", "hit")).Add(12)
+	r.Gauge("mg_bytes", "bytes", L("path", `C:\dir "quoted"`)).Set(1.5e6)
+	h := r.Histogram("mg_wall_seconds", "wall", []float64{0.5})
+	h.Observe(0.25)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(&b)
+	if err != nil {
+		t.Fatalf("ParseText: %v\nrendered:\n%s", err, b.String())
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	checks := []struct {
+		key  string
+		want float64
+	}{
+		{`mg_lookups_total{cache="benches"}{outcome="hit"}`, 12},
+		{`mg_bytes{path="C:\\dir \"quoted\""}`, 1.5e6},
+		{`mg_wall_seconds_bucket{le="0.5"}`, 1},
+		{`mg_wall_seconds_bucket{le="+Inf"}`, 1},
+		{`mg_wall_seconds_sum`, 0.25},
+		{`mg_wall_seconds_count`, 1},
+	}
+	for _, c := range checks {
+		got, ok := byKey[c.key]
+		if !ok {
+			t.Errorf("sample %s missing; have %v", c.key, keysOf(byKey))
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.key, got, c.want)
+		}
+	}
+	// The escaped label value must round-trip exactly.
+	found := false
+	for _, s := range samples {
+		if s.Name == "mg_bytes" {
+			found = true
+			if s.Labels["path"] != `C:\dir "quoted"` {
+				t.Errorf("escaped label round-trip: %q", s.Labels["path"])
+			}
+		}
+	}
+	if !found {
+		t.Error("mg_bytes sample not parsed")
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestParseInf checks the +Inf bucket value parses.
+func TestParseInf(t *testing.T) {
+	samples, err := ParseText(strings.NewReader("mg_x_bucket{le=\"+Inf\"} 3\nmg_inf +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	if !math.IsInf(samples[1].Value, 1) {
+		t.Errorf("mg_inf = %v, want +Inf", samples[1].Value)
+	}
+}

@@ -3,19 +3,31 @@ package obs
 import (
 	"net"
 	"net/http"
+	"sync"
 
 	// Register /debug/vars and /debug/pprof on the default mux; the debug
 	// server exists to watch counters and grab profiles during long sweeps.
 	_ "expvar"
 	_ "net/http/pprof"
+
+	"repro/internal/metrics"
 )
 
+// registerOnce guards the /metrics and /debug/sweep registrations on the
+// default mux (http.Handle panics on duplicates).
+var registerOnce sync.Once
+
 // ServeDebug starts an HTTP server on addr exposing expvar counters
-// (/debug/vars) and pprof endpoints (/debug/pprof/). It listens
-// synchronously — so address errors surface immediately — and serves in
-// the background for the life of the process. Returns the bound address
-// (useful with ":0").
+// (/debug/vars), pprof endpoints (/debug/pprof/), the metrics registry in
+// Prometheus text format (/metrics), and live sweep progress
+// (/debug/sweep). It listens synchronously — so address errors surface
+// immediately — and serves in the background for the life of the process.
+// Returns the bound address (useful with ":0").
 func ServeDebug(addr string) (string, error) {
+	registerOnce.Do(func() {
+		http.Handle("/metrics", metrics.Handler())
+		http.Handle("/debug/sweep", metrics.SweepHandler())
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

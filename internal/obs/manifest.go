@@ -20,6 +20,10 @@ type Manifest struct {
 	// Flags records the observability-relevant invocation flags.
 	Flags map[string]string `json:"flags,omitempty"`
 
+	// Spans points at the -trace-out Chrome trace file covering this run,
+	// when span tracing was enabled.
+	Spans string `json:"spans,omitempty"`
+
 	Tasks []ManifestTask `json:"tasks,omitempty"`
 }
 

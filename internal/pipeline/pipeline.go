@@ -331,6 +331,7 @@ func RunSched(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slac
 	m.stats.MemAccesses = m.hier.MemAccesses
 	m.stats.ITLBMisses = m.hier.ITLB.Misses()
 	m.stats.DTLBMisses = m.hier.DTLB.Misses()
+	noteRun(&m.stats)
 	return &m.stats, nil
 }
 

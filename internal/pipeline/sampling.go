@@ -1,10 +1,13 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/emu"
+	"repro/internal/metrics"
 	"repro/internal/prog"
 )
 
@@ -88,6 +91,21 @@ func runWindow(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec Samp
 	}
 }
 
+// sampleTidBase offsets sampling-pool worker tids away from the sweep
+// worker tids (which are small integers) in exported traces.
+const sampleTidBase = 1000
+
+// runTracedWindow is runWindow wrapped in a trace span and the
+// sample-window counter; zero-cost when metrics and tracing are off.
+func runTracedWindow(ctx context.Context, p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec SampleSpec, start, i int) windowResult {
+	_, sp := metrics.StartSpan(ctx, "sample.window",
+		metrics.L("index", strconv.Itoa(i)), metrics.L("start", strconv.Itoa(start)))
+	r := runWindow(p, tr, cfg, mg, spec, start)
+	sp.End()
+	noteSampleWindow()
+	return r
+}
+
 // RunSampled estimates a full run's statistics by simulating periodic
 // sample windows with warm-up, extrapolating cycles and uops from the
 // measured instruction share. Each sample runs on a fresh machine whose
@@ -111,25 +129,35 @@ func RunSampled(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec Sam
 	for start := spec.Interval; start+spec.Window <= len(tr); start += spec.Interval {
 		starts = append(starts, start)
 	}
+	ctx, runSpan := metrics.StartSpan(context.Background(), "sampled.run",
+		metrics.L("prog", p.Name), metrics.L("windows", strconv.Itoa(len(starts))))
 	results := make([]windowResult, len(starts))
 	if spec.Workers > 1 {
-		sem := make(chan struct{}, spec.Workers)
+		// Worker-indexed pool: each worker gets its own trace tid so its
+		// window spans form one clean row in the trace viewer.
+		idx := make(chan int)
 		var wg sync.WaitGroup
-		for i, start := range starts {
+		for w := 0; w < spec.Workers; w++ {
 			wg.Add(1)
-			go func(i, start int) {
+			go func(w int) {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				results[i] = runWindow(p, tr, cfg, mg, spec, start)
-			}(i, start)
+				wctx := metrics.WithTid(ctx, sampleTidBase+w)
+				for i := range idx {
+					results[i] = runTracedWindow(wctx, p, tr, cfg, mg, spec, starts[i], i)
+				}
+			}(w)
 		}
+		for i := range starts {
+			idx <- i
+		}
+		close(idx)
 		wg.Wait()
 	} else {
 		for i, start := range starts {
-			results[i] = runWindow(p, tr, cfg, mg, spec, start)
+			results[i] = runTracedWindow(ctx, p, tr, cfg, mg, spec, start, i)
 		}
 	}
+	runSpan.End()
 
 	est := &Stats{}
 	var measuredInstrs, measuredCycles, measuredUops, simulated int64

@@ -1,0 +1,137 @@
+package simcache
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestDoCtxOutcomes pins the three lookup outcomes: a cold key is a Miss,
+// a completed key is a Hit, and a disabled cache always reports Miss.
+func TestDoCtxOutcomes(t *testing.T) {
+	c := Named[string, int]("outcomes")
+	compute := func(context.Context) (int, error) { return 42, nil }
+
+	v, outcome, err := c.DoCtx(context.Background(), "k", compute)
+	if err != nil || v != 42 || outcome != Miss {
+		t.Errorf("cold lookup: v=%d outcome=%q err=%v, want 42/%q/nil", v, outcome, err, Miss)
+	}
+	v, outcome, err = c.DoCtx(context.Background(), "k", compute)
+	if err != nil || v != 42 || outcome != Hit {
+		t.Errorf("warm lookup: v=%d outcome=%q err=%v, want 42/%q/nil", v, outcome, err, Hit)
+	}
+
+	c.SetDisabled(true)
+	_, outcome, _ = c.DoCtx(context.Background(), "k", compute)
+	if outcome != Miss {
+		t.Errorf("disabled lookup outcome %q, want %q", outcome, Miss)
+	}
+	c.SetDisabled(false)
+	_, outcome, _ = c.DoCtx(context.Background(), "k", compute)
+	if outcome != Hit {
+		t.Errorf("re-enabled lookup outcome %q, want %q", outcome, Hit)
+	}
+}
+
+// TestDoCtxShared forces the singleflight path: a second caller arriving
+// while the computation is in flight must report Shared and get the same
+// value without recomputing.
+func TestDoCtxShared(t *testing.T) {
+	c := Named[string, int]("shared")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	computes := 0
+	compute := func(context.Context) (int, error) {
+		computes++
+		close(entered)
+		<-release
+		return 7, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var missOutcome string
+	go func() {
+		defer wg.Done()
+		_, missOutcome, _ = c.DoCtx(context.Background(), "k", compute)
+	}()
+	<-entered // first caller is inside compute
+	wg.Add(1)
+	var sharedV int
+	var sharedOutcome string
+	go func() {
+		defer wg.Done()
+		sharedV, sharedOutcome, _ = c.DoCtx(context.Background(), "k",
+			func(context.Context) (int, error) { t.Error("shared caller recomputed"); return 0, nil })
+	}()
+	// Wait until the second caller has joined the flight before releasing.
+	for c.Stats().Shared == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Errorf("compute ran %d times, want 1", computes)
+	}
+	if missOutcome != Miss || sharedOutcome != Shared || sharedV != 7 {
+		t.Errorf("outcomes miss=%q shared=%q v=%d, want %q/%q/7", missOutcome, sharedOutcome, sharedV, Miss, Shared)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Shared != 1 || s.Hits != 0 {
+		t.Errorf("counters %+v, want 1 miss, 1 shared, 0 hits", s)
+	}
+}
+
+// TestDoCtxSpans checks the trace span a lookup emits: named after the
+// cache, outcome attributed, compute's own spans nested underneath on a
+// miss.
+func TestDoCtxSpans(t *testing.T) {
+	tr := metrics.NewTracer()
+	metrics.InstallTracer(tr)
+	defer metrics.InstallTracer(nil)
+
+	c := Named[string, int]("traced")
+	_, _, _ = c.DoCtx(context.Background(), "k", func(ctx context.Context) (int, error) {
+		_, inner := metrics.StartSpan(ctx, "inner-work")
+		inner.End()
+		return 1, nil
+	})
+	_, _, _ = c.DoCtx(context.Background(), "k", func(context.Context) (int, error) { return 1, nil })
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (miss lookup, inner work, hit lookup)", len(spans))
+	}
+	var lookups []metrics.SpanRecord
+	var inner *metrics.SpanRecord
+	for i, s := range spans {
+		switch s.Name {
+		case "cache.traced":
+			lookups = append(lookups, s)
+		case "inner-work":
+			inner = &spans[i]
+		}
+	}
+	if len(lookups) != 2 || inner == nil {
+		t.Fatalf("unexpected span names: %+v", spans)
+	}
+	outcomeOf := func(s metrics.SpanRecord) string {
+		for _, l := range s.Attrs {
+			if l.Key == "outcome" {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	if outcomeOf(lookups[0]) != Miss || outcomeOf(lookups[1]) != Hit {
+		t.Errorf("lookup outcomes %q, %q, want %q, %q",
+			outcomeOf(lookups[0]), outcomeOf(lookups[1]), Miss, Hit)
+	}
+	if inner.Parent != lookups[0].ID {
+		t.Errorf("compute span parent %d, want the miss lookup %d", inner.Parent, lookups[0].ID)
+	}
+}

@@ -1,11 +1,18 @@
 package simcache
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
-// Counters is a snapshot of a cache's activity.
+// Counters is a snapshot of a cache's activity. Snapshots are taken under
+// the cache mutex, so the fields are mutually consistent (e.g. Hits +
+// Shared + Misses counts exactly the lookups that had completed when the
+// snapshot was taken) — expvar and /metrics scrapes mid-sweep see one
+// coherent state, not a mix of before/after values.
 type Counters struct {
 	Hits    int64 // lookups answered from a completed entry
 	Shared  int64 // lookups that joined an in-flight computation
@@ -15,6 +22,13 @@ type Counters struct {
 	Bytes   int64 // estimated retained payload size (via SizeFunc)
 }
 
+// Cache outcome strings reported by DoCtx (and attached to cache spans).
+const (
+	Hit    = "hit"    // answered from a completed entry
+	Shared = "shared" // joined another caller's in-flight computation
+	Miss   = "miss"   // this call ran the computation
+)
+
 // Cache is a process-wide, concurrency-safe memoization table with
 // singleflight semantics: concurrent lookups of the same key run the
 // computation once and share its result. Successful results are retained
@@ -22,11 +36,13 @@ type Counters struct {
 // errors are returned to every waiter but not retained, so a transient
 // failure can be retried.
 type Cache[K comparable, V any] struct {
+	// Name labels this cache in trace spans and metrics ("benches",
+	// "results", ...). Set once at construction time.
+	Name string
+
 	mu      sync.Mutex
 	entries map[K]*entry[V]
-
-	hits, shared, misses, errors atomic.Int64
-	bytes                        atomic.Int64
+	c       Counters // guarded by mu (minus Entries, derived from entries)
 
 	// SizeFunc estimates the retained size of a value for the Bytes
 	// counter. Nil means sizes are not tracked.
@@ -48,46 +64,81 @@ func New[K comparable, V any]() *Cache[K, V] {
 	return &Cache[K, V]{entries: make(map[K]*entry[V])}
 }
 
+// Named creates an empty cache labeled name in spans and metrics.
+func Named[K comparable, V any](name string) *Cache[K, V] {
+	c := New[K, V]()
+	c.Name = name
+	return c
+}
+
 // SetDisabled toggles cache bypass.
 func (c *Cache[K, V]) SetDisabled(d bool) { c.disabled.Store(d) }
 
 // Disabled reports whether the cache is bypassed.
 func (c *Cache[K, V]) Disabled() bool { return c.disabled.Load() }
 
+func (c *Cache[K, V]) spanName() string {
+	if c.Name == "" {
+		return "cache"
+	}
+	return "cache." + c.Name
+}
+
 // Do returns the cached value for key, computing it with compute if absent.
 // Concurrent calls for the same key block on a single computation.
 func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	v, _, err := c.do(context.Background(), key, func(context.Context) (V, error) { return compute() })
+	return v, err
+}
+
+// DoCtx is Do with outcome attribution and a trace span: the span covers
+// the lookup itself — a completed-entry hit is near-instant, a shared
+// lookup spans the singleflight wait, and a miss spans the computation
+// (which receives the span's context, so its own spans nest underneath).
+// With the cache disabled every call computes fresh and reports Miss.
+func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, compute func(context.Context) (V, error)) (V, string, error) {
+	ctx, sp := metrics.StartSpan(ctx, c.spanName())
+	v, outcome, err := c.do(ctx, key, compute)
+	sp.SetAttr("outcome", outcome)
+	sp.End()
+	return v, outcome, err
+}
+
+func (c *Cache[K, V]) do(ctx context.Context, key K, compute func(context.Context) (V, error)) (V, string, error) {
 	if c.disabled.Load() {
-		return compute()
+		v, err := compute(ctx)
+		return v, Miss, err
 	}
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
 		select {
 		case <-e.done:
-			c.hits.Add(1)
+			c.c.Hits++
+			c.mu.Unlock()
+			return e.val, Hit, e.err
 		default:
-			c.shared.Add(1)
+			c.c.Shared++
+			c.mu.Unlock()
 			<-e.done
+			return e.val, Shared, e.err
 		}
-		return e.val, e.err
 	}
 	e := &entry[V]{done: make(chan struct{})}
 	c.entries[key] = e
+	c.c.Misses++
 	c.mu.Unlock()
 
-	c.misses.Add(1)
-	e.val, e.err = compute()
+	e.val, e.err = compute(ctx)
 	close(e.done)
+	c.mu.Lock()
 	if e.err != nil {
-		c.errors.Add(1)
-		c.mu.Lock()
+		c.c.Errors++
 		delete(c.entries, key) // do not retain failures
-		c.mu.Unlock()
 	} else if c.SizeFunc != nil {
-		c.bytes.Add(c.SizeFunc(e.val))
+		c.c.Bytes += c.SizeFunc(e.val)
 	}
-	return e.val, e.err
+	c.mu.Unlock()
+	return e.val, Miss, e.err
 }
 
 // Get returns the completed value for key, if present.
@@ -113,29 +164,20 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	}
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a consistent snapshot of the cache counters, taken in one
+// critical section.
 func (c *Cache[K, V]) Stats() Counters {
 	c.mu.Lock()
-	n := int64(len(c.entries))
+	out := c.c
+	out.Entries = int64(len(c.entries))
 	c.mu.Unlock()
-	return Counters{
-		Hits:    c.hits.Load(),
-		Shared:  c.shared.Load(),
-		Misses:  c.misses.Load(),
-		Errors:  c.errors.Load(),
-		Entries: n,
-		Bytes:   c.bytes.Load(),
-	}
+	return out
 }
 
 // Reset drops every entry and zeroes the counters.
 func (c *Cache[K, V]) Reset() {
 	c.mu.Lock()
 	c.entries = make(map[K]*entry[V])
+	c.c = Counters{}
 	c.mu.Unlock()
-	c.hits.Store(0)
-	c.shared.Store(0)
-	c.misses.Store(0)
-	c.errors.Store(0)
-	c.bytes.Store(0)
 }
