@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke metrics-smoke bench benchjson report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke bench benchjson profile report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
-## cache and pipeline tests, the scheduler differential, and end-to-end
-## observability, attribution and metrics/tracing smoke tests. Documented
-## in README.md; run before every merge.
-ci: vet fmt build test race sched-smoke obs-smoke critpath-smoke metrics-smoke
+## cache and pipeline tests, the scheduler differential, the SoA/pooling
+## determinism smoke, and end-to-end observability, attribution and
+## metrics/tracing smoke tests. Documented in README.md; run before every
+## merge.
+ci: vet fmt build test race sched-smoke sched-soa obs-smoke critpath-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,11 +25,15 @@ test:
 # The cache layer and the pipeline's recycling are the concurrency-  and
 # aliasing-sensitive parts; run their tests under the race detector. The
 # critpath integration tests ride along: they drive observed pipeline runs.
+# The scheduler differential dominates this target; give it headroom
+# beyond the default 10m — the race detector slows it an order of
+# magnitude on loaded machines.
 race:
-	$(GO) test -race ./internal/core ./internal/simcache ./internal/pipeline ./internal/critpath
+	$(GO) test -race -timeout 25m ./internal/core ./internal/simcache ./internal/pipeline ./internal/critpath
 
 # End-to-end observability: one observed run, then render + summarize the
-# files it produced.
+# files it produced; then the same run traced with the binary encoding,
+# which must render directly and convert byte-identically to the JSONL.
 obs-smoke:
 	@dir=$$(mktemp -d); \
 	$(GO) run ./cmd/mgsim -workload comm.crc32 -input small -config reduced \
@@ -37,6 +42,12 @@ obs-smoke:
 		-count 16 >/dev/null && \
 	$(GO) run ./cmd/mgtrace -summary $$dir/comm.crc32_small_reduced-3way_Slack-Dynamic.intervals.jsonl \
 		>/dev/null && \
+	$(GO) run ./cmd/mgsim -workload comm.crc32 -input small -config reduced \
+		-selector Slack-Dynamic -pipetrace-bin -tracedir $$dir/bin >/dev/null && \
+	$(GO) run ./cmd/mgtrace -trace $$dir/bin/comm.crc32_small_reduced-3way_Slack-Dynamic.pipetrace.bin \
+		-count 16 >/dev/null && \
+	$(GO) run ./cmd/mgtrace -tojsonl $$dir/bin/comm.crc32_small_reduced-3way_Slack-Dynamic.pipetrace.bin | \
+		cmp - $$dir/comm.crc32_small_reduced-3way_Slack-Dynamic.pipetrace.jsonl && \
 	rm -rf $$dir && echo "obs-smoke ok"
 
 # Scheduler differential: the event-driven scheduler must match the scan
@@ -45,6 +56,14 @@ obs-smoke:
 sched-smoke:
 	$(GO) test -run 'TestSchedulerDifferential' -count=1 ./internal/pipeline
 	@echo "sched-smoke ok"
+
+# SoA/pooling determinism: pooled-machine reuse and the sampled-windows
+# estimator must replay bit-identically under both schedulers and any
+# worker count — the invariants the structure-of-arrays hot loop and the
+# machine pool lean on.
+sched-soa:
+	$(GO) test -run 'TestMachineReuse|TestSampledDifferential|TestUop|TestRecycl' -count=1 ./internal/pipeline
+	@echo "sched-soa ok"
 
 # Cycle-loss attribution end to end on the committed tiny trace: the walk
 # must succeed and report the trace's known 2-cycle serialization bucket.
@@ -70,18 +89,29 @@ bench:
 # attribution engine leans on (pipeline simulation, the walk itself). The
 # revision and date come from the environment — no clock reads in tool code.
 # The fresh numbers are diffed against the previous PR's committed baseline;
-# a >15% ns/op regression on any shared benchmark fails the target. Each
-# benchmark runs three times and benchjson keeps the fastest, damping
-# scheduler noise. Note the baselines were recorded on whatever machine ran
-# them — cross-machine deltas measure the hardware as much as the code (see
-# README "Performance").
+# a >15% ns/op regression or a >25% allocs/op growth on any shared benchmark
+# fails the target. Each benchmark runs three times and benchjson keeps the
+# fastest, damping scheduler noise. Note the baselines were recorded on
+# whatever machine ran them — cross-machine deltas measure the hardware as
+# much as the code (see README "Performance").
 benchjson:
 	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze' -benchtime 5x -count 3 -benchmem \
 		./internal/pipeline ./internal/critpath | \
 	$(GO) run ./cmd/benchjson -rev "$$(git rev-parse --short HEAD)" \
 		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-		-baseline BENCH_PR4.json > BENCH_PR5.json
-	@echo "wrote BENCH_PR5.json"
+		-baseline BENCH_PR5.json > BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"
+
+# profile: CPU and allocation pprof profiles of the mini-graph simulator
+# benchmark, written to the (gitignored) profiles/ directory. Inspect with
+# `go tool pprof profiles/minigraphs.cpu.pb.gz` (top, list <fn>, web).
+profile:
+	@mkdir -p profiles
+	$(GO) test -run NONE -bench BenchmarkSimulatorMiniGraphs -benchtime 100x -benchmem \
+		-cpuprofile profiles/minigraphs.cpu.pb.gz \
+		-memprofile profiles/minigraphs.mem.pb.gz \
+		-o profiles/pipeline.test ./internal/pipeline
+	@echo "wrote profiles/minigraphs.{cpu,mem}.pb.gz"
 
 report:
 	$(GO) run ./cmd/mgreport -exp all

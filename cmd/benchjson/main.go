@@ -4,10 +4,12 @@
 // the repository — `make benchjson` supplies both).
 //
 // With -baseline it also diffs the fresh numbers against a previously
-// committed document, prints per-benchmark ns/op deltas on stderr, and
-// exits non-zero when any shared benchmark regressed by more than
-// -max-regress (the JSON is still written first, so the artifact survives
-// a failing gate for inspection).
+// committed document, prints per-benchmark ns/op and allocs/op deltas on
+// stderr, and exits non-zero when any shared benchmark regressed by more
+// than -max-regress in ns/op or grew allocs/op by more than
+// -max-alloc-regress (the JSON is still written first, so the artifact
+// survives a failing gate for inspection). The alloc gate only applies
+// where both runs carry -benchmem columns.
 //
 // Usage:
 //
@@ -48,6 +50,7 @@ func main() {
 		date     = flag.String("date", "unknown", "run date (supplied by the caller)")
 		baseline = flag.String("baseline", "", "prior benchjson document to diff against")
 		maxReg   = flag.Float64("max-regress", 0.15, "ns/op regression vs -baseline that fails the run")
+		maxAlloc = flag.Float64("max-alloc-regress", 0.25, "allocs/op growth vs -baseline that fails the run")
 	)
 	flag.Parse()
 
@@ -81,14 +84,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
 		os.Exit(1)
 	}
-	lines, regressions := diffDocs(doc, base, *maxReg)
+	lines, regressions := diffDocs(doc, base, *maxReg, *maxAlloc)
 	fmt.Fprintf(os.Stderr, "benchjson: vs baseline %s (rev %s)\n", *baseline, base.Rev)
 	for _, l := range lines {
 		fmt.Fprintln(os.Stderr, "  "+l)
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed more than %.0f%%: %s\n",
-			len(regressions), *maxReg*100, strings.Join(regressions, ", "))
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed (limits: +%.0f%% ns/op, +%.0f%% allocs/op): %s\n",
+			len(regressions), *maxReg*100, *maxAlloc*100, strings.Join(regressions, ", "))
 		os.Exit(2)
 	}
 }
@@ -126,8 +129,11 @@ func benchKey(name string) string {
 
 // diffDocs compares cur against base benchmark by benchmark. It returns
 // human-readable delta lines (in cur's order, then base-only leftovers) and
-// the names of benchmarks whose ns/op regressed by more than tol.
-func diffDocs(cur, base Doc, tol float64) (lines, regressions []string) {
+// the names of benchmarks whose ns/op regressed by more than tol or whose
+// allocs/op grew by more than allocTol (suffixed "(allocs)"). The alloc
+// gate applies only where both rows carry -benchmem data; growing from
+// zero allocations is always a regression.
+func diffDocs(cur, base Doc, tol, allocTol float64) (lines, regressions []string) {
 	prior := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		prior[benchKey(b.Name)] = b
@@ -141,11 +147,18 @@ func diffDocs(cur, base Doc, tol float64) (lines, regressions []string) {
 		}
 		delete(prior, key)
 		pct := (b.NsPerOp - old.NsPerOp) / old.NsPerOp
-		lines = append(lines, fmt.Sprintf("%-44s %12.0f -> %12.0f ns/op  %+6.1f%%",
-			key, old.NsPerOp, b.NsPerOp, pct*100))
+		line := fmt.Sprintf("%-44s %12.0f -> %12.0f ns/op  %+6.1f%%",
+			key, old.NsPerOp, b.NsPerOp, pct*100)
 		if pct > tol {
 			regressions = append(regressions, key)
 		}
+		if b.AllocsPerOp >= 0 && old.AllocsPerOp >= 0 {
+			line += fmt.Sprintf("  %6d -> %6d allocs/op", old.AllocsPerOp, b.AllocsPerOp)
+			if allocsRegressed(old.AllocsPerOp, b.AllocsPerOp, allocTol) {
+				regressions = append(regressions, key+" (allocs)")
+			}
+		}
+		lines = append(lines, line)
 	}
 	for _, b := range base.Benchmarks {
 		if _, left := prior[benchKey(b.Name)]; left {
@@ -153,6 +166,16 @@ func diffDocs(cur, base Doc, tol float64) (lines, regressions []string) {
 		}
 	}
 	return lines, regressions
+}
+
+// allocsRegressed reports whether growing from old to new allocs/op
+// exceeds tol. A benchmark that allocated nothing must stay at nothing:
+// any growth from zero fails, since no ratio can express it.
+func allocsRegressed(old, new int64, tol float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return float64(new-old)/float64(old) > tol
 }
 
 // parseBench extracts benchmark result lines, ignoring everything else

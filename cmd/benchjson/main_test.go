@@ -41,7 +41,7 @@ func TestParseBench(t *testing.T) {
 // carry plausible contents — this is the validity check for the artifacts
 // themselves, not their numbers.
 func TestCommittedBaselineParses(t *testing.T) {
-	for _, file := range []string{"BENCH_PR3.json", "BENCH_PR4.json"} {
+	for _, file := range []string{"BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR6.json"} {
 		raw, err := os.ReadFile(filepath.Join("..", "..", file))
 		if err != nil {
 			t.Fatalf("%v (run `make benchjson` to regenerate the baseline)", err)
@@ -101,16 +101,16 @@ func TestBenchKey(t *testing.T) {
 
 func TestDiffDocs(t *testing.T) {
 	base := Doc{Rev: "old", Benchmarks: []Benchmark{
-		{Name: "BenchmarkA", NsPerOp: 1000},
-		{Name: "BenchmarkB", NsPerOp: 2000},
-		{Name: "BenchmarkGone", NsPerOp: 500},
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: -1},
+		{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: -1},
+		{Name: "BenchmarkGone", NsPerOp: 500, AllocsPerOp: -1},
 	}}
 	cur := Doc{Rev: "new", Benchmarks: []Benchmark{
-		{Name: "BenchmarkA-8", NsPerOp: 1100},  // +10%: within tolerance
-		{Name: "BenchmarkB-8", NsPerOp: 2400},  // +20%: regression
-		{Name: "BenchmarkNew-8", NsPerOp: 300}, // no baseline: never fails
+		{Name: "BenchmarkA-8", NsPerOp: 1100, AllocsPerOp: -1},  // +10%: within tolerance
+		{Name: "BenchmarkB-8", NsPerOp: 2400, AllocsPerOp: -1},  // +20%: regression
+		{Name: "BenchmarkNew-8", NsPerOp: 300, AllocsPerOp: -1}, // no baseline: never fails
 	}}
-	lines, regressions := diffDocs(cur, base, 0.15)
+	lines, regressions := diffDocs(cur, base, 0.15, 0.25)
 	if len(lines) != 4 {
 		t.Fatalf("got %d delta lines, want 4:\n%s", len(lines), strings.Join(lines, "\n"))
 	}
@@ -121,7 +121,42 @@ func TestDiffDocs(t *testing.T) {
 	// An improvement (negative delta) is never a regression, whatever tol.
 	cur.Benchmarks[0].NsPerOp = 900
 	cur.Benchmarks[1].NsPerOp = 100
-	if _, reg := diffDocs(cur, base, 0); len(reg) != 0 {
+	if _, reg := diffDocs(cur, base, 0, 0); len(reg) != 0 {
 		t.Errorf("improvement flagged as regression: %v", reg)
+	}
+}
+
+func TestDiffDocsAllocGate(t *testing.T) {
+	base := Doc{Rev: "old", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkZero", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "BenchmarkNoMem", NsPerOp: 1000, AllocsPerOp: -1},
+	}}
+	cur := Doc{Rev: "new", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: 120},    // +20%: within tolerance
+		{Name: "BenchmarkB-8", NsPerOp: 1000, AllocsPerOp: 130},    // +30%: regression
+		{Name: "BenchmarkZero-8", NsPerOp: 1000, AllocsPerOp: 1},   // 0 -> 1: regression
+		{Name: "BenchmarkNoMem-8", NsPerOp: 1000, AllocsPerOp: 50}, // no baseline data: ungated
+	}}
+	lines, regressions := diffDocs(cur, base, 0.15, 0.25)
+	want := []string{"BenchmarkB (allocs)", "BenchmarkZero (allocs)"}
+	if strings.Join(regressions, ";") != strings.Join(want, ";") {
+		t.Errorf("regressions = %v, want %v", regressions, want)
+	}
+	// Rows with -benchmem data on both sides carry the alloc delta.
+	if !strings.Contains(lines[0], "100 ->    120 allocs/op") {
+		t.Errorf("alloc delta missing from line: %q", lines[0])
+	}
+	if strings.Contains(lines[3], "allocs/op") {
+		t.Errorf("row without baseline -benchmem data should not print an alloc delta: %q", lines[3])
+	}
+
+	// Shrinking allocs is never a regression, and zero staying zero is fine.
+	cur.Benchmarks[0].AllocsPerOp = 100
+	cur.Benchmarks[1].AllocsPerOp = 10
+	cur.Benchmarks[2].AllocsPerOp = 0
+	if _, reg := diffDocs(cur, base, 0.15, 0); len(reg) != 0 {
+		t.Errorf("alloc improvement flagged as regression: %v", reg)
 	}
 }

@@ -32,6 +32,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cacheStats = flag.Bool("cachestats", false, "print simulation-cache counters to stderr")
 		pipetrace  = flag.Bool("pipetrace", false, "write a per-uop pipetrace JSONL of the profiling run")
+		ptraceBin  = flag.Bool("pipetrace-bin", false, "write the pipetrace in the compact binary encoding instead of JSONL")
 		intervals  = flag.Int64("intervals", 0, "sample interval metrics of the profiling run every N cycles (0 = off)")
 		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		verbose    = flag.Bool("v", false, "structured telemetry on stderr")
@@ -113,7 +114,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mgselect: unknown config %q\n", *cfgName)
 			os.Exit(2)
 		}
-		if o := obs.FlagOptions(*pipetrace, *intervals, *tracedir); o.Active() {
+		if o := obs.FlagOptions(*pipetrace, *ptraceBin, *intervals, *tracedir); o.Active() {
 			// Trace the profiling run itself: the singleton execution the
 			// slack profile is collected from.
 			base := fmt.Sprintf("%s_%s_%s_profile", *wName, *input, cfg.Name)

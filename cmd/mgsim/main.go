@@ -74,6 +74,7 @@ func main() {
 		list      = flag.Bool("list", false, "list workloads and exit")
 		verbose   = flag.Bool("v", false, "print the mini-graph selection and structured telemetry")
 		pipetrace = flag.Bool("pipetrace", false, "write a per-uop pipetrace JSONL of the run")
+		ptraceBin = flag.Bool("pipetrace-bin", false, "write the pipetrace in the compact binary encoding instead of JSONL")
 		intervals = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
 		tracedir  = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		httpaddr  = flag.String("httpaddr", "", "serve expvar, pprof, /metrics and /debug/sweep on this address during the run")
@@ -138,7 +139,7 @@ func main() {
 	}
 
 	var watch *obs.Observer
-	if o := obs.FlagOptions(*pipetrace, *intervals, *tracedir); o.Active() {
+	if o := obs.FlagOptions(*pipetrace, *ptraceBin, *intervals, *tracedir); o.Active() {
 		base := fmt.Sprintf("%s_%s_%s_%s", *wName, *input, cfg.Name, *selName)
 		if watch, err = obs.NewRunObserver(o, base); err != nil {
 			fmt.Fprintln(os.Stderr, "mgsim:", err)

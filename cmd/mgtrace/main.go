@@ -11,6 +11,12 @@
 //	mgtrace -csv run.intervals.jsonl > run.csv
 //	mgtrace -critpath run.pipetrace.jsonl [-config reduced] [-top k] [-attribjson f] [-attribcsv f]
 //	mgtrace -spans sweep.trace
+//	mgtrace -tojsonl run.pipetrace.bin > run.pipetrace.jsonl
+//
+// Pipetrace inputs (-trace, -critpath) may be either JSONL or the binary
+// encoding written under -pipetrace-bin; the format is auto-detected. The
+// -tojsonl mode converts a binary pipetrace to JSONL on stdout,
+// byte-identical to what the run would have written with -pipetrace.
 //
 // The -spans mode validates a Chrome trace-event file produced by the
 // -trace-out flag of mgreport/mgsim/mgselect (matched B/E pairs, monotonic
@@ -48,6 +54,7 @@ func main() {
 		attribJS  = flag.String("attribjson", "", "also write the attribution report as JSON to this file")
 		attribCSV = flag.String("attribcsv", "", "also write the serialization scoreboard as CSV to this file")
 		spansFile = flag.String("spans", "", "Chrome trace file (from -trace-out) to validate and summarize")
+		toJSONL   = flag.String("tojsonl", "", "binary pipetrace file to convert to JSONL on stdout")
 	)
 	flag.Parse()
 
@@ -107,8 +114,20 @@ func main() {
 			fail(err)
 		}
 	}
+	if *toJSONL != "" {
+		did = true
+		f, err := os.Open(*toJSONL)
+		if err != nil {
+			fail(err)
+		}
+		err = obs.ConvertPipetrace(f, os.Stdout)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
 	if !did {
-		fmt.Fprintln(os.Stderr, "mgtrace: one of -trace, -summary, -csv, -critpath, -spans required")
+		fmt.Fprintln(os.Stderr, "mgtrace: one of -trace, -summary, -csv, -critpath, -spans, -tojsonl required")
 		flag.Usage()
 		os.Exit(2)
 	}

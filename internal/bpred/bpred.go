@@ -86,6 +86,30 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Reset restores the predictor to its post-New state (weakly-taken tables,
+// empty history/BTB/RAS, zero counters) without reallocating, so pooled
+// simulation machines can reuse it across runs.
+func (p *Predictor) Reset() {
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	p.history = 0
+	for i := range p.btb.entries {
+		p.btb.entries[i] = btbEntry{}
+	}
+	p.btb.tick = 0
+	p.ras.top = 0
+	p.DirLookups, p.DirMisses = 0, 0
+	p.BTBLookups, p.BTBMisses = 0, 0
+	p.RASPops, p.RASWrong = 0, 0
+}
+
 func (p *Predictor) bimodalIdx(pc uint32) uint32 {
 	return (pc >> 2) & (1<<p.cfg.BimodalBits - 1)
 }

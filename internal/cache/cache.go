@@ -140,6 +140,17 @@ func (c *Cache) Access(addr uint32, write bool) (hit, dirtyEvict bool) {
 	return false, dirtyEvict
 }
 
+// Reset restores the cache to its post-New state (all lines invalid,
+// counters zero) without reallocating the line array, so pooled simulation
+// machines can reuse it across runs.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.tick = 0
+	c.Hits, c.Misses, c.Evictions, c.DirtyEvictions = 0, 0, 0, 0
+}
+
 // MissRate returns misses / (hits+misses).
 func (c *Cache) MissRate() float64 {
 	t := c.Hits + c.Misses
@@ -179,6 +190,9 @@ func (t *TLB) Access(addr uint32) int {
 
 // Misses returns the TLB miss count.
 func (t *TLB) Misses() int64 { return t.inner.Misses }
+
+// Reset restores the TLB to its post-New state without reallocating.
+func (t *TLB) Reset() { t.inner.Reset() }
 
 // HierConfig sizes a full hierarchy.
 type HierConfig struct {
@@ -227,6 +241,18 @@ func NewHierarchy(cfg HierConfig) *Hierarchy {
 		DTLB: NewTLB(cfg.DTLBEntries, cfg.TLBAssoc, cfg.TLBPenalty),
 		cfg:  cfg,
 	}
+}
+
+// Reset restores every level of the hierarchy to its post-New state without
+// reallocating, so pooled simulation machines can reuse it across runs.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.busFree = 0
+	h.MemAccesses = 0
 }
 
 // memAccess serializes a main-memory transfer on the bus starting no

@@ -277,9 +277,10 @@ func writeSweepManifest(title string, opts Options, started time.Time, tasks []o
 		Input:   opts.input(),
 		Workers: opts.workers(),
 		Flags: map[string]string{
-			"pipetrace": fmt.Sprint(opts.Obs.Pipetrace),
-			"intervals": fmt.Sprint(opts.Obs.IntervalEvery),
-			"nocache":   fmt.Sprint(opts.NoCache),
+			"pipetrace":     fmt.Sprint(opts.Obs.Pipetrace),
+			"pipetrace-bin": fmt.Sprint(opts.Obs.PipetraceBin),
+			"intervals":     fmt.Sprint(opts.Obs.IntervalEvery),
+			"nocache":       fmt.Sprint(opts.NoCache),
 		},
 		Spans: metrics.TraceOut(),
 		Tasks: tasks,

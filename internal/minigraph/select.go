@@ -67,6 +67,7 @@ func (in *Instance) End() int { return in.Start + in.N }
 type Selection struct {
 	Instances    []Instance
 	ByStart      map[int]*Instance
+	byStart      []*Instance // dense start-index table (built by Select)
 	NumTemplates int
 	// CoveredDyn counts dynamic instructions embedded in mini-graphs;
 	// TotalDyn counts all dynamic instructions (both from the frequency
@@ -84,7 +85,18 @@ func (s *Selection) Coverage() float64 {
 }
 
 // InstanceAt returns the instance starting at static index i, or nil.
-func (s *Selection) InstanceAt(i int) *Instance { return s.ByStart[i] }
+// Lookups sit on the simulator's per-fetch-group path, so selections built
+// by Select answer from a dense slice; hand-assembled Selections (tests)
+// fall back to the ByStart map.
+func (s *Selection) InstanceAt(i int) *Instance {
+	if s.byStart != nil {
+		if i < len(s.byStart) {
+			return s.byStart[i]
+		}
+		return nil
+	}
+	return s.ByStart[i]
+}
 
 // SelectConfig configures the selection engine.
 type SelectConfig struct {
@@ -219,6 +231,13 @@ func Select(p *prog.Program, cands []*Candidate, freq []int64, cfg SelectConfig)
 	for i := range sel.Instances {
 		in := &sel.Instances[i]
 		sel.ByStart[in.Start] = in
+	}
+	if n := len(sel.Instances); n > 0 {
+		sel.byStart = make([]*Instance, sel.Instances[n-1].Start+1)
+		for i := range sel.Instances {
+			in := &sel.Instances[i]
+			sel.byStart[in.Start] = in
+		}
 	}
 	return sel
 }

@@ -6,10 +6,11 @@
 //
 // The three layers:
 //
-//   - Pipetrace: one JSONL record per committed or squashed uop with its
+//   - Pipetrace: one record per committed or squashed uop with its
 //     stage timestamps (fetch/rename/issue/exec/writeback/commit), plus
 //     event records for pipeline flushes and Slack-Dynamic template
-//     disables/re-enables. Rendered by cmd/mgtrace.
+//     disables/re-enables, encoded as JSONL or as the allocation-free
+//     binary format in binpipe.go. Rendered by cmd/mgtrace.
 //   - IntervalSampler: every N cycles, a snapshot of IPC, UPC, coverage,
 //     queue occupancies, the stall-cause breakdown, and monitor activity,
 //     kept in a bounded ring and exported as JSONL or CSV.
@@ -32,6 +33,9 @@ type Options struct {
 	Dir string
 	// Pipetrace enables per-uop stage-timestamp records.
 	Pipetrace bool
+	// PipetraceBin selects the allocation-free binary trace encoding
+	// instead of JSONL (implies Pipetrace; see binpipe.go).
+	PipetraceBin bool
 	// IntervalEvery enables interval sampling every IntervalEvery cycles
 	// (0 = off).
 	IntervalEvery int64
@@ -39,20 +43,21 @@ type Options struct {
 
 // Active reports whether any output is enabled.
 func (o *Options) Active() bool {
-	return o != nil && (o.Pipetrace || o.IntervalEvery > 0)
+	return o != nil && (o.Pipetrace || o.PipetraceBin || o.IntervalEvery > 0)
 }
 
 // FlagOptions assembles Options from the common command-line flag values
-// (-pipetrace, -intervals, -tracedir). Returns nil when nothing is
-// enabled; an empty dir defaults to "obs".
-func FlagOptions(pipetrace bool, intervalEvery int64, dir string) *Options {
-	if !pipetrace && intervalEvery <= 0 {
+// (-pipetrace, -pipetrace-bin, -intervals, -tracedir). Returns nil when
+// nothing is enabled; an empty dir defaults to "obs".
+func FlagOptions(pipetrace, pipetraceBin bool, intervalEvery int64, dir string) *Options {
+	if !pipetrace && !pipetraceBin && intervalEvery <= 0 {
 		return nil
 	}
 	if dir == "" {
 		dir = "obs"
 	}
-	return &Options{Dir: dir, Pipetrace: pipetrace, IntervalEvery: intervalEvery}
+	return &Options{Dir: dir, Pipetrace: pipetrace, PipetraceBin: pipetraceBin,
+		IntervalEvery: intervalEvery}
 }
 
 // Observer carries the per-run collectors the pipeline feeds. Either field
@@ -71,9 +76,10 @@ func (o *Observer) Active() bool {
 }
 
 // NewRunObserver creates an Observer whose outputs are routed to files
-// under opts.Dir named <base>.pipetrace.jsonl and <base>.intervals.jsonl
-// (base is sanitized). Returns nil when opts enables nothing. The caller
-// must Close the observer after the run to flush and finalize the files.
+// under opts.Dir named <base>.pipetrace.jsonl (or .pipetrace.bin with
+// PipetraceBin) and <base>.intervals.jsonl (base is sanitized). Returns
+// nil when opts enables nothing. The caller must Close the observer after
+// the run to flush and finalize the files.
 func NewRunObserver(opts *Options, base string) (*Observer, error) {
 	if !opts.Active() {
 		return nil, nil
@@ -83,13 +89,17 @@ func NewRunObserver(opts *Options, base string) (*Observer, error) {
 	}
 	base = Sanitize(base)
 	o := &Observer{}
-	if opts.Pipetrace {
-		f, err := os.Create(filepath.Join(opts.Dir, base+".pipetrace.jsonl"))
+	if opts.Pipetrace || opts.PipetraceBin {
+		ext, mk := ".pipetrace.jsonl", NewPipetrace
+		if opts.PipetraceBin {
+			ext, mk = ".pipetrace.bin", NewBinaryPipetrace
+		}
+		f, err := os.Create(filepath.Join(opts.Dir, base+ext))
 		if err != nil {
 			return nil, fmt.Errorf("obs: %w", err)
 		}
 		o.traceFile = f
-		o.Trace = NewPipetrace(f)
+		o.Trace = mk(f)
 	}
 	if opts.IntervalEvery > 0 {
 		o.Intervals = NewIntervalSampler(opts.IntervalEvery)

@@ -37,11 +37,14 @@ func TestOptionsActive(t *testing.T) {
 	if !(&Options{Pipetrace: true}).Active() || !(&Options{IntervalEvery: 100}).Active() {
 		t.Error("enabled Options should be active")
 	}
-	if FlagOptions(false, 0, "x") != nil {
+	if FlagOptions(false, false, 0, "x") != nil {
 		t.Error("FlagOptions with nothing enabled should be nil")
 	}
-	if o := FlagOptions(true, 0, ""); o == nil || o.Dir != "obs" {
+	if o := FlagOptions(true, false, 0, ""); o == nil || o.Dir != "obs" {
 		t.Errorf("FlagOptions default dir = %+v", o)
+	}
+	if o := FlagOptions(false, true, 0, ""); !o.Active() || !o.PipetraceBin {
+		t.Errorf("FlagOptions binary mode = %+v", o)
 	}
 }
 

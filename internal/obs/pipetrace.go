@@ -84,23 +84,40 @@ type TraceEvent struct {
 	Seq      int64  `json:"seq"`
 }
 
-// Pipetrace streams uop records and events as JSONL. Write errors are
+// Pipetrace streams uop records and events, as JSONL (NewPipetrace) or
+// the binary encoding in binpipe.go (NewBinaryPipetrace). Write errors are
 // sticky: the first one is retained and reported by Flush, and later
 // writes become no-ops (the simulation must not fail mid-run because a
 // trace disk filled up).
 type Pipetrace struct {
 	bw  *bufio.Writer
-	enc *json.Encoder
+	enc *json.Encoder // nil in binary mode
+	bin bool
 	err error
+
+	scratch []byte // binary-mode record assembly buffer, reused
 
 	// Uops and Events count emitted records.
 	Uops, Events int64
 }
 
-// NewPipetrace creates a pipetrace streaming to w.
+// NewPipetrace creates a pipetrace streaming JSONL to w.
 func NewPipetrace(w io.Writer) *Pipetrace {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	return &Pipetrace{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// NewBinaryPipetrace creates a pipetrace streaming the binary encoding to
+// w (see binpipe.go for the format). Unlike the JSONL encoder it performs
+// no per-record allocation, so it is the tracing mode that keeps
+// steady-state simulation allocation-free.
+func NewBinaryPipetrace(w io.Writer) *Pipetrace {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	t := &Pipetrace{bw: bw, bin: true, scratch: make([]byte, 0, 256)}
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		t.err = err
+	}
+	return t
 }
 
 // Uop emits one uop record.
@@ -108,10 +125,17 @@ func (t *Pipetrace) Uop(r UopTrace) {
 	if t.err != nil {
 		return
 	}
-	r.Type = "uop"
-	if err := t.enc.Encode(r); err != nil {
-		t.err = err
-		return
+	if t.bin {
+		if err := t.binUop(&r); err != nil {
+			t.err = err
+			return
+		}
+	} else {
+		r.Type = "uop"
+		if err := t.enc.Encode(r); err != nil {
+			t.err = err
+			return
+		}
 	}
 	t.Uops++
 }
@@ -123,7 +147,12 @@ func (t *Pipetrace) Event(cycle int64, ev string, template int, seq int64) {
 		return
 	}
 	e := TraceEvent{Type: "ev", Cycle: cycle, Ev: ev, Template: template, Seq: seq}
-	if err := t.enc.Encode(e); err != nil {
+	if t.bin {
+		if err := t.binEvent(&e); err != nil {
+			t.err = err
+			return
+		}
+	} else if err := t.enc.Encode(e); err != nil {
 		t.err = err
 		return
 	}
@@ -146,9 +175,19 @@ type traceLine struct {
 	Template int    `json:"template"`
 }
 
-// ReadPipetrace parses a pipetrace JSONL stream back into uop records and
-// events, in file order.
+// ReadPipetrace parses a pipetrace stream back into uop records and
+// events, in file order. The format is auto-detected: a stream opening
+// with the binary magic decodes as the binary encoding, anything else as
+// JSONL.
 func ReadPipetrace(r io.Reader) ([]UopTrace, []TraceEvent, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if sniffBinary(br) {
+		return readBinaryPipetrace(br)
+	}
+	return readJSONLPipetrace(br)
+}
+
+func readJSONLPipetrace(r io.Reader) ([]UopTrace, []TraceEvent, error) {
 	var uops []UopTrace
 	var events []TraceEvent
 	sc := bufio.NewScanner(r)

@@ -28,7 +28,15 @@ const never = int64(math.MaxInt64)
 // uop is one in-flight micro-op: a singleton instruction, a mini-graph
 // handle (one uop standing for up to four instructions), or an outlining
 // overhead jump.
+//
+// Fields the scheduler touches every cycle — issue/ready/resolve times,
+// wait counts, wakeup chains, dependence slots, squash/commit flags — live
+// in the machine's hotState arrays (see soa.go), indexed by slot. The
+// struct keeps the per-uop state read at most a handful of times per uop:
+// decode/fetch-time facts, memory/branch bookkeeping, recycling state and
+// profiling extras.
 type uop struct {
+	slot     int32 // index into the machine's hotState arrays (permanent)
 	seq      int64
 	traceIdx int // first trace record index (overhead jumps borrow their MG's)
 	nRecs    int // trace records this uop accounts for (0 for overhead jumps)
@@ -42,15 +50,8 @@ type uop struct {
 	fetchCycle  int64
 	renameReady int64
 	renameCycle int64 // actual rename cycle (-1 until renamed; pipetrace)
-	issueCycle  int64 // -1 until issued
-	execDone    int64 // all results produced; commit-eligible after this
-	readyOut    int64 // register output available on the bypass network
-	specReady   int64 // loads: L1-hit-speculative ready time broadcast to consumers
-	resolve     int64 // branch redirect / store address+data resolution cycle
-	earliestIss int64 // replay back-off: no re-issue attempt before this cycle
 
 	nSrc      int
-	srcProd   [3]*uop
 	srcReg    [3]isa.Reg
 	srcReadyC [3]int64
 
@@ -62,17 +63,11 @@ type uop struct {
 	memAddr         uint32
 	memCycle        int64 // cycle the load's memory access begins
 	forwardedFrom   *uop
-	// waitStore is the StoreSets-imposed ordering: a load waits for this
-	// store to resolve; a store waits for the previous store of its set.
-	waitStore *uop
 
 	hasBranch bool // this uop resolves a control transfer
 	mispred   bool
 	actualTkn bool
 	replays   uint16 // wasted issue attempts (pipetrace)
-
-	committed bool
-	squashed  bool
 
 	// Recycling state (see reclaim): refBarrier is the machine seq at this
 	// uop's commit — once every older uop has left the window, no in-flight
@@ -87,12 +82,6 @@ type uop struct {
 
 	// Slack-Dynamic per-instance detection state.
 	serialized bool
-
-	// Event-scheduler state (SchedEvent only): consumers registered for
-	// wakeup when this uop issues, and the count of unissued producers
-	// gating this uop's entry into the ready queue.
-	wakeList []*uop
-	waitCnt  int32
 
 	// Pipetrace-only dependence/serialization observables (populated only
 	// when an observer with an active trace is attached; stay zero and cost
@@ -152,8 +141,8 @@ type machine struct {
 	fetchQ         ring[*uop]
 	window         ring[*uop] // ROB, oldest first
 	iq             []*uop     // issue queue, oldest first
-	inflightStores []*uop
-	inflightLoads  []*uop
+	inflightStores ring[*uop] // renamed stores, oldest first
+	inflightLoads  ring[*uop] // renamed loads, oldest first
 	pendingViol    []violation
 	freeRegs       int
 	lqUsed, sqUsed int
@@ -161,6 +150,14 @@ type machine struct {
 	curBBHead      *uop
 	profFIFO       []*uop
 	layout         *minigraph.Layout
+
+	// Last computed layout, kept across pooling: layouts are immutable and
+	// depend only on (program, selection), and a pooled machine almost
+	// always re-runs the same workload. The pinned program/selection are
+	// released whenever the GC clears the pool.
+	layoutP   *prog.Program
+	layoutSel *minigraph.Selection
+	layoutC   *minigraph.Layout
 
 	// Uop recycling: committed uops queue in retired until provably
 	// unreferenced, then return to freeUops for reuse by makeUop. Disabled
@@ -170,21 +167,29 @@ type machine struct {
 	retired       ring[*uop]
 	squashScratch []*uop
 
+	// Slot-indexed structure-of-arrays for the fields the scheduler hot
+	// loops touch every cycle (see soa.go). Both schedulers use it.
+	hot hotState
+
 	// Event-scheduler state (see sched.go): the ready-queue heap of issue
 	// candidates keyed by earliest-issue cycle, the flat list of candidates
 	// waking exactly next cycle (the dominant case, kept off the heap), the
 	// per-cycle candidate scratch, and the issue-queue occupancy (the scan
-	// scheduler reads len(iq) instead).
+	// scheduler reads len(iq) instead). Wakeup chains thread through the
+	// wakeNodes pool; freed nodes chain off wakeFree for reuse.
 	sched        SchedKind
 	readyQ       []readyEnt
-	readyNext    []*uop
-	issueScratch []*uop
+	readyNext    []int32
+	issueScratch []int32
 	iqCount      int
+	wakeNodes    []wakeNode
+	wakeFree     int32
 
-	// Calendar wheel for wakes within wheelSize cycles: slot s holds uops
-	// waking at cycles ≡ s (mod wheelSize), with an occupancy bitmap so the
-	// idle-skip logic finds the earliest pending wake in a few word scans.
-	wheel     [wheelSize][]*uop
+	// Calendar wheel for wakes within wheelSize cycles: slot s chains the
+	// uops waking at cycles ≡ s (mod wheelSize) through hot.link, with an
+	// occupancy bitmap so the idle-skip logic finds the earliest pending
+	// wake in a few word scans.
+	wheelHead [wheelSize]int32
 	wheelBits [wheelSize / 64]uint64
 	wheelCnt  int
 }
@@ -228,59 +233,36 @@ func RunSched(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slac
 	if watch != nil && !watch.Active() {
 		watch = nil
 	}
-	m := &machine{
-		cfg:      cfg,
-		mgc:      mg,
-		p:        p,
-		tr:       tr,
-		watch:    watch,
-		sched:    sched,
-		hier:     cache.NewHierarchy(cfg.Hier),
-		bp:       bpred.New(cfg.Bpred),
-		ss:       storesets.New(cfg.StoreSetEntries),
-		prof:     prof,
-		freeRegs: cfg.PhysRegs - isa.NumRegs,
-
-		// Size every queue from the config up front: the structural-hazard
-		// checks in rename and fetch bound their occupancy, so the hot loop
-		// never grows them.
-		fetchPending:   newRing[fetchItem](8),
-		fetchQ:         newRing[*uop](cfg.FetchWidth * 9),
-		window:         newRing[*uop](cfg.ROBEntries),
-		inflightLoads:  make([]*uop, 0, cfg.LQEntries),
-		inflightStores: make([]*uop, 0, cfg.SQEntries),
-		pendingViol:    make([]violation, 0, 16),
-		recycle:        prof == nil && !noRecycle,
-		retired:        newRing[*uop](cfg.ROBEntries),
+	if cfg.PhysRegs-isa.NumRegs <= 0 {
+		return nil, fmt.Errorf("pipeline: config %q has no rename registers", cfg.Name)
 	}
-	if sched == SchedScan {
-		m.iq = make([]*uop, 0, cfg.IQEntries)
-	} else {
-		m.readyQ = make([]readyEnt, 0, cfg.IQEntries)
-		m.readyNext = make([]*uop, 0, cfg.IQEntries)
-		m.issueScratch = make([]*uop, 0, cfg.IQEntries)
-		// Carve every wheel slot's initial capacity out of one arena; slots
-		// that overflow it (rare pile-ups) grow individually via append.
-		const slotCap = 4
-		arena := make([]*uop, wheelSize*slotCap)
-		for i := range m.wheel {
-			m.wheel[i] = arena[i*slotCap : i*slotCap : (i+1)*slotCap]
-		}
-	}
+	m := getMachine(cfg)
+	m.mgc = mg
+	m.p = p
+	m.tr = tr
+	m.watch = watch
+	m.sched = sched
+	m.prof = prof
+	m.recycle = prof == nil && !noRecycle
 	if mg.Enabled() {
 		m.layout = mg.Layout
 		if m.layout == nil {
-			m.layout = minigraph.NewLayout(p, mg.Selection)
+			if m.layoutP == p && m.layoutSel == mg.Selection {
+				m.layout = m.layoutC
+			} else {
+				m.layout = minigraph.NewLayout(p, mg.Selection)
+				m.layoutP, m.layoutSel, m.layoutC = p, mg.Selection, m.layout
+			}
 		}
 		m.mon = newMGMonitor(&mg, mg.Selection.NumTemplates, &m.stats)
 		if watch != nil {
 			m.mon.trace = watch.Trace
 		}
+	} else if m.layoutP == p && m.layoutSel == nil {
+		m.layout = m.layoutC
 	} else {
 		m.layout = minigraph.IdentityLayout(p)
-	}
-	if m.freeRegs <= 0 {
-		return nil, fmt.Errorf("pipeline: config %q has no rename registers", cfg.Name)
+		m.layoutP, m.layoutSel, m.layoutC = p, nil, m.layout
 	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
@@ -332,7 +314,12 @@ func RunSched(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slac
 	m.stats.ITLBMisses = m.hier.ITLB.Misses()
 	m.stats.DTLBMisses = m.hier.DTLB.Misses()
 	noteRun(&m.stats)
-	return &m.stats, nil
+	// Copy the stats out and pool the machine: the caller's *Stats must not
+	// alias state a later run will overwrite. Error paths above skip the
+	// pool — a deadlocked machine's structures are not provably clean.
+	st := m.stats
+	putMachine(m)
+	return &st, nil
 }
 
 func (m *machine) done() bool {
@@ -343,12 +330,14 @@ func (m *machine) done() bool {
 // --- commit ---
 
 func (m *machine) commit() {
+	h := &m.hot
 	for n := 0; n < m.cfg.CommitWidth && m.window.len() > 0; n++ {
 		u := m.window.at(0)
-		if u.issueCycle < 0 || u.execDone > m.cycle {
+		s := u.slot
+		if h.issue[s] < 0 || h.execDone[s] > m.cycle {
 			break
 		}
-		u.committed = true
+		h.committed[s] = true
 		m.window.popFront()
 		m.stats.Uops++
 		switch u.kind {
@@ -379,11 +368,11 @@ func (m *machine) commit() {
 		}
 		if u.isLoad {
 			m.lqUsed--
-			m.removeInflight(&m.inflightLoads, u)
+			removeInflight(&m.inflightLoads, u)
 		}
 		if u.isStore {
 			m.sqUsed--
-			m.removeInflight(&m.inflightStores, u)
+			removeInflight(&m.inflightStores, u)
 			m.ss.CompleteStore(m.storePC(u), u.seq)
 			// The store's write updates cache state at commit.
 			m.hier.AccessD(m.cycle, u.memAddr, true)
@@ -441,14 +430,39 @@ func (m *machine) referencedByViolation(h *uop) bool {
 	return false
 }
 
-func (m *machine) removeInflight(list *[]*uop, u *uop) {
-	s := *list
-	for i, v := range s {
-		if v == u {
-			*list = append(s[:i], s[i+1:]...)
-			return
+// removeInflight drops u from an in-flight ring. Commit removes the oldest
+// live entry (in-order commit puts u at the front); flushFrom removes a
+// youngest suffix young-to-old (u at the back); the shift fallback keeps
+// this robust to any other caller.
+func removeInflight(r *ring[*uop], u *uop) {
+	n := r.len()
+	switch {
+	case n == 0:
+	case r.at(0) == u:
+		r.popFront()
+	case r.at(n-1) == u:
+		r.popBack()
+	default:
+		for i := 1; i < n-1; i++ {
+			if r.at(i) == u {
+				r.removeAt(i)
+				return
+			}
 		}
 	}
+}
+
+// findInflightStore locates the in-flight store with the given seq tag
+// (unique, so search direction is immaterial; backward finds the usually
+// recent StoreSets match sooner). Returns nil when the store already left
+// the window.
+func (m *machine) findInflightStore(tag int64) *uop {
+	for i := m.inflightStores.len() - 1; i >= 0; i-- {
+		if st := m.inflightStores.at(i); st.seq == tag {
+			return st
+		}
+	}
+	return nil
 }
 
 // storePC returns the PC used for StoreSets indexing of u's store.
@@ -468,14 +482,16 @@ func (m *machine) resolvePendingBranch() {
 	if b == nil {
 		return
 	}
-	if b.squashed {
+	h := &m.hot
+	s := b.slot
+	if h.squashed[s] {
 		m.pendingBranch = nil
 		return
 	}
-	if b.issueCycle >= 0 && m.cycle >= b.resolve {
+	if h.issue[s] >= 0 && m.cycle >= h.resolve[s] {
 		m.pendingBranch = nil
-		if m.fetchStall < b.resolve+1 {
-			m.fetchStall = b.resolve + 1
+		if m.fetchStall < h.resolve[s]+1 {
+			m.fetchStall = h.resolve[s] + 1
 		}
 	}
 }
@@ -483,6 +499,7 @@ func (m *machine) resolvePendingBranch() {
 // --- issue ---
 
 func (m *machine) issue() {
+	h := &m.hot
 	bud := m.newIssueBudget()
 	kept := m.iq[:0]
 	for qi := 0; qi < len(m.iq); qi++ {
@@ -495,18 +512,19 @@ func (m *machine) issue() {
 			kept = append(kept, u)
 			continue
 		}
-		if !bud.admits(u) {
+		meta := h.meta[u.slot]
+		if !bud.admits(meta) {
 			kept = append(kept, u)
 			continue
 		}
-		bud.consume(u)
+		bud.consume(meta)
 		// Register read: if a speculatively-woken source turns out to be a
 		// missed load, this issue attempt is wasted and the uop replays
 		// when the value truly arrives.
-		if latest := latestSrcReady(u); latest > m.cycle {
+		if latest := m.latestSrcReady(u.slot); latest > m.cycle {
 			m.stats.Replays++
 			u.replays++
-			u.earliestIss = latest
+			h.earliest[u.slot] = latest
 			kept = append(kept, u)
 			continue
 		}
@@ -520,53 +538,65 @@ func (m *machine) issue() {
 // missed, the attempt is caught at register read and replayed — consuming
 // issue bandwidth, per Table 1's "cache miss replays are modeled".
 func (m *machine) ready(u *uop) bool {
-	if m.cycle < u.earliestIss {
+	h := &m.hot
+	s := u.slot
+	if m.cycle < h.earliest[s] {
 		return false
 	}
+	src := h.srcs[s]
 	for i := 0; i < u.nSrc; i++ {
-		p := u.srcProd[i]
-		if p == nil {
+		p := src[i]
+		if p < 0 {
 			continue
 		}
-		if p.issueCycle < 0 {
+		if h.issue[p] < 0 {
 			return false
 		}
-		wake := p.readyOut
-		if p.specReady > 0 && p.specReady < wake {
-			wake = p.specReady // speculative load-hit wakeup
+		wake := h.readyOut[p]
+		// specReady is written only by singleton-load execution, so gate the
+		// read on the producer kind rather than resetting the slot per uop.
+		if h.meta[p]&(metaLoad|metaHandle) == metaLoad {
+			if sp := h.specReady[p]; sp > 0 && sp < wake {
+				wake = sp // speculative load-hit wakeup
+			}
 		}
 		if wake > m.cycle {
 			return false
 		}
 	}
-	if w := u.waitStore; w != nil && !w.squashed && !w.committed {
-		if w.issueCycle < 0 || w.resolve > m.cycle {
+	if w := h.waitSlot[s]; w >= 0 && !h.squashed[w] && !h.committed[w] {
+		if h.issue[w] < 0 || h.resolve[w] > m.cycle {
 			return false
 		}
 	}
 	return true
 }
 
-// latestSrcReady returns the cycle at which every source value truly
-// exists (the register-read check that triggers replays).
-func latestSrcReady(u *uop) int64 {
+// latestSrcReady returns the cycle at which every source value of slot s
+// truly exists (the register-read check that triggers replays).
+func (m *machine) latestSrcReady(s int32) int64 {
+	h := &m.hot
+	src := h.srcs[s]
+	n := int(h.meta[s] >> metaNSrcShift)
 	var latest int64
-	for i := 0; i < u.nSrc; i++ {
-		if p := u.srcProd[i]; p != nil && p.readyOut > latest {
-			latest = p.readyOut
+	for i := 0; i < n; i++ {
+		if p := src[i]; p >= 0 && h.readyOut[p] > latest {
+			latest = h.readyOut[p]
 		}
 	}
 	return latest
 }
 
-// srcReadyMax returns the latest source-value ready cycle (for
+// recordSrcReady returns the latest source-value ready cycle (for
 // Slack-Dynamic detection) and records per-source ready cycles.
 func (m *machine) recordSrcReady(u *uop) (lastReady int64, lastIdx int) {
+	h := &m.hot
+	src := h.srcs[u.slot]
 	lastReady, lastIdx = 0, -1
 	for i := 0; i < u.nSrc; i++ {
 		var r int64
-		if p := u.srcProd[i]; p != nil {
-			r = p.readyOut
+		if p := src[i]; p >= 0 {
+			r = h.readyOut[p]
 		}
 		u.srcReadyC[i] = r
 		if r >= lastReady {
@@ -578,26 +608,30 @@ func (m *machine) recordSrcReady(u *uop) (lastReady int64, lastIdx int) {
 
 // execute computes all post-issue timing for u at the current cycle.
 func (m *machine) execute(u *uop) {
-	u.issueCycle = m.cycle
+	h := &m.hot
+	s := u.slot
+	h.issue[s] = m.cycle
 	lastReady, lastIdx := m.recordSrcReady(u)
 
 	// Consumers update producer local slack (profiling) and feed the
 	// Slack-Dynamic consumer-delay detector (rule #4's hardware analogue).
+	src := h.srcs[s]
 	for i := 0; i < u.nSrc; i++ {
-		p := u.srcProd[i]
-		if p == nil {
+		p := src[i]
+		if p < 0 {
 			continue
 		}
 		if m.prof != nil {
-			if m.cycle < p.minConsIss {
-				p.minConsIss = m.cycle
+			pu := h.uops[p]
+			if m.cycle < pu.minConsIss {
+				pu.minConsIss = m.cycle
 			}
-			if len(p.consumers) < maxTrackedConsumers {
-				p.consumers = append(p.consumers, u)
+			if len(pu.consumers) < maxTrackedConsumers {
+				pu.consumers = append(pu.consumers, u)
 			}
 		}
-		if p.kind == kindHandle {
-			m.noteConsumerOfHandle(m.cycle, p)
+		if h.meta[p]&metaHandle != 0 {
+			m.noteConsumerOfHandle(m.cycle, h.uops[p])
 		}
 	}
 
@@ -606,39 +640,44 @@ func (m *machine) execute(u *uop) {
 	case kindHandle:
 		m.executeHandle(u, exec, lastReady, lastIdx)
 	case kindOverheadJump:
-		u.resolve = exec + 1
-		u.execDone = u.resolve
-		u.readyOut = u.resolve
+		h.resolve[s] = exec + 1
+		h.execDone[s] = exec + 1
+		h.readyOut[s] = exec + 1
 	default:
 		m.executeSingleton(u, exec)
 	}
 }
 
 func (m *machine) executeSingleton(u *uop, exec int64) {
+	h := &m.hot
+	s := u.slot
 	in := m.p.Code[u.static]
 	switch {
 	case u.isLoad:
 		u.memCycle = exec + 1 // address generation
-		u.readyOut = m.loadAccess(u, u.memCycle)
-		u.execDone = u.readyOut
+		ro := m.loadAccess(u, u.memCycle)
+		h.readyOut[s] = ro
+		h.execDone[s] = ro
 		// Consumers wake assuming an L1 hit; a miss triggers replays.
-		u.specReady = u.memCycle + int64(m.hier.L1DHitLatency())
-		if u.specReady > u.readyOut {
-			u.specReady = u.readyOut
+		sp := u.memCycle + int64(m.hier.L1DHitLatency())
+		if sp > ro {
+			sp = ro
 		}
+		h.specReady[s] = sp
 		m.loadIssueChecks(u)
 	case u.isStore:
-		u.resolve = exec // address and data resolved
-		u.execDone = u.resolve
+		h.resolve[s] = exec // address and data resolved
+		h.execDone[s] = exec
+		h.readyOut[s] = 0 // no register output (pipetrace reads this)
 		m.storeIssueChecks(u)
 	case u.hasBranch:
-		u.resolve = exec + 1
-		u.execDone = u.resolve
-		u.readyOut = u.resolve // calls write the return address
+		h.resolve[s] = exec + 1
+		h.execDone[s] = exec + 1
+		h.readyOut[s] = exec + 1 // calls write the return address
 	default:
 		lat := int64(isa.Latency(in.Op))
-		u.readyOut = exec + lat
-		u.execDone = u.readyOut
+		h.readyOut[s] = exec + lat
+		h.execDone[s] = exec + lat
 	}
 }
 
@@ -646,8 +685,11 @@ func (m *machine) executeSingleton(u *uop, exec int64) {
 // k issues one cycle after constituent k-1 finishes (forward-only interior
 // network, micro-code style), which realizes internal serialization.
 func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int) {
+	h := &m.hot
+	s := u.slot
 	c := u.mg.Cand
-	t := u.issueCycle // constituent-k issue time (rule #2 of the paper)
+	t := h.issue[s]   // constituent-k issue time (rule #2 of the paper)
+	h.readyOut[s] = 0 // stays 0 for output-less handles (pipetrace reads this)
 	var maxDone int64
 	var lats [4]int64 // per-constituent latencies (pipetrace attribution)
 	for k := 0; k < u.mg.N; k++ {
@@ -667,19 +709,19 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 				}
 			}
 		case in.IsStore():
-			u.resolve = ek
+			h.resolve[s] = ek
 			rk = ek
 			lat = 1
 		case in.IsBranch():
 			rk = ek + 1
-			u.resolve = rk
+			h.resolve[s] = rk
 			lat = 1
 		default:
 			lat = int64(isa.Latency(in.Op))
 			rk = ek + lat
 		}
 		if k == c.OutputIdx {
-			u.readyOut = rk
+			h.readyOut[s] = rk
 		}
 		if rk > maxDone {
 			maxDone = rk
@@ -687,7 +729,7 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 		lats[k] = lat
 		t += lat
 	}
-	u.execDone = maxDone
+	h.execDone[s] = maxDone
 	if u.isLoad {
 		m.loadIssueChecks(u)
 	}
@@ -716,17 +758,17 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 				maxF = f[k]
 			}
 		}
-		u.serLat = u.execDone - (exec + maxF)
+		u.serLat = h.execDone[s] - (exec + maxF)
 		if u.serLat < 0 {
 			u.serLat = 0
 		}
 		if c.OutputIdx >= 0 {
-			u.serOut = u.readyOut - (exec + f[c.OutputIdx])
+			u.serOut = h.readyOut[s] - (exec + f[c.OutputIdx])
 			if u.serOut < 0 {
 				u.serOut = 0
 			}
 		}
-		u.serExt = lastIdx >= 0 && c.FirstUse[lastIdx] > 0 && u.issueCycle == lastReady
+		u.serExt = lastIdx >= 0 && c.FirstUse[lastIdx] > 0 && h.issue[s] == lastReady
 	}
 
 	// Slack-Dynamic serialization detection. An instance suffered
@@ -740,7 +782,7 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 	// amplification value exceeds their serialization cost.
 	if m.mon != nil && m.mgc.Dynamic && lastIdx >= 0 {
 		serInput := c.FirstUse[lastIdx] > 0
-		dataBound := u.issueCycle == lastReady
+		dataBound := h.issue[s] == lastReady
 		if serInput && (m.mgc.DynamicSIAL || dataBound) {
 			u.serialized = true
 			m.stats.MGSerializedEvents++
@@ -763,7 +805,7 @@ func (m *machine) noteConsumerOfHandle(consumerIssue int64, producer *uop) {
 	if m.mgc.DynamicDelayOnly || m.mgc.DynamicSIAL {
 		return // already counted at the producer
 	}
-	if consumerIssue == producer.readyOut {
+	if consumerIssue == m.hot.readyOut[producer.slot] {
 		m.mon.harmful(consumerIssue, producer.mg.Template)
 	} else {
 		// The consumer issued later for its own reasons: the serialization
@@ -777,18 +819,19 @@ func (m *machine) noteConsumerOfHandle(consumerIssue int64, producer *uop) {
 // returns the value-ready cycle.
 func (m *machine) loadAccess(u *uop, memCycle int64) int64 {
 	// Find the youngest older resolved store to the same word.
+	h := &m.hot
 	word := u.memAddr >> 2
 	var match *uop
-	for i := len(m.inflightStores) - 1; i >= 0; i-- {
-		s := m.inflightStores[i]
-		if s.seq >= u.seq {
+	for i := m.inflightStores.len() - 1; i >= 0; i-- {
+		st := m.inflightStores.at(i)
+		if st.seq >= u.seq {
 			continue
 		}
-		if s.memAddr>>2 != word {
+		if st.memAddr>>2 != word {
 			continue
 		}
-		if s.issueCycle >= 0 && s.resolve <= memCycle {
-			match = s
+		if h.issue[st.slot] >= 0 && h.resolve[st.slot] <= memCycle {
+			match = st
 		}
 		break // only the youngest older same-word store matters
 	}
@@ -797,7 +840,7 @@ func (m *machine) loadAccess(u *uop, memCycle int64) int64 {
 		if m.prof != nil && memCycle < match.fwdConsExec {
 			match.fwdConsExec = memCycle
 		}
-		m.noteConsumerOfHandle(u.issueCycle, matchRoot(match))
+		m.noteConsumerOfHandle(h.issue[u.slot], matchRoot(match))
 		return memCycle + 1 // SQ forwarding latency
 	}
 	return m.hier.AccessD(memCycle, u.memAddr, false)
@@ -809,14 +852,15 @@ func matchRoot(s *uop) *uop { return s }
 // loadIssueChecks schedules a future memory-ordering violation if an older
 // same-address store has issued but resolves only after this load's access.
 func (m *machine) loadIssueChecks(u *uop) {
+	h := &m.hot
 	word := u.memAddr >> 2
-	for i := len(m.inflightStores) - 1; i >= 0; i-- {
-		s := m.inflightStores[i]
-		if s.seq >= u.seq || s.memAddr>>2 != word {
+	for i := m.inflightStores.len() - 1; i >= 0; i-- {
+		st := m.inflightStores.at(i)
+		if st.seq >= u.seq || st.memAddr>>2 != word {
 			continue
 		}
-		if s.issueCycle >= 0 && s.resolve > u.memCycle {
-			m.pendingViol = append(m.pendingViol, violation{atCycle: s.resolve, load: u, store: s})
+		if h.issue[st.slot] >= 0 && h.resolve[st.slot] > u.memCycle {
+			m.pendingViol = append(m.pendingViol, violation{atCycle: h.resolve[st.slot], load: u, store: st})
 		}
 		break
 	}
@@ -825,12 +869,15 @@ func (m *machine) loadIssueChecks(u *uop) {
 // storeIssueChecks detects younger loads that already executed past this
 // store (they read stale data): a violation fires when the store resolves.
 func (m *machine) storeIssueChecks(u *uop) {
+	h := &m.hot
+	res := h.resolve[u.slot]
 	word := u.memAddr >> 2
-	for _, l := range m.inflightLoads {
-		if l.seq <= u.seq || l.issueCycle < 0 {
+	for i := 0; i < m.inflightLoads.len(); i++ {
+		l := m.inflightLoads.at(i)
+		if l.seq <= u.seq || h.issue[l.slot] < 0 {
 			continue
 		}
-		if l.memAddr>>2 != word || l.memCycle >= u.resolve {
+		if l.memAddr>>2 != word || l.memCycle >= res {
 			continue
 		}
 		// The load read memory (or an older store) before this store's
@@ -839,7 +886,7 @@ func (m *machine) storeIssueChecks(u *uop) {
 		if f := l.forwardedFrom; f != nil && f.seq > u.seq {
 			continue
 		}
-		m.pendingViol = append(m.pendingViol, violation{atCycle: u.resolve, load: l, store: u})
+		m.pendingViol = append(m.pendingViol, violation{atCycle: res, load: l, store: u})
 	}
 }
 
@@ -849,11 +896,12 @@ func (m *machine) checkViolations() {
 	if len(m.pendingViol) == 0 {
 		return
 	}
+	h := &m.hot
 	var fire *violation
 	kept := m.pendingViol[:0]
 	for i := range m.pendingViol {
 		v := &m.pendingViol[i]
-		if v.load.squashed || v.store.squashed {
+		if h.squashed[v.load.slot] || h.squashed[v.store.slot] {
 			continue
 		}
 		if v.atCycle <= m.cycle {
@@ -885,11 +933,12 @@ func (m *machine) checkViolations() {
 // flushFrom squashes the violating load and everything younger, restoring
 // rename state, and redirects fetch to refetch from the load.
 func (m *machine) flushFrom(v *uop) {
+	h := &m.hot
 	// Squash fetchQ and pending items entirely (all younger than v).
 	m.squashScratch = m.squashScratch[:0]
 	for i := 0; i < m.fetchQ.len(); i++ {
 		u := m.fetchQ.at(i)
-		u.squashed = true
+		h.squashed[u.slot] = true
 		m.squashScratch = append(m.squashScratch, u)
 	}
 	m.fetchQ.clear()
@@ -903,9 +952,9 @@ func (m *machine) flushFrom(v *uop) {
 			break
 		}
 		cut = i
-		u.squashed = true
+		h.squashed[u.slot] = true
 		m.squashScratch = append(m.squashScratch, u)
-		if m.sched != SchedScan && u.issueCycle < 0 {
+		if m.sched != SchedScan && h.issue[u.slot] < 0 {
 			// Unissued: leave no event-scheduler references behind. Uops
 			// waiting on a producer are scrubbed from its wakeup list;
 			// ready-queue entries are purged wholesale below.
@@ -920,11 +969,11 @@ func (m *machine) flushFrom(v *uop) {
 		}
 		if u.isLoad {
 			m.lqUsed--
-			m.removeInflight(&m.inflightLoads, u)
+			removeInflight(&m.inflightLoads, u)
 		}
 		if u.isStore {
 			m.sqUsed--
-			m.removeInflight(&m.inflightStores, u)
+			removeInflight(&m.inflightStores, u)
 			m.ss.CompleteStore(m.storePC(u), u.seq)
 		}
 	}
@@ -934,7 +983,7 @@ func (m *machine) flushFrom(v *uop) {
 	if m.sched == SchedScan {
 		kept := m.iq[:0]
 		for _, u := range m.iq {
-			if !u.squashed {
+			if !h.squashed[u.slot] {
 				kept = append(kept, u)
 			}
 		}
@@ -944,12 +993,12 @@ func (m *machine) flushFrom(v *uop) {
 	}
 	keptV := m.pendingViol[:0]
 	for _, pv := range m.pendingViol {
-		if !pv.load.squashed && !pv.store.squashed {
+		if !h.squashed[pv.load.slot] && !h.squashed[pv.store.slot] {
 			keptV = append(keptV, pv)
 		}
 	}
 	m.pendingViol = keptV
-	if m.pendingBranch != nil && m.pendingBranch.squashed {
+	if m.pendingBranch != nil && h.squashed[m.pendingBranch.slot] {
 		m.pendingBranch = nil
 	}
 	m.curBBHead = nil
@@ -994,10 +1043,16 @@ func (m *machine) rename() {
 		}
 		m.fetchQ.popFront()
 		u.renameCycle = m.cycle
+		h := &m.hot
+		s := u.slot
+		// First cycle issue sees a renamed uop (replay back-off raises it).
+		h.earliest[s] = m.cycle + 1
 
 		// Dataflow linking.
 		for i := 0; i < u.nSrc; i++ {
-			u.srcProd[i] = m.lastWriter[u.srcReg[i]]
+			if p := m.lastWriter[u.srcReg[i]]; p != nil {
+				h.srcs[s][i] = p.slot
+			}
 		}
 		if u.writesReg {
 			u.prevWriter = m.lastWriter[u.dstReg]
@@ -1006,25 +1061,19 @@ func (m *machine) rename() {
 		}
 		if u.isLoad {
 			m.lqUsed++
-			m.inflightLoads = append(m.inflightLoads, u)
+			m.inflightLoads.pushBack(u)
 			if tag := m.ss.RenameLoad(m.loadPC(u)); tag >= 0 {
-				for _, s := range m.inflightStores {
-					if s.seq == tag {
-						u.waitStore = s
-						break
-					}
+				if st := m.findInflightStore(tag); st != nil {
+					h.waitSlot[s] = st.slot
 				}
 			}
 		}
 		if u.isStore {
 			m.sqUsed++
-			m.inflightStores = append(m.inflightStores, u)
+			m.inflightStores.pushBack(u)
 			if prev := m.ss.RenameStore(m.storePC(u), u.seq); prev >= 0 {
-				for _, s := range m.inflightStores {
-					if s.seq == prev {
-						u.waitStore = s
-						break
-					}
+				if st := m.findInflightStore(prev); st != nil {
+					h.waitSlot[s] = st.slot
 				}
 			}
 		}
@@ -1061,12 +1110,10 @@ func (m *machine) fetch() {
 		direct := false // it came straight from prepareNext, not the ring
 		if m.fetchPending.len() > 0 {
 			it = m.fetchPending.at(0)
-		} else {
-			var ok bool
-			if it, ok = m.prepareNext(); !ok {
-				return
-			}
+		} else if m.prepareNext(&it) {
 			direct = true
+		} else {
+			return
 		}
 		// Instruction cache access, one per line per cycle.
 		line := it.addr >> 5
@@ -1097,30 +1144,31 @@ func (m *machine) fetch() {
 	}
 }
 
-// prepareNext converts the next trace record(s) into fetch items. The
-// first item is returned directly — the common singleton/handle case never
-// round-trips through the pending ring — and any remainder (outlined
-// mini-graph expansions) is queued. ok is false when the trace is
-// exhausted. Only called with an empty pending ring.
-func (m *machine) prepareNext() (it fetchItem, ok bool) {
+// prepareNext converts the next trace record(s) into fetch items, writing
+// the first into *it — the common singleton/handle case never round-trips
+// through the pending ring (or a return-value copy) — and queueing any
+// remainder (outlined mini-graph expansions). Returns false when the trace
+// is exhausted. Only called with an empty pending ring.
+func (m *machine) prepareNext(it *fetchItem) bool {
 	if m.fetchIdx >= len(m.tr) {
-		return fetchItem{}, false
+		return false
 	}
 	rec := m.tr[m.fetchIdx]
 	static := int(rec.Index)
 
 	if m.mgc.Enabled() {
 		if inst := m.mgc.Selection.InstanceAt(static); inst != nil && m.fetchIdx+inst.N <= len(m.tr) {
-			if m.mon != nil && m.mon.isDisabled(inst.Template) && !m.mgc.IdealOutlining {
-				m.prepareOutlined(inst)
-				return m.fetchPending.popFront(), true
-			}
-			if m.mon != nil && m.mon.isDisabled(inst.Template) && m.mgc.IdealOutlining {
-				m.prepareInlineSingletons(inst)
-				return m.fetchPending.popFront(), true
+			if m.mon != nil && m.mon.isDisabled(inst.Template) {
+				if m.mgc.IdealOutlining {
+					m.prepareInlineSingletons(inst)
+				} else {
+					m.prepareOutlined(inst)
+				}
+				*it = m.fetchPending.popFront()
+				return true
 			}
 			last := m.tr[m.fetchIdx+inst.N-1]
-			it = fetchItem{
+			*it = fetchItem{
 				kind:      kindHandle,
 				static:    static,
 				traceIdx:  m.fetchIdx,
@@ -1130,11 +1178,11 @@ func (m *machine) prepareNext() (it fetchItem, ok bool) {
 				endsGroup: inst.Cand.CtrlIdx >= 0 && last.Taken,
 			}
 			m.fetchIdx += inst.N
-			return it, true
+			return true
 		}
 	}
 
-	it = fetchItem{
+	*it = fetchItem{
 		kind:      kindSingleton,
 		static:    static,
 		traceIdx:  m.fetchIdx,
@@ -1143,7 +1191,7 @@ func (m *machine) prepareNext() (it fetchItem, ok bool) {
 		endsGroup: rec.Taken,
 	}
 	m.fetchIdx++
-	return it, true
+	return true
 }
 
 // prepareOutlined queues the outlined (disabled) execution of a mini-graph:
@@ -1211,28 +1259,23 @@ func (m *machine) prepareInlineSingletons(inst *minigraph.Instance) {
 const uopSlabSize = 256
 
 // newUop returns a fully zeroed uop, from the free list when recycling has
-// returned one, else carving a fresh arena slab. Total live uops are
-// bounded by the window, fetch queue and retired queue, so steady state
-// allocates nothing.
+// returned one, else carving a fresh arena slab (which also extends the
+// hotState arrays with the new slots). Total live uops are bounded by the
+// window, fetch queue and retired queue, so steady state allocates nothing.
 func (m *machine) newUop() *uop {
 	if n := len(m.freeUops); n > 0 {
 		u := m.freeUops[n-1]
 		m.freeUops = m.freeUops[:n-1]
-		wl := u.wakeList
-		*u = uop{} // full reset: recycled uops carry no history
-		u.wakeList = wl[:0]
+		slot := u.slot
+		*u = uop{slot: slot} // full reset: recycled uops carry no history
 		return u
 	}
+	base := len(m.hot.uops)
+	m.hot.grow(uopSlabSize)
 	slab := make([]uop, uopSlabSize)
-	if m.sched != SchedScan {
-		// Seed each uop's wakeup list with arena-backed capacity: most
-		// producers wake at most two consumers, and newUop preserves the
-		// capacity across recycling, so steady state never grows them.
-		const wakeCap = 2
-		arena := make([]*uop, uopSlabSize*wakeCap)
-		for i := range slab {
-			slab[i].wakeList = arena[i*wakeCap : i*wakeCap : (i+1)*wakeCap]
-		}
+	for i := range slab {
+		slab[i].slot = int32(base + i)
+		m.hot.uops[base+i] = &slab[i]
 	}
 	for i := 1; i < len(slab); i++ {
 		m.freeUops = append(m.freeUops, &slab[i])
@@ -1240,7 +1283,8 @@ func (m *machine) newUop() *uop {
 	return &slab[0]
 }
 
-// makeUop builds the uop for a fetch item, running branch prediction.
+// makeUop builds the uop for a fetch item, running branch prediction, and
+// re-initializes the uop's hotState slot.
 func (m *machine) makeUop(it fetchItem) *uop {
 	u := m.newUop()
 	u.seq = m.seq
@@ -1252,16 +1296,31 @@ func (m *machine) makeUop(it fetchItem) *uop {
 	u.fetchCycle = m.cycle
 	u.renameReady = m.cycle + int64(m.cfg.FetchToRename)
 	u.renameCycle = -1
-	u.issueCycle = -1
 	u.minConsIss = never
 	u.fwdConsExec = never
 	m.seq++
+
+	// Re-arm only the hot fields a reused slot could expose stale: issue
+	// gates every read of execDone/readyOut/resolve (all written at execute),
+	// earliest is written at rename before any read, waitCnt is assigned by
+	// admitEvent, specReady reads are gated on singleton-load producers, and
+	// wakeHead/link are -1 by invariant whenever a slot is free (broadcast
+	// drains wake chains; the wheel and purge reset links).
+	h := &m.hot
+	s := u.slot
+	h.seq[s] = u.seq
+	h.issue[s] = -1
+	h.waitSlot[s] = -1
+	h.srcs[s] = [3]int32{-1, -1, -1}
+	h.squashed[s] = false
+	h.committed[s] = false
 
 	switch it.kind {
 	case kindOverheadJump:
 		u.class = isa.ClassJump
 		u.op = isa.OpBr
 		m.predictOverheadJump(u, it)
+		h.meta[s] = packMeta(u)
 		return u
 	case kindHandle:
 		c := it.mg.Cand
@@ -1287,6 +1346,7 @@ func (m *machine) makeUop(it fetchItem) *uop {
 			brRec := m.tr[it.traceIdx+c.CtrlIdx]
 			m.predictBranch(u, brStatic, brRec)
 		}
+		h.meta[s] = packMeta(u)
 		return u
 	}
 
@@ -1308,6 +1368,7 @@ func (m *machine) makeUop(it fetchItem) *uop {
 		u.hasBranch = true
 		m.predictBranch(u, it.static, rec)
 	}
+	h.meta[s] = packMeta(u)
 	return u
 }
 
@@ -1401,6 +1462,7 @@ func (m *machine) drainProfile() {
 	// propagated through the dataflow graph. Consumers are younger and
 	// commit later, so a single reverse sweep sees every consumer's global
 	// slack before its producers'.
+	h := &m.hot
 	for i := len(m.profFIFO) - 1; i >= 0; i-- {
 		u := m.profFIFO[i]
 		gs := int64(slack.BigSlack)
@@ -1408,10 +1470,10 @@ func (m *machine) drainProfile() {
 			gs = 0 // delaying a mispredicted branch delays everything
 		}
 		for _, c := range u.consumers {
-			if c.squashed || c.issueCycle < 0 {
+			if h.squashed[c.slot] || h.issue[c.slot] < 0 {
 				continue
 			}
-			edge := c.issueCycle - u.readyOut
+			edge := h.issue[c.slot] - h.readyOut[u.slot]
 			if edge < 0 {
 				edge = 0
 			}
@@ -1434,13 +1496,15 @@ func (m *machine) foldProfile(u *uop) {
 	if u.kind != kindSingleton || u.bbHead == nil {
 		return
 	}
-	base := float64(u.bbHead.issueCycle)
+	h := &m.hot
+	s := u.slot
+	base := float64(h.issue[u.bbHead.slot])
 	in := m.p.Code[u.static]
 
 	obs := slack.Observation{
-		Issue:       float64(u.issueCycle) - base,
-		Ready:       float64(u.readyOut) - base,
-		ExecLat:     float64(u.execDone - u.issueCycle - int64(m.cfg.IssueToExec)),
+		Issue:       float64(h.issue[s]) - base,
+		Ready:       float64(h.readyOut[s]) - base,
+		ExecLat:     float64(h.execDone[s] - h.issue[s] - int64(m.cfg.IssueToExec)),
 		Src1Ready:   slack.NaN(),
 		Src2Ready:   slack.NaN(),
 		RegSlack:    slack.NaN(),
@@ -1462,22 +1526,22 @@ func (m *machine) foldProfile(u *uop) {
 		if u.minConsIss == never {
 			obs.RegSlack = slack.BigSlack
 		} else {
-			s := float64(u.minConsIss - u.readyOut)
-			if s < 0 {
-				s = 0
+			sl := float64(u.minConsIss - h.readyOut[s])
+			if sl < 0 {
+				sl = 0
 			}
-			obs.RegSlack = math.Min(s, slack.BigSlack)
+			obs.RegSlack = math.Min(sl, slack.BigSlack)
 		}
 	}
 	if u.isStore {
 		if u.fwdConsExec == never {
 			obs.StoreSlack = slack.BigSlack
 		} else {
-			s := float64(u.fwdConsExec - u.resolve)
-			if s < 0 {
-				s = 0
+			sl := float64(u.fwdConsExec - h.resolve[s])
+			if sl < 0 {
+				sl = 0
 			}
-			obs.StoreSlack = math.Min(s, slack.BigSlack)
+			obs.StoreSlack = math.Min(sl, slack.BigSlack)
 		}
 	}
 	if u.hasBranch {
@@ -1502,6 +1566,8 @@ var uopKindNames = [...]string{
 // cycle) or squash (squashed = true, no commit cycle). Only called with
 // an active trace.
 func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
+	h := &m.hot
+	s := u.slot
 	r := obs.UopTrace{
 		Seq:      u.seq,
 		Static:   u.static,
@@ -1510,9 +1576,9 @@ func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
 		N:        u.nRecs,
 		Fetch:    u.fetchCycle,
 		Rename:   u.renameCycle,
-		Issue:    u.issueCycle,
-		Done:     u.execDone,
-		Ready:    u.readyOut,
+		Issue:    h.issue[s],
+		Done:     h.execDone[s],
+		Ready:    h.readyOut[s],
 		Commit:   cycle,
 		Replays:  int(u.replays),
 		Mispred:  u.mispred,
@@ -1543,18 +1609,18 @@ func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
 	case u.isStore:
 		r.Mem = obs.MemStore
 	}
-	if r.Mem != obs.MemNone && u.issueCycle >= 0 {
+	if r.Mem != obs.MemNone && h.issue[s] >= 0 {
 		r.Addr = u.memAddr
 	}
 	// Singleton loads: cycles beyond the L1-hit wakeup the consumers saw
 	// (specReady is capped at readyOut, so this is never negative).
-	if u.kind != kindHandle && u.isLoad && u.issueCycle >= 0 {
-		r.MemLat = u.readyOut - u.specReady
+	if u.kind != kindHandle && u.isLoad && h.issue[s] >= 0 {
+		r.MemLat = h.readyOut[s] - h.specReady[s]
 	}
 	if squashed {
 		r.Commit = -1
 	}
-	if u.issueCycle < 0 {
+	if h.issue[s] < 0 {
 		r.Done, r.Ready = -1, -1
 	}
 	m.watch.Trace.Uop(r)

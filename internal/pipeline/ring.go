@@ -53,6 +53,25 @@ func (r *ring[T]) popFront() T {
 	return v
 }
 
+// popBack removes and returns the newest element.
+func (r *ring[T]) popBack() T {
+	var zero T
+	i := (r.head + r.n - 1) & (len(r.buf) - 1)
+	v := r.buf[i]
+	r.buf[i] = zero
+	r.n--
+	return v
+}
+
+// removeAt deletes the i-th element from the front, shifting everything
+// younger forward one position (rare slow path for mid-ring removal).
+func (r *ring[T]) removeAt(i int) {
+	for ; i < r.n-1; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = r.buf[(r.head+i+1)&(len(r.buf)-1)]
+	}
+	r.truncBack(r.n - 1)
+}
+
 // truncBack drops everything after the first n elements (squash).
 func (r *ring[T]) truncBack(n int) {
 	var zero T

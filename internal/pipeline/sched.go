@@ -64,12 +64,13 @@ func (m *machine) newIssueBudget() issueBudget {
 	}
 }
 
-// admits reports whether a port is available for u this cycle.
-func (b *issueBudget) admits(u *uop) bool {
-	if u.kind == kindHandle {
-		return b.mg > 0 && !((u.isLoad || u.isStore) && b.mgMem == 0)
+// admits reports whether a port is available this cycle for a uop with the
+// given packed meta byte (see packMeta).
+func (b *issueBudget) admits(meta uint8) bool {
+	if meta&metaHandle != 0 {
+		return b.mg > 0 && !(meta&(metaLoad|metaStore) != 0 && b.mgMem == 0)
 	}
-	switch u.class {
+	switch isa.Class(meta & metaClassMask) {
 	case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
 		return b.simple > 0
 	case isa.ClassComplex:
@@ -82,17 +83,17 @@ func (b *issueBudget) admits(u *uop) bool {
 	return true
 }
 
-// consume charges u's issue against the budget.
-func (b *issueBudget) consume(u *uop) {
+// consume charges the issue against the budget.
+func (b *issueBudget) consume(meta uint8) {
 	b.width--
-	if u.kind == kindHandle {
+	if meta&metaHandle != 0 {
 		b.mg--
-		if u.isLoad || u.isStore {
+		if meta&(metaLoad|metaStore) != 0 {
 			b.mgMem--
 		}
 		return
 	}
-	switch u.class {
+	switch isa.Class(meta & metaClassMask) {
 	case isa.ClassSimple, isa.ClassBranch, isa.ClassJump:
 		b.simple--
 	case isa.ClassComplex:
@@ -106,13 +107,13 @@ func (b *issueBudget) consume(u *uop) {
 
 // --- event scheduler: ready queue ---
 
-// readyEnt is one ready-queue entry: uop u may attempt issue at cycle
-// wake. The heap orders by (wake, seq) so same-cycle candidates pop in
-// program order, matching the scan scheduler's issue-queue order.
+// readyEnt is one overflow-heap entry: the uop in slot may attempt issue at
+// cycle wake. The heap orders by (wake, seq) so same-cycle candidates pop
+// in program order, matching the scan scheduler's issue-queue order.
 type readyEnt struct {
 	wake int64
 	seq  int64
-	u    *uop
+	slot int32
 }
 
 func entBefore(a, b readyEnt) bool {
@@ -123,39 +124,41 @@ func entBefore(a, b readyEnt) bool {
 // bus-contention pile-ups) fall back to the overflow heap. Power of two.
 const wheelSize = 512
 
-// pushReady schedules u's next issue attempt at cycle wake, choosing the
-// cheapest structure that can represent it: the flat readyNext list when
-// wake is exactly next cycle (port/bandwidth rejects, operands already
+// pushReady schedules slot s's next issue attempt at cycle wake, choosing
+// the cheapest structure that can represent it: the flat readyNext list
+// when wake is exactly next cycle (port/bandwidth rejects, operands already
 // ready at rename — the dominant case), a calendar-wheel slot for wakes
 // within the wheel horizon (load misses, latency chains), and the overflow
-// heap beyond that.
-func (m *machine) pushReady(u *uop, wake int64) {
+// heap beyond that. Wheel slots are intrusive chains through hot.link, so
+// scheduling a wake never allocates.
+func (m *machine) pushReady(s int32, wake int64) {
 	d := wake - m.cycle
 	if d <= 1 {
 		// Exotic configurations can broadcast a same-cycle wake (d <= 0);
 		// those must stay visible to the current issue drain, which re-reads
-		// the wheel slot — readyNext is only read next cycle.
+		// the heap — readyNext is only read next cycle.
 		if d == 1 {
-			m.readyNext = append(m.readyNext, u)
+			m.readyNext = append(m.readyNext, s)
 			return
 		}
-		m.pushReadyHeap(u, wake)
+		m.pushReadyHeap(s, wake)
 		return
 	}
 	if d < wheelSize {
-		s := int(wake) & (wheelSize - 1)
-		if len(m.wheel[s]) == 0 {
-			m.wheelBits[s>>6] |= 1 << uint(s&63)
+		w := int(wake) & (wheelSize - 1)
+		if m.wheelHead[w] < 0 {
+			m.wheelBits[w>>6] |= 1 << uint(w&63)
 		}
-		m.wheel[s] = append(m.wheel[s], u)
+		m.hot.link[s] = m.wheelHead[w]
+		m.wheelHead[w] = s
 		m.wheelCnt++
 		return
 	}
-	m.pushReadyHeap(u, wake)
+	m.pushReadyHeap(s, wake)
 }
 
-func (m *machine) pushReadyHeap(u *uop, wake int64) {
-	q := append(m.readyQ, readyEnt{wake: wake, seq: u.seq, u: u})
+func (m *machine) pushReadyHeap(s int32, wake int64) {
+	q := append(m.readyQ, readyEnt{wake: wake, seq: m.hot.seq[s], slot: s})
 	i := len(q) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -168,14 +171,14 @@ func (m *machine) pushReadyHeap(u *uop, wake int64) {
 	m.readyQ = q
 }
 
-func (m *machine) popReady() *uop {
+func (m *machine) popReady() int32 {
 	q := m.readyQ
-	u := q[0].u
+	s := q[0].slot
 	n := len(q) - 1
 	q[0] = q[n]
 	m.readyQ = q[:n]
 	siftDownReady(m.readyQ, 0)
-	return u
+	return s
 }
 
 func siftDownReady(q []readyEnt, i int) {
@@ -200,9 +203,10 @@ func siftDownReady(q []readyEnt, i int) {
 // purgeReadyQ drops squashed uops after a flush — they are about to be
 // recycled, so stale entries must go — and restores heap order.
 func (m *machine) purgeReadyQ() {
+	h := &m.hot
 	q := m.readyQ[:0]
 	for _, e := range m.readyQ {
-		if !e.u.squashed {
+		if !h.squashed[e.slot] {
 			q = append(q, e)
 		}
 	}
@@ -211,9 +215,9 @@ func (m *machine) purgeReadyQ() {
 		siftDownReady(q, i)
 	}
 	nx := m.readyNext[:0]
-	for _, u := range m.readyNext {
-		if !u.squashed {
-			nx = append(nx, u)
+	for _, s := range m.readyNext {
+		if !h.squashed[s] {
+			nx = append(nx, s)
 		}
 	}
 	m.readyNext = nx
@@ -222,19 +226,31 @@ func (m *machine) purgeReadyQ() {
 	}
 	for w, word := range m.wheelBits {
 		for word != 0 {
-			s := w<<6 + bits.TrailingZeros64(word)
+			ws := w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
-			ws := m.wheel[s]
-			kept := ws[:0]
-			for _, u := range ws {
-				if !u.squashed {
-					kept = append(kept, u)
+			// Relink the chain keeping only live uops.
+			var keptHead, keptTail int32 = -1, -1
+			for s := m.wheelHead[ws]; s >= 0; {
+				next := h.link[s]
+				if h.squashed[s] {
+					h.link[s] = -1
+					m.wheelCnt--
+				} else {
+					if keptTail < 0 {
+						keptHead = s
+					} else {
+						h.link[keptTail] = s
+					}
+					keptTail = s
 				}
+				s = next
 			}
-			m.wheelCnt -= len(ws) - len(kept)
-			m.wheel[s] = kept
-			if len(kept) == 0 {
-				m.wheelBits[w] &^= 1 << uint(s&63)
+			if keptTail >= 0 {
+				h.link[keptTail] = -1
+			}
+			m.wheelHead[ws] = keptHead
+			if keptHead < 0 {
+				m.wheelBits[w] &^= 1 << uint(ws&63)
 			}
 		}
 	}
@@ -261,109 +277,151 @@ func (m *machine) nextWheelWake() int64 {
 
 // --- event scheduler: producer wakeup ---
 
+// addWaiter chains consumer slot c onto producer slot p's wakeup list,
+// taking a node from the free list (steady state) or growing the pool.
+func (m *machine) addWaiter(p, c int32) {
+	n := m.wakeFree
+	if n < 0 {
+		m.wakeNodes = append(m.wakeNodes, wakeNode{})
+		n = int32(len(m.wakeNodes) - 1)
+	} else {
+		m.wakeFree = m.wakeNodes[n].next
+	}
+	m.wakeNodes[n] = wakeNode{c: c, next: m.hot.wakeHead[p]}
+	m.hot.wakeHead[p] = n
+}
+
 // admitEvent registers a freshly renamed uop with the event scheduler:
 // either it waits on unissued producers (which will wake it when they
 // broadcast at issue), or it goes straight onto the ready queue.
 func (m *machine) admitEvent(u *uop) {
 	m.iqCount++
+	h := &m.hot
+	s := u.slot
 	cnt := int32(0)
-	for i := 0; i < u.nSrc; i++ {
-		if p := u.srcProd[i]; p != nil && p.issueCycle < 0 {
-			p.wakeList = append(p.wakeList, u)
+	n := int(h.meta[s] >> metaNSrcShift)
+	for i := 0; i < n; i++ {
+		if p := h.srcs[s][i]; p >= 0 && h.issue[p] < 0 {
+			m.addWaiter(p, s)
 			cnt++
 		}
 	}
-	if ws := u.waitStore; ws != nil && ws.issueCycle < 0 {
-		ws.wakeList = append(ws.wakeList, u)
+	if ws := h.waitSlot[s]; ws >= 0 && h.issue[ws] < 0 {
+		m.addWaiter(ws, s)
 		cnt++
 	}
-	u.waitCnt = cnt
+	h.waitCnt[s] = cnt
 	if cnt == 0 {
-		m.enqueueReady(u)
+		m.enqueueReady(s)
 	}
 }
 
 // enqueueReady computes the first cycle at which the scan scheduler's
-// ready() would admit u — every producer has issued by now, so all wakeup
-// times are known — and pushes it onto the ready queue.
-func (m *machine) enqueueReady(u *uop) {
-	wake := u.renameCycle + 1 // first cycle issue() sees a renamed uop
-	if u.earliestIss > wake {
-		wake = u.earliestIss
-	}
-	for i := 0; i < u.nSrc; i++ {
-		p := u.srcProd[i]
-		if p == nil {
+// ready() would admit slot s — every producer has issued by now, so all
+// wakeup times are known — and pushes it onto the ready queue.
+func (m *machine) enqueueReady(s int32) {
+	h := &m.hot
+	wake := h.earliest[s] // rename+1 (set at rename; no replay happened yet)
+	src := h.srcs[s]
+	n := int(h.meta[s] >> metaNSrcShift)
+	for i := 0; i < n; i++ {
+		p := src[i]
+		if p < 0 {
 			continue
 		}
-		w := p.readyOut
-		if p.specReady > 0 && p.specReady < w {
-			w = p.specReady // speculative load-hit wakeup
+		w := h.readyOut[p]
+		// Same singleton-load gate as the scan scheduler's ready(): handles
+		// and non-loads never write specReady.
+		if h.meta[p]&(metaLoad|metaHandle) == metaLoad {
+			if sp := h.specReady[p]; sp > 0 && sp < w {
+				w = sp // speculative load-hit wakeup
+			}
 		}
-		if p.issueCycle > w {
-			w = p.issueCycle // consumer scans after producer the same cycle
-		}
-		if w > wake {
-			wake = w
-		}
-	}
-	if ws := u.waitStore; ws != nil && !ws.committed && !ws.squashed {
-		w := ws.resolve
-		if ws.issueCycle > w {
-			w = ws.issueCycle
+		if ic := h.issue[p]; ic > w {
+			w = ic // consumer scans after producer the same cycle
 		}
 		if w > wake {
 			wake = w
 		}
 	}
-	m.pushReady(u, wake)
+	if ws := h.waitSlot[s]; ws >= 0 && !h.committed[ws] && !h.squashed[ws] {
+		w := h.resolve[ws]
+		if ic := h.issue[ws]; ic > w {
+			w = ic
+		}
+		if w > wake {
+			wake = w
+		}
+	}
+	m.pushReady(s, wake)
 }
 
-// broadcast wakes the consumers waiting on u, which has just issued (its
-// readyOut/specReady/resolve are now known). Consumers whose last
+// broadcast wakes the consumers waiting on slot s, which has just issued
+// (its readyOut/specReady/resolve are now known). Consumers whose last
 // outstanding producer this was move onto the ready queue.
-func (m *machine) broadcast(u *uop) {
-	wl := u.wakeList
-	if len(wl) == 0 {
+func (m *machine) broadcast(s int32) {
+	h := &m.hot
+	n := h.wakeHead[s]
+	if n < 0 {
 		return
 	}
-	for _, c := range wl {
-		c.waitCnt--
-		if c.waitCnt == 0 && !c.squashed {
+	h.wakeHead[s] = -1
+	for n >= 0 {
+		nd := &m.wakeNodes[n]
+		c, next := nd.c, nd.next
+		nd.next = m.wakeFree
+		m.wakeFree = n
+		n = next
+		h.waitCnt[c]--
+		if h.waitCnt[c] == 0 && !h.squashed[c] {
 			m.enqueueReady(c)
 		}
 	}
-	u.wakeList = wl[:0]
 }
 
 // unregisterWaiter removes a squashed, never-issued uop from its
-// producers' wakeup lists so their broadcasts never touch a recycled uop.
+// producers' wakeup lists so their broadcasts never touch a recycled slot.
 // Uops already on the ready queue (waitCnt 0) are purged wholesale by
 // purgeReadyQ instead.
 func (m *machine) unregisterWaiter(u *uop) {
-	if u.waitCnt == 0 {
+	h := &m.hot
+	s := u.slot
+	if h.waitCnt[s] == 0 {
 		return
 	}
-	for i := 0; i < u.nSrc; i++ {
-		if p := u.srcProd[i]; p != nil && p.issueCycle < 0 {
-			removeWaiter(p, u)
+	n := int(h.meta[s] >> metaNSrcShift)
+	for i := 0; i < n; i++ {
+		if p := h.srcs[s][i]; p >= 0 && h.issue[p] < 0 {
+			m.removeWaiter(p, s)
 		}
 	}
-	if ws := u.waitStore; ws != nil && ws.issueCycle < 0 {
-		removeWaiter(ws, u)
+	if ws := h.waitSlot[s]; ws >= 0 && h.issue[ws] < 0 {
+		m.removeWaiter(ws, s)
 	}
-	u.waitCnt = 0
+	h.waitCnt[s] = 0
 }
 
-func removeWaiter(p, u *uop) {
-	wl := p.wakeList
-	kept := wl[:0]
-	for _, w := range wl {
-		if w != u {
-			kept = append(kept, w)
+// removeWaiter unchains every node for consumer c from producer p's wakeup
+// list (a consumer reading the same register twice registers twice).
+func (m *machine) removeWaiter(p, c int32) {
+	h := &m.hot
+	prev := int32(-1)
+	for n := h.wakeHead[p]; n >= 0; {
+		nd := &m.wakeNodes[n]
+		next := nd.next
+		if nd.c == c {
+			if prev < 0 {
+				h.wakeHead[p] = next
+			} else {
+				m.wakeNodes[prev].next = next
+			}
+			nd.next = m.wakeFree
+			m.wakeFree = n
+		} else {
+			prev = n
 		}
+		n = next
 	}
-	p.wakeList = kept
 }
 
 // --- event scheduler: issue ---
@@ -374,26 +432,34 @@ func removeWaiter(p, u *uop) {
 // rejects at their next feasible cycle (next cycle for structural
 // rejects, the true operand-ready cycle for register-read replays).
 func (m *machine) issueEvent() {
+	h := &m.hot
 	slot := int(m.cycle) & (wheelSize - 1)
-	if len(m.readyNext) == 0 && len(m.wheel[slot]) == 0 &&
+	if len(m.readyNext) == 0 && m.wheelHead[slot] < 0 &&
 		(len(m.readyQ) == 0 || m.readyQ[0].wake > m.cycle) {
 		return
 	}
 	bud := m.newIssueBudget()
-	cand := append(m.issueScratch[:0], m.readyNext...)
-	m.readyNext = m.readyNext[:0]
-	// The outer loop re-drains the wheel and heap in case a broadcast
-	// enqueued a consumer already eligible this cycle (impossible with a
-	// non-zero issue-to-execute depth, but kept for exotic configurations;
-	// such wakes never land on readyNext).
+	// Swap readyNext into the candidate scratch: rejects re-append to the
+	// (now empty) other buffer, so no copying either way.
+	cand := m.readyNext
+	m.readyNext = m.issueScratch[:0]
+	// The outer loop re-drains the heap in case a broadcast enqueued a
+	// consumer already eligible this cycle (impossible with a non-zero
+	// issue-to-execute depth, but kept for exotic configurations; such
+	// wakes never land on readyNext or the wheel).
 	for {
 		// Every entry in the current wheel slot is due exactly now: pushes
 		// place wakes at most wheelSize-1 cycles out, and the idle-skip
 		// logic never jumps past a pending wake.
-		if ws := m.wheel[slot]; len(ws) > 0 {
-			cand = append(cand, ws...)
-			m.wheelCnt -= len(ws)
-			m.wheel[slot] = ws[:0]
+		if s := m.wheelHead[slot]; s >= 0 {
+			for s >= 0 {
+				cand = append(cand, s)
+				next := h.link[s]
+				h.link[s] = -1
+				s = next
+				m.wheelCnt--
+			}
+			m.wheelHead[slot] = -1
 			m.wheelBits[slot>>6] &^= 1 << uint(slot&63)
 		}
 		for len(m.readyQ) > 0 && m.readyQ[0].wake <= m.cycle {
@@ -402,9 +468,9 @@ func (m *machine) issueEvent() {
 		if len(cand) == 0 {
 			break
 		}
-		sortUopsBySeq(cand)
-		for i, u := range cand {
-			if u.squashed {
+		sortSlotsBySeq(cand, h.seq)
+		for i, s := range cand {
+			if h.squashed[s] {
 				continue
 			}
 			if bud.width == 0 {
@@ -413,41 +479,43 @@ func (m *machine) issueEvent() {
 				m.readyNext = append(m.readyNext, cand[i:]...)
 				break
 			}
-			if !bud.admits(u) {
-				m.readyNext = append(m.readyNext, u)
+			meta := h.meta[s]
+			if !bud.admits(meta) {
+				m.readyNext = append(m.readyNext, s)
 				continue
 			}
-			bud.consume(u)
+			bud.consume(meta)
 			// Register read: a speculatively-woken consumer of a missed
 			// load wastes this attempt and replays at the true ready time.
-			if latest := latestSrcReady(u); latest > m.cycle {
+			if latest := m.latestSrcReady(s); latest > m.cycle {
 				m.stats.Replays++
-				u.replays++
-				u.earliestIss = latest
-				m.pushReady(u, latest)
+				h.uops[s].replays++
+				h.earliest[s] = latest
+				m.pushReady(s, latest)
 				continue
 			}
-			m.execute(u)
+			m.execute(h.uops[s])
 			m.iqCount--
-			m.broadcast(u)
+			m.broadcast(s)
 		}
 		cand = cand[:0]
 	}
 	m.issueScratch = cand[:0]
 }
 
-// sortUopsBySeq is an insertion sort: candidate batches are small (bounded
-// by the issue queue) and usually nearly sorted, arriving in (wake, seq)
-// heap order.
-func sortUopsBySeq(us []*uop) {
-	for i := 1; i < len(us); i++ {
-		u := us[i]
+// sortSlotsBySeq is an insertion sort by seq: candidate batches are small
+// (bounded by the issue queue) and usually nearly sorted, arriving in
+// (wake, seq) heap order.
+func sortSlotsBySeq(ss []int32, seq []int64) {
+	for i := 1; i < len(ss); i++ {
+		s := ss[i]
+		k := seq[s]
 		j := i - 1
-		for j >= 0 && us[j].seq > u.seq {
-			us[j+1] = us[j]
+		for j >= 0 && seq[ss[j]] > k {
+			ss[j+1] = ss[j]
 			j--
 		}
-		us[j+1] = u
+		ss[j+1] = s
 	}
 }
 
@@ -481,39 +549,51 @@ func (m *machine) renameStallCounter(u *uop) *int64 {
 // provably inert except for rename stall counting, which advanceCycle
 // accounts in bulk. Returns never if no event is pending (deadlock).
 func (m *machine) nextEventCycle() int64 {
+	h := &m.hot
 	c := m.cycle
-	next := never
+	// Every term below is clamped to at least c+1, so any source already due
+	// next cycle decides the answer outright. readyNext alone short-circuits
+	// most busy cycles without touching the heap, wheel or queue heads.
 	if len(m.readyNext) > 0 {
-		next = c + 1 // readyNext entries wake next cycle by construction
+		return c + 1 // readyNext entries wake next cycle by construction
 	}
+	next := never
 	if len(m.readyQ) > 0 {
-		next = min(next, max(c+1, m.readyQ[0].wake))
+		if w := m.readyQ[0].wake; w <= c+1 {
+			return c + 1
+		} else {
+			next = w
+		}
+	}
+	if m.window.len() > 0 {
+		if hd := m.window.at(0); h.issue[hd.slot] >= 0 {
+			if d := h.execDone[hd.slot]; d <= c+1 {
+				return c + 1
+			} else if d < next {
+				next = d
+			}
+		}
 	}
 	if m.wheelCnt > 0 && next > c+1 {
 		next = min(next, m.nextWheelWake())
 	}
-	if m.window.len() > 0 {
-		if h := m.window.at(0); h.issueCycle >= 0 {
-			next = min(next, max(c+1, h.execDone))
-		}
-	}
 	for i := range m.pendingViol {
 		v := &m.pendingViol[i]
-		if v.load.squashed || v.store.squashed {
+		if h.squashed[v.load.slot] || h.squashed[v.store.slot] {
 			continue
 		}
 		next = min(next, max(c+1, v.atCycle))
 	}
-	if b := m.pendingBranch; b != nil && b.issueCycle >= 0 {
-		next = min(next, max(c+1, b.resolve))
+	if b := m.pendingBranch; b != nil && h.issue[b.slot] >= 0 {
+		next = min(next, max(c+1, h.resolve[b.slot]))
 	}
 	if m.fetchQ.len() > 0 {
-		h := m.fetchQ.at(0)
-		if m.renameStallCounter(h) == nil {
+		hd := m.fetchQ.at(0)
+		if m.renameStallCounter(hd) == nil {
 			// Head can rename once its rename latency elapses. (When it is
 			// structurally blocked, only another event — a commit, issue or
 			// flush — can unblock it, so no event is needed here.)
-			next = min(next, max(c+1, h.renameReady))
+			next = min(next, max(c+1, hd.renameReady))
 		}
 	}
 	if m.pendingBranch == nil && m.fetchQ.len() < m.cfg.FetchWidth*8 &&

@@ -14,11 +14,16 @@ import (
 )
 
 // schedRun executes one observed simulation under the given scheduler and
-// returns the stats, the pipetrace bytes, and the sampled intervals.
-func schedRun(t *testing.T, k SchedKind, p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig) (*Stats, []byte, []obs.Interval) {
+// returns the stats, the pipetrace bytes (JSONL, or the binary encoding
+// when bin is set), and the sampled intervals.
+func schedRun(t *testing.T, k SchedKind, p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, bin bool) (*Stats, []byte, []obs.Interval) {
 	t.Helper()
 	var buf bytes.Buffer
-	watch := &obs.Observer{Trace: obs.NewPipetrace(&buf), Intervals: obs.NewIntervalSampler(250)}
+	mk := obs.NewPipetrace
+	if bin {
+		mk = obs.NewBinaryPipetrace
+	}
+	watch := &obs.Observer{Trace: mk(&buf), Intervals: obs.NewIntervalSampler(250)}
 	st, err := RunSched(p, tr, cfg, mg, nil, watch, k)
 	if err != nil {
 		t.Fatalf("%v scheduler: %v", k, err)
@@ -29,12 +34,14 @@ func schedRun(t *testing.T, k SchedKind, p *prog.Program, tr []emu.Rec, cfg Conf
 	return st, buf.Bytes(), watch.Intervals.Intervals()
 }
 
-// requireSchedMatch runs one scenario under both schedulers and fails the
-// test unless the stats, pipetrace bytes and interval samples are identical.
+// requireSchedMatch runs one scenario under both schedulers and both trace
+// encodings and fails the test unless the stats, pipetrace bytes and
+// interval samples are identical — and unless the binary trace converts to
+// the exact JSONL bytes the JSONL run wrote.
 func requireSchedMatch(t *testing.T, p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig) {
 	t.Helper()
-	stE, traceE, ivsE := schedRun(t, SchedEvent, p, tr, cfg, mg)
-	stS, traceS, ivsS := schedRun(t, SchedScan, p, tr, cfg, mg)
+	stE, traceE, ivsE := schedRun(t, SchedEvent, p, tr, cfg, mg, false)
+	stS, traceS, ivsS := schedRun(t, SchedScan, p, tr, cfg, mg, false)
 	if *stE != *stS {
 		t.Errorf("stats diverge:\nevent %+v\nscan  %+v", stE, stS)
 	}
@@ -44,6 +51,27 @@ func requireSchedMatch(t *testing.T, p *prog.Program, tr []emu.Rec, cfg Config, 
 	}
 	if !reflect.DeepEqual(ivsE, ivsS) {
 		t.Errorf("interval samples diverge: event %d samples, scan %d", len(ivsE), len(ivsS))
+	}
+
+	// One binary-encoded leg suffices: the JSONL legs established both
+	// schedulers emit identical record streams, and the binary encoding is
+	// a pure function of that stream. What needs its own check is the
+	// encoding round trip — the binary trace must convert back to the
+	// exact bytes the JSONL run wrote.
+	stB, binTrace, ivsB := schedRun(t, SchedEvent, p, tr, cfg, mg, true)
+	if *stB != *stE {
+		t.Error("stats change when tracing switches to the binary encoding")
+	}
+	if !reflect.DeepEqual(ivsB, ivsE) {
+		t.Error("interval samples change when tracing switches to the binary encoding")
+	}
+	var conv bytes.Buffer
+	if err := obs.ConvertPipetrace(bytes.NewReader(binTrace), &conv); err != nil {
+		t.Fatalf("binary trace conversion: %v", err)
+	}
+	if !bytes.Equal(conv.Bytes(), traceE) {
+		t.Errorf("converted binary trace differs from the JSONL run: first diff at byte %d",
+			firstDiff(conv.Bytes(), traceE))
 	}
 }
 
@@ -143,6 +171,60 @@ func TestSchedulerDifferentialProfiled(t *testing.T) {
 	}
 	if !bytes.Equal(bufE.Bytes(), bufS.Bytes()) {
 		t.Error("slack profiles diverge between schedulers")
+	}
+}
+
+// TestSampledDifferential runs the periodic-sampling estimator under both
+// schedulers and requires identical estimates; it also pins the estimate
+// across worker counts, which exercises concurrent machine pooling (each
+// window draws a machine from the pool). SetDefaultScheduler is
+// process-global, so this test must not run in parallel.
+func TestSampledDifferential(t *testing.T) {
+	w := workload.Find("comm.crc32")
+	if w == nil {
+		t.Fatal("workload comm.crc32 not found")
+	}
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]int64, p.NumInstrs())
+	for _, r := range res.Trace {
+		freq[r.Index]++
+	}
+	sel := minigraph.Select(p, minigraph.Enumerate(p, minigraph.DefaultLimits()),
+		freq, minigraph.DefaultSelectConfig())
+	// Size the spec so the trace holds several windows.
+	spec := SampleSpec{Interval: len(res.Trace) / 6, Window: len(res.Trace) / 20,
+		Warmup: len(res.Trace) / 40}
+	if spec.Window == 0 {
+		t.Fatalf("trace too short for sampling: %d records", len(res.Trace))
+	}
+
+	run := func(k SchedKind, workers int) (*Stats, float64) {
+		SetDefaultScheduler(k)
+		defer SetDefaultScheduler(SchedEvent)
+		spec := spec
+		spec.Workers = workers
+		st, rate, err := RunSampled(p, res.Trace, Reduced(), MGConfig{Selection: sel}, spec)
+		if err != nil {
+			t.Fatalf("%v scheduler, %d workers: %v", k, workers, err)
+		}
+		return st, rate
+	}
+	stE, rateE := run(SchedEvent, 1)
+	stS, rateS := run(SchedScan, 1)
+	if *stE != *stS || rateE != rateS {
+		t.Errorf("sampled estimates diverge:\nevent %+v (rate %v)\nscan  %+v (rate %v)",
+			stE, rateE, stS, rateS)
+	}
+	stP, rateP := run(SchedEvent, 4)
+	if *stP != *stE || rateP != rateE {
+		t.Errorf("sampled estimate changes with worker count:\nserial   %+v\nparallel %+v", stE, stP)
 	}
 }
 

@@ -52,6 +52,20 @@ func New(entries int) *Predictor {
 	return p
 }
 
+// Reset restores the predictor to its post-New state without reallocating
+// the tables, so pooled simulation machines can reuse it across runs.
+func (p *Predictor) Reset() {
+	for i := range p.ssit {
+		p.ssit[i] = invalidSSID
+	}
+	for i := range p.lfst {
+		p.lfst[i] = -1
+	}
+	p.nextSSID = 0
+	p.Violations = 0
+	p.Predictions = 0
+}
+
 func (p *Predictor) idx(pc uint32) int {
 	// Rename-time hot path: mask instead of modulo for the usual
 	// power-of-two table (the mask is also correct for a 1-entry table).
