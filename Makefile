@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke bench benchjson profile report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke index-smoke bench benchjson profile report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
 ## cache and pipeline tests, the scheduler differential, the SoA/pooling
 ## determinism smoke, and end-to-end observability, attribution and
 ## metrics/tracing smoke tests. Documented in README.md; run before every
 ## merge.
-ci: vet fmt build test race sched-smoke sched-soa obs-smoke critpath-smoke metrics-smoke
+ci: vet fmt build test race sched-smoke sched-soa obs-smoke critpath-smoke metrics-smoke index-smoke
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,26 @@ metrics-smoke:
 	$(GO) run ./cmd/mgtrace -spans $$dir/sweep.trace >/dev/null && \
 	rm -rf $$dir && echo "metrics-smoke ok"
 
+# Trace-index end to end: an observed binary run must leave a .mgidx
+# sidecar next to the trace; a -window query through the index must print
+# byte-identically to the -noindex linear scan (modulo the mode label); a
+# windowed critical-path attribution over the same trace must succeed; and
+# the live /debug/trace flight-recorder endpoint tests must pass.
+index-smoke:
+	@dir=$$(mktemp -d); \
+	t=$$dir/comm.crc32_small_reduced-3way_Slack-Dynamic.pipetrace.bin; \
+	$(GO) run ./cmd/mgsim -workload comm.crc32 -input small -config reduced \
+		-selector Slack-Dynamic -pipetrace-bin -tracedir $$dir >/dev/null 2>&1 && \
+	test -s $$t.mgidx && \
+	$(GO) run ./cmd/mgtrace -trace $$t -window 2000:4000 -count 100000 | \
+		sed 's/(seek index)/(scan)/' > $$dir/win.idx && \
+	$(GO) run ./cmd/mgtrace -trace $$t -window 2000:4000 -count 100000 -noindex | \
+		sed 's/(linear scan)/(scan)/' > $$dir/win.lin && \
+	cmp $$dir/win.idx $$dir/win.lin && \
+	$(GO) run ./cmd/mgtrace -critpath $$t -config reduced -window 2000:4000 >/dev/null && \
+	$(GO) test -run 'TestFlight|TestTraceWindowHandler|TestServeDebugTraceEndpoint' -count=1 ./internal/obs >/dev/null && \
+	rm -rf $$dir && echo "index-smoke ok"
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
@@ -95,12 +115,12 @@ bench:
 # whatever machine ran them — cross-machine deltas measure the hardware as
 # much as the code (see README "Performance").
 benchjson:
-	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze' -benchtime 5x -count 3 -benchmem \
-		./internal/pipeline ./internal/critpath | \
+	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze|BenchmarkIndex' -benchtime 5x -count 3 -benchmem \
+		./internal/pipeline ./internal/critpath ./internal/obs | \
 	$(GO) run ./cmd/benchjson -rev "$$(git rev-parse --short HEAD)" \
 		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-		-baseline BENCH_PR5.json > BENCH_PR6.json
-	@echo "wrote BENCH_PR6.json"
+		-baseline BENCH_PR6.json > BENCH_PR7.json
+	@echo "wrote BENCH_PR7.json"
 
 # profile: CPU and allocation pprof profiles of the mini-graph simulator
 # benchmark, written to the (gitignored) profiles/ directory. Inspect with

@@ -50,7 +50,7 @@ func main() {
 		nocache    = flag.Bool("nocache", false, "bypass the simulation caches: re-prepare and re-simulate everything")
 		cacheStats = flag.Bool("cachestats", false, "print simulation-cache counters to stderr")
 		pipetrace  = flag.Bool("pipetrace", false, "write per-uop pipetrace JSONL per (workload, series)")
-		ptraceBin  = flag.Bool("pipetrace-bin", false, "write pipetraces in the compact binary encoding instead of JSONL")
+		ptraceBin  = flag.Bool("pipetrace-bin", false, "write pipetraces in the compact binary encoding (with a .mgidx seek index) instead of JSONL")
 		intervals  = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
 		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		verbose    = flag.Bool("v", false, "structured task telemetry on stderr")

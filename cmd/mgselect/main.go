@@ -32,7 +32,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cacheStats = flag.Bool("cachestats", false, "print simulation-cache counters to stderr")
 		pipetrace  = flag.Bool("pipetrace", false, "write a per-uop pipetrace JSONL of the profiling run")
-		ptraceBin  = flag.Bool("pipetrace-bin", false, "write the pipetrace in the compact binary encoding instead of JSONL")
+		ptraceBin  = flag.Bool("pipetrace-bin", false, "write the pipetrace in the compact binary encoding (with a .mgidx seek index) instead of JSONL")
 		intervals  = flag.Int64("intervals", 0, "sample interval metrics of the profiling run every N cycles (0 = off)")
 		tracedir   = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		verbose    = flag.Bool("v", false, "structured telemetry on stderr")

@@ -74,7 +74,7 @@ func main() {
 		list      = flag.Bool("list", false, "list workloads and exit")
 		verbose   = flag.Bool("v", false, "print the mini-graph selection and structured telemetry")
 		pipetrace = flag.Bool("pipetrace", false, "write a per-uop pipetrace JSONL of the run")
-		ptraceBin = flag.Bool("pipetrace-bin", false, "write the pipetrace in the compact binary encoding instead of JSONL")
+		ptraceBin = flag.Bool("pipetrace-bin", false, "write the pipetrace in the compact binary encoding (with a .mgidx seek index) instead of JSONL")
 		intervals = flag.Int64("intervals", 0, "sample interval metrics every N cycles (0 = off)")
 		tracedir  = flag.String("tracedir", "", "observability output directory (default \"obs\")")
 		httpaddr  = flag.String("httpaddr", "", "serve expvar, pprof, /metrics and /debug/sweep on this address during the run")
@@ -202,6 +202,10 @@ func main() {
 	}
 	if watch != nil {
 		fmt.Fprintf(os.Stderr, "observability files: %v\n", watch.Files())
+		if ix := watch.IndexInfo(); ix != nil {
+			fmt.Fprintf(os.Stderr, "trace index: %s — %d records, commit cycles %d..%d (query with mgtrace -window)\n",
+				ix.File, ix.Records, ix.MinCycle, ix.MaxCycle)
+		}
 	}
 
 	fmt.Printf("workload=%s input=%s config=%s selector=%s\n", *wName, *input, cfg.Name, *selName)

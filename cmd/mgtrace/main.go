@@ -7,9 +7,12 @@
 // Usage:
 //
 //	mgtrace -trace run.pipetrace.jsonl [-start seq] [-count n] [-cols n]
-//	mgtrace -summary run.intervals.jsonl [-top k]
+//	mgtrace -trace run.pipetrace.bin -window 12000:13000 [-noindex]
+//	mgtrace -trace run.pipetrace.bin -range 500000:500200
+//	mgtrace -index run.pipetrace.bin [-index-every n]
+//	mgtrace -summary run.intervals.jsonl [-top k] [-window a:b]
 //	mgtrace -csv run.intervals.jsonl > run.csv
-//	mgtrace -critpath run.pipetrace.jsonl [-config reduced] [-top k] [-attribjson f] [-attribcsv f]
+//	mgtrace -critpath run.pipetrace.jsonl [-config reduced] [-top k] [-window a:b] [-attribjson f] [-attribcsv f]
 //	mgtrace -spans sweep.trace
 //	mgtrace -tojsonl run.pipetrace.bin > run.pipetrace.jsonl
 //
@@ -17,6 +20,16 @@
 // encoding written under -pipetrace-bin; the format is auto-detected. The
 // -tojsonl mode converts a binary pipetrace to JSONL on stdout,
 // byte-identical to what the run would have written with -pipetrace.
+//
+// Windowed queries: -window a:b selects the records whose index cycle
+// (commit cycle, or last stage reached for squashed uops) lies in [a, b];
+// -range a:b selects records by 0-based stream ordinal. Binary traces with
+// a .mgidx sidecar (written automatically with -pipetrace-bin, or built
+// after the fact with -index) are read through the seek index — only the
+// byte ranges that can intersect the query are decoded, so jumping into a
+// multi-GB trace is cheap. Without an index the query falls back to a
+// linear scan with identical results; -noindex forces the fallback (useful
+// for diffing the two paths).
 //
 // The -spans mode validates a Chrome trace-event file produced by the
 // -trace-out flag of mgreport/mgsim/mgselect (matched B/E pairs, monotonic
@@ -29,12 +42,18 @@
 // mispredictions, structural stalls, replays), the per-template
 // serialization scoreboard, and the worst static mini-graph sites.
 // -config names the machine configuration the trace was produced under.
+// With -window a:b the walk is bounded to the uops committing inside the
+// window (edges crossing the window entry are clipped as boundary state);
+// the full trace is still read, because exact dependence reconstruction
+// needs the complete rename history.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/critpath"
 	"repro/internal/obs"
@@ -55,17 +74,34 @@ func main() {
 		attribCSV = flag.String("attribcsv", "", "also write the serialization scoreboard as CSV to this file")
 		spansFile = flag.String("spans", "", "Chrome trace file (from -trace-out) to validate and summarize")
 		toJSONL   = flag.String("tojsonl", "", "binary pipetrace file to convert to JSONL on stdout")
+		windowStr = flag.String("window", "", "cycle window a:b — restrict -trace/-summary/-critpath to it")
+		rangeStr  = flag.String("range", "", "record range a:b (0-based stream ordinals) — restrict -trace to it")
+		indexFile = flag.String("index", "", "binary pipetrace to build a .mgidx seek index for")
+		indexN    = flag.Int("index-every", obs.DefaultIndexEvery, "index stride (records per entry) for -index")
+		noIndex   = flag.Bool("noindex", false, "ignore any .mgidx sidecar and scan linearly (for diffing)")
 	)
 	flag.Parse()
+	if *windowStr != "" && *rangeStr != "" {
+		fail(fmt.Errorf("-window and -range are mutually exclusive"))
+	}
 
 	did := false
 	if *traceFile != "" {
 		did = true
-		uops, events, err := readTrace(*traceFile)
+		uops, events, desc, err := queryTrace(*traceFile, *windowStr, *rangeStr, *noIndex)
 		if err != nil {
 			fail(err)
 		}
+		if desc != "" {
+			fmt.Printf("%s: %s -> %d uops, %d events\n", *traceFile, desc, len(uops), len(events))
+		}
 		if err := renderTrace(os.Stdout, uops, events, *start, *count, *cols); err != nil {
+			fail(err)
+		}
+	}
+	if *indexFile != "" {
+		did = true
+		if err := buildIndex(*indexFile, *indexN); err != nil {
 			fail(err)
 		}
 	}
@@ -75,7 +111,16 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		summarizeIntervals(os.Stdout, *summary, ivs, *top)
+		name := *summary
+		if *windowStr != "" {
+			a, b, err := parseSpan(*windowStr)
+			if err != nil {
+				fail(err)
+			}
+			ivs = windowIntervals(ivs, a, b)
+			name = fmt.Sprintf("%s [window %d:%d]", name, a, b)
+		}
+		summarizeIntervals(os.Stdout, name, ivs, *top)
 	}
 	if *csvFile != "" {
 		did = true
@@ -89,6 +134,9 @@ func main() {
 	}
 	if *critFile != "" {
 		did = true
+		if *rangeStr != "" {
+			fail(fmt.Errorf("-critpath takes -window (commit cycles), not -range: record ordinals don't bound an attribution"))
+		}
 		cfg, err := configByName(*cfgName)
 		if err != nil {
 			fail(err)
@@ -97,7 +145,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		rep, err := critpath.Analyze(uops, events, critpath.ParamsFor(cfg))
+		var win *critpath.Window
+		if *windowStr != "" {
+			a, b, err := parseSpan(*windowStr)
+			if err != nil {
+				fail(err)
+			}
+			win = &critpath.Window{Start: a, End: b}
+		}
+		rep, err := critpath.AnalyzeWindow(uops, events, critpath.ParamsFor(cfg), win)
 		if err != nil {
 			fail(err)
 		}
@@ -138,13 +194,133 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// readTrace reads a whole pipetrace. An empty trace is an error: every
+// caller is about to render or analyze records, and a silently empty
+// result would let a CI smoke leg pass on a broken trace.
 func readTrace(path string) ([]obs.UopTrace, []obs.TraceEvent, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
-	return obs.ReadPipetrace(f)
+	uops, events, err := obs.ReadPipetrace(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(uops) == 0 && len(events) == 0 {
+		return nil, nil, fmt.Errorf("%s: empty pipetrace (no records)", path)
+	}
+	return uops, events, nil
+}
+
+// parseSpan parses "a:b" into inclusive int64 bounds.
+func parseSpan(s string) (int64, int64, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("bad span %q: want start:end", s)
+	}
+	a, err1 := strconv.ParseInt(s[:i], 10, 64)
+	b, err2 := strconv.ParseInt(s[i+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad span %q: want start:end", s)
+	}
+	if a > b {
+		return 0, 0, fmt.Errorf("bad span %q: start after end", s)
+	}
+	return a, b, nil
+}
+
+// queryTrace reads a pipetrace, restricted to a cycle window or record
+// range when given. desc labels the query and how it was served ("" for a
+// full read).
+func queryTrace(path, window, rng string, noIndex bool) (uops []obs.UopTrace, events []obs.TraceEvent, desc string, err error) {
+	if window == "" && rng == "" {
+		uops, events, err = readTrace(path)
+		return uops, events, "", err
+	}
+	ir, done, err := openTraceReader(path, noIndex)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	defer done()
+	mode := "linear scan"
+	if ir.Indexed() {
+		mode = "seek index"
+	}
+	if window != "" {
+		a, b, perr := parseSpan(window)
+		if perr != nil {
+			return nil, nil, "", perr
+		}
+		uops, events, err = ir.Window(a, b)
+		desc = fmt.Sprintf("window %d:%d (%s)", a, b, mode)
+	} else {
+		a, b, perr := parseSpan(rng)
+		if perr != nil {
+			return nil, nil, "", perr
+		}
+		uops, events, err = ir.Range(a, b)
+		desc = fmt.Sprintf("range %d:%d (%s)", a, b, mode)
+	}
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return uops, events, desc, nil
+}
+
+// openTraceReader opens a pipetrace for windowed queries, through its
+// sidecar index unless noIndex forces the linear fallback.
+func openTraceReader(path string, noIndex bool) (*obs.IndexedReader, func(), error) {
+	if !noIndex {
+		ir, err := obs.OpenIndexed(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ir, func() { ir.Close() }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ir, err := obs.NewIndexedReader(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return ir, func() { f.Close() }, nil
+}
+
+// buildIndex builds and writes the .mgidx sidecar for an existing binary
+// pipetrace (mgtrace -index).
+func buildIndex(path string, every int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	x, err := obs.BuildIndex(f, every)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	out := obs.IndexPath(path)
+	if err := obs.WriteIndexFile(out, x); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records (%d uops, %d events), commit cycles %d..%d, %d index entries (every %d)\n",
+		out, x.Records, x.Uops, x.Events, x.MinCycle, x.MaxCycle, len(x.Entries), x.Every)
+	return nil
+}
+
+// windowIntervals keeps the intervals overlapping cycle window [a, b].
+func windowIntervals(ivs []obs.Interval, a, b int64) []obs.Interval {
+	var out []obs.Interval
+	for _, iv := range ivs {
+		lo := iv.Cycle - iv.Cycles + 1
+		if lo <= b && iv.Cycle >= a {
+			out = append(out, iv)
+		}
+	}
+	return out
 }
 
 func readIntervals(path string) ([]obs.Interval, error) {

@@ -206,12 +206,12 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 				t0 := time.Now()
 				tctx, span := metrics.StartSpan(wctx, "task",
 					metrics.L("workload", w.Name), metrics.L("series", sp.Label))
-				perf, cov, outcome, files, err := evalSpec(tctx, w, opts.input(), sp, opts.Obs)
+				perf, cov, outcome, files, idx, err := evalSpec(tctx, w, opts.input(), sp, opts.Obs)
 				span.SetAttr("cache", outcome)
 				span.End()
 				vals[ti] = [2]float64{perf, cov}
 				errs[ti] = err
-				meta[ti] = manifestTask(w.Name, sp.Label, k, t0, outcome, files, err)
+				meta[ti] = manifestTask(w.Name, sp.Label, k, t0, outcome, files, idx, err)
 				track.TaskDone(ti, outcome, err)
 				noteTaskMetrics(meta[ti])
 				if l := tlog(); l != nil {
@@ -248,7 +248,7 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 }
 
 // manifestTask assembles one manifest entry from a finished task.
-func manifestTask(workload, series string, worker int, started time.Time, outcome string, files []string, err error) obs.ManifestTask {
+func manifestTask(workload, series string, worker int, started time.Time, outcome string, files []string, idx *obs.IndexInfo, err error) obs.ManifestTask {
 	mt := obs.ManifestTask{
 		Workload: workload,
 		Series:   series,
@@ -256,6 +256,7 @@ func manifestTask(workload, series string, worker int, started time.Time, outcom
 		WallMS:   float64(time.Since(started)) / float64(time.Millisecond),
 		Cache:    outcome,
 		Files:    files,
+		Index:    idx,
 	}
 	if err != nil {
 		mt.Error = err.Error()
@@ -280,6 +281,7 @@ func writeSweepManifest(title string, opts Options, started time.Time, tasks []o
 			"pipetrace":     fmt.Sprint(opts.Obs.Pipetrace),
 			"pipetrace-bin": fmt.Sprint(opts.Obs.PipetraceBin),
 			"intervals":     fmt.Sprint(opts.Obs.IntervalEvery),
+			"index-every":   fmt.Sprint(opts.Obs.IndexEvery),
 			"nocache":       fmt.Sprint(opts.NoCache),
 		},
 		Spans: metrics.TraceOut(),
@@ -308,18 +310,18 @@ func profCfgOf(sp SeriesSpec) pipeline.Config {
 // evalSpec computes one (workload, spec) point through the caches:
 // relative performance vs the fully-provisioned singleton baseline and
 // coverage, plus the cache outcome and observability files for telemetry.
-func evalSpec(ctx context.Context, w *workload.Workload, input string, sp SeriesSpec, o *obs.Options) (perf, cov float64, outcome string, files []string, err error) {
+func evalSpec(ctx context.Context, w *workload.Workload, input string, sp SeriesSpec, o *obs.Options) (perf, cov float64, outcome string, files []string, idx *obs.IndexInfo, err error) {
 	bench, err := PrepareSharedCtx(ctx, w, input)
 	if err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, "", nil, nil, err
 	}
 	baseStats, err := singletonStats(ctx, bench, pipeline.Baseline())
 	if err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, "", nil, nil, err
 	}
 	var st *pipeline.Stats
 	if o.Active() {
-		st, files, err = runSpecObserved(ctx, bench, sp, o)
+		st, files, idx, err = runSpecObserved(ctx, bench, sp, o)
 		outcome = cacheTraced
 	} else if sp.Sel == nil {
 		st, outcome, err = singletonStatsNoted(ctx, bench, sp.Cfg)
@@ -328,19 +330,19 @@ func evalSpec(ctx context.Context, w *workload.Workload, input string, sp Series
 			minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
 	}
 	if err != nil {
-		return 0, 0, outcome, files, err
+		return 0, 0, outcome, files, idx, err
 	}
-	return float64(baseStats.Cycles) / float64(st.Cycles), st.Coverage(), outcome, files, nil
+	return float64(baseStats.Cycles) / float64(st.Cycles), st.Coverage(), outcome, files, idx, nil
 }
 
 // runSpecObserved runs one series point with an observer attached,
 // bypassing the result cache (the trace is a side effect a cache hit
 // would swallow). Selection derivation still goes through the shared
 // caches; only the final timing run is re-executed.
-func runSpecObserved(ctx context.Context, b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, error) {
+func runSpecObserved(ctx context.Context, b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, *obs.IndexInfo, error) {
 	watch, err := obs.NewRunObserver(o, obs.Sanitize(b.Workload.Name)+"__"+obs.Sanitize(sp.Label))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var st *pipeline.Stats
 	if sp.Sel == nil {
@@ -364,9 +366,9 @@ func runSpecObserved(ctx context.Context, b *Bench, sp SeriesSpec, o *obs.Option
 		err = cerr
 	}
 	if err != nil {
-		return nil, watch.Files(), err
+		return nil, watch.Files(), watch.IndexInfo(), err
 	}
-	return st, watch.Files(), nil
+	return st, watch.Files(), watch.IndexInfo(), nil
 }
 
 // runSweepUncached is the -nocache path: per-workload goroutines, fresh
@@ -455,8 +457,9 @@ func evalWorkloadUncached(ctx context.Context, w *workload.Workload, wi int, opt
 			metrics.L("cache", cacheNone))
 		var st *pipeline.Stats
 		var files []string
+		var idx *obs.IndexInfo
 		if sp.Sel == nil {
-			st, files, err = runUncachedSingleton(bench, sp, opts.Obs)
+			st, files, idx, err = runUncachedSingleton(bench, sp, opts.Obs)
 		} else {
 			profCfg := profCfgOf(sp)
 			profBench := bench
@@ -486,10 +489,10 @@ func evalWorkloadUncached(ctx context.Context, w *workload.Workload, wi int, opt
 					return nil, nil, nil, err
 				}
 			}
-			st, files, err = runUncachedSelected(bench, sp, prof, opts.Obs)
+			st, files, idx, err = runUncachedSelected(bench, sp, prof, opts.Obs)
 		}
 		span.End()
-		meta[i] = manifestTask(w.Name, sp.Label, wi, t0, cacheNone, files, err)
+		meta[i] = manifestTask(w.Name, sp.Label, wi, t0, cacheNone, files, idx, err)
 		track.TaskDone(wi*len(specs)+i, cacheNone, err)
 		noteTaskMetrics(meta[i])
 		if l := tlog(); l != nil {
@@ -507,39 +510,39 @@ func evalWorkloadUncached(ctx context.Context, w *workload.Workload, wi int, opt
 
 // runUncachedSingleton runs a singleton series point fresh, observed when
 // o is active.
-func runUncachedSingleton(b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, error) {
+func runUncachedSingleton(b *Bench, sp SeriesSpec, o *obs.Options) (*pipeline.Stats, []string, *obs.IndexInfo, error) {
 	if !o.Active() {
 		st, err := b.RunSingleton(sp.Cfg)
-		return st, nil, err
+		return st, nil, nil, err
 	}
 	watch, err := obs.NewRunObserver(o, obs.Sanitize(b.Workload.Name)+"__"+obs.Sanitize(sp.Label))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	st, err := b.RunSingletonObserved(sp.Cfg, watch)
 	if cerr := watch.Close(); err == nil {
 		err = cerr
 	}
-	return st, watch.Files(), err
+	return st, watch.Files(), watch.IndexInfo(), err
 }
 
 // runUncachedSelected selects with sp.Sel over prof and runs fresh,
 // observed when o is active.
-func runUncachedSelected(b *Bench, sp SeriesSpec, prof *slack.Profile, o *obs.Options) (*pipeline.Stats, []string, error) {
+func runUncachedSelected(b *Bench, sp SeriesSpec, prof *slack.Profile, o *obs.Options) (*pipeline.Stats, []string, *obs.IndexInfo, error) {
 	chosen := b.Select(sp.Sel, prof)
 	if !o.Active() {
 		st, err := b.Run(sp.Cfg, sp.Sel, chosen)
-		return st, nil, err
+		return st, nil, nil, err
 	}
 	watch, err := obs.NewRunObserver(o, obs.Sanitize(b.Workload.Name)+"__"+obs.Sanitize(sp.Label))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	st, err := b.RunObserved(sp.Cfg, sp.Sel, chosen, watch)
 	if cerr := watch.Close(); err == nil {
 		err = cerr
 	}
-	return st, watch.Files(), err
+	return st, watch.Files(), watch.IndexInfo(), err
 }
 
 // --- Figure/table drivers ---

@@ -113,6 +113,7 @@ func EnableMetrics() *metrics.Registry {
 		sweepSeries.taskSeconds = reg.Histogram("mg_task_wall_seconds",
 			"wall time per sweep task", taskWallBuckets)
 		pipeline.InstallMetrics(reg)
+		obs.InstallMetrics(reg)
 		metrics.Install(reg)
 	})
 	return metrics.Default()

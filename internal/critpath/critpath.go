@@ -18,6 +18,7 @@ package critpath
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/obs"
@@ -129,6 +130,14 @@ type Report struct {
 	Templates []TemplateScore `json:"templates"`
 	Offenders []Offender      `json:"offenders"`
 	Slack     []SlackObs      `json:"slack"`
+
+	// Windowed attribution (AnalyzeWindow): WinStart/WinEnd are the
+	// requested commit-cycle bounds; Start/End above are the analyzed span
+	// (the walk anchors at the last commit inside the window and clips at
+	// WinStart), and the bucket invariant holds over that span.
+	Windowed bool  `json:"windowed,omitempty"`
+	WinStart int64 `json:"winStart,omitempty"`
+	WinEnd   int64 `json:"winEnd,omitempty"`
 }
 
 // BucketShare returns bucket b's fraction of the critical path.
@@ -171,14 +180,41 @@ type analysis struct {
 	extCP     map[int]int64 // template -> critical-path serializing-input issue edges
 	siteSerCP map[int]int64 // static -> critical-path serialization cycles
 	pathNodes int
+
+	// lo..hi (inclusive) bound the committed uops under attribution: the
+	// whole trace for Analyze, the uops committing inside the window for
+	// AnalyzeWindow. The dependence graph is always built over the whole
+	// trace, so producers outside the window still resolve edges.
+	lo, hi int
 }
 
 // Analyze attributes the critical path of one observed run. The uops and
 // events are a parsed pipetrace (obs.ReadPipetrace); par comes from the
 // run's machine configuration.
 func Analyze(uops []obs.UopTrace, events []obs.TraceEvent, par Params) (*Report, error) {
+	return AnalyzeWindow(uops, events, par, nil)
+}
+
+// Window bounds an attribution to the uops committing in commit cycles
+// [Start, End] (inclusive).
+type Window struct {
+	Start, End int64
+}
+
+// AnalyzeWindow is Analyze restricted to a commit-cycle window (nil win =
+// the whole trace). The dependence graph is still built over the whole
+// trace so edges into the window resolve exactly as in a full analysis;
+// the backward walk anchors at the last commit inside the window and, when
+// an edge crosses the window entry, the predecessor is treated as boundary
+// state arriving at win.Start — the edge's decomposition is clipped to the
+// in-window gap — so the buckets still sum exactly to the analyzed span
+// (Report.End − Report.Start).
+func AnalyzeWindow(uops []obs.UopTrace, events []obs.TraceEvent, par Params, win *Window) (*Report, error) {
 	if par.Width <= 0 {
 		par.Width = 1
+	}
+	if win != nil && win.Start > win.End {
+		return nil, fmt.Errorf("critpath: window start %d after end %d", win.Start, win.End)
 	}
 	a := &analysis{
 		par:       par,
@@ -193,12 +229,28 @@ func Analyze(uops []obs.UopTrace, events []obs.TraceEvent, par Params) (*Report,
 	}
 	rep := &Report{Committed: len(a.cu), HasDeps: obs.HasDeps(uops)}
 	if len(a.cu) == 0 {
+		if win != nil {
+			return nil, fmt.Errorf("critpath: no committed uops in trace")
+		}
 		return rep, nil
 	}
 	for i := 1; i < len(a.cu); i++ {
 		if a.cu[i].Commit < a.cu[i-1].Commit {
 			return nil, fmt.Errorf("critpath: trace not in commit order at seq %d", a.cu[i].Seq)
 		}
+	}
+	a.lo, a.hi = 0, len(a.cu)-1
+	winStart := int64(math.MinInt64)
+	if win != nil {
+		a.hi = sort.Search(len(a.cu), func(i int) bool { return a.cu[i].Commit > win.End }) - 1
+		a.lo = sort.Search(len(a.cu), func(i int) bool { return a.cu[i].Commit >= win.Start })
+		if a.hi < a.lo {
+			return nil, fmt.Errorf("critpath: no uops commit in window [%d, %d] (trace commits span [%d, %d])",
+				win.Start, win.End, a.cu[0].Commit, a.cu[len(a.cu)-1].Commit)
+		}
+		winStart = win.Start
+		rep.Windowed, rep.WinStart, rep.WinEnd = true, win.Start, win.End
+		rep.Committed = a.hi - a.lo + 1
 	}
 	a.precompute(rep.HasDeps)
 	for _, ev := range events {
@@ -208,14 +260,26 @@ func Analyze(uops []obs.UopTrace, events []obs.TraceEvent, par Params) (*Report,
 	}
 	sort.Slice(a.flushes, func(i, j int) bool { return a.flushes[i] < a.flushes[j] })
 
-	// Backward walk from the last commit.
-	cur := node{len(a.cu) - 1, stC}
+	// Backward walk from the last commit in range. Every step's bucket
+	// decomposition sums exactly to t(cur) − t(next), so the running totals
+	// sum to End − t(cur); at termination that is End − Start. When the
+	// next node falls before the window, the gap below win.Start belongs to
+	// the boundary edge and is clipped away before the totals are updated.
+	cur := node{a.hi, stC}
 	rep.End = a.t(cur)
 	for {
 		a.pathNodes++
 		nxt, por, term := a.step(cur)
 		if term {
 			rep.Start = a.t(cur)
+			break
+		}
+		if tn := a.t(nxt); tn < winStart {
+			clipPor(&por, a.t(cur)-winStart)
+			for b := Bucket(0); b < NumBuckets; b++ {
+				rep.Buckets[b] += por[b]
+			}
+			rep.Start = winStart
 			break
 		}
 		for b := Bucket(0); b < NumBuckets; b++ {
@@ -237,6 +301,31 @@ func Analyze(uops []obs.UopTrace, events []obs.TraceEvent, par Params) (*Report,
 	a.scoreboard(rep)
 	a.observedSlack(rep)
 	return rep, nil
+}
+
+// clipOrder fixes which buckets shed cycles first when a boundary edge is
+// clipped at the window entry: generic machine time goes before the
+// specifically-attributed causes, so serialization evidence survives the
+// clip whenever the in-window gap can still carry it. Deterministic by
+// construction — windowed runs are byte-stable like everything else.
+var clipOrder = [NumBuckets]Bucket{Inherent, Structural, CacheMiss, Mispredict, Replay, Serialization}
+
+// clipPor shrinks a bucket decomposition (which sums to the full edge gap)
+// so it sums to want, removing cycles in clipOrder.
+func clipPor(por *[NumBuckets]int64, want int64) {
+	var sum int64
+	for b := Bucket(0); b < NumBuckets; b++ {
+		sum += por[b]
+	}
+	excess := sum - want
+	for _, b := range clipOrder {
+		if excess <= 0 {
+			break
+		}
+		take := min64(por[b], excess)
+		por[b] -= take
+		excess -= take
+	}
 }
 
 // precompute reconstructs register and memory producers by replaying a
@@ -495,7 +584,7 @@ func (a *analysis) scoreboard(rep *Report) {
 	}
 	tmpl := map[int]*TemplateScore{}
 	sites := map[int]*siteAgg{}
-	for i := range a.cu {
+	for i := a.lo; i <= a.hi; i++ {
 		u := &a.cu[i]
 		if u.Tmpl < 0 {
 			continue
@@ -600,7 +689,7 @@ func (a *analysis) observedSlack(rep *Report) {
 		count int64
 	}
 	by := map[key]*agg{}
-	for i := range a.cu {
+	for i := a.lo; i <= a.hi; i++ {
 		u := &a.cu[i]
 		if u.Dst < 0 || u.Ready < 0 {
 			continue

@@ -12,6 +12,10 @@ import (
 // the analyzed trace or run.
 func WriteText(w io.Writer, name string, rep *Report, top int) error {
 	fmt.Fprintf(w, "critical-path attribution: %s\n", name)
+	if rep.Windowed {
+		fmt.Fprintf(w, "  window: commit cycles %d..%d (analyzed span %d..%d)\n",
+			rep.WinStart, rep.WinEnd, rep.Start, rep.End)
+	}
 	fmt.Fprintf(w, "  %d committed uops, cycles %d..%d, %d path nodes\n",
 		rep.Committed, rep.Start, rep.End, rep.PathNodes)
 	if !rep.HasDeps {

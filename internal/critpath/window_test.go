@@ -1,0 +1,125 @@
+package critpath_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/critpath"
+	"repro/internal/pipeline"
+)
+
+// Windowed attribution over a real pipeline trace: buckets must sum
+// exactly to the analyzed span even when the walk crosses the window
+// boundary and edges are clipped, and a window covering the whole commit
+// range must reproduce the unwindowed report.
+func TestWindowedAttributionInvariant(t *testing.T) {
+	cfg := pipeline.Reduced()
+	uops, events, _ := tracedRun(t, ilpLoop(300), cfg)
+	par := paramsFor(cfg)
+
+	full, err := critpath.Analyze(uops, events, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-trace windows of varying width, all strictly inside the commit
+	// span so every walk crosses the entry boundary.
+	mid := (full.Start + full.End) / 2
+	for _, w := range []critpath.Window{
+		{Start: mid, End: mid + 50},
+		{Start: mid - 200, End: mid + 200},
+		{Start: full.Start + 10, End: full.End - 10},
+	} {
+		rep, err := critpath.AnalyzeWindow(uops, events, par, &w)
+		if err != nil {
+			t.Fatalf("window %+v: %v", w, err)
+		}
+		if !rep.Windowed || rep.WinStart != w.Start || rep.WinEnd != w.End {
+			t.Errorf("window %+v: report window fields %v %d..%d", w, rep.Windowed, rep.WinStart, rep.WinEnd)
+		}
+		if rep.Start < w.Start || rep.End > w.End {
+			t.Errorf("window %+v: analyzed span %d..%d escapes the window", w, rep.Start, rep.End)
+		}
+		var sum int64
+		for b := critpath.Bucket(0); b < critpath.NumBuckets; b++ {
+			if rep.Buckets[b] < 0 {
+				t.Errorf("window %+v: bucket %s negative: %d", w, b, rep.Buckets[b])
+			}
+			sum += rep.Buckets[b]
+		}
+		if want := rep.End - rep.Start; sum != want || rep.TotalCycles != want {
+			t.Errorf("window %+v: buckets sum to %d, total %d, analyzed span %d",
+				w, sum, rep.TotalCycles, want)
+		}
+		if rep.Committed <= 0 || rep.Committed > full.Committed {
+			t.Errorf("window %+v: committed %d (full trace %d)", w, rep.Committed, full.Committed)
+		}
+	}
+}
+
+// A window covering every committed cycle must match Analyze exactly: the
+// walk anchors on the same final commit and never clips.
+func TestWindowCoveringAllMatchesFull(t *testing.T) {
+	cfg := pipeline.Reduced()
+	uops, events, _ := tracedRun(t, ilpLoop(200), cfg)
+	par := paramsFor(cfg)
+
+	full, err := critpath.Analyze(uops, events, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := critpath.AnalyzeWindow(uops, events, par,
+		&critpath.Window{Start: full.Start, End: full.End})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Buckets != full.Buckets {
+		t.Errorf("covering window changed buckets:\n win  %v\n full %v", win.Buckets, full.Buckets)
+	}
+	if win.Committed != full.Committed || win.TotalCycles != full.TotalCycles {
+		t.Errorf("covering window: committed %d/%d, total %d/%d",
+			win.Committed, full.Committed, win.TotalCycles, full.TotalCycles)
+	}
+	if !reflect.DeepEqual(win.Templates, full.Templates) {
+		t.Errorf("covering window changed the scoreboard")
+	}
+}
+
+// The same window analyzed twice gives the same result (clipping is
+// deterministic), and degenerate windows error instead of fabricating an
+// attribution.
+func TestWindowDeterminismAndErrors(t *testing.T) {
+	cfg := pipeline.Reduced()
+	uops, events, _ := tracedRun(t, ilpLoop(100), cfg)
+	par := paramsFor(cfg)
+
+	full, err := critpath.Analyze(uops, events, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := critpath.Window{Start: (full.Start + full.End) / 2, End: (full.Start+full.End)/2 + 40}
+	a, err := critpath.AnalyzeWindow(uops, events, par, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := critpath.AnalyzeWindow(uops, events, par, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same window, different reports")
+	}
+
+	if _, err := critpath.AnalyzeWindow(uops, events, par,
+		&critpath.Window{Start: 10, End: 5}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := critpath.AnalyzeWindow(uops, events, par,
+		&critpath.Window{Start: full.End + 1000, End: full.End + 2000}); err == nil {
+		t.Error("window past the trace accepted")
+	}
+	if _, err := critpath.AnalyzeWindow(nil, nil, par,
+		&critpath.Window{Start: 0, End: 10}); err == nil {
+		t.Error("windowed analysis of an empty trace accepted")
+	}
+}

@@ -126,7 +126,7 @@ func (t *Pipetrace) binUop(r *UopTrace) error {
 	for _, s := range r.Srcs {
 		b = binary.LittleEndian.AppendUint32(b, uint32(s))
 	}
-	return t.binRecord(b)
+	return t.binRecord(b, r.IndexCycle(), true)
 }
 
 // binEvent appends one event record to the scratch buffer and writes it.
@@ -140,17 +140,27 @@ func (t *Pipetrace) binEvent(e *TraceEvent) error {
 	b = binary.LittleEndian.AppendUint32(b, uint32(e.Template))
 	b = append(b, byte(len(e.Ev)))
 	b = append(b, e.Ev...)
-	return t.binRecord(b)
+	return t.binRecord(b, e.Cycle, false)
 }
 
 // binRecord patches the payload length into b's 5-byte [tag][len] header
 // and writes the whole record in one call. The record is assembled in
-// t.scratch (handed through b) so steady-state emission never allocates.
-func (t *Pipetrace) binRecord(b []byte) error {
+// t.scratch (handed through b) so steady-state emission never allocates;
+// for the same reason the index builder only sees the already-assembled
+// bytes (a few integer compares per record plus a CRC over the first
+// 64 KiB of the stream).
+func (t *Pipetrace) binRecord(b []byte, cycle int64, isUop bool) error {
 	binary.LittleEndian.PutUint32(b[1:5], uint32(len(b)-5))
 	t.scratch = b
-	_, err := t.bw.Write(b)
-	return err
+	if t.ixb != nil {
+		t.ixb.note(t.off, cycle, isUop)
+		t.ixb.head(b)
+	}
+	if _, err := t.bw.Write(b); err != nil {
+		return err
+	}
+	t.off += int64(len(b))
+	return nil
 }
 
 // binReader streams records out of a binary pipetrace. Strings are
@@ -161,6 +171,11 @@ type binReader struct {
 	buf    []byte
 	rec    int // 1-based record number, for errors
 	intern map[string]string
+
+	off    int64  // byte offset of the next unread record
+	recOff int64  // byte offset of the most recently decoded record
+	track  bool   // keep raw bytes of each record (index building)
+	raw    []byte // raw record bytes (header + payload) when track is set
 }
 
 // newBinReader consumes the magic (which the caller has already sniffed)
@@ -170,7 +185,7 @@ func newBinReader(br *bufio.Reader) (*binReader, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != binMagic {
 		return nil, fmt.Errorf("pipetrace: bad binary magic")
 	}
-	return &binReader{br: br, intern: make(map[string]string, 16)}, nil
+	return &binReader{br: br, intern: make(map[string]string, 16), off: int64(len(binMagic))}, nil
 }
 
 // next decodes the next record into exactly one of u or e. It returns
@@ -201,6 +216,12 @@ func (d *binReader) next(u *UopTrace, e *TraceEvent) (isUop bool, err error) {
 	p := d.buf[:n]
 	if _, err := io.ReadFull(d.br, p); err != nil {
 		return false, d.corrupt(err)
+	}
+	d.recOff = d.off
+	d.off += int64(len(hdr)) + int64(n)
+	if d.track {
+		d.raw = append(d.raw[:0], hdr[:]...)
+		d.raw = append(d.raw, p...)
 	}
 	if tag == binTagUop {
 		return true, d.decodeUop(p, u)

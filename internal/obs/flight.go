@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Flight recorder: a small always-on ring of the most recent uop records
+// from in-flight observed runs, served live at /debug/trace so a stall
+// storm can be inspected while a sweep is still running — without waiting
+// for the run to finish and its trace file to close.
+//
+// The pipeline feeds the ring through the same hook that feeds the
+// pipetrace, behind the usual nil-guarded global: with no recorder
+// installed the hot path pays one atomic pointer load per committed or
+// squashed uop and nothing else. Recording copies the record into a
+// preallocated slot (source registers land in a fixed inline array), so
+// steady state allocates nothing; when the ring wraps, the oldest records
+// are overwritten and counted as dropped.
+
+// DefaultFlightSlots is the ring capacity ServeDebug installs: at a few
+// uops per cycle it retains on the order of a thousand cycles of history,
+// enough to cover any -window query a human types while live-debugging.
+const DefaultFlightSlots = 4096
+
+// flightSrcMax bounds the inline source-register array; pipeline uops
+// carry at most 3 sources, so overflow (which allocates) never happens on
+// records from the simulator.
+const flightSrcMax = 8
+
+// FlightRecord is one retained record: the run label it came from plus the
+// uop itself. The embedded UopTrace flattens in JSON, so a flight record
+// line is a pipetrace uop line with an extra "run" field.
+type FlightRecord struct {
+	Run string `json:"run"`
+	UopTrace
+}
+
+type flightSlot struct {
+	run  string
+	u    UopTrace // Srcs nil; sources live in the inline array
+	nsrc int
+	srcs [flightSrcMax]int32
+	over []int // overflow sources, only if a record exceeds flightSrcMax
+}
+
+// FlightRecorder is a fixed-capacity ring of recent uop records, safe for
+// concurrent writers (sweep workers record from many goroutines).
+type FlightRecorder struct {
+	mu      sync.Mutex
+	slots   []flightSlot
+	next    int  // slot the next record lands in
+	full    bool // ring has wrapped at least once
+	total   atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewFlightRecorder creates a recorder retaining the last `slots` records;
+// slots <= 0 selects DefaultFlightSlots.
+func NewFlightRecorder(slots int) *FlightRecorder {
+	if slots <= 0 {
+		slots = DefaultFlightSlots
+	}
+	return &FlightRecorder{slots: make([]flightSlot, slots)}
+}
+
+// flightRec is the installed recorder; nil means recording is off and the
+// pipeline hook is a single atomic load.
+var flightRec atomic.Pointer[FlightRecorder]
+
+// Flight returns the installed flight recorder, or nil when off.
+func Flight() *FlightRecorder { return flightRec.Load() }
+
+// EnableFlightRecorder installs a recorder with the given ring capacity if
+// none is installed yet, and returns the installed one.
+func EnableFlightRecorder(slots int) *FlightRecorder {
+	if f := flightRec.Load(); f != nil {
+		return f
+	}
+	f := NewFlightRecorder(slots)
+	if flightRec.CompareAndSwap(nil, f) {
+		return f
+	}
+	return flightRec.Load()
+}
+
+// InstallFlightRecorder replaces the installed recorder (nil uninstalls)
+// and returns the previous one, so tests can restore global state.
+func InstallFlightRecorder(f *FlightRecorder) *FlightRecorder {
+	return flightRec.Swap(f)
+}
+
+// RecordUop copies one uop record into the ring under the given run label.
+// u is not retained: its Srcs slice is copied into the slot's inline
+// array, so callers may reuse a scratch slice across records.
+func (f *FlightRecorder) RecordUop(run string, u *UopTrace) {
+	f.total.Add(1)
+	f.mu.Lock()
+	s := &f.slots[f.next]
+	if f.full {
+		f.dropped.Add(1)
+	}
+	s.run = run
+	s.u = *u
+	s.u.Srcs = nil
+	s.over = nil
+	s.nsrc = len(u.Srcs)
+	if s.nsrc <= flightSrcMax {
+		for i, v := range u.Srcs {
+			s.srcs[i] = int32(v)
+		}
+	} else {
+		s.over = append([]int(nil), u.Srcs...)
+	}
+	f.next++
+	if f.next == len(f.slots) {
+		f.next = 0
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// Totals returns how many records were ever recorded and how many were
+// overwritten by ring wrap.
+func (f *FlightRecorder) Totals() (total, dropped int64) {
+	return f.total.Load(), f.dropped.Load()
+}
+
+// Snapshot returns the retained records in recording order, oldest first,
+// keeping only runs whose label contains runFilter ("" keeps all). Srcs
+// slices are materialized, so the result is safe to hold.
+func (f *FlightRecorder) Snapshot(runFilter string) []FlightRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	if f.full {
+		n = len(f.slots)
+	}
+	out := make([]FlightRecord, 0, n)
+	start := 0
+	if f.full {
+		start = f.next
+	}
+	for i := 0; i < n; i++ {
+		s := &f.slots[(start+i)%len(f.slots)]
+		if runFilter != "" && !strings.Contains(s.run, runFilter) {
+			continue
+		}
+		r := FlightRecord{Run: s.run, UopTrace: s.u}
+		if s.over != nil {
+			r.Srcs = append([]int(nil), s.over...)
+		} else if s.nsrc > 0 {
+			r.Srcs = make([]int, s.nsrc)
+			for j := 0; j < s.nsrc; j++ {
+				r.Srcs[j] = int(s.srcs[j])
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TraceWindowHandler serves the flight-recorder ring as pipetrace-style
+// JSONL. Query parameters:
+//
+//	window=N  keep only records within the last N cycles of each selected
+//	          run (by index cycle, relative to that run's newest record)
+//	run=S     keep only runs whose label contains S
+//
+// With no recorder installed it answers 503, so a scrape can tell "off"
+// apart from "no records yet".
+func TraceWindowHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		f := Flight()
+		if f == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		var window int64
+		if s := req.URL.Query().Get("window"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("bad window %q: want a positive cycle count", s), http.StatusBadRequest)
+				return
+			}
+			window = v
+		}
+		recs := f.Snapshot(req.URL.Query().Get("run"))
+		if window > 0 {
+			// Each run's window is anchored at its own newest record, so one
+			// long-finished run doesn't hide a stalling one.
+			newest := make(map[string]int64, 4)
+			for i := range recs {
+				if c := recs[i].IndexCycle(); c > newest[recs[i].Run] {
+					newest[recs[i].Run] = c
+				}
+			}
+			kept := recs[:0]
+			for i := range recs {
+				if recs[i].IndexCycle() > newest[recs[i].Run]-window {
+					kept = append(kept, recs[i])
+				}
+			}
+			recs = kept
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		writeFlightJSONL(w, recs) //nolint:errcheck — best-effort debug endpoint
+	})
+}
+
+// writeFlightJSONL streams flight records as JSONL, one record per line.
+func writeFlightJSONL(w io.Writer, recs []FlightRecord) error {
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		recs[i].Type = "uop"
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

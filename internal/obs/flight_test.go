@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(8)
+	srcs := make([]int, 2)
+	for i := 0; i < 20; i++ {
+		u := synthUop(i)
+		srcs[0], srcs[1] = u.Srcs[0], u.Srcs[1]
+		u.Srcs = srcs // scratch slice: recorder must copy, not retain
+		f.RecordUop("w/cfg", &u)
+	}
+	total, dropped := f.Totals()
+	if total != 20 || dropped != 12 {
+		t.Errorf("totals = (%d, %d), want (20, 12)", total, dropped)
+	}
+	recs := f.Snapshot("")
+	if len(recs) != 8 {
+		t.Fatalf("snapshot has %d records, want 8", len(recs))
+	}
+	for i, r := range recs {
+		want := synthUop(12 + i)
+		if r.Seq != want.Seq {
+			t.Errorf("slot %d: seq %d, want %d (oldest-first order broken)", i, r.Seq, want.Seq)
+		}
+		if r.Srcs[0] != want.Srcs[0] || r.Srcs[1] != want.Srcs[1] {
+			t.Errorf("slot %d: srcs %v, want %v (scratch slice retained?)", i, r.Srcs, want.Srcs)
+		}
+	}
+
+	if got := f.Snapshot("nope"); len(got) != 0 {
+		t.Errorf("filter miss returned %d records", len(got))
+	}
+	if got := f.Snapshot("cfg"); len(got) != 8 {
+		t.Errorf("filter hit returned %d records, want 8", len(got))
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 5; i++ {
+		u := synthUop(i)
+		f.RecordUop("r", &u)
+	}
+	total, dropped := f.Totals()
+	if total != 5 || dropped != 0 {
+		t.Errorf("totals = (%d, %d), want (5, 0)", total, dropped)
+	}
+	recs := f.Snapshot("")
+	if len(recs) != 5 || recs[0].Seq != 0 || recs[4].Seq != 4 {
+		t.Errorf("partial ring snapshot wrong: %d records", len(recs))
+	}
+}
+
+func TestInstallFlightRecorderRestores(t *testing.T) {
+	mine := NewFlightRecorder(4)
+	prev := InstallFlightRecorder(mine)
+	defer InstallFlightRecorder(prev)
+	if Flight() != mine {
+		t.Fatal("installed recorder not returned by Flight()")
+	}
+	InstallFlightRecorder(prev)
+	if Flight() != prev {
+		t.Fatal("restore did not take")
+	}
+	InstallFlightRecorder(mine) // leave installed for the deferred restore
+}
+
+func TestTraceWindowHandler(t *testing.T) {
+	prev := InstallFlightRecorder(nil)
+	defer InstallFlightRecorder(prev)
+
+	h := TraceWindowHandler()
+
+	// No recorder: 503, so a scrape can tell "off" from "no records yet".
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("no recorder: status %d, want 503", rr.Code)
+	}
+
+	f := NewFlightRecorder(64)
+	InstallFlightRecorder(f)
+	// Two runs with different cycle anchors: runA ends near cycle 300,
+	// runB near cycle 1100.
+	for i := 0; i < 20; i++ {
+		u := synthUop(i)
+		f.RecordUop("runA/cfg", &u)
+	}
+	for i := 400; i < 420; i++ {
+		u := synthUop(i)
+		f.RecordUop("runB/cfg", &u)
+	}
+
+	get := func(url string) []FlightRecord {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", url, rr.Code, rr.Body.String())
+		}
+		if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+			t.Errorf("GET %s: content type %q", url, ct)
+		}
+		var out []FlightRecord
+		sc := bufio.NewScanner(rr.Body)
+		for sc.Scan() {
+			var r FlightRecord
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("GET %s: bad line %q: %v", url, sc.Text(), err)
+			}
+			if r.Type != "uop" {
+				t.Errorf("GET %s: record type %q, want uop", url, r.Type)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+
+	if all := get("/debug/trace"); len(all) != 40 {
+		t.Errorf("unfiltered: %d records, want 40", len(all))
+	}
+	if onlyB := get("/debug/trace?run=runB"); len(onlyB) != 20 {
+		t.Errorf("run filter: %d records, want 20", len(onlyB))
+	}
+
+	// window=10 keeps, per run, only records within 10 cycles of that
+	// run's own newest record — runA's old records must not vanish just
+	// because runB is further along.
+	recs := get("/debug/trace?window=10")
+	var sawA, sawB bool
+	for _, r := range recs {
+		switch {
+		case strings.HasPrefix(r.Run, "runA"):
+			sawA = true
+		case strings.HasPrefix(r.Run, "runB"):
+			sawB = true
+		}
+		newest := int64(100 + 2*19) // runA anchor
+		if strings.HasPrefix(r.Run, "runB") {
+			newest = int64(100 + 2*419)
+		}
+		if c := r.IndexCycle(); c <= newest-10 {
+			t.Errorf("windowed record run=%s cycle=%d outside last-10 of %d", r.Run, c, newest)
+		}
+	}
+	if !sawA || !sawB {
+		t.Errorf("per-run anchoring broken: sawA=%v sawB=%v", sawA, sawB)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace?window=bogus", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("bad window: status %d, want 400", rr.Code)
+	}
+}
+
+// The /debug/trace endpoint is registered on the shared debug mux and
+// works over a real listener.
+func TestServeDebugTraceEndpoint(t *testing.T) {
+	prev := InstallFlightRecorder(nil)
+	defer InstallFlightRecorder(prev)
+
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ServeDebug enables the default recorder as part of registration;
+	// re-enable explicitly in case another test already registered the mux
+	// (registerOnce fires only on the first ServeDebug of the process).
+	f := EnableFlightRecorder(DefaultFlightSlots)
+	if f == nil {
+		t.Fatal("flight recorder not enabled")
+	}
+	u := synthUop(7)
+	f.RecordUop("live/run", &u)
+
+	resp, err := http.Get("http://" + addr + "/debug/trace?run=live&window=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r FlightRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(body))), &r); err != nil {
+		t.Fatalf("/debug/trace body not a JSONL record: %v\n%s", err, body)
+	}
+	if r.Run != "live/run" || r.Seq != 7 {
+		t.Errorf("record = %+v", r)
+	}
+}

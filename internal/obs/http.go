@@ -19,14 +19,18 @@ var registerOnce sync.Once
 
 // ServeDebug starts an HTTP server on addr exposing expvar counters
 // (/debug/vars), pprof endpoints (/debug/pprof/), the metrics registry in
-// Prometheus text format (/metrics), and live sweep progress
-// (/debug/sweep). It listens synchronously — so address errors surface
-// immediately — and serves in the background for the life of the process.
-// Returns the bound address (useful with ":0").
+// Prometheus text format (/metrics), live sweep progress (/debug/sweep),
+// and the flight-recorder trace window (/debug/trace?window=N&run=S,
+// enabled here so observed runs feed the ring while the server is up). It
+// listens synchronously — so address errors surface immediately — and
+// serves in the background for the life of the process. Returns the bound
+// address (useful with ":0").
 func ServeDebug(addr string) (string, error) {
 	registerOnce.Do(func() {
 		http.Handle("/metrics", metrics.Handler())
 		http.Handle("/debug/sweep", metrics.SweepHandler())
+		http.Handle("/debug/trace", TraceWindowHandler())
+		EnableFlightRecorder(DefaultFlightSlots)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

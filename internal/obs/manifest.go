@@ -38,7 +38,10 @@ type ManifestTask struct {
 	// cache), or "nocache".
 	Cache string   `json:"cache,omitempty"`
 	Files []string `json:"files,omitempty"`
-	Error string   `json:"error,omitempty"`
+	// Index summarizes the pipetrace seek index the task wrote, so tooling
+	// can discover indexed traces without globbing the output directory.
+	Index *IndexInfo `json:"index,omitempty"`
+	Error string     `json:"error,omitempty"`
 }
 
 // WriteManifest writes the manifest as indented JSON.

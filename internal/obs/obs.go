@@ -39,6 +39,10 @@ type Options struct {
 	// IntervalEvery enables interval sampling every IntervalEvery cycles
 	// (0 = off).
 	IntervalEvery int64
+	// IndexEvery is the record stride of the seek index written alongside
+	// binary pipetraces (see traceindex.go); 0 disables indexing. Only
+	// meaningful with PipetraceBin.
+	IndexEvery int
 }
 
 // Active reports whether any output is enabled.
@@ -56,8 +60,15 @@ func FlagOptions(pipetrace, pipetraceBin bool, intervalEvery int64, dir string) 
 	if dir == "" {
 		dir = "obs"
 	}
-	return &Options{Dir: dir, Pipetrace: pipetrace, PipetraceBin: pipetraceBin,
+	o := &Options{Dir: dir, Pipetrace: pipetrace, PipetraceBin: pipetraceBin,
 		IntervalEvery: intervalEvery}
+	if pipetraceBin {
+		// Binary traces of the large inputs run to gigabytes; the sidecar
+		// index that makes them seekable costs ~32 bytes per 4096 records,
+		// so it is always on for binary traces.
+		o.IndexEvery = DefaultIndexEvery
+	}
+	return o
 }
 
 // Observer carries the per-run collectors the pipeline feeds. Either field
@@ -68,6 +79,8 @@ type Observer struct {
 
 	traceFile    *os.File
 	intervalPath string
+	indexPath    string
+	indexInfo    *IndexInfo // set by Close when an index was written
 }
 
 // Active reports whether the observer collects anything.
@@ -100,6 +113,13 @@ func NewRunObserver(opts *Options, base string) (*Observer, error) {
 		}
 		o.traceFile = f
 		o.Trace = mk(f)
+		if opts.PipetraceBin && opts.IndexEvery > 0 {
+			if err := o.Trace.EnableIndex(opts.IndexEvery); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("obs: %w", err)
+			}
+			o.indexPath = IndexPath(f.Name())
+		}
 	}
 	if opts.IntervalEvery > 0 {
 		o.Intervals = NewIntervalSampler(opts.IntervalEvery)
@@ -118,10 +138,22 @@ func (o *Observer) Files() []string {
 	if o.traceFile != nil {
 		out = append(out, filepath.Base(o.traceFile.Name()))
 	}
+	if o.indexPath != "" {
+		out = append(out, filepath.Base(o.indexPath))
+	}
 	if o.intervalPath != "" {
 		out = append(out, filepath.Base(o.intervalPath))
 	}
 	return out
+}
+
+// IndexInfo returns the manifest summary of the seek index Close wrote, or
+// nil when no index was produced (or Close has not run yet).
+func (o *Observer) IndexInfo() *IndexInfo {
+	if o == nil {
+		return nil
+	}
+	return o.indexInfo
 }
 
 // Close flushes the pipetrace, writes the interval file, and closes every
@@ -134,6 +166,13 @@ func (o *Observer) Close() error {
 	if o.Trace != nil {
 		if err := o.Trace.Flush(); err != nil && first == nil {
 			first = err
+		}
+		if idx := o.Trace.Index(); idx != nil && o.indexPath != "" && first == nil {
+			if err := WriteIndexFile(o.indexPath, idx); err != nil {
+				first = err
+			} else {
+				o.indexInfo = idx.Info(filepath.Base(o.indexPath))
+			}
 		}
 	}
 	if o.traceFile != nil {

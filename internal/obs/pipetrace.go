@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -97,6 +98,9 @@ type Pipetrace struct {
 
 	scratch []byte // binary-mode record assembly buffer, reused
 
+	off int64         // binary-mode byte offset of the next record
+	ixb *indexBuilder // non-nil after EnableIndex
+
 	// Uops and Events count emitted records.
 	Uops, Events int64
 }
@@ -113,11 +117,39 @@ func NewPipetrace(w io.Writer) *Pipetrace {
 // steady-state simulation allocation-free.
 func NewBinaryPipetrace(w io.Writer) *Pipetrace {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	t := &Pipetrace{bw: bw, bin: true, scratch: make([]byte, 0, 256)}
+	t := &Pipetrace{bw: bw, bin: true, scratch: make([]byte, 0, 256), off: int64(len(binMagic))}
 	if _, err := bw.Write(binMagic[:]); err != nil {
 		t.err = err
 	}
 	return t
+}
+
+// EnableIndex makes the trace build its seek index inline as records are
+// written (see traceindex.go). Binary mode only, and only before the first
+// record; every <= 0 selects DefaultIndexEvery.
+func (t *Pipetrace) EnableIndex(every int) error {
+	if !t.bin {
+		return fmt.Errorf("pipetrace: only binary traces are indexable")
+	}
+	if t.Uops+t.Events > 0 {
+		return fmt.Errorf("pipetrace: EnableIndex after %d records already written", t.Uops+t.Events)
+	}
+	if every <= 0 {
+		every = DefaultIndexEvery
+	}
+	t.ixb = newIndexBuilder(every)
+	t.ixb.head(binMagic[:])
+	return nil
+}
+
+// Index seals and returns the inline-built seek index, or nil when
+// EnableIndex was never called. Call it after the final record (typically
+// right after Flush); records written afterwards are not indexed.
+func (t *Pipetrace) Index() *Index {
+	if t.ixb == nil {
+		return nil
+	}
+	return t.ixb.finish(t.off)
 }
 
 // Uop emits one uop record.
@@ -183,6 +215,14 @@ func ReadPipetrace(r io.Reader) ([]UopTrace, []TraceEvent, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	if sniffBinary(br) {
 		return readBinaryPipetrace(br)
+	}
+	// A stream that starts like the binary magic but doesn't complete it is
+	// a mangled binary trace (e.g. text-mode newline translation), not
+	// JSONL; handing it to the JSONL parser would bury the real problem
+	// under a confusing parse error.
+	if head, err := br.Peek(4); err == nil && bytes.Equal(head, binMagic[:4]) {
+		full, _ := br.Peek(len(binMagic))
+		return nil, nil, fmt.Errorf("pipetrace: corrupt binary magic %q (want %q)", full, binMagic)
 	}
 	return readJSONLPipetrace(br)
 }

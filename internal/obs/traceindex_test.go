@@ -1,0 +1,494 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// synthUop builds the i-th record of a synthetic trace: commit cycles grow
+// roughly two per record, with every 97th uop squashed (Commit -1) so the
+// index-cycle rule's squash branch is exercised throughout.
+func synthUop(i int) UopTrace {
+	c := int64(100 + 2*i)
+	u := UopTrace{Seq: int64(i), Static: i % 50, Kind: "singleton", Op: "addi", N: 1,
+		Fetch: c - 9, Rename: c - 7, Issue: c - 5, Done: c - 3, Ready: c - 3, Commit: c,
+		Dst: i % 32, Srcs: []int{i % 32, (i + 1) % 32}, Tmpl: -1}
+	if i%97 == 3 {
+		u.Commit = -1
+		u.Squashed = true
+	}
+	return u
+}
+
+// writeSynthTrace writes n synthetic records (uops plus an event every
+// 1000th record) to an indexed binary pipetrace, returning the encoded
+// bytes and the writer-built index.
+func writeSynthTrace(t *testing.T, n, every int) ([]byte, *Index) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := NewBinaryPipetrace(&buf)
+	if err := tr.EnableIndex(every); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		u := synthUop(i)
+		tr.Uop(u)
+		if i%1000 == 500 {
+			tr.Event(u.IndexCycle(), EvFlush, -1, u.Seq)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	idx := tr.Index()
+	if idx == nil {
+		t.Fatal("EnableIndex set but Index() returned nil")
+	}
+	return buf.Bytes(), idx
+}
+
+func TestIndexRoundtrip(t *testing.T) {
+	_, idx := writeSynthTrace(t, 10_000, 512)
+	var ib bytes.Buffer
+	if err := WriteIndex(&ib, idx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(bytes.NewReader(ib.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, idx) {
+		t.Errorf("index did not round-trip:\n got  %+v\n want %+v", got, idx)
+	}
+	wantEntries := (10_000 + 10 + 511) / 512 // uops + events, rounded up
+	if len(idx.Entries) != wantEntries {
+		t.Errorf("entries = %d, want %d", len(idx.Entries), wantEntries)
+	}
+	if idx.Uops != 10_000 || idx.Events != 10 || idx.Records != 10_010 {
+		t.Errorf("totals: records=%d uops=%d events=%d", idx.Records, idx.Uops, idx.Events)
+	}
+}
+
+// BuildIndex over an existing trace must reproduce the index the writer
+// built incrementally.
+func TestBuildIndexMatchesWriter(t *testing.T) {
+	raw, idx := writeSynthTrace(t, 20_000, 1024)
+	rebuilt, err := BuildIndex(bytes.NewReader(raw), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rebuilt, idx) {
+		t.Errorf("BuildIndex differs from writer-built index:\n got  %+v\n want %+v", rebuilt, idx)
+	}
+}
+
+func TestBuildIndexRejectsJSONL(t *testing.T) {
+	var jb bytes.Buffer
+	jt := NewPipetrace(&jb)
+	jt.Uop(synthUop(0))
+	if err := jt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildIndex(bytes.NewReader(jb.Bytes()), 64); err == nil {
+		t.Fatal("BuildIndex accepted a JSONL trace")
+	}
+}
+
+// countingReadSeeker counts bytes actually read, so tests can assert that
+// an indexed query touches only a bounded slice of the trace.
+type countingReadSeeker struct {
+	r    io.ReadSeeker
+	read int64
+}
+
+func (c *countingReadSeeker) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *countingReadSeeker) Seek(off int64, whence int) (int64, error) {
+	return c.r.Seek(off, whence)
+}
+
+// The core acceptance test: on a >=100k-record trace, an indexed window
+// query returns exactly the records a linear scan returns, while reading
+// only a bounded fraction of the file.
+func TestWindowIndexedMatchesLinearBounded(t *testing.T) {
+	const n = 120_000
+	raw, idx := writeSynthTrace(t, n, DefaultIndexEvery)
+
+	cnt := &countingReadSeeker{r: bytes.NewReader(raw)}
+	ir, err := NewIndexedReader(cnt, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewIndexedReader(bytes.NewReader(raw), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Indexed() || lin.Indexed() {
+		t.Fatalf("Indexed() = %v/%v, want true/false", ir.Indexed(), lin.Indexed())
+	}
+
+	// A mid-trace window ~2000 cycles wide (about 1000 records).
+	start, end := int64(100+n), int64(100+n+2000)
+	cnt.read = 0
+	iu, ie, err := ir.Window(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, le, err := lin.Window(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iu) == 0 {
+		t.Fatal("window query returned no uops")
+	}
+	if !reflect.DeepEqual(iu, lu) || !reflect.DeepEqual(ie, le) {
+		t.Errorf("indexed window differs from linear scan: %d/%d uops, %d/%d events",
+			len(iu), len(lu), len(ie), len(le))
+	}
+	for _, u := range iu {
+		if c := u.IndexCycle(); c < start || c > end {
+			t.Errorf("uop seq %d index cycle %d outside window [%d, %d]", u.Seq, c, start, end)
+		}
+	}
+	// The query may decode at most the chunks straddling the window plus
+	// one stride of slop on each side — far under a tenth of the trace.
+	if limit := int64(len(raw)) / 10; cnt.read > limit {
+		t.Errorf("indexed window read %d bytes of %d (limit %d): index did not bound the scan",
+			cnt.read, len(raw), limit)
+	}
+}
+
+func TestRangeIndexedMatchesLinear(t *testing.T) {
+	raw, idx := writeSynthTrace(t, 100_000, DefaultIndexEvery)
+	cnt := &countingReadSeeker{r: bytes.NewReader(raw)}
+	ir, err := NewIndexedReader(cnt, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewIndexedReader(bytes.NewReader(raw), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt.read = 0
+	iu, ie, err := ir.Range(60_000, 60_127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, le, err := lin.Range(60_000, 60_127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iu) == 0 || !reflect.DeepEqual(iu, lu) || !reflect.DeepEqual(ie, le) {
+		t.Errorf("indexed range differs from linear: %d/%d uops, %d/%d events",
+			len(iu), len(lu), len(ie), len(le))
+	}
+	if limit := int64(len(raw)) / 10; cnt.read > limit {
+		t.Errorf("indexed range read %d bytes of %d (limit %d)", cnt.read, len(raw), limit)
+	}
+}
+
+// A window entirely past the end of the trace is a valid, empty query —
+// not an error.
+func TestWindowPastEOF(t *testing.T) {
+	raw, idx := writeSynthTrace(t, 5_000, 256)
+	ir, err := NewIndexedReader(bytes.NewReader(raw), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, e, err := ir.Window(idx.MaxCycle+1, idx.MaxCycle+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 0 || len(e) != 0 {
+		t.Errorf("window past EOF returned %d uops, %d events", len(u), len(e))
+	}
+	if _, _, err := ir.Window(10, 5); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, _, err := ir.Range(10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestEmptyTraceIndex(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewBinaryPipetrace(&buf)
+	if err := tr.EnableIndex(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	idx := tr.Index()
+	if idx.Records != 0 || len(idx.Entries) != 0 {
+		t.Fatalf("empty trace index: records=%d entries=%d", idx.Records, len(idx.Entries))
+	}
+	if idx.MinCycle != 0 || idx.MaxCycle != -1 {
+		t.Errorf("empty trace cycle span = [%d, %d], want [0, -1]", idx.MinCycle, idx.MaxCycle)
+	}
+	var ib bytes.Buffer
+	if err := WriteIndex(&ib, idx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(bytes.NewReader(ib.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := NewIndexedReader(bytes.NewReader(buf.Bytes()), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, e, err := ir.Window(0, 1<<40)
+	if err != nil || len(u) != 0 || len(e) != 0 {
+		t.Errorf("empty indexed trace window: %d uops, %d events, err %v", len(u), len(e), err)
+	}
+}
+
+func TestReadIndexRejectsCorruption(t *testing.T) {
+	_, idx := writeSynthTrace(t, 4_000, 128)
+	var ib bytes.Buffer
+	if err := WriteIndex(&ib, idx); err != nil {
+		t.Fatal(err)
+	}
+	good := ib.Bytes()
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:idxHeaderLen-4] }},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-16] }},
+		{"misaligned entries", func(b []byte) []byte {
+			return append(append([]byte(nil), b[:len(b)-idxFooterLen]...), b[len(b)-idxFooterLen+8:]...)
+		}},
+		{"bad magic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xff; return c }},
+		{"flipped entry bit", func(b []byte) []byte { c := append([]byte(nil), b...); c[idxHeaderLen+5] ^= 0x10; return c }},
+		{"flipped footer bit", func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)-20] ^= 0x01; return c }},
+	}
+	for _, tc := range cases {
+		if _, err := ReadIndex(bytes.NewReader(tc.mut(good))); err == nil {
+			t.Errorf("%s: corrupt index accepted", tc.name)
+		}
+	}
+	if _, err := ReadIndex(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine index rejected: %v", err)
+	}
+}
+
+// An index left behind by a rewritten trace must be rejected at open, not
+// silently misdirect seeks.
+func TestStaleIndexRejected(t *testing.T) {
+	raw, idx := writeSynthTrace(t, 4_000, 128)
+
+	// Same length, different content: flip a byte inside the CRC-covered head.
+	mut := append([]byte(nil), raw...)
+	mut[len(binMagic)+10] ^= 0x40
+	if _, err := NewIndexedReader(bytes.NewReader(mut), idx); err == nil {
+		t.Error("checksum-mismatched trace accepted")
+	}
+
+	// Different length.
+	if _, err := NewIndexedReader(bytes.NewReader(raw[:len(raw)-5]), idx); err == nil {
+		t.Error("length-mismatched trace accepted")
+	}
+
+	// Pristine pair still opens.
+	if _, err := NewIndexedReader(bytes.NewReader(raw), idx); err != nil {
+		t.Fatalf("pristine trace+index rejected: %v", err)
+	}
+}
+
+func TestIndexedReaderRejectsPartialMagic(t *testing.T) {
+	if _, err := NewIndexedReader(bytes.NewReader([]byte("MGPTxxxx garbage")), nil); err == nil {
+		t.Fatal("corrupt binary magic accepted")
+	}
+}
+
+// JSONL traces get the linear fallback with the same filtering rule.
+func TestWindowJSONLFallback(t *testing.T) {
+	var jb bytes.Buffer
+	jt := NewPipetrace(&jb)
+	for i := 0; i < 500; i++ {
+		jt.Uop(synthUop(i))
+	}
+	jt.Event(600, EvFlush, -1, 42)
+	if err := jt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ir, err := NewIndexedReader(bytes.NewReader(jb.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Indexed() {
+		t.Fatal("JSONL trace claims to be indexed")
+	}
+	u, e, err := ir.Window(600, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 1 {
+		t.Errorf("got %d events in window, want 1", len(e))
+	}
+	for _, x := range u {
+		if c := x.IndexCycle(); c < 600 || c > 700 {
+			t.Errorf("uop seq %d cycle %d outside window", x.Seq, c)
+		}
+	}
+	u2, _, err := ir.Range(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u2) != 5 || u2[0].Seq != 3 {
+		t.Errorf("JSONL range: %d uops, first seq %v", len(u2), u2)
+	}
+}
+
+func TestOpenIndexed(t *testing.T) {
+	raw, idx := writeSynthTrace(t, 8_000, 256)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.pipetrace.bin")
+	if err := os.WriteFile(trace, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// No sidecar: linear fallback.
+	ir, err := OpenIndexed(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Indexed() {
+		t.Error("no sidecar but Indexed() = true")
+	}
+	ir.Close()
+
+	if err := WriteIndexFile(IndexPath(trace), idx); err != nil {
+		t.Fatal(err)
+	}
+	ir, err = OpenIndexed(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Indexed() {
+		t.Error("sidecar present but Indexed() = false")
+	}
+	u, _, err := ir.Window(200, 400)
+	if err != nil || len(u) == 0 {
+		t.Errorf("window over opened trace: %d uops, err %v", len(u), err)
+	}
+	ir.Close()
+
+	// A present-but-corrupt sidecar is an error, never silently ignored.
+	if err := os.WriteFile(IndexPath(trace), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndexed(trace); err == nil {
+		t.Error("corrupt sidecar ignored")
+	}
+}
+
+// The observer writes the sidecar next to the binary trace and reports it
+// in Files() and IndexInfo().
+func TestObserverWritesIndex(t *testing.T) {
+	dir := t.TempDir()
+	o, err := NewRunObserver(&Options{Pipetrace: true, PipetraceBin: true, IndexEvery: 64, Dir: dir}, "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		o.Trace.Uop(synthUop(i))
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info := o.IndexInfo()
+	if info == nil {
+		t.Fatal("IndexInfo() = nil after indexed run")
+	}
+	if info.Records != 300 {
+		t.Errorf("IndexInfo records = %d, want 300", info.Records)
+	}
+	trace := filepath.Join(dir, "run1.pipetrace.bin")
+	found := false
+	for _, f := range o.Files() {
+		if f == filepath.Base(IndexPath(trace)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("index file missing from Files(): %v", o.Files())
+	}
+	ir, err := OpenIndexed(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ir.Close()
+	if !ir.Indexed() {
+		t.Error("observer-written trace has no usable index")
+	}
+	u, _, err := ir.Window(info.MinCycle, info.MaxCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 300 {
+		t.Errorf("full-span window returned %d uops, want 300", len(u))
+	}
+}
+
+func BenchmarkIndexWrite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewBinaryPipetrace(io.Discard)
+		if err := tr.EnableIndex(DefaultIndexEvery); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10_000; j++ {
+			tr.Uop(synthUop(j))
+		}
+		if err := tr.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Index() == nil {
+			b.Fatal("no index")
+		}
+	}
+}
+
+func BenchmarkIndexSeek(b *testing.B) {
+	var buf bytes.Buffer
+	tr := NewBinaryPipetrace(&buf)
+	if err := tr.EnableIndex(DefaultIndexEvery); err != nil {
+		b.Fatal(err)
+	}
+	const n = 100_000
+	for j := 0; j < n; j++ {
+		tr.Uop(synthUop(j))
+	}
+	if err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	idx := tr.Index()
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir, err := NewIndexedReader(bytes.NewReader(raw), idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mid := int64(100 + n)
+		u, _, err := ir.Window(mid, mid+200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(u) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}

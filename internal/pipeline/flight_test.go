@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// With a flight recorder installed, every uop record the pipetrace sees is
+// also recorded in the ring (same content), the run label identifies the
+// program and configuration, and uninstalling stops recording.
+func TestFlightRecorderMatchesTrace(t *testing.T) {
+	p := mgFriendlyLoop(t, 200)
+	sel := selectAll(t, p)
+	tr := trace(t, p)
+	mg := MGConfig{Selection: sel, Dynamic: true}
+
+	f := obs.NewFlightRecorder(1 << 16) // large enough that nothing drops
+	prev := obs.InstallFlightRecorder(f)
+	defer obs.InstallFlightRecorder(prev)
+
+	var buf bytes.Buffer
+	watch := &obs.Observer{Trace: obs.NewPipetrace(&buf)}
+	st, err := RunObserved(p, tr, Reduced(), mg, nil, watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := watch.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	uops, _, err := obs.ReadPipetrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := f.Snapshot("")
+	total, dropped := f.Totals()
+	if dropped != 0 {
+		t.Fatalf("ring dropped %d records despite oversized capacity", dropped)
+	}
+	if int64(len(recs)) != total || len(recs) != len(uops) {
+		t.Fatalf("flight has %d records (total %d), trace has %d", len(recs), total, len(uops))
+	}
+	wantRun := p.Name + "/" + Reduced().Name
+	for i := range recs {
+		if recs[i].Run != wantRun {
+			t.Fatalf("record %d run label %q, want %q", i, recs[i].Run, wantRun)
+		}
+		got := recs[i].UopTrace
+		got.Type = uops[i].Type // the JSONL reader stamps Type; the ring does not
+		if len(got.Srcs) == 0 && len(uops[i].Srcs) == 0 {
+			got.Srcs, uops[i].Srcs = nil, nil
+		}
+		if !equalUop(&got, &uops[i]) {
+			t.Fatalf("record %d differs:\nflight %+v\ntrace  %+v", i, got, uops[i])
+		}
+	}
+	if st.Uops == 0 {
+		t.Fatal("run committed no uops")
+	}
+
+	// Uninstalled: the same run records nothing new.
+	obs.InstallFlightRecorder(nil)
+	if _, err := Run(p, tr, Reduced(), mg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := f.Totals(); after != total {
+		t.Errorf("uninstalled recorder still gained records: %d -> %d", total, after)
+	}
+	obs.InstallFlightRecorder(f) // reinstate for the deferred restore
+}
+
+func equalUop(a, b *obs.UopTrace) bool {
+	return reflect.DeepEqual(*a, *b)
+}
+
+// A plain (unobserved) run still feeds the ring when a recorder is
+// installed: the live endpoint must see sweeps that run without -pipetrace.
+func TestFlightRecorderWithoutObserver(t *testing.T) {
+	p := mgFriendlyLoop(t, 100)
+	sel := selectAll(t, p)
+	tr := trace(t, p)
+	mg := MGConfig{Selection: sel, Dynamic: true}
+
+	f := obs.NewFlightRecorder(1 << 14)
+	prev := obs.InstallFlightRecorder(f)
+	defer obs.InstallFlightRecorder(prev)
+
+	st, err := Run(p, tr, Reduced(), mg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := f.Totals()
+	if total == 0 {
+		t.Fatal("plain run recorded nothing with a recorder installed")
+	}
+	if total < st.Uops {
+		t.Errorf("flight recorded %d records, run committed %d uops", total, st.Uops)
+	}
+}

@@ -131,6 +131,15 @@ type machine struct {
 	prof  *slack.Accumulator
 	watch *obs.Observer // nil when observability is off (the common case)
 
+	// Flight-recorder sink (see obs/flight.go): captured once per run from
+	// the process-wide recorder, so the hot path tests one machine field.
+	// emitUops is true when any sink (trace file or flight ring) wants uop
+	// records; obsSrcs is the reused source-list scratch for those records.
+	flight    *obs.FlightRecorder
+	flightRun string
+	emitUops  bool
+	obsSrcs   [3]int
+
 	cycle int64
 	seq   int64
 
@@ -241,6 +250,11 @@ func RunSched(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, prof *slac
 	m.p = p
 	m.tr = tr
 	m.watch = watch
+	m.flight = obs.Flight()
+	if m.flight != nil {
+		m.flightRun = p.Name + "/" + cfg.Name
+	}
+	m.emitUops = m.flight != nil || (watch != nil && watch.Trace != nil)
 	m.sched = sched
 	m.prof = prof
 	m.recycle = prof == nil && !noRecycle
@@ -377,8 +391,8 @@ func (m *machine) commit() {
 			// The store's write updates cache state at commit.
 			m.hier.AccessD(m.cycle, u.memAddr, true)
 		}
-		if m.watch != nil && m.watch.Trace != nil {
-			m.traceUop(u, m.cycle, false)
+		if m.emitUops {
+			m.observeUop(u, m.cycle, false)
 		}
 		if m.prof != nil {
 			// Retained until drain: the global-slack reverse pass needs the
@@ -702,7 +716,7 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 			u.memCycle = ek + 1
 			rk = m.loadAccess(u, u.memCycle)
 			lat = rk - ek
-			if m.watch != nil && m.watch.Trace != nil {
+			if m.emitUops {
 				u.memLat = rk - (u.memCycle + int64(m.hier.L1DHitLatency()))
 				if u.memLat < 0 {
 					u.memLat = 0
@@ -742,7 +756,7 @@ func (m *machine) executeHandle(u *uop, exec int64, lastReady int64, lastIdx int
 	// have started once its internal producers finished, so any completion
 	// beyond that is the serial ALU pipeline's doing. A pure dependence
 	// chain measures 0; independent constituents measure the induced delay.
-	if m.watch != nil && m.watch.Trace != nil {
+	if m.emitUops {
 		var f [4]int64
 		var maxF int64
 		for k := 0; k < u.mg.N; k++ {
@@ -1009,9 +1023,9 @@ func (m *machine) flushFrom(v *uop) {
 		m.fetchStall = m.cycle + 1
 	}
 
-	if m.watch != nil && m.watch.Trace != nil {
+	if m.emitUops {
 		for _, u := range m.squashScratch {
-			m.traceUop(u, m.cycle, true)
+			m.observeUop(u, m.cycle, true)
 		}
 	}
 
@@ -1562,10 +1576,12 @@ var uopKindNames = [...]string{
 	kindOverheadJump: "ovh-jump",
 }
 
-// traceUop emits the pipetrace record for u at commit (cycle = commit
-// cycle) or squash (squashed = true, no commit cycle). Only called with
-// an active trace.
-func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
+// observeUop builds the pipetrace record for u at commit (cycle = commit
+// cycle) or squash (squashed = true, no commit cycle) and feeds every
+// active uop sink: the pipetrace writer and/or the flight-recorder ring.
+// Only called when emitUops is set. Neither sink retains the record's
+// Srcs slice, which aliases the machine's scratch array.
+func (m *machine) observeUop(u *uop, cycle int64, squashed bool) {
 	h := &m.hot
 	s := u.slot
 	r := obs.UopTrace{
@@ -1595,7 +1611,7 @@ func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
 		r.Dst = int(u.dstReg)
 	}
 	if u.nSrc > 0 {
-		r.Srcs = make([]int, u.nSrc)
+		r.Srcs = m.obsSrcs[:u.nSrc]
 		for i := 0; i < u.nSrc; i++ {
 			r.Srcs[i] = int(u.srcReg[i])
 		}
@@ -1623,7 +1639,12 @@ func (m *machine) traceUop(u *uop, cycle int64, squashed bool) {
 	if h.issue[s] < 0 {
 		r.Done, r.Ready = -1, -1
 	}
-	m.watch.Trace.Uop(r)
+	if m.watch != nil && m.watch.Trace != nil {
+		m.watch.Trace.Uop(r)
+	}
+	if m.flight != nil {
+		m.flight.RecordUop(m.flightRun, &r)
+	}
 }
 
 // sampleInterval records a time-series sample when the current cycle is a

@@ -51,6 +51,9 @@ func putMachine(m *machine) {
 	m.p = nil
 	m.tr = nil
 	m.watch = nil
+	m.flight = nil
+	m.flightRun = ""
+	m.emitUops = false
 	m.prof = nil
 	m.mon = nil
 	m.layout = nil
