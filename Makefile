@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke index-smoke bench benchjson profile report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke index-smoke ledger-smoke bench benchjson profile report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
 ## cache and pipeline tests, the scheduler differential, the SoA/pooling
-## determinism smoke, and end-to-end observability, attribution and
-## metrics/tracing smoke tests. Documented in README.md; run before every
-## merge.
-ci: vet fmt build test race sched-smoke sched-soa obs-smoke critpath-smoke metrics-smoke index-smoke
+## determinism smoke, and end-to-end observability, attribution,
+## metrics/tracing and run-ledger smoke tests. Documented in README.md;
+## run before every merge.
+ci: vet fmt build test race sched-smoke sched-soa obs-smoke critpath-smoke metrics-smoke index-smoke ledger-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +29,7 @@ test:
 # beyond the default 10m — the race detector slows it an order of
 # magnitude on loaded machines.
 race:
-	$(GO) test -race -timeout 25m ./internal/core ./internal/simcache ./internal/pipeline ./internal/critpath
+	$(GO) test -race -timeout 25m ./internal/core ./internal/simcache ./internal/pipeline ./internal/critpath ./internal/ledger
 
 # End-to-end observability: one observed run, then render + summarize the
 # files it produced; then the same run traced with the binary encoding,
@@ -102,6 +102,20 @@ index-smoke:
 	$(GO) test -run 'TestFlight|TestTraceWindowHandler|TestServeDebugTraceEndpoint' -count=1 ./internal/obs >/dev/null && \
 	rm -rf $$dir && echo "index-smoke ok"
 
+# Run-ledger end to end: the same tiny sweep twice with -ledger must
+# append (never clobber) — the record count doubles across the restart —
+# and comparing the recorded rev against itself must gate clean.
+ledger-smoke:
+	@dir=$$(mktemp -d); \
+	run() { $(GO) run ./cmd/mgreport -exp fig1 -only comm.crc32 -input small \
+		-plots=false -ledger $$dir/led -ledger-rev ci >/dev/null; }; \
+	run && n1=$$(grep -c '^v1 ' $$dir/led/ledger.jsonl) && \
+	run && n2=$$(grep -c '^v1 ' $$dir/led/ledger.jsonl) && \
+	[ "$$n2" -eq $$((2 * n1)) ] || { echo "ledger-smoke FAILED: $$n1 then $$n2 records (want double)"; exit 1; }; \
+	$(GO) run ./cmd/mgstat -ledger $$dir/led -compare ci,ci -gate 5 >/dev/null || \
+		{ echo "ledger-smoke FAILED: self-compare did not gate clean"; exit 1; }; \
+	rm -rf $$dir && echo "ledger-smoke ok"
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
@@ -111,9 +125,10 @@ bench:
 # The fresh numbers are diffed against the previous PR's committed baseline;
 # a >15% ns/op regression or a >25% allocs/op growth on any shared benchmark
 # fails the target. Each benchmark runs three times and benchjson keeps the
-# fastest, damping scheduler noise. Note the baselines were recorded on
-# whatever machine ran them — cross-machine deltas measure the hardware as
-# much as the code (see README "Performance").
+# fastest, damping scheduler noise. Documents carry a host fingerprint:
+# benchjson warns when the baseline came from a different machine (those
+# deltas measure the hardware as much as the code); pass -strict-host to
+# make that a failure (see README "Performance").
 benchjson:
 	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze|BenchmarkIndex' -benchtime 5x -count 3 -benchmem \
 		./internal/pipeline ./internal/critpath ./internal/obs | \

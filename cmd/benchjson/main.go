@@ -1,7 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON document on stdout, tagging it with run metadata
 // passed in from the environment (the tool itself never reads a clock or
-// the repository — `make benchjson` supplies both).
+// the repository — `make benchjson` supplies both) plus a fingerprint of
+// the machine it ran on. When diffing, a baseline recorded on a different
+// machine draws a warning (ns/op deltas then measure the hardware, not
+// the code); -strict-host turns the warning into a failure.
 //
 // With -baseline it also diffs the fresh numbers against a previously
 // committed document, prints per-benchmark ns/op and allocs/op deltas on
@@ -25,6 +28,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/ledger"
 )
 
 // Benchmark is one parsed result line.
@@ -36,12 +41,15 @@ type Benchmark struct {
 	AllocsPerOp int64   `json:"allocsPerOp"` // -1 without -benchmem
 }
 
-// Doc is the output document.
+// Doc is the output document. Host is the machine fingerprint of the run;
+// a nil Host (documents from before the field existed) compares as
+// unknown, not as a mismatch.
 type Doc struct {
-	Rev        string      `json:"rev"`
-	Date       string      `json:"date"`
-	Go         string      `json:"go"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Rev        string       `json:"rev"`
+	Date       string       `json:"date"`
+	Go         string       `json:"go"`
+	Host       *ledger.Host `json:"host,omitempty"`
+	Benchmarks []Benchmark  `json:"benchmarks"`
 }
 
 func main() {
@@ -51,6 +59,7 @@ func main() {
 		baseline = flag.String("baseline", "", "prior benchjson document to diff against")
 		maxReg   = flag.Float64("max-regress", 0.15, "ns/op regression vs -baseline that fails the run")
 		maxAlloc = flag.Float64("max-alloc-regress", 0.25, "allocs/op growth vs -baseline that fails the run")
+		strict   = flag.Bool("strict-host", false, "fail (instead of warn) when -baseline was recorded on a different machine")
 	)
 	flag.Parse()
 
@@ -64,7 +73,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	doc := Doc{Rev: *rev, Date: *date, Go: runtime.Version(), Benchmarks: benches}
+	host := ledger.CurrentHost()
+	doc := Doc{Rev: *rev, Date: *date, Go: runtime.Version(), Host: &host, Benchmarks: benches}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&doc); err != nil {
@@ -84,6 +94,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
 		os.Exit(1)
 	}
+	// Wall-clock benchmarks are only comparable on the same machine. Warn
+	// on a cross-host baseline (the diff still prints — trends survive a
+	// hardware change even if the gate threshold doesn't), fail under
+	// -strict-host.
+	if crossHost(base, host) {
+		fmt.Fprintf(os.Stderr, "benchjson: WARNING: baseline recorded on a different machine\n  baseline: %s\n  current:  %s\n",
+			base.Host.Summary(), host.Summary())
+		if *strict {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL: -strict-host set — re-record the baseline on this machine")
+			os.Exit(2)
+		}
+	}
 	lines, regressions := diffDocs(doc, base, *maxReg, *maxAlloc)
 	fmt.Fprintf(os.Stderr, "benchjson: vs baseline %s (rev %s)\n", *baseline, base.Rev)
 	for _, l := range lines {
@@ -94,6 +116,13 @@ func main() {
 			len(regressions), *maxReg*100, *maxAlloc*100, strings.Join(regressions, ", "))
 		os.Exit(2)
 	}
+}
+
+// crossHost reports whether the baseline document was recorded on a
+// different machine than cur. Baselines from before the host field
+// existed compare as unknown, never as a mismatch.
+func crossHost(base Doc, cur ledger.Host) bool {
+	return base.Host != nil && !base.Host.SameMachine(cur)
 }
 
 // bestOf collapses repeated runs of the same benchmark (`go test -count N`)

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/ledger"
 )
 
 const sample = `goos: linux
@@ -96,6 +98,27 @@ func TestBenchKey(t *testing.T) {
 		if got := benchKey(in); got != want {
 			t.Errorf("benchKey(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestCrossHost covers the baseline host check: same machine and legacy
+// fingerprint-less baselines pass, a different machine is flagged, and
+// GOMAXPROCS/Go-version drift alone never counts as a host change.
+func TestCrossHost(t *testing.T) {
+	cur := ledger.CurrentHost()
+	if crossHost(Doc{}, cur) {
+		t.Error("baseline without a host fingerprint must not mismatch")
+	}
+	same := cur
+	same.GOMAXPROCS++
+	same.Go = "go0.0"
+	if crossHost(Doc{Host: &same}, cur) {
+		t.Error("GOMAXPROCS/Go drift flagged as a host change")
+	}
+	other := cur
+	other.Hostname = cur.Hostname + "-other"
+	if !crossHost(Doc{Host: &other}, cur) {
+		t.Error("different hostname not flagged")
 	}
 }
 

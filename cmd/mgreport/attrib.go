@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/critpath"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
@@ -59,9 +61,11 @@ func attrib(w io.Writer, workloadName, input, selName, cfgName, outBase string, 
 	}
 	chosen := bench.Select(sel, prof)
 
+	t0 := time.Now()
 	var buf bytes.Buffer
 	watch := &obs.Observer{Trace: obs.NewPipetrace(&buf)}
-	if _, err := bench.RunObserved(cfg, sel, chosen, watch); err != nil {
+	st, err := bench.RunObserved(cfg, sel, chosen, watch)
+	if err != nil {
 		return err
 	}
 	if err := watch.Trace.Flush(); err != nil {
@@ -74,6 +78,20 @@ func attrib(w io.Writer, workloadName, input, selName, cfgName, outBase string, 
 	rep, err := critpath.Analyze(uops, events, critpath.ParamsFor(cfg))
 	if err != nil {
 		return err
+	}
+	if led := core.RunLedger(); led != nil {
+		if aerr := led.Append(ledger.Record{
+			Tool: "mgreport", Sweep: "attrib",
+			Workload: workloadName, Series: sel.Name() + " on " + cfg.Name, Input: input,
+			Key:    core.TaskKey(bench, sel, cfg, input, cfg).Short(),
+			Cache:  "traced",
+			WallMS: float64(time.Since(t0)) / float64(time.Millisecond),
+			Cycles: st.Cycles, Instrs: st.Instrs, Uops: st.Uops,
+			IPC: st.IPC(), UPC: st.UPC(), Coverage: st.Coverage(),
+			Critpath: rep.BucketsByName(),
+		}); aerr != nil {
+			fmt.Fprintln(os.Stderr, "mgreport: ledger:", aerr)
+		}
 	}
 
 	name := fmt.Sprintf("%s/%s, %s on %s", workloadName, input, sel.Name(), cfg.Name)

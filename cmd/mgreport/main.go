@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -64,10 +65,21 @@ func main() {
 		attribOut  = flag.String("attribout", "", "base path for -attrib JSON/CSV artifacts")
 		attribTop  = flag.Int("attribtop", 10, "offender/comparison rows to print in -attrib")
 		refsched   = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
+		ledgerDir  = flag.String("ledger", "", "append a run record per completed task to the persistent ledger in this directory")
+		ledgerRev  = flag.String("ledger-rev", "", "revision label for ledger records (default: MG_REV or the binary's vcs revision)")
 	)
 	flag.Parse()
 	if *refsched {
 		pipeline.SetDefaultScheduler(pipeline.SchedScan)
+	}
+	if *ledgerDir != "" {
+		led, err := ledger.Open(*ledgerDir, *ledgerRev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgreport:", err)
+			os.Exit(1)
+		}
+		defer led.Close()
+		core.SetLedger(led)
 	}
 
 	if *attribW != "" {

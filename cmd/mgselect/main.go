@@ -14,8 +14,10 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -39,10 +41,21 @@ func main() {
 		httpaddr   = flag.String("httpaddr", "", "serve expvar, pprof, /metrics and /debug/sweep on this address during the run")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace (and FILE.spans.jsonl) of the run's spans to FILE")
 		refsched   = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
+		ledgerDir  = flag.String("ledger", "", "append a selection record to the persistent ledger in this directory")
+		ledgerRev  = flag.String("ledger-rev", "", "revision label for ledger records (default: MG_REV or the binary's vcs revision)")
 	)
 	flag.Parse()
 	if *refsched {
 		pipeline.SetDefaultScheduler(pipeline.SchedScan)
+	}
+	if *ledgerDir != "" {
+		led, err := ledger.Open(*ledgerDir, *ledgerRev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgselect:", err)
+			os.Exit(1)
+		}
+		defer led.Close()
+		core.SetLedger(led)
 	}
 	if *wName == "" {
 		fmt.Fprintln(os.Stderr, "mgselect: -workload required")
@@ -95,6 +108,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	t0 := time.Now()
 	ctx, runSpan := metrics.StartSpan(context.Background(), "mgselect.run",
 		metrics.L("workload", *wName), metrics.L("selector", *selName))
 	bench, err := core.PrepareSharedByName(*wName, *input)
@@ -152,6 +166,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "trace: %s (Chrome/Perfetto), %s (JSONL)\n", *traceOut, jsonl)
+	}
+	if led := core.RunLedger(); led != nil {
+		// Selection-only record: Cycles stays 0, so history queries list it
+		// but the compare gate never treats it as a timing point.
+		if aerr := led.Append(ledger.Record{
+			Tool: "mgselect", Workload: *wName, Series: sel.Name(), Input: *input,
+			Cache:    "run",
+			WallMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+			Coverage: chosen.Coverage(),
+		}); aerr != nil {
+			fmt.Fprintln(os.Stderr, "mgselect: ledger:", aerr)
+		}
 	}
 	fmt.Printf("workload=%s selector=%s candidates=%d\n", *wName, sel.Name(), len(bench.Cands))
 	fmt.Printf("selected: %d instances, %d templates, %.1f%% dynamic coverage\n",

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -80,10 +82,21 @@ func main() {
 		httpaddr  = flag.String("httpaddr", "", "serve expvar, pprof, /metrics and /debug/sweep on this address during the run")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace (and FILE.spans.jsonl) of the run's spans to FILE")
 		refsched  = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
+		ledgerDir = flag.String("ledger", "", "append a run record to the persistent ledger in this directory")
+		ledgerRev = flag.String("ledger-rev", "", "revision label for ledger records (default: MG_REV or the binary's vcs revision)")
 	)
 	flag.Parse()
 	if *refsched {
 		pipeline.SetDefaultScheduler(pipeline.SchedScan)
+	}
+	if *ledgerDir != "" {
+		led, err := ledger.Open(*ledgerDir, *ledgerRev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgsim:", err)
+			os.Exit(1)
+		}
+		defer led.Close()
+		core.SetLedger(led)
 	}
 
 	if *list {
@@ -138,6 +151,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	t0 := time.Now()
 	var watch *obs.Observer
 	if o := obs.FlagOptions(*pipetrace, *ptraceBin, *intervals, *tracedir); o.Active() {
 		base := fmt.Sprintf("%s_%s_%s_%s", *wName, *input, cfg.Name, *selName)
@@ -199,6 +213,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mgsim:", err)
 		os.Exit(1)
+	}
+	if led := core.RunLedger(); led != nil {
+		cache := "run"
+		if watch != nil {
+			cache = "traced"
+		}
+		if aerr := led.Append(ledger.Record{
+			Tool: "mgsim", Workload: *wName, Series: cfg.Name + "/" + *selName, Input: *input,
+			Key:    core.TaskKey(bench, sel, cfg, "", cfg).Short(),
+			Cache:  cache,
+			WallMS: float64(time.Since(t0)) / float64(time.Millisecond),
+			Cycles: st.Cycles, Instrs: st.Instrs, Uops: st.Uops,
+			IPC: st.IPC(), UPC: st.UPC(), Coverage: st.Coverage(),
+		}); aerr != nil {
+			fmt.Fprintln(os.Stderr, "mgsim: ledger:", aerr)
+		}
 	}
 	if watch != nil {
 		fmt.Fprintf(os.Stderr, "observability files: %v\n", watch.Files())

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// seedLedger records the same two points at two revisions, with revB's
+// crc32 point carrying a 20% IPC drop.
+func seedLedger(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	point := func(workload string, ipc float64) ledger.Record {
+		return ledger.Record{
+			Tool: "sweep", Sweep: "test", Workload: workload,
+			Series: "Slack-Profile on reduced", Input: "small",
+			Cache: "miss", WallMS: 100,
+			Cycles: 1000, Instrs: int64(ipc * 1000), IPC: ipc,
+		}
+	}
+	for _, rev := range []struct {
+		name     string
+		crc, fft float64
+	}{{"revA", 1.50, 2.00}, {"revB", 1.20, 2.01}} {
+		l, err := ledger.Open(dir, rev.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(point("comm.crc32", rev.crc)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(point("media.fft", rev.fft)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLedgerModeSummaryAndHistory(t *testing.T) {
+	dir := seedLedger(t)
+	var buf strings.Builder
+	if code := ledgerMode(&buf, dir, false, "", 0, 0); code != 0 {
+		t.Fatalf("summary mode exit %d\n%s", code, buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "2 run(s), 4 record(s)") {
+		t.Errorf("run summary wrong:\n%s", out)
+	}
+	buf.Reset()
+	if code := ledgerMode(&buf, dir, true, "", 0, 0); code != 0 {
+		t.Fatalf("history mode exit %d\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"comm.crc32", "media.fft", "revA", "revB", "4 record(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLedgerModeCompareGates(t *testing.T) {
+	dir := seedLedger(t)
+
+	// The 20% crc32 IPC drop must trip a 5% gate...
+	var buf strings.Builder
+	if code := ledgerMode(&buf, dir, false, "revA,revB", 5, 0); code != 1 {
+		t.Errorf("injected regression not gated: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "comm.crc32") {
+		t.Errorf("compare table missing the regressed point:\n%s", buf.String())
+	}
+
+	// ...a self-compare must gate clean...
+	buf.Reset()
+	if code := ledgerMode(&buf, dir, false, "revA,revA", 5, 0); code != 0 {
+		t.Errorf("self-compare gated: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate: clean") {
+		t.Errorf("clean gate line missing:\n%s", buf.String())
+	}
+
+	// ...and a malformed -compare spec is a usage error.
+	if code := ledgerMode(&strings.Builder{}, dir, false, "revA", 5, 0); code != 2 {
+		t.Errorf("malformed spec exit = %d, want 2", code)
+	}
+}

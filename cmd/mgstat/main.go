@@ -7,6 +7,14 @@
 //	mgstat                    # all 78 workloads
 //	mgstat -suite comm        # one suite
 //	mgstat -input small
+//
+// With -ledger DIR it instead queries the persistent run history recorded
+// by mgreport/mgsim/mgselect -ledger runs:
+//
+//	mgstat -ledger runs                       # per-run summary
+//	mgstat -ledger runs -history              # every record
+//	mgstat -ledger runs -compare revA,revB    # per-point delta table
+//	mgstat -ledger runs -compare revA,revB -gate 5   # exit 1 on >5% IPC drops
 package main
 
 import (
@@ -87,10 +95,19 @@ func characterize(w *workload.Workload, input string) (row, error) {
 
 func main() {
 	var (
-		suite = flag.String("suite", "", "restrict to one suite (comm, embed, intx, media)")
-		input = flag.String("input", "large", "input set")
+		suite     = flag.String("suite", "", "restrict to one suite (comm, embed, intx, media)")
+		input     = flag.String("input", "large", "input set")
+		ledgerDir = flag.String("ledger", "", "query the run-history ledger in this directory instead of characterizing workloads")
+		history   = flag.Bool("history", false, "with -ledger: list every recorded run record")
+		compare   = flag.String("compare", "", "with -ledger: compare two recorded revisions, \"revA,revB\"")
+		gateIPC   = flag.Float64("gate", 0, "with -compare: exit non-zero on IPC regressions beyond this percentage")
+		gateWall  = flag.Float64("gate-wall", 0, "with -compare: also gate wall-time growth beyond this percentage (same-host uncached records only)")
 	)
 	flag.Parse()
+
+	if *ledgerDir != "" {
+		os.Exit(ledgerMode(os.Stdout, *ledgerDir, *history, *compare, *gateIPC, *gateWall))
+	}
 
 	var ws []*workload.Workload
 	if *suite == "" {

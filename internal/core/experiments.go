@@ -6,6 +6,7 @@ import (
 	"io"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/selector"
+	"repro/internal/simcache"
 	"repro/internal/slack"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -156,7 +158,7 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 	defer track.Finish()
 
 	if opts.NoCache {
-		meta, err := runSweepUncached(ctx, opts, ws, specs, perfSeries, covSeries, track)
+		meta, err := runSweepUncached(ctx, title, opts, ws, specs, perfSeries, covSeries, track)
 		if err != nil {
 			return nil, err
 		}
@@ -206,18 +208,25 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 				t0 := time.Now()
 				tctx, span := metrics.StartSpan(wctx, "task",
 					metrics.L("workload", w.Name), metrics.L("series", sp.Label))
-				perf, cov, outcome, files, idx, err := evalSpec(tctx, w, opts.input(), sp, opts.Obs)
-				span.SetAttr("cache", outcome)
+				var r specResult
+				var err error
+				// Label the task's goroutine so CPU profiles grabbed from
+				// /debug/pprof attribute samples to (workload, spec).
+				pprof.Do(tctx, pprof.Labels("workload", w.Name, "spec", sp.Label), func(ctx context.Context) {
+					r, err = evalSpec(ctx, w, opts.input(), sp, opts.Obs)
+				})
+				span.SetAttr("cache", r.outcome)
 				span.End()
-				vals[ti] = [2]float64{perf, cov}
+				vals[ti] = [2]float64{r.perf, r.cov}
 				errs[ti] = err
-				meta[ti] = manifestTask(w.Name, sp.Label, k, t0, outcome, files, idx, err)
-				track.TaskDone(ti, outcome, err)
+				meta[ti] = manifestTask(w.Name, sp.Label, k, t0, r.outcome, r.files, r.idx, err)
+				appendTaskRecord(title, w.Name, sp.Label, opts.input(), r.key, r.stats, r.outcome, t0, err)
+				track.TaskDone(ti, r.outcome, err)
 				noteTaskMetrics(meta[ti])
 				if l := tlog(); l != nil {
 					l.Info("task.finish", "sweep", title, "workload", w.Name,
 						"series", sp.Label, "worker", k,
-						"wall_ms", meta[ti].WallMS, "cache", outcome)
+						"wall_ms", meta[ti].WallMS, "cache", r.outcome)
 				}
 				if atomic.AddInt32(&pending[t.wi], -1) == 0 && opts.Progress != nil {
 					mu.Lock()
@@ -307,32 +316,48 @@ func profCfgOf(sp SeriesSpec) pipeline.Config {
 	return sp.Cfg
 }
 
-// evalSpec computes one (workload, spec) point through the caches:
-// relative performance vs the fully-provisioned singleton baseline and
-// coverage, plus the cache outcome and observability files for telemetry.
-func evalSpec(ctx context.Context, w *workload.Workload, input string, sp SeriesSpec, o *obs.Options) (perf, cov float64, outcome string, files []string, idx *obs.IndexInfo, err error) {
+// specResult carries everything one evaluated series point produces:
+// the report values (relative performance, coverage), the raw simulation
+// stats and cache key for the run ledger, and the cache outcome plus
+// observability files for telemetry.
+type specResult struct {
+	perf, cov float64
+	outcome   string
+	files     []string
+	idx       *obs.IndexInfo
+	stats     *pipeline.Stats
+	key       simcache.Key
+}
+
+// evalSpec computes one (workload, spec) point through the caches.
+func evalSpec(ctx context.Context, w *workload.Workload, input string, sp SeriesSpec, o *obs.Options) (specResult, error) {
+	var r specResult
 	bench, err := PrepareSharedCtx(ctx, w, input)
 	if err != nil {
-		return 0, 0, "", nil, nil, err
+		return r, err
 	}
+	r.key = TaskKey(bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg)
 	baseStats, err := singletonStats(ctx, bench, pipeline.Baseline())
 	if err != nil {
-		return 0, 0, "", nil, nil, err
+		return r, err
 	}
 	var st *pipeline.Stats
 	if o.Active() {
-		st, files, idx, err = runSpecObserved(ctx, bench, sp, o)
-		outcome = cacheTraced
+		st, r.files, r.idx, err = runSpecObserved(ctx, bench, sp, o)
+		r.outcome = cacheTraced
 	} else if sp.Sel == nil {
-		st, outcome, err = singletonStatsNoted(ctx, bench, sp.Cfg)
+		st, r.outcome, err = singletonStatsNoted(ctx, bench, sp.Cfg)
 	} else {
-		st, outcome, err = evalStatsNoted(ctx, bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg,
+		st, r.outcome, err = evalStatsNoted(ctx, bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg,
 			minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
 	}
 	if err != nil {
-		return 0, 0, outcome, files, idx, err
+		return r, err
 	}
-	return float64(baseStats.Cycles) / float64(st.Cycles), st.Coverage(), outcome, files, idx, nil
+	r.stats = st
+	r.perf = float64(baseStats.Cycles) / float64(st.Cycles)
+	r.cov = st.Coverage()
+	return r, nil
 }
 
 // runSpecObserved runs one series point with an observer attached,
@@ -376,7 +401,7 @@ func runSpecObserved(ctx context.Context, b *Bench, sp SeriesSpec, o *obs.Option
 // sweeps. It exists so timing-accuracy investigations can rule the caches
 // out, and as the reference the cached path is tested against. Returns
 // one manifest entry per (workload, spec), in task order.
-func runSweepUncached(ctx context.Context, opts Options, ws []*workload.Workload, specs []SeriesSpec, perfSeries, covSeries []*stats.Series, track *metrics.SweepProgress) ([]obs.ManifestTask, error) {
+func runSweepUncached(ctx context.Context, title string, opts Options, ws []*workload.Workload, specs []SeriesSpec, perfSeries, covSeries []*stats.Series, track *metrics.SweepProgress) ([]obs.ManifestTask, error) {
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
@@ -393,7 +418,7 @@ func runSweepUncached(ctx context.Context, opts Options, ws []*workload.Workload
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
-			vals, covs, tasks, err := evalWorkloadUncached(ctx, w, wi, opts, specs, track)
+			vals, covs, tasks, err := evalWorkloadUncached(ctx, title, w, wi, opts, specs, track)
 			copy(meta[wi*len(specs):], tasks)
 			mu.Lock()
 			defer mu.Unlock()
@@ -420,7 +445,7 @@ func runSweepUncached(ctx context.Context, opts Options, ws []*workload.Workload
 // returns relative performance, coverage, and a manifest entry per spec.
 // wi labels this workload's goroutine in telemetry (the uncached path has
 // no shared worker pool).
-func evalWorkloadUncached(ctx context.Context, w *workload.Workload, wi int, opts Options, specs []SeriesSpec, track *metrics.SweepProgress) ([]float64, []float64, []obs.ManifestTask, error) {
+func evalWorkloadUncached(ctx context.Context, title string, w *workload.Workload, wi int, opts Options, specs []SeriesSpec, track *metrics.SweepProgress) ([]float64, []float64, []obs.ManifestTask, error) {
 	// Each workload goroutine is one trace thread (tid wi+1) within the
 	// sweep; its tasks occupy the progress slots [wi*len(specs), ...).
 	ctx = metrics.WithTid(ctx, wi+1)
@@ -458,41 +483,15 @@ func evalWorkloadUncached(ctx context.Context, w *workload.Workload, wi int, opt
 		var st *pipeline.Stats
 		var files []string
 		var idx *obs.IndexInfo
-		if sp.Sel == nil {
-			st, files, idx, err = runUncachedSingleton(bench, sp, opts.Obs)
-		} else {
-			profCfg := profCfgOf(sp)
-			profBench := bench
-			if sp.ProfInput != "" && sp.ProfInput != opts.input() {
-				pb, ok := crossBenches[sp.ProfInput]
-				if !ok {
-					pb, err = Prepare(w, sp.ProfInput)
-					if err != nil {
-						span.End()
-						return nil, nil, nil, err
-					}
-					crossBenches[sp.ProfInput] = pb
-				}
-				profBench = pb
-			}
-			var prof *slack.Profile
-			if sp.Sel.NeedsProfile() {
-				// Cross-input: collect the profile on the other input's
-				// bench and apply it here (static indices align — the
-				// code is identical, only the data differs).
-				_, prsp := metrics.StartSpan(tctx, "profile",
-					metrics.L("workload", w.Name), metrics.L("config", profCfg.Name))
-				prof, err = profBench.Profile(profCfg)
-				prsp.End()
-				if err != nil {
-					span.End()
-					return nil, nil, nil, err
-				}
-			}
-			st, files, idx, err = runUncachedSelected(bench, sp, prof, opts.Obs)
-		}
+		// Label the task's goroutine so CPU profiles grabbed from
+		// /debug/pprof attribute samples to (workload, spec).
+		pprof.Do(tctx, pprof.Labels("workload", w.Name, "spec", sp.Label), func(ctx context.Context) {
+			st, files, idx, err = evalSpecUncached(ctx, bench, w, sp, opts, crossBenches)
+		})
 		span.End()
 		meta[i] = manifestTask(w.Name, sp.Label, wi, t0, cacheNone, files, idx, err)
+		appendTaskRecord(title, w.Name, sp.Label, opts.input(),
+			TaskKey(bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg), st, cacheNone, t0, err)
 		track.TaskDone(wi*len(specs)+i, cacheNone, err)
 		noteTaskMetrics(meta[i])
 		if l := tlog(); l != nil {
@@ -506,6 +505,45 @@ func evalWorkloadUncached(ctx context.Context, w *workload.Workload, wi int, opt
 		covs[i] = st.Coverage()
 	}
 	return vals, covs, meta, nil
+}
+
+// evalSpecUncached evaluates one spec for a workload entirely from
+// scratch. Cross-input profiling benches are prepared on demand and
+// shared through crossBenches (per-workload, single goroutine — no
+// locking needed).
+func evalSpecUncached(ctx context.Context, bench *Bench, w *workload.Workload, sp SeriesSpec, opts Options, crossBenches map[string]*Bench) (*pipeline.Stats, []string, *obs.IndexInfo, error) {
+	if sp.Sel == nil {
+		return runUncachedSingleton(bench, sp, opts.Obs)
+	}
+	profCfg := profCfgOf(sp)
+	profBench := bench
+	if sp.ProfInput != "" && sp.ProfInput != opts.input() {
+		pb, ok := crossBenches[sp.ProfInput]
+		if !ok {
+			var err error
+			pb, err = Prepare(w, sp.ProfInput)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			crossBenches[sp.ProfInput] = pb
+		}
+		profBench = pb
+	}
+	var prof *slack.Profile
+	if sp.Sel.NeedsProfile() {
+		// Cross-input: collect the profile on the other input's bench and
+		// apply it here (static indices align — the code is identical,
+		// only the data differs).
+		_, prsp := metrics.StartSpan(ctx, "profile",
+			metrics.L("workload", w.Name), metrics.L("config", profCfg.Name))
+		p, err := profBench.Profile(profCfg)
+		prsp.End()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prof = p
+	}
+	return runUncachedSelected(bench, sp, prof, opts.Obs)
 }
 
 // runUncachedSingleton runs a singleton series point fresh, observed when

@@ -218,6 +218,23 @@ func evalStatsNoted(ctx context.Context, b *Bench, sel *selector.Selector, profC
 	})
 }
 
+// TaskKey returns the content-addressed fingerprint of one series point —
+// the same key singletonStatsNoted/evalStatsNoted file the result under
+// (with default enumeration limits and MGT budget), exported so run-ledger
+// records carry the identity the cache uses. sel == nil means singleton
+// execution; profInput == "" means self-trained.
+func TaskKey(b *Bench, sel *selector.Selector, profCfg pipeline.Config, profInput string, runCfg pipeline.Config) simcache.Key {
+	if sel == nil {
+		return simcache.Fingerprint("singleton", b.Workload.Name, b.Input, runCfg)
+	}
+	if profInput == "" {
+		profInput = b.Input
+	}
+	return simcache.Fingerprint("eval", b.Workload.Name, b.Input,
+		identityOf(sel), profCfg, profInput, runCfg,
+		minigraph.DefaultLimits(), minigraph.DefaultSelectConfig())
+}
+
 // enumerateShared returns the cached candidate pool of b under non-default
 // enumeration limits.
 func enumerateShared(ctx context.Context, b *Bench, limits minigraph.Limits) ([]*minigraph.Candidate, error) {

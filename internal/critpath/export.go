@@ -14,14 +14,22 @@ func WriteJSON(w io.Writer, rep *Report) error {
 	return enc.Encode(rep)
 }
 
-// MarshalJSON adds a name-keyed view of the buckets next to the array, so
-// consumers don't need the bucket ordering.
-func (r *Report) MarshalJSON() ([]byte, error) {
-	type plain Report // break the recursion
+// BucketsByName returns the cycle-loss buckets keyed by bucket name, for
+// consumers (JSON export, the run ledger) that must not depend on the
+// bucket ordering.
+func (r *Report) BucketsByName() map[string]int64 {
 	by := make(map[string]int64, NumBuckets)
 	for b := Bucket(0); b < NumBuckets; b++ {
 		by[b.String()] = r.Buckets[b]
 	}
+	return by
+}
+
+// MarshalJSON adds a name-keyed view of the buckets next to the array, so
+// consumers don't need the bucket ordering.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type plain Report // break the recursion
+	by := r.BucketsByName()
 	return json.Marshal(struct {
 		*plain
 		BucketsByName map[string]int64 `json:"bucketsByName"`

@@ -1,0 +1,168 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+)
+
+// history builds a two-rev history: three series points recorded at revA,
+// then at revB with the given per-point IPC scale factors.
+func history(scaleB map[string]float64) []Record {
+	host := Host{Hostname: "h", CPU: "c", OS: "linux", Arch: "amd64"}
+	var recs []Record
+	for _, rev := range []string{"A", "B"} {
+		for _, w := range []string{"w1", "w2", "w3"} {
+			ipc := 1.5
+			wall := 100.0
+			if rev == "B" {
+				if s, ok := scaleB[w]; ok {
+					ipc *= s
+				}
+			}
+			recs = append(recs, Record{
+				Rev: rev, RunID: "run-" + rev, Tool: "mgreport", Workload: w,
+				Series: "Slack-Profile", Input: "small", Cycles: 1000,
+				IPC: ipc, WallMS: wall, Cache: "miss", Host: host,
+			})
+		}
+	}
+	return recs
+}
+
+// TestGateFlagsInjectedRegression is the acceptance scenario: a 20% IPC
+// regression injected between two recorded revs must be flagged, while the
+// untouched points pass.
+func TestGateFlagsInjectedRegression(t *testing.T) {
+	recs := history(map[string]float64{"w2": 0.8}) // -20% IPC on w2
+	deltas := Compare(recs, "A", "B")
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	fails := Gate(deltas, 0.05, 0)
+	if len(fails) != 1 || !strings.Contains(fails[0], "w2") || !strings.Contains(fails[0], "-20.0%") {
+		t.Fatalf("gate: %v, want exactly the w2 -20%% IPC regression", fails)
+	}
+	// A looser tolerance than the injected drop passes.
+	if fails := Gate(deltas, 0.25, 0); len(fails) != 0 {
+		t.Fatalf("gate at 25%% tolerance: %v, want clean", fails)
+	}
+}
+
+// TestGateSelfCompareClean mirrors the ledger-smoke CI leg: a rev compared
+// against itself must gate clean at any tolerance.
+func TestGateSelfCompareClean(t *testing.T) {
+	recs := history(nil)
+	deltas := Compare(recs, "A", "A")
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.IPCPct != 0 || d.WallPct != 0 {
+			t.Fatalf("self-compare nonzero delta: %+v", d)
+		}
+	}
+	if fails := Gate(deltas, 0.0001, 0.0001); len(fails) != 0 {
+		t.Fatalf("self-compare gate: %v, want clean", fails)
+	}
+}
+
+// TestCompareLatestWins re-records one point at the same rev: the newer
+// record must supersede, not mix.
+func TestCompareLatestWins(t *testing.T) {
+	recs := history(nil)
+	fixed := recs[0] // w1 @ A
+	fixed.IPC = 3.0
+	recs = append(recs, fixed)
+	deltas := Compare(recs, "A", "B")
+	for _, d := range deltas {
+		if d.Workload == "w1" {
+			if d.A.IPC != 3.0 {
+				t.Fatalf("latest record did not win: %+v", d.A)
+			}
+			if d.IPCPct > -0.4 {
+				t.Fatalf("delta not computed against latest: %+v", d)
+			}
+		}
+	}
+}
+
+// TestGateWallTime covers the wall-time leg: growth beyond tolerance on
+// same-host uncached records fails; the same growth on a cache hit or a
+// cross-host pair carries no signal and passes.
+func TestGateWallTime(t *testing.T) {
+	recs := history(nil)
+	for i := range recs {
+		if recs[i].Rev == "B" {
+			recs[i].WallMS = 200 // +100%
+		}
+	}
+	deltas := Compare(recs, "A", "B")
+	if fails := Gate(deltas, 0.05, 0.5); len(fails) != 3 {
+		t.Fatalf("wall gate: %d failures, want 3: %v", len(fails), fails)
+	}
+	// Wall gate off: clean.
+	if fails := Gate(deltas, 0.05, 0); len(fails) != 0 {
+		t.Fatalf("wall gate off: %v", fails)
+	}
+	// Cache hits answered in microseconds must not trip the wall gate.
+	for i := range recs {
+		if recs[i].Rev == "B" {
+			recs[i].Cache = "hit"
+		}
+	}
+	if fails := Gate(Compare(recs, "A", "B"), 0.05, 0.5); len(fails) != 0 {
+		t.Fatalf("cache-hit wall gate: %v, want clean", fails)
+	}
+	// Cross-host wall deltas measure hardware, not code.
+	for i := range recs {
+		if recs[i].Rev == "B" {
+			recs[i].Cache = "miss"
+			recs[i].Host.Hostname = "other"
+		}
+	}
+	deltas = Compare(recs, "A", "B")
+	if fails := Gate(deltas, 0.05, 0.5); len(fails) != 0 {
+		t.Fatalf("cross-host wall gate: %v, want clean", fails)
+	}
+	for _, d := range deltas {
+		if !d.CrossHost {
+			t.Fatalf("cross-host pair not flagged: %+v", d)
+		}
+	}
+}
+
+// TestCompareSkipsNonTiming ensures selection-only records (Cycles == 0)
+// and errored tasks never enter the delta table.
+func TestCompareSkipsNonTiming(t *testing.T) {
+	recs := history(nil)
+	recs = append(recs,
+		Record{Rev: "A", Workload: "w9", Series: "s", Input: "small", Coverage: 0.4},
+		Record{Rev: "B", Workload: "w9", Series: "s", Input: "small", Coverage: 0.4},
+		Record{Rev: "A", Workload: "w8", Series: "s", Input: "small", Cycles: 10, IPC: 1, Error: "boom"},
+		Record{Rev: "B", Workload: "w8", Series: "s", Input: "small", Cycles: 10, IPC: 1, Error: "boom"},
+	)
+	if deltas := Compare(recs, "A", "B"); len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (non-timing and errored excluded)", len(deltas))
+	}
+}
+
+func TestWriteCompareText(t *testing.T) {
+	recs := history(map[string]float64{"w2": 0.8})
+	var sb strings.Builder
+	if err := WriteCompareText(&sb, "A", "B", Compare(recs, "A", "B")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"w1", "w2", "w3", "-20.0%", "Slack-Profile"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare table missing %q:\n%s", want, out)
+		}
+	}
+	var empty strings.Builder
+	if err := WriteCompareText(&empty, "A", "X", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no common timing records") {
+		t.Errorf("empty compare: %q", empty.String())
+	}
+}

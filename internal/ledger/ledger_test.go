@@ -1,0 +1,231 @@
+package ledger
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir, rev string) *Ledger {
+	t.Helper()
+	l, err := Open(dir, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func rec(workload string, ipc float64) Record {
+	return Record{
+		Tool: "test", Workload: workload, Series: "s", Input: "small",
+		Cycles: 1000, Instrs: int64(1000 * ipc), IPC: ipc, WallMS: 5, Cache: "miss",
+	}
+}
+
+func TestAppendRead(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, "r1")
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rec(fmt.Sprintf("w%d", i), 1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, skipped, err := ReadDir(dir)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadDir: %v (skipped %d)", err, skipped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records, want 3", len(recs))
+	}
+	r := recs[1]
+	if r.Workload != "w1" || r.Rev != "r1" || r.Time == "" || r.RunID == "" {
+		t.Errorf("record not stamped: %+v", r)
+	}
+	if r.Host.Hostname != l.Host().Hostname || r.Host.Go == "" {
+		t.Errorf("host fingerprint not stamped: %+v", r.Host)
+	}
+}
+
+// TestRestartAppends is the durability contract: a second process opens the
+// same ledger and appends — never clobbers — and both runs' records read
+// back with distinct run IDs.
+func TestRestartAppends(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := Open(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Append(rec("w", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, "b")
+	if err := l2.Append(rec("w", 1.1)); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := ReadDir(dir)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadDir: %v (skipped %d)", err, skipped)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records after restart, want 2", len(recs))
+	}
+	if recs[0].Rev != "a" || recs[1].Rev != "b" || recs[0].RunID == recs[1].RunID {
+		t.Errorf("restart records wrong: %+v", recs)
+	}
+}
+
+// TestTruncatedTailSkipped simulates a crash mid-append: the torn tail
+// record must be skipped on reopen with every prior record intact, and a
+// subsequent append must land cleanly after the torn bytes.
+func TestTruncatedTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, "a")
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rec(fmt.Sprintf("w%d", i), 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: drop its last 10 bytes (newline included).
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("after truncation: %d records (want 2), %d skipped (want 1)", len(recs), skipped)
+	}
+	if recs[0].Workload != "w0" || recs[1].Workload != "w1" {
+		t.Errorf("prior records damaged: %+v", recs)
+	}
+
+	// Reopen (repairs the missing newline) and append.
+	l2 := mustOpen(t, dir, "b")
+	if err := l2.Append(rec("w3", 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err = Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || skipped != 1 {
+		t.Fatalf("after reopen+append: %d records (want 3), %d skipped (want 1)", len(recs), skipped)
+	}
+	if recs[2].Workload != "w3" {
+		t.Errorf("post-crash append corrupted: %+v", recs[2])
+	}
+}
+
+// TestCorruptLineSkipped flips a byte inside a middle record: that record
+// alone fails its CRC; neighbours survive.
+func TestCorruptLineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, "a")
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rec(fmt.Sprintf("w%d", i), 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x20
+	lines[1] = string(mid)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("%d records (want 2), %d skipped (want 1)", len(recs), skipped)
+	}
+	if recs[0].Workload != "w0" || recs[1].Workload != "w2" {
+		t.Errorf("wrong survivors: %+v", recs)
+	}
+}
+
+// TestConcurrentAppends drives the ledger from a worker-pool's worth of
+// goroutines (the sweep shape); every record must read back whole. Run
+// under -race by `make race`.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, "a")
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := l.Append(rec(fmt.Sprintf("w%d-%d", k, i), 1.0)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	recs, skipped, err := ReadDir(dir)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadDir: %v (skipped %d)", err, skipped)
+	}
+	if len(recs) != workers*each {
+		t.Fatalf("read %d records, want %d", len(recs), workers*each)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Workload] {
+			t.Fatalf("duplicate record %q", r.Workload)
+		}
+		seen[r.Workload] = true
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	recs, skipped, err := ReadDir(t.TempDir())
+	if err != nil || len(recs) != 0 || skipped != 0 {
+		t.Fatalf("missing ledger should read empty: %v %v %d", recs, err, skipped)
+	}
+}
+
+func TestHostFingerprint(t *testing.T) {
+	h := CurrentHost()
+	if h.Go == "" || h.OS == "" || h.Arch == "" || h.GOMAXPROCS <= 0 || h.CPU == "" {
+		t.Errorf("incomplete host fingerprint: %+v", h)
+	}
+	if !h.SameMachine(h) {
+		t.Error("host must match itself")
+	}
+	other := h
+	other.GOMAXPROCS = h.GOMAXPROCS + 1
+	other.Go = "go0.0"
+	if !h.SameMachine(other) {
+		t.Error("GOMAXPROCS/Go version must not change machine identity")
+	}
+	other.Hostname = h.Hostname + "-x"
+	if h.SameMachine(other) {
+		t.Error("different hostname must differ")
+	}
+}

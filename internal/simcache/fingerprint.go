@@ -19,6 +19,16 @@ import (
 // Key is a stable content fingerprint usable as a cache-map key.
 type Key string
 
+// Short returns the key truncated for display and run-ledger records: 16
+// hex digits (64 bits) — still collision-proof at any realistic history
+// size, small enough to stamp into every persisted record.
+func (k Key) Short() string {
+	if len(k) > 16 {
+		return string(k[:16])
+	}
+	return string(k)
+}
+
 // Fingerprint hashes a canonical encoding of the given values into a Key.
 // Two calls with structurally equal values produce the same Key; values
 // differing in any (arbitrarily nested) field produce different Keys with
