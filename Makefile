@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke index-smoke ledger-smoke bench benchjson profile report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke index-smoke ledger-smoke sampling-accuracy bench benchjson profile report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
 ## cache and pipeline tests, the scheduler differential, the SoA/pooling
-## determinism smoke, and end-to-end observability, attribution,
-## metrics/tracing and run-ledger smoke tests. Documented in README.md;
-## run before every merge.
-ci: vet fmt build test race sched-smoke sched-soa obs-smoke critpath-smoke metrics-smoke index-smoke ledger-smoke
+## determinism smoke, the sampling accuracy gate, and end-to-end
+## observability, attribution, metrics/tracing and run-ledger smoke tests.
+## Documented in README.md; run before every merge.
+ci: vet fmt build test race sched-smoke sched-soa sampling-accuracy obs-smoke critpath-smoke metrics-smoke index-smoke ledger-smoke
 
 vet:
 	$(GO) vet ./...
@@ -116,6 +116,15 @@ ledger-smoke:
 		{ echo "ledger-smoke FAILED: self-compare did not gate clean"; exit 1; }; \
 	rm -rf $$dir && echo "ledger-smoke ok"
 
+# Sampling accuracy gate: the representative-interval estimator must
+# simulate >=5x fewer instructions in detail than the full run while landing
+# within 1% geomean IPC error on the pinned small-input workload set
+# (internal/pipeline/sampling_accuracy_test.go). This is ISSUE 9's
+# acceptance bar; loosening the thresholds needs a written justification.
+sampling-accuracy:
+	$(GO) test -run 'TestSamplingAccuracyGate' -count=1 ./internal/pipeline
+	@echo "sampling-accuracy ok"
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
@@ -130,12 +139,12 @@ bench:
 # deltas measure the hardware as much as the code); pass -strict-host to
 # make that a failure (see README "Performance").
 benchjson:
-	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze|BenchmarkIndex' -benchtime 5x -count 3 -benchmem \
+	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze|BenchmarkIndex|BenchmarkRunSampled' -benchtime 5x -count 3 -benchmem \
 		./internal/pipeline ./internal/critpath ./internal/obs | \
 	$(GO) run ./cmd/benchjson -rev "$$(git rev-parse --short HEAD)" \
 		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-		-baseline BENCH_PR6.json > BENCH_PR7.json
-	@echo "wrote BENCH_PR7.json"
+		-baseline BENCH_PR7.json > BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"
 
 # profile: CPU and allocation pprof profiles of the mini-graph simulator
 # benchmark, written to the (gitignored) profiles/ directory. Inspect with

@@ -83,7 +83,7 @@ func attrib(w io.Writer, workloadName, input, selName, cfgName, outBase string, 
 		if aerr := led.Append(ledger.Record{
 			Tool: "mgreport", Sweep: "attrib",
 			Workload: workloadName, Series: sel.Name() + " on " + cfg.Name, Input: input,
-			Key:    core.TaskKey(bench, sel, cfg, input, cfg).Short(),
+			Key:    core.TaskKey(bench, sel, cfg, input, cfg, nil).Short(),
 			Cache:  "traced",
 			WallMS: float64(time.Since(t0)) / float64(time.Millisecond),
 			Cycles: st.Cycles, Instrs: st.Instrs, Uops: st.Uops,

@@ -68,7 +68,17 @@ func main() {
 		ledgerDir  = flag.String("ledger", "", "append a run record per completed task to the persistent ledger in this directory")
 		ledgerRev  = flag.String("ledger-rev", "", "revision label for ledger records (default: MG_REV or the binary's vcs revision)")
 	)
+	resolveSample := core.SampleFlags()
 	flag.Parse()
+	sample, err := resolveSample()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgreport:", err)
+		os.Exit(2)
+	}
+	if sample != nil && *attribW != "" {
+		fmt.Fprintln(os.Stderr, "mgreport: -attrib needs the full-detail run (attribution walks the real pipetrace); drop the -sample-* flags")
+		os.Exit(2)
+	}
 	if *refsched {
 		pipeline.SetDefaultScheduler(pipeline.SchedScan)
 	}
@@ -91,7 +101,10 @@ func main() {
 	}
 
 	opts := core.Options{Input: *input, Workers: *workers, NoCache: *nocache,
-		Obs: obs.FlagOptions(*pipetrace, *ptraceBin, *intervals, *tracedir)}
+		Obs: obs.FlagOptions(*pipetrace, *ptraceBin, *intervals, *tracedir), Sample: sample}
+	if sample != nil {
+		fmt.Fprintf(os.Stderr, "sampled fidelity %s: series and relative-baseline stats are estimates; profiling and selection stay exact\n", sample.Summary())
+	}
 	if *workloads != "" {
 		opts.Workloads = splitNames(*workloads)
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -85,7 +86,21 @@ func main() {
 		ledgerDir = flag.String("ledger", "", "append a run record to the persistent ledger in this directory")
 		ledgerRev = flag.String("ledger-rev", "", "revision label for ledger records (default: MG_REV or the binary's vcs revision)")
 	)
+	resolveSample := core.SampleFlags()
 	flag.Parse()
+	sample, err := resolveSample()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgsim:", err)
+		os.Exit(2)
+	}
+	if sample != nil && (*pipetrace || *ptraceBin || *intervals > 0) {
+		fmt.Fprintln(os.Stderr, "mgsim: sampled fidelity and observability are mutually exclusive (pipetraces need the real full run)")
+		os.Exit(2)
+	}
+	if sample != nil {
+		// One workload, independent windows: let them fill the machine.
+		sample.Workers = runtime.GOMAXPROCS(0)
+	}
 	if *refsched {
 		pipeline.SetDefaultScheduler(pipeline.SchedScan)
 	}
@@ -162,11 +177,15 @@ func main() {
 	}
 
 	var st *pipeline.Stats
+	var srep pipeline.SampleReport
 	if sel == nil {
 		_, ssp := metrics.StartSpan(ctx, "simulate", metrics.L("config", cfg.Name))
-		if watch != nil {
+		switch {
+		case sample != nil:
+			st, srep, err = bench.RunSampledReport(cfg, nil, nil, *sample)
+		case watch != nil:
 			st, err = bench.RunSingletonObserved(cfg, watch)
-		} else {
+		default:
 			st, err = bench.RunSingleton(cfg)
 		}
 		ssp.End()
@@ -189,9 +208,14 @@ func main() {
 		}
 		_, ssp := metrics.StartSpan(ctx, "simulate",
 			metrics.L("config", cfg.Name), metrics.L("policy", sel.Name()))
-		if watch != nil {
+		switch {
+		case sample != nil:
+			// Profiling and selection above ran exactly; only the timing run
+			// is estimated.
+			st, srep, err = bench.RunSampledReport(cfg, sel, chosen, *sample)
+		case watch != nil:
 			st, err = bench.RunObserved(cfg, sel, chosen, watch)
-		} else {
+		default:
 			st, err = bench.Run(cfg, sel, chosen)
 		}
 		ssp.End()
@@ -219,14 +243,18 @@ func main() {
 		if watch != nil {
 			cache = "traced"
 		}
-		if aerr := led.Append(ledger.Record{
+		rec := ledger.Record{
 			Tool: "mgsim", Workload: *wName, Series: cfg.Name + "/" + *selName, Input: *input,
-			Key:    core.TaskKey(bench, sel, cfg, "", cfg).Short(),
+			Key:    core.TaskKey(bench, sel, cfg, "", cfg, sample).Short(),
 			Cache:  cache,
 			WallMS: float64(time.Since(t0)) / float64(time.Millisecond),
 			Cycles: st.Cycles, Instrs: st.Instrs, Uops: st.Uops,
 			IPC: st.IPC(), UPC: st.UPC(), Coverage: st.Coverage(),
-		}); aerr != nil {
+		}
+		if sample != nil {
+			rec.Estimate, rec.Sample = true, sample.Summary()
+		}
+		if aerr := led.Append(rec); aerr != nil {
 			fmt.Fprintln(os.Stderr, "mgsim: ledger:", aerr)
 		}
 	}
@@ -239,5 +267,8 @@ func main() {
 	}
 
 	fmt.Printf("workload=%s input=%s config=%s selector=%s\n", *wName, *input, cfg.Name, *selName)
+	if sample != nil {
+		fmt.Println(core.SampleBanner(*sample, srep))
+	}
 	fmt.Print(st)
 }

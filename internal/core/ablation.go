@@ -104,7 +104,7 @@ func evalAblation(w *workload.Workload, opts Options, variants []AblationVariant
 	if err != nil {
 		return nil, nil, err
 	}
-	baseStats, err := singletonStats(ctx, bench, pipeline.Baseline())
+	baseStats, err := singletonStats(ctx, bench, pipeline.Baseline(), nil)
 	if err != nil {
 		return nil, nil, err
 	}

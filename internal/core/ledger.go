@@ -36,7 +36,7 @@ func RunLedger() *ledger.Ledger { return runLedger.Load() }
 // no-op when no ledger is installed. Append failures are reported through
 // telemetry rather than failing the sweep: history is an observability
 // concern, never a correctness one.
-func appendTaskRecord(sweep, workload, series, input string, key simcache.Key, st *pipeline.Stats, outcome string, started time.Time, err error) {
+func appendTaskRecord(sweep, workload, series, input string, key simcache.Key, st *pipeline.Stats, outcome string, started time.Time, err error, sample *pipeline.SampleSpec) {
 	l := runLedger.Load()
 	if l == nil {
 		return
@@ -50,6 +50,10 @@ func appendTaskRecord(sweep, workload, series, input string, key simcache.Key, s
 		Key:      key.Short(),
 		Cache:    outcome,
 		WallMS:   float64(time.Since(started)) / float64(time.Millisecond),
+	}
+	if sample != nil {
+		r.Estimate = true
+		r.Sample = sample.Summary()
 	}
 	if st != nil {
 		r.Cycles, r.Instrs, r.Uops = st.Cycles, st.Instrs, st.Uops

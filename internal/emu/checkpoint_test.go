@@ -1,0 +1,179 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCheckpointRoundTrip: snapshot mid-run, resume, and require the final
+// Result and the trace suffix to be byte-identical to the uninterrupted run.
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, name := range []string{"comm.crc32", "media.dct8"} {
+		t.Run(name, func(t *testing.T) {
+			w := workload.Find(name)
+			p, _, _, err := w.Build("small")
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			full, err := Run(p, Options{CollectTrace: true})
+			if err != nil {
+				t.Fatalf("full run: %v", err)
+			}
+			mid := full.DynInstrs / 2
+
+			s := NewState(p, Options{})
+			if err := s.RunTo(mid); err != nil {
+				t.Fatalf("RunTo(%d): %v", mid, err)
+			}
+			if s.DynInstrs() != mid {
+				t.Fatalf("RunTo stopped at %d, want %d", s.DynInstrs(), mid)
+			}
+			ck := s.Checkpoint()
+			if ck.DynInstrs != mid {
+				t.Fatalf("checkpoint DynInstrs = %d, want %d", ck.DynInstrs, mid)
+			}
+
+			r := Resume(p, ck, Options{CollectTrace: true})
+			if err := r.RunToEnd(); err != nil {
+				t.Fatalf("resume run: %v", err)
+			}
+			res := r.Result()
+			if res.DynInstrs != full.DynInstrs {
+				t.Errorf("DynInstrs = %d, want %d", res.DynInstrs, full.DynInstrs)
+			}
+			if res.Regs != full.Regs {
+				t.Errorf("final registers differ after resume")
+			}
+			if res.Loads != full.Loads || res.Stores != full.Stores ||
+				res.Branches != full.Branches || res.Taken != full.Taken {
+				t.Errorf("counters differ: got %d/%d/%d/%d want %d/%d/%d/%d",
+					res.Loads, res.Stores, res.Branches, res.Taken,
+					full.Loads, full.Stores, full.Branches, full.Taken)
+			}
+			suffix := full.Trace[mid:]
+			if len(res.Trace) != len(suffix) {
+				t.Fatalf("trace suffix length = %d, want %d", len(res.Trace), len(suffix))
+			}
+			for i := range suffix {
+				if res.Trace[i] != suffix[i] {
+					t.Fatalf("trace suffix diverges at %d: got %+v want %+v", i, res.Trace[i], suffix[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointImmutable: resuming twice from one checkpoint must give
+// identical executions, and running the original State on after snapshotting
+// must not disturb the checkpoint.
+func TestCheckpointImmutable(t *testing.T) {
+	w := workload.Find("comm.crc32")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	s := NewState(p, Options{})
+	if err := s.RunTo(1000); err != nil {
+		t.Fatalf("RunTo: %v", err)
+	}
+	ck := s.Checkpoint()
+
+	// Mutate the original state past the snapshot.
+	if err := s.RunToEnd(); err != nil {
+		t.Fatalf("RunToEnd: %v", err)
+	}
+
+	finish := func() *Result {
+		r := Resume(p, ck, Options{})
+		if err := r.RunToEnd(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		return r.Result()
+	}
+	a, b := finish(), finish()
+	if a.Regs != b.Regs || a.DynInstrs != b.DynInstrs {
+		t.Fatalf("two resumes from one checkpoint diverged")
+	}
+	if a.Regs != s.Result().Regs {
+		t.Fatalf("resumed final registers differ from uninterrupted run")
+	}
+}
+
+// TestStateStreamedTraceMatchesFull: collecting the trace in windows via
+// SetCollect/TakeTrace must reproduce the full trace exactly.
+func TestStateStreamedTraceMatchesFull(t *testing.T) {
+	w := workload.Find("comm.crc32")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	full, err := Run(p, Options{CollectTrace: true})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+
+	s := NewState(p, Options{CollectTrace: true})
+	const chunk = 1777 // deliberately unaligned window size
+	var streamed []Rec
+	for !s.Halted() {
+		if err := s.RunTo(s.DynInstrs() + chunk); err != nil {
+			t.Fatalf("RunTo: %v", err)
+		}
+		streamed = append(streamed, s.TakeTrace()...)
+	}
+	if len(streamed) != len(full.Trace) {
+		t.Fatalf("streamed %d records, want %d", len(streamed), len(full.Trace))
+	}
+	for i := range streamed {
+		if streamed[i] != full.Trace[i] {
+			t.Fatalf("streamed trace diverges at %d", i)
+		}
+	}
+	if s.Result().Regs != full.Regs {
+		t.Fatalf("streamed final registers differ")
+	}
+}
+
+// TestSetCollectTogglesMidRun: records are only captured while collection is
+// on, and counters are unaffected by toggling.
+func TestSetCollectTogglesMidRun(t *testing.T) {
+	w := workload.Find("comm.crc32")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	full, err := Run(p, Options{CollectTrace: true})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+
+	s := NewState(p, Options{}) // collection off
+	if err := s.RunTo(500); err != nil {
+		t.Fatalf("RunTo: %v", err)
+	}
+	s.SetCollect(true)
+	if err := s.RunTo(900); err != nil {
+		t.Fatalf("RunTo: %v", err)
+	}
+	s.SetCollect(false)
+	got := s.TakeTrace()
+	want := full.Trace[500:900]
+	if len(got) != len(want) {
+		t.Fatalf("collected %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window record %d differs", i)
+		}
+	}
+	if err := s.RunToEnd(); err != nil {
+		t.Fatalf("RunToEnd: %v", err)
+	}
+	if tr := s.TakeTrace(); len(tr) != 0 {
+		t.Fatalf("collected %d records with collection off", len(tr))
+	}
+	if s.DynInstrs() != full.DynInstrs {
+		t.Fatalf("DynInstrs = %d, want %d", s.DynInstrs(), full.DynInstrs)
+	}
+}

@@ -10,8 +10,6 @@
 package emu
 
 import (
-	"fmt"
-
 	"repro/internal/isa"
 	"repro/internal/prog"
 )
@@ -131,189 +129,34 @@ func (m *Memory) LoadImage(base uint32, data []byte) {
 	}
 }
 
+// Clone deep-copies the sparse page set. The clone and the original are
+// fully independent.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{}
+	if m.pages != nil {
+		c.pages = make(map[uint32]*[pageSize]byte, len(m.pages))
+		for k, p := range m.pages {
+			cp := new([pageSize]byte)
+			*cp = *p
+			c.pages[k] = cp
+		}
+	}
+	return c
+}
+
+// Pages returns the number of touched memory pages (checkpoint footprint).
+func (m *Memory) Pages() int { return len(m.pages) }
+
 // Run executes p to the halt instruction and returns the trace and final
 // state. It returns an error for runaway executions, out-of-range control
-// transfers, or falling off the end of the code.
+// transfers, or falling off the end of the code. It is the one-shot form of
+// the resumable State (see state.go).
 func Run(p *prog.Program, opts Options) (*Result, error) {
-	maxInstrs := opts.MaxInstrs
-	if maxInstrs == 0 {
-		maxInstrs = DefaultMaxInstrs
+	s := NewState(p, opts)
+	if err := s.RunToEnd(); err != nil {
+		return nil, err
 	}
-	var mem Memory
-	mem.LoadImage(prog.DataBase, p.Data)
-
-	res := &Result{}
-	var regs [isa.NumRegs]uint32
-	regs[isa.SP] = prog.StackTop
-
-	read := func(r isa.Reg) uint32 {
-		if r == isa.ZeroReg || r == isa.NoReg {
-			return 0
-		}
-		return regs[r]
-	}
-	write := func(r isa.Reg, v uint32) {
-		if r != isa.ZeroReg && r != isa.NoReg && r.Valid() {
-			regs[r] = v
-		}
-	}
-
-	if opts.CollectTrace {
-		res.Trace = make([]Rec, 0, 1<<16)
-	}
-
-	pc := p.Entry
-	n := len(p.Code)
-	for {
-		if res.DynInstrs >= maxInstrs {
-			return nil, fmt.Errorf("emu: %s exceeded %d dynamic instructions", p.Name, maxInstrs)
-		}
-		if pc < 0 || pc >= n {
-			return nil, fmt.Errorf("emu: %s: pc %d out of range", p.Name, pc)
-		}
-		in := p.Code[pc]
-		next := pc + 1
-		var addr uint32
-		taken := false
-
-		switch in.Op {
-		case isa.OpNop:
-		case isa.OpHalt:
-			// Committed below, then the run ends.
-		case isa.OpAdd:
-			write(in.Rd, read(in.Rs1)+read(in.Rs2))
-		case isa.OpSub:
-			write(in.Rd, read(in.Rs1)-read(in.Rs2))
-		case isa.OpAnd:
-			write(in.Rd, read(in.Rs1)&read(in.Rs2))
-		case isa.OpOr:
-			write(in.Rd, read(in.Rs1)|read(in.Rs2))
-		case isa.OpXor:
-			write(in.Rd, read(in.Rs1)^read(in.Rs2))
-		case isa.OpSll:
-			write(in.Rd, read(in.Rs1)<<(read(in.Rs2)&31))
-		case isa.OpSrl:
-			write(in.Rd, read(in.Rs1)>>(read(in.Rs2)&31))
-		case isa.OpSra:
-			write(in.Rd, uint32(int32(read(in.Rs1))>>(read(in.Rs2)&31)))
-		case isa.OpCmpEq:
-			write(in.Rd, b2u(read(in.Rs1) == read(in.Rs2)))
-		case isa.OpCmpLt:
-			write(in.Rd, b2u(int32(read(in.Rs1)) < int32(read(in.Rs2))))
-		case isa.OpCmpLe:
-			write(in.Rd, b2u(int32(read(in.Rs1)) <= int32(read(in.Rs2))))
-		case isa.OpCmpUlt:
-			write(in.Rd, b2u(read(in.Rs1) < read(in.Rs2)))
-		case isa.OpAddi:
-			write(in.Rd, read(in.Rs1)+uint32(in.Imm))
-		case isa.OpSubi:
-			write(in.Rd, read(in.Rs1)-uint32(in.Imm))
-		case isa.OpAndi:
-			write(in.Rd, read(in.Rs1)&uint32(in.Imm))
-		case isa.OpOri:
-			write(in.Rd, read(in.Rs1)|uint32(in.Imm))
-		case isa.OpXori:
-			write(in.Rd, read(in.Rs1)^uint32(in.Imm))
-		case isa.OpSlli:
-			write(in.Rd, read(in.Rs1)<<(uint32(in.Imm)&31))
-		case isa.OpSrli:
-			write(in.Rd, read(in.Rs1)>>(uint32(in.Imm)&31))
-		case isa.OpSrai:
-			write(in.Rd, uint32(int32(read(in.Rs1))>>(uint32(in.Imm)&31)))
-		case isa.OpCmpEqi:
-			write(in.Rd, b2u(read(in.Rs1) == uint32(in.Imm)))
-		case isa.OpCmpLti:
-			write(in.Rd, b2u(int32(read(in.Rs1)) < int32(in.Imm)))
-		case isa.OpCmpLei:
-			write(in.Rd, b2u(int32(read(in.Rs1)) <= int32(in.Imm)))
-		case isa.OpLda:
-			write(in.Rd, uint32(in.Imm))
-		case isa.OpMul:
-			write(in.Rd, read(in.Rs1)*read(in.Rs2))
-		case isa.OpDiv:
-			d := int32(read(in.Rs2))
-			if d == 0 {
-				write(in.Rd, 0) // division by zero is defined as 0
-			} else {
-				write(in.Rd, uint32(int32(read(in.Rs1))/d))
-			}
-		case isa.OpRem:
-			d := int32(read(in.Rs2))
-			if d == 0 {
-				write(in.Rd, 0)
-			} else {
-				write(in.Rd, uint32(int32(read(in.Rs1))%d))
-			}
-		case isa.OpLdw:
-			addr = read(in.Rs1) + uint32(in.Imm)
-			write(in.Rd, mem.LoadWord(addr))
-			res.Loads++
-		case isa.OpLdb:
-			addr = read(in.Rs1) + uint32(in.Imm)
-			write(in.Rd, uint32(mem.LoadByte(addr)))
-			res.Loads++
-		case isa.OpStw:
-			addr = read(in.Rs1) + uint32(in.Imm)
-			mem.StoreWord(addr, read(in.Rs2))
-			res.Stores++
-		case isa.OpStb:
-			addr = read(in.Rs1) + uint32(in.Imm)
-			mem.StoreByte(addr, byte(read(in.Rs2)))
-			res.Stores++
-		case isa.OpBr:
-			next, taken = in.Targ, true
-			res.Branches++
-			res.Taken++
-		case isa.OpBeqz, isa.OpBnez, isa.OpBltz, isa.OpBgez:
-			v := int32(read(in.Rs1))
-			switch in.Op {
-			case isa.OpBeqz:
-				taken = v == 0
-			case isa.OpBnez:
-				taken = v != 0
-			case isa.OpBltz:
-				taken = v < 0
-			case isa.OpBgez:
-				taken = v >= 0
-			}
-			if taken {
-				next = in.Targ
-				res.Taken++
-			}
-			res.Branches++
-		case isa.OpJsr:
-			write(in.Rd, prog.PCOf(pc+1))
-			next, taken = in.Targ, true
-			res.Branches++
-			res.Taken++
-		case isa.OpJsrI:
-			t := read(in.Rs1)
-			write(in.Rd, prog.PCOf(pc+1))
-			next, taken = prog.IndexOf(t), true
-			res.Branches++
-			res.Taken++
-		case isa.OpJmp, isa.OpRet:
-			next, taken = prog.IndexOf(read(in.Rs1)), true
-			res.Branches++
-			res.Taken++
-		default:
-			return nil, fmt.Errorf("emu: %s: pc %d: unimplemented op %s", p.Name, pc, in.Op)
-		}
-
-		res.DynInstrs++
-		if in.Op == isa.OpHalt {
-			if opts.CollectTrace {
-				res.Trace = append(res.Trace, Rec{Index: int32(pc), Next: -1})
-			}
-			break
-		}
-		if opts.CollectTrace {
-			res.Trace = append(res.Trace, Rec{Index: int32(pc), Next: int32(next), Addr: addr, Taken: taken})
-		}
-		pc = next
-	}
-	res.Regs = regs
-	return res, nil
+	return s.Result(), nil
 }
 
 func b2u(b bool) uint32 {

@@ -27,6 +27,12 @@ type Delta struct {
 	// CrossHost flags records from different machines: IPC is still
 	// comparable (simulated cycles are deterministic), wall time is not.
 	CrossHost bool
+
+	// Mixed flags a fidelity mismatch: one side is a sampled estimate and
+	// the other an exact run (or both are estimates under different
+	// sampling specs). Such deltas measure the estimator, not the code —
+	// the gate skips them and the table calls them out.
+	Mixed bool
 }
 
 // Compare pairs the latest timing record of every series point at revA
@@ -57,6 +63,7 @@ func Compare(recs []Record, revA, revB string) []Delta {
 			A:         a,
 			B:         b,
 			CrossHost: !a.Host.SameMachine(b.Host),
+			Mixed:     a.Estimate != b.Estimate || a.Sample != b.Sample,
 		}
 		if a.IPC > 0 {
 			d.IPCPct = (b.IPC - a.IPC) / a.IPC
@@ -91,11 +98,16 @@ func realWall(r Record) bool {
 // Gate returns the points that regressed beyond tolerance: an IPC drop
 // worse than -ipcTol, or a wall-time growth beyond wallTol when both
 // records are uncached simulations on the same machine (cache hits and
-// cross-host pairs carry no wall-time signal). Tolerances are fractions
-// (0.05 = 5%).
+// cross-host pairs carry no wall-time signal). Mixed-fidelity pairs (a
+// sampled estimate against an exact run) are skipped entirely — their
+// delta measures the estimator's error, not a code change. Tolerances are
+// fractions (0.05 = 5%).
 func Gate(deltas []Delta, ipcTol, wallTol float64) []string {
 	var fails []string
 	for _, d := range deltas {
+		if d.Mixed {
+			continue
+		}
 		point := fmt.Sprintf("%s/%s [%s]", d.Workload, d.Series, d.Input)
 		if d.IPCPct < -ipcTol {
 			fails = append(fails, fmt.Sprintf("%s: IPC %.4f -> %.4f (%+.1f%%)",
@@ -120,11 +132,14 @@ func WriteCompareText(w io.Writer, revA, revB string, deltas []Delta) error {
 		"Δipc%", "wall@A ms", "wall@B ms", "Δwall%"); err != nil {
 		return err
 	}
-	cross := false
+	cross, mixed := false, false
 	for _, d := range deltas {
 		note := ""
 		if d.CrossHost {
-			note, cross = "  [cross-host]", true
+			note, cross = note+"  [cross-host]", true
+		}
+		if d.Mixed {
+			note, mixed = note+"  [mixed-fidelity]", true
 		}
 		if _, err := fmt.Fprintf(w, "%-18s %-26s %-6s %8.4f %8.4f %+6.1f%% %9.1f %9.1f %+7.1f%%%s\n",
 			d.Workload, d.Series, d.Input, d.A.IPC, d.B.IPC, 100*d.IPCPct,
@@ -134,6 +149,11 @@ func WriteCompareText(w io.Writer, revA, revB string, deltas []Delta) error {
 	}
 	if cross {
 		if _, err := fmt.Fprintln(w, "note: [cross-host] points were recorded on different machines — wall-time deltas measure the hardware, IPC deltas remain valid"); err != nil {
+			return err
+		}
+	}
+	if mixed {
+		if _, err := fmt.Fprintln(w, "warning: [mixed-fidelity] points pair a sampled estimate with an exact run (or two different sampling specs) — their deltas measure the estimator, not the code, and the regression gate skips them"); err != nil {
 			return err
 		}
 	}

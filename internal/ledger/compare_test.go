@@ -146,6 +146,56 @@ func TestCompareSkipsNonTiming(t *testing.T) {
 	}
 }
 
+// TestGateSkipsMixedFidelity pairs a sampled estimate against an exact run
+// (and two estimates under different sampling specs): the deltas must be
+// flagged Mixed, skipped by the gate even when the IPC drop is huge, and
+// called out in the rendered table. Two estimates under the *same* spec
+// remain comparable.
+func TestGateSkipsMixedFidelity(t *testing.T) {
+	recs := history(map[string]float64{"w1": 0.5, "w2": 0.5, "w3": 0.5}) // -50% everywhere
+	for i := range recs {
+		switch {
+		case recs[i].Rev == "B" && recs[i].Workload == "w1":
+			// Estimate vs exact.
+			recs[i].Estimate, recs[i].Sample = true, "rep/i1000/w1000/k8"
+		case recs[i].Workload == "w2":
+			// Estimate vs estimate, different specs.
+			recs[i].Estimate = true
+			recs[i].Sample = "rep/i1000/w1000/k8"
+			if recs[i].Rev == "B" {
+				recs[i].Sample = "uniform/i50000/w1000/u2000"
+			}
+		case recs[i].Workload == "w3":
+			// Estimate vs estimate, same spec: still comparable.
+			recs[i].Estimate, recs[i].Sample = true, "rep/i1000/w1000/k8"
+		}
+	}
+	deltas := Compare(recs, "A", "B")
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	for _, d := range deltas {
+		if want := d.Workload != "w3"; d.Mixed != want {
+			t.Fatalf("%s: Mixed=%v, want %v", d.Workload, d.Mixed, want)
+		}
+	}
+	fails := Gate(deltas, 0.05, 0)
+	if len(fails) != 1 || !strings.Contains(fails[0], "w3") {
+		t.Fatalf("gate: %v, want only the same-spec w3 regression", fails)
+	}
+	var sb strings.Builder
+	if err := WriteCompareText(&sb, "A", "B", deltas); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "  [mixed-fidelity]") != 2 {
+		t.Errorf("want 2 [mixed-fidelity] notes:\n%s", out)
+	}
+	if !strings.Contains(out, "warning: [mixed-fidelity]") {
+		t.Errorf("missing mixed-fidelity warning footer:\n%s", out)
+	}
+}
+
 func TestWriteCompareText(t *testing.T) {
 	recs := history(map[string]float64{"w2": 0.8})
 	var sb strings.Builder

@@ -134,6 +134,13 @@ type Record struct {
 	Key   string `json:"key,omitempty"`
 	Cache string `json:"cache,omitempty"` // hit/miss/shared/traced/nocache
 
+	// Estimate marks a sampled (low-fidelity) run: the metrics below are
+	// statistical estimates, not exact simulation, and must never be
+	// compared against exact records (the compare gate skips mixed pairs).
+	// Sample carries the sampling-spec tag, e.g. "rep/i1000/w1000/k8".
+	Estimate bool   `json:"estimate,omitempty"`
+	Sample   string `json:"sample,omitempty"`
+
 	WallMS float64 `json:"wall_ms"`
 
 	Cycles   int64   `json:"cycles,omitempty"`

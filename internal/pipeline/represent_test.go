@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+func TestRepresentativeWorkersDeterministic(t *testing.T) {
+	// Clustering, window selection, and the mass-weighted combination must be
+	// identical whatever the worker count: the parallel pool only changes who
+	// simulates a window, never which windows are simulated or how their
+	// results compose.
+	w := workload.Find("media.gen02")
+	p, _, _, err := w.Build("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SampleSpec{Interval: 1000, Window: 1000, Mode: SampleRepresentative}
+	serial, serialReport, err := RunSampledReport(p, res.Trace, Baseline(), MGConfig{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		spec := base
+		spec.Workers = workers
+		par, parReport, err := RunSampledReport(p, res.Trace, Baseline(), MGConfig{}, spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *par != *serial {
+			t.Errorf("workers=%d: stats diverge from serial:\nserial %+v\npar    %+v",
+				workers, serial, par)
+		}
+		parReport.Mode = serialReport.Mode // Mode is spec-copied; compare the rest
+		if parReport != serialReport {
+			t.Errorf("workers=%d: report diverges:\nserial %+v\npar    %+v",
+				workers, serialReport, parReport)
+		}
+	}
+}
+
+func TestRepresentativeVsUniformVsFull(t *testing.T) {
+	// Representative mode must estimate the full run about as well as uniform
+	// periodic sampling while simulating fewer instructions in detail. The
+	// tight accuracy bound lives in TestSamplingAccuracyGate; this checks the
+	// three-way relationship on a single workload.
+	p, _, _, err := workload.Find("embed.bitcount").Build("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	cfg := Baseline()
+	full, err := Run(p, tr, cfg, MGConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, repReport, err := RunSampledReport(p, tr, cfg, MGConfig{},
+		SampleSpec{Interval: 1000, Window: 1000, Mode: SampleRepresentative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, uniReport, err := RunSampledReport(p, tr, cfg, MGConfig{},
+		SampleSpec{Interval: 5000, Window: 1000, Warmup: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repErr := math.Abs(rep.IPC()/full.IPC() - 1)
+	uniErr := math.Abs(uni.IPC()/full.IPC() - 1)
+	t.Logf("full IPC %.4f  rep %.4f (err %.2f%%, detail %d)  uniform %.4f (err %.2f%%, detail %d)",
+		full.IPC(), rep.IPC(), 100*repErr, repReport.DetailInstrs,
+		uni.IPC(), 100*uniErr, uniReport.DetailInstrs)
+	if repErr > 0.03 {
+		t.Errorf("representative IPC error %.2f%% (want <= 3%%)", 100*repErr)
+	}
+	if uniErr > 0.10 {
+		t.Errorf("uniform IPC error %.2f%% (want <= 10%%)", 100*uniErr)
+	}
+	if repReport.DetailInstrs >= uniReport.DetailInstrs {
+		t.Errorf("representative mode simulated %d detailed instrs, uniform %d: no budget win",
+			repReport.DetailInstrs, uniReport.DetailInstrs)
+	}
+	if rep.Instrs != full.Instrs || uni.Instrs != full.Instrs {
+		t.Errorf("instruction accounting: full %d rep %d uniform %d",
+			full.Instrs, rep.Instrs, uni.Instrs)
+	}
+}
+
+func TestRepresentativeShortTraceFallsBack(t *testing.T) {
+	// A trace shorter than one interval runs fully in detail, exactly like
+	// uniform mode's fallback, and says so in the report.
+	p, _, _, err := workload.Find("comm.ipchk").Build("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SampleSpec{Interval: 1 << 20, Window: 1000, Mode: SampleRepresentative}
+	est, report, err := RunSampledReport(p, res.Trace, Baseline(), MGConfig{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Full {
+		t.Error("short trace should report Full")
+	}
+	if est.Instrs != int64(len(res.Trace)) {
+		t.Error("fallback lost instructions")
+	}
+}

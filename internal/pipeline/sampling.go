@@ -27,6 +27,22 @@ type SampleSpec struct {
 	// machine) and results are aggregated in window order, so the estimate
 	// is identical for any worker count.
 	Workers int
+	// Mode selects uniform periodic windows (the zero value — the original
+	// methodology) or representative-interval selection (see represent.go).
+	Mode SampleMode
+	// Clusters is the number of k-means clusters — and detailed windows —
+	// in representative mode; 0 means DefaultSampleClusters.
+	Clusters int
+}
+
+// Summary renders the spec as a compact tag for ledger records and report
+// banners, e.g. "rep/i1000/w1000/k8" or "uniform/i50000/w1000/u250". Worker
+// count is omitted: it never changes the estimate.
+func (s SampleSpec) Summary() string {
+	if s.Mode == SampleRepresentative {
+		return fmt.Sprintf("rep/i%d/w%d/k%d", s.Interval, s.Window, s.Clusters)
+	}
+	return fmt.Sprintf("uniform/i%d/w%d/u%d", s.Interval, s.Window, s.Warmup)
 }
 
 // Rate returns the fraction of the program actually measured.
@@ -40,6 +56,12 @@ func (s SampleSpec) Rate() float64 {
 func (s SampleSpec) validate() error {
 	if s.Interval <= 0 || s.Window <= 0 || s.Window > s.Interval || s.Warmup < 0 {
 		return fmt.Errorf("pipeline: bad sample spec %+v", s)
+	}
+	if s.Mode != SampleUniform && s.Mode != SampleRepresentative {
+		return fmt.Errorf("pipeline: bad sample mode in spec %+v", s)
+	}
+	if s.Clusters < 0 {
+		return fmt.Errorf("pipeline: negative cluster count in spec %+v", s)
 	}
 	return nil
 }
@@ -64,9 +86,13 @@ func runWindow(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec Samp
 	// fetched instruction starts a fetch group cleanly; any boundary
 	// works since the machine is fresh. Simulate [warmStart, end).
 	end := start + spec.Window
-	sub := tr[warmStart:end]
-	warmLen := int64(start - warmStart)
+	return measureWindow(p, tr[warmStart:end], cfg, mg, int64(start-warmStart))
+}
 
+// measureWindow is the uniform-mode measurement core: simulate the warm-up
+// prefix alone, then the whole subtrace, and report the difference. The
+// streaming path calls it on a subtrace re-materialized from a checkpoint.
+func measureWindow(p *prog.Program, sub []emu.Rec, cfg Config, mg MGConfig, warmLen int64) windowResult {
 	warmStats := &Stats{}
 	if warmLen > 0 {
 		var err error
@@ -116,13 +142,33 @@ func runTracedWindow(ctx context.Context, p *prog.Program, tr []emu.Rec, cfg Con
 // deterministic. Returns estimated statistics plus the fraction of
 // instructions actually simulated.
 func RunSampled(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec SampleSpec) (*Stats, float64, error) {
-	if err := spec.validate(); err != nil {
+	st, report, err := RunSampledReport(p, tr, cfg, mg, spec)
+	if err != nil {
 		return nil, 0, err
+	}
+	return st, report.SimulatedFrac, nil
+}
+
+// RunSampledReport is RunSampled returning the full SampleReport: which mode
+// ran, how many windows, how much was simulated in detail, and (in
+// representative mode) the heuristic error bound.
+func RunSampledReport(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec SampleSpec) (*Stats, SampleReport, error) {
+	if err := spec.validate(); err != nil {
+		return nil, SampleReport{}, err
 	}
 	if len(tr) <= spec.Interval+spec.Warmup {
 		// Short program: just run it all.
 		st, err := Run(p, tr, cfg, mg, nil)
-		return st, 1, err
+		return st, SampleReport{
+			Mode:          spec.Mode,
+			Full:          true,
+			Windows:       1,
+			DetailInstrs:  int64(len(tr)),
+			SimulatedFrac: 1,
+		}, err
+	}
+	if spec.Mode == SampleRepresentative {
+		return runSampledRep(p, tr, cfg, mg, spec)
 	}
 
 	var starts []int
@@ -159,11 +205,19 @@ func RunSampled(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec Sam
 	}
 	runSpan.End()
 
+	return aggregateUniform(results, len(tr), spec)
+}
+
+// aggregateUniform combines uniform-mode window results into whole-run
+// estimates by extrapolating from the measured instruction share. Shared by
+// the in-memory (RunSampledReport) and streaming (RunSampledProg) paths so
+// their estimates are identical by construction.
+func aggregateUniform(results []windowResult, traceLen int, spec SampleSpec) (*Stats, SampleReport, error) {
 	est := &Stats{}
 	var measuredInstrs, measuredCycles, measuredUops, simulated int64
 	for _, r := range results {
 		if r.err != nil {
-			return nil, 0, r.err
+			return nil, SampleReport{}, r.err
 		}
 		measuredCycles += r.cycles
 		measuredInstrs += r.instrs
@@ -175,11 +229,16 @@ func RunSampled(p *prog.Program, tr []emu.Rec, cfg Config, mg MGConfig, spec Sam
 		est.Replays += r.replay
 	}
 	if measuredInstrs <= 0 {
-		return nil, 0, fmt.Errorf("pipeline: sampling measured nothing (trace %d, spec %+v)", len(tr), spec)
+		return nil, SampleReport{}, fmt.Errorf("pipeline: sampling measured nothing (trace %d, spec %+v)", traceLen, spec)
 	}
-	scale := float64(len(tr)) / float64(measuredInstrs)
-	est.Instrs = int64(len(tr))
+	scale := float64(traceLen) / float64(measuredInstrs)
+	est.Instrs = int64(traceLen)
 	est.Cycles = int64(float64(measuredCycles) * scale)
 	est.Uops = int64(float64(measuredUops) * scale)
-	return est, float64(simulated) / float64(len(tr)), nil
+	return est, SampleReport{
+		Mode:          SampleUniform,
+		Windows:       len(results),
+		DetailInstrs:  simulated,
+		SimulatedFrac: float64(simulated) / float64(traceLen),
+	}, nil
 }

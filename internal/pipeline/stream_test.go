@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// The streaming path must be a pure re-plumbing: RunSampledProg and
+// collect-the-trace-then-RunSampledReport are the same computation fed the
+// same records, so their estimates and reports must match bit for bit.
+
+func streamTrace(t *testing.T, name string) (*prog.Program, []emu.Rec) {
+	t.Helper()
+	w := workload.Find(name)
+	prg, _, _, err := w.Build("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(prg, emu.Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prg, res.Trace
+}
+
+func TestStreamUniformMatchesSliced(t *testing.T) {
+	p, tr := streamTrace(t, "intx.bsearch")
+	cfg := Baseline()
+	spec := SampleSpec{Interval: 5000, Window: 1000, Warmup: 250}
+
+	want, wantReport, err := RunSampledReport(p, tr, cfg, MGConfig{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotReport, err := RunSampledProg(p, cfg, MGConfig{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("stats diverge:\nsliced    %+v\nstreaming %+v", want, got)
+	}
+	if gotReport != wantReport {
+		t.Errorf("report diverges:\nsliced    %+v\nstreaming %+v", wantReport, gotReport)
+	}
+}
+
+func TestStreamRepMatchesSliced(t *testing.T) {
+	p, tr := streamTrace(t, "media.gen02")
+	cfg := Baseline()
+	for _, workers := range []int{0, 4} {
+		spec := SampleSpec{Interval: 1000, Window: 1000, Mode: SampleRepresentative, Workers: workers}
+
+		want, wantReport, err := RunSampledReport(p, tr, cfg, MGConfig{}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotReport, err := RunSampledProg(p, cfg, MGConfig{}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Errorf("workers=%d: stats diverge:\nsliced    %+v\nstreaming %+v", workers, want, got)
+		}
+		if gotReport != wantReport {
+			t.Errorf("workers=%d: report diverges:\nsliced    %+v\nstreaming %+v", workers, wantReport, gotReport)
+		}
+	}
+}
+
+func TestStreamShortTraceFallsBack(t *testing.T) {
+	p, tr := streamTrace(t, "comm.ipchk")
+	cfg := Baseline()
+	for _, mode := range []SampleMode{SampleUniform, SampleRepresentative} {
+		spec := SampleSpec{Interval: 1 << 20, Window: 1000, Mode: mode}
+		want, wantReport, err := RunSampledReport(p, tr, cfg, MGConfig{}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotReport, err := RunSampledProg(p, cfg, MGConfig{}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotReport.Full {
+			t.Errorf("mode=%v: short trace should report Full", mode)
+		}
+		if *got != *want || gotReport != wantReport {
+			t.Errorf("mode=%v: fallback diverges:\nsliced    %+v %+v\nstreaming %+v %+v",
+				mode, want, wantReport, got, gotReport)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"math"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Functional warm-up for sampled windows (the gem5 cache-warmup idea): before
+// a detailed window is measured, the preceding trace segment is replayed into
+// the machine's long-lived predictive structures — caches, TLBs, direction
+// predictor, BTB, RAS, and store sets — without advancing any timing state.
+// The replay mirrors the access stream the detailed model would have
+// generated (fetch one I-cache access per line transition, loads at their
+// effective address, stores as write-allocating accesses, the exact
+// predictor-update sequence of predictBranch), then clears every stat
+// counter so the measured window starts with a hot machine and clean stats.
+
+// warmStoreSetHorizon is the dynamic-instruction distance within which a
+// load reading a just-stored word can plausibly have been in flight with the
+// store (roughly the reorder-window reach).
+const warmStoreSetHorizon = 64
+
+// A same-word store→load pair inside the horizon pre-trains the store-sets
+// predictor only once it has recurred at the SAME dynamic distance: a
+// loop-carried memory dependence marches through the trace at a fixed offset
+// and is exactly the systematic overlap that fires a real violation once and
+// stays trained, while incidental collisions (one-off address reuse, varying
+// offsets) never line up in time — training them would serialize loads the
+// real machine happily speculates past.
+type warmRecentStore struct {
+	pos int // dynamic position of the store in the warm segment
+	pc  uint32
+}
+
+// warmPairKey identifies a static store→load pair.
+type warmPairKey struct{ loadPC, storePC uint32 }
+
+// warmReplay carries the incremental state of one functional warm-up: the
+// current I-cache line, the most recent store per word, and the per-pair
+// distance history the store-set rule needs. Records arrive one at a time
+// through warmRec, so the warm segment never has to exist as a slice — the
+// streaming path feeds it straight off the emulator.
+type warmReplay struct {
+	curLine  uint32
+	pos      int
+	stores   map[uint32]warmRecentStore
+	pairDist map[warmPairKey]int
+}
+
+func newWarmReplay() warmReplay {
+	return warmReplay{curLine: math.MaxUint32}
+}
+
+// warmRec replays one record into m's predictive structures.
+func (m *machine) warmRec(ws *warmReplay, rec emu.Rec) {
+	i := ws.pos
+	ws.pos++
+	static := int(rec.Index)
+	addr := m.layout.InlineAddr(static)
+	if line := addr >> 5; line != ws.curLine {
+		m.hier.WarmI(addr)
+		ws.curLine = line
+	}
+	in := m.p.Code[static]
+	switch {
+	case in.IsLoad():
+		m.hier.WarmD(rec.Addr, false)
+		if st, ok := ws.stores[rec.Addr>>2]; ok && i-st.pos <= warmStoreSetHorizon {
+			k := warmPairKey{loadPC: prog.PCOf(static), storePC: st.pc}
+			d := i - st.pos
+			if ws.pairDist == nil {
+				ws.pairDist = make(map[warmPairKey]int)
+			}
+			switch prev, seen := ws.pairDist[k]; {
+			case !seen:
+				ws.pairDist[k] = d
+			case prev == d:
+				m.ss.Violation(k.loadPC, k.storePC)
+			default:
+				ws.pairDist[k] = -1 // irregular spacing: never train this pair
+			}
+		}
+	case in.IsStore():
+		m.hier.WarmD(rec.Addr, true)
+		if ws.stores == nil {
+			ws.stores = make(map[uint32]warmRecentStore)
+		}
+		ws.stores[rec.Addr>>2] = warmRecentStore{pos: i, pc: prog.PCOf(static)}
+	case in.IsBranch():
+		m.warmBranch(static, rec)
+	}
+}
+
+// warmFinish clears the stat counters the replay dirtied, so the measured
+// window starts hot but clean. Call once after the last warmRec.
+func (m *machine) warmFinish() {
+	m.hier.ClearStats()
+	m.bp.ClearStats()
+	m.ss.ClearStats()
+}
+
+// warmMachine replays warm into m's predictive structures and clears the
+// stat counters. Must run after machine setup (the layout is consulted for
+// instruction addresses) and before the first simulated cycle.
+func (m *machine) warmMachine(warm []emu.Rec) {
+	if len(warm) == 0 {
+		return
+	}
+	ws := newWarmReplay()
+	for _, rec := range warm {
+		m.warmRec(&ws, rec)
+	}
+	m.warmFinish()
+}
+
+// warmBranch trains the front-end predictors for one control transfer,
+// following predictBranch's update sequence exactly (prediction before
+// update, BTB touched only on the paths the detailed model touches it).
+func (m *machine) warmBranch(static int, rec emu.Rec) {
+	in := m.p.Code[static]
+	pc := prog.PCOf(static)
+	taken := rec.Taken
+	next := int(rec.Next)
+
+	switch {
+	case in.IsCondBranch():
+		pred := m.bp.PredictDirection(pc)
+		m.bp.UpdateDirection(pc, taken)
+		if pred == taken && taken {
+			m.warmTarget(pc, next)
+		}
+	case in.Op == isa.OpBr:
+		m.warmTarget(pc, next)
+	case in.Op == isa.OpJsr, in.Op == isa.OpJsrI:
+		m.bp.PushRAS(prog.PCOf(static + 1))
+		m.warmTarget(pc, next)
+	case in.IsReturn():
+		m.bp.PopRAS()
+	default: // indirect jmp
+		m.warmTarget(pc, next)
+	}
+}
+
+// warmTarget performs the BTB lookup+update pair of predictTakenTarget.
+func (m *machine) warmTarget(pc uint32, next int) {
+	if next < 0 {
+		return
+	}
+	m.bp.PredictTarget(pc)
+	m.bp.UpdateTarget(pc, prog.PCOf(next))
+}
