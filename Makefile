@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke index-smoke ledger-smoke sampling-accuracy bench benchjson profile report
+.PHONY: ci vet fmt build test race obs-smoke critpath-smoke sched-smoke sched-soa metrics-smoke index-smoke ledger-smoke selfprof-smoke sampling-accuracy bench benchjson profile report
 
 ## ci: the pre-merge check — vet, gofmt, build, full tests, race-enabled
 ## cache and pipeline tests, the scheduler differential, the SoA/pooling
 ## determinism smoke, the sampling accuracy gate, and end-to-end
-## observability, attribution, metrics/tracing and run-ledger smoke tests.
-## Documented in README.md; run before every merge.
-ci: vet fmt build test race sched-smoke sched-soa sampling-accuracy obs-smoke critpath-smoke metrics-smoke index-smoke ledger-smoke
+## observability, attribution, metrics/tracing, run-ledger and
+## self-profiling smoke tests. Documented in README.md; run before every
+## merge.
+ci: vet fmt build test race sched-smoke sched-soa sampling-accuracy obs-smoke critpath-smoke metrics-smoke index-smoke ledger-smoke selfprof-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +30,7 @@ test:
 # beyond the default 10m — the race detector slows it an order of
 # magnitude on loaded machines.
 race:
-	$(GO) test -race -timeout 25m ./internal/core ./internal/simcache ./internal/pipeline ./internal/critpath ./internal/ledger
+	$(GO) test -race -timeout 25m ./internal/core ./internal/simcache ./internal/pipeline ./internal/critpath ./internal/ledger ./internal/metrics
 
 # End-to-end observability: one observed run, then render + summarize the
 # files it produced; then the same run traced with the binary encoding,
@@ -116,6 +117,24 @@ ledger-smoke:
 		{ echo "ledger-smoke FAILED: self-compare did not gate clean"; exit 1; }; \
 	rm -rf $$dir && echo "ledger-smoke ok"
 
+# Self-profiling end to end: a ledgered sweep must record per-task CPU
+# time (cpu_ms on every fresh task record), print the one-line resource
+# summary on stderr, gate clean against itself under -gate-cpu, and the
+# dashboard's runtime-health strip tests must pass.
+selfprof-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/mgreport -exp fig1 -only comm.crc32 -input small \
+		-plots=false -ledger $$dir/led -ledger-rev ci >/dev/null 2>$$dir/err && \
+	grep -q '"cpu_ms":' $$dir/led/ledger.jsonl || \
+		{ echo "selfprof-smoke FAILED: no cpu_ms in ledger records"; exit 1; }; \
+	grep -q 'resources: wall' $$dir/err || \
+		{ echo "selfprof-smoke FAILED: no resource summary on stderr"; cat $$dir/err; exit 1; }; \
+	$(GO) run ./cmd/mgstat -ledger $$dir/led -compare ci,ci -gate-cpu 5 >/dev/null || \
+		{ echo "selfprof-smoke FAILED: self-compare did not gate clean under -gate-cpu"; exit 1; }; \
+	$(GO) test -run 'TestDashHealthStrip|TestDashEmptyLedger|TestDashSingleRecord' -count=1 ./internal/ledger >/dev/null && \
+	$(GO) test -run 'TestWatchdog' -count=1 ./internal/core >/dev/null && \
+	rm -rf $$dir && echo "selfprof-smoke ok"
+
 # Sampling accuracy gate: the representative-interval estimator must
 # simulate >=5x fewer instructions in detail than the full run while landing
 # within 1% geomean IPC error on the pinned small-input workload set
@@ -139,12 +158,12 @@ bench:
 # deltas measure the hardware as much as the code); pass -strict-host to
 # make that a failure (see README "Performance").
 benchjson:
-	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze|BenchmarkIndex|BenchmarkRunSampled' -benchtime 5x -count 3 -benchmem \
-		./internal/pipeline ./internal/critpath ./internal/obs | \
+	$(GO) test -run NONE -bench 'BenchmarkSimulator|BenchmarkAnalyze|BenchmarkIndex|BenchmarkRunSampled|BenchmarkHealth' -benchtime 5x -count 3 -benchmem \
+		./internal/pipeline ./internal/critpath ./internal/obs ./internal/metrics | \
 	$(GO) run ./cmd/benchjson -rev "$$(git rev-parse --short HEAD)" \
 		-date "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-		-baseline BENCH_PR7.json > BENCH_PR9.json
-	@echo "wrote BENCH_PR9.json"
+		-baseline BENCH_PR9.json > BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json"
 
 # profile: CPU and allocation pprof profiles of the mini-graph simulator
 # benchmark, written to the (gitignored) profiles/ directory. Inspect with

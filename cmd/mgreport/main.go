@@ -67,9 +67,13 @@ func main() {
 		refsched   = flag.Bool("refsched", false, "use the reference per-cycle scan scheduler instead of the event-driven one")
 		ledgerDir  = flag.String("ledger", "", "append a run record per completed task to the persistent ledger in this directory")
 		ledgerRev  = flag.String("ledger-rev", "", "revision label for ledger records (default: MG_REV or the binary's vcs revision)")
+		watchdog   = flag.Bool("watchdog", false, "arm the sweep watchdog: report tasks running far past the sweep median and wedged sweeps to /debug/sweep and the -v telemetry log")
+		wdSlow     = flag.Float64("watchdog-slow", 8, "with -watchdog: flag a task once it exceeds this multiple of the sweep's median task time")
+		wdWedge    = flag.Duration("watchdog-wedge", 2*time.Minute, "with -watchdog: flag the sweep when no task completes for this long")
 	)
 	resolveSample := core.SampleFlags()
 	flag.Parse()
+	runStart := time.Now()
 	sample, err := resolveSample()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mgreport:", err)
@@ -97,11 +101,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mgreport:", err)
 			os.Exit(1)
 		}
+		fmt.Fprintln(os.Stderr, metrics.FormatResources(time.Since(runStart)))
 		return
 	}
 
 	opts := core.Options{Input: *input, Workers: *workers, NoCache: *nocache,
 		Obs: obs.FlagOptions(*pipetrace, *ptraceBin, *intervals, *tracedir), Sample: sample}
+	if *watchdog {
+		opts.Watchdog = &core.WatchdogConfig{SlowFactor: *wdSlow, Wedge: *wdWedge}
+	}
 	if sample != nil {
 		fmt.Fprintf(os.Stderr, "sampled fidelity %s: series and relative-baseline stats are estimates; profiling and selection stay exact\n", sample.Summary())
 	}
@@ -126,6 +134,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s — /debug/vars /debug/pprof/ /metrics /debug/sweep\n", addr)
+		metrics.StartHealth(0)
 	}
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -133,6 +142,7 @@ func main() {
 		tracer = metrics.NewTracer()
 		metrics.InstallTracer(tracer)
 		metrics.SetTraceOut(*traceOut)
+		metrics.SetCPUAccounting(true)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -177,6 +187,7 @@ func main() {
 		}
 		f.Close()
 	}
+	fmt.Fprintln(os.Stderr, metrics.FormatResources(time.Since(runStart)))
 }
 
 // splitNames splits a comma-separated list, dropping empty entries.

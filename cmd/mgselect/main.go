@@ -88,6 +88,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s — /debug/vars /debug/pprof/ /metrics /debug/sweep\n", addr)
+		metrics.StartHealth(0)
 	}
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -95,6 +96,7 @@ func main() {
 		tracer = metrics.NewTracer()
 		metrics.InstallTracer(tracer)
 		metrics.SetTraceOut(*traceOut)
+		metrics.SetCPUAccounting(true)
 	}
 
 	var sel *selector.Selector
@@ -131,6 +133,10 @@ func main() {
 	}
 
 	t0 := time.Now()
+	// Whole-process deltas: profiling and sampled estimation fan out
+	// across GOMAXPROCS goroutines.
+	cpu0 := metrics.ProcessCPUNanos()
+	gc0 := metrics.GCCycleCount()
 	ctx, runSpan := metrics.StartSpan(context.Background(), "mgselect.run",
 		metrics.L("workload", *wName), metrics.L("selector", *selName))
 	bench, err := core.PrepareSharedByName(*wName, *input)
@@ -203,6 +209,9 @@ func main() {
 			Tool: "mgselect", Workload: *wName, Series: sel.Name(), Input: *input,
 			Cache:    "run",
 			WallMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+			CPUMS:    float64(metrics.ProcessCPUNanos()-cpu0) / 1e6,
+			MaxRSSKB: metrics.MaxRSSKB(),
+			GCCycles: metrics.GCCycleCount() - gc0,
 			Coverage: chosen.Coverage(),
 		}
 		if est != nil {
@@ -239,4 +248,5 @@ func main() {
 	if *cacheStats {
 		core.FprintCacheStats(os.Stderr)
 	}
+	fmt.Fprintln(os.Stderr, metrics.FormatResources(time.Since(t0)))
 }

@@ -88,6 +88,7 @@ func main() {
 	)
 	resolveSample := core.SampleFlags()
 	flag.Parse()
+	runStart := time.Now()
 	sample, err := resolveSample()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mgsim:", err)
@@ -146,6 +147,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s — /debug/vars /debug/pprof/ /metrics /debug/sweep\n", addr)
+		metrics.StartHealth(0)
 	}
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -153,6 +155,7 @@ func main() {
 		tracer = metrics.NewTracer()
 		metrics.InstallTracer(tracer)
 		metrics.SetTraceOut(*traceOut)
+		metrics.SetCPUAccounting(true)
 	}
 
 	ctx, runSpan := metrics.StartSpan(context.Background(), "mgsim.run",
@@ -167,6 +170,10 @@ func main() {
 	}
 
 	t0 := time.Now()
+	// Whole-process deltas, not per-thread: sampled runs fan out across
+	// GOMAXPROCS goroutines, so thread-local rusage would undercount.
+	cpu0 := metrics.ProcessCPUNanos()
+	gc0 := metrics.GCCycleCount()
 	var watch *obs.Observer
 	if o := obs.FlagOptions(*pipetrace, *ptraceBin, *intervals, *tracedir); o.Active() {
 		base := fmt.Sprintf("%s_%s_%s_%s", *wName, *input, cfg.Name, *selName)
@@ -245,10 +252,13 @@ func main() {
 		}
 		rec := ledger.Record{
 			Tool: "mgsim", Workload: *wName, Series: cfg.Name + "/" + *selName, Input: *input,
-			Key:    core.TaskKey(bench, sel, cfg, "", cfg, sample).Short(),
-			Cache:  cache,
-			WallMS: float64(time.Since(t0)) / float64(time.Millisecond),
-			Cycles: st.Cycles, Instrs: st.Instrs, Uops: st.Uops,
+			Key:      core.TaskKey(bench, sel, cfg, "", cfg, sample).Short(),
+			Cache:    cache,
+			WallMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+			CPUMS:    float64(metrics.ProcessCPUNanos()-cpu0) / 1e6,
+			MaxRSSKB: metrics.MaxRSSKB(),
+			GCCycles: metrics.GCCycleCount() - gc0,
+			Cycles:   st.Cycles, Instrs: st.Instrs, Uops: st.Uops,
 			IPC: st.IPC(), UPC: st.UPC(), Coverage: st.Coverage(),
 		}
 		if sample != nil {
@@ -271,4 +281,5 @@ func main() {
 		fmt.Println(core.SampleBanner(*sample, srep))
 	}
 	fmt.Print(st)
+	fmt.Fprintln(os.Stderr, metrics.FormatResources(time.Since(runStart)))
 }

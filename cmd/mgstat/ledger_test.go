@@ -44,14 +44,14 @@ func seedLedger(t *testing.T) string {
 func TestLedgerModeSummaryAndHistory(t *testing.T) {
 	dir := seedLedger(t)
 	var buf strings.Builder
-	if code := ledgerMode(&buf, dir, false, "", 0, 0); code != 0 {
+	if code := ledgerMode(&buf, dir, false, "", 0, 0, 0); code != 0 {
 		t.Fatalf("summary mode exit %d\n%s", code, buf.String())
 	}
 	if out := buf.String(); !strings.Contains(out, "2 run(s), 4 record(s)") {
 		t.Errorf("run summary wrong:\n%s", out)
 	}
 	buf.Reset()
-	if code := ledgerMode(&buf, dir, true, "", 0, 0); code != 0 {
+	if code := ledgerMode(&buf, dir, true, "", 0, 0, 0); code != 0 {
 		t.Fatalf("history mode exit %d\n%s", code, buf.String())
 	}
 	out := buf.String()
@@ -67,7 +67,7 @@ func TestLedgerModeCompareGates(t *testing.T) {
 
 	// The 20% crc32 IPC drop must trip a 5% gate...
 	var buf strings.Builder
-	if code := ledgerMode(&buf, dir, false, "revA,revB", 5, 0); code != 1 {
+	if code := ledgerMode(&buf, dir, false, "revA,revB", 5, 0, 0); code != 1 {
 		t.Errorf("injected regression not gated: exit %d\n%s", code, buf.String())
 	}
 	if !strings.Contains(buf.String(), "comm.crc32") {
@@ -76,7 +76,7 @@ func TestLedgerModeCompareGates(t *testing.T) {
 
 	// ...a self-compare must gate clean...
 	buf.Reset()
-	if code := ledgerMode(&buf, dir, false, "revA,revA", 5, 0); code != 0 {
+	if code := ledgerMode(&buf, dir, false, "revA,revA", 5, 0, 0); code != 0 {
 		t.Errorf("self-compare gated: exit %d\n%s", code, buf.String())
 	}
 	if !strings.Contains(buf.String(), "gate: clean") {
@@ -84,7 +84,63 @@ func TestLedgerModeCompareGates(t *testing.T) {
 	}
 
 	// ...and a malformed -compare spec is a usage error.
-	if code := ledgerMode(&strings.Builder{}, dir, false, "revA", 5, 0); code != 2 {
+	if code := ledgerMode(&strings.Builder{}, dir, false, "revA", 5, 0, 0); code != 2 {
 		t.Errorf("malformed spec exit = %d, want 2", code)
+	}
+}
+
+// seedCPULedger records one point at two revisions with a 20% CPU-time
+// regression at revB (IPC unchanged). hostB names the machine revB ran on
+// ("" = let the ledger stamp the current host, same as revA).
+func seedCPULedger(t *testing.T, hostB string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, rev := range []struct {
+		name  string
+		cpuMS float64
+	}{{"revA", 100}, {"revB", 120}} {
+		l, err := ledger.Open(dir, rev.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := ledger.Record{
+			Tool: "sweep", Sweep: "test", Workload: "comm.crc32",
+			Series: "Slack-Profile on reduced", Input: "small",
+			Cache: "miss", WallMS: 100, CPUMS: rev.cpuMS,
+			Cycles: 1000, Instrs: 1500, IPC: 1.5,
+		}
+		if rev.name == "revB" && hostB != "" {
+			rec.Host = ledger.CurrentHost()
+			rec.Host.Hostname = hostB
+		}
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLedgerModeGateCPU is the acceptance scenario for -gate-cpu: an
+// injected 20% CPU regression must exit non-zero at a 5% tolerance on
+// same-host and cross-host ledger pairs alike, and pass at 25%.
+func TestLedgerModeGateCPU(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		hostB string
+	}{{"same-host", ""}, {"cross-host", "elsewhere"}} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := seedCPULedger(t, tc.hostB)
+			var buf strings.Builder
+			if code := ledgerMode(&buf, dir, false, "revA,revB", 0, 0, 5); code != 1 {
+				t.Errorf("20%% cpu regression not gated: exit %d\n%s", code, buf.String())
+			}
+			buf.Reset()
+			if code := ledgerMode(&buf, dir, false, "revA,revB", 0, 0, 25); code != 0 {
+				t.Errorf("cpu gate at 25%% tripped: exit %d\n%s", code, buf.String())
+			}
+		})
 	}
 }

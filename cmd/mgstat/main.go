@@ -102,11 +102,12 @@ func main() {
 		compare   = flag.String("compare", "", "with -ledger: compare two recorded revisions, \"revA,revB\"")
 		gateIPC   = flag.Float64("gate", 0, "with -compare: exit non-zero on IPC regressions beyond this percentage")
 		gateWall  = flag.Float64("gate-wall", 0, "with -compare: also gate wall-time growth beyond this percentage (same-host uncached records only)")
+		gateCPU   = flag.Float64("gate-cpu", 0, "with -compare: also gate CPU-time growth beyond this percentage (uncached records carrying CPU accounting; robust to host load, applies cross-host)")
 	)
 	flag.Parse()
 
 	if *ledgerDir != "" {
-		os.Exit(ledgerMode(os.Stdout, *ledgerDir, *history, *compare, *gateIPC, *gateWall))
+		os.Exit(ledgerMode(os.Stdout, *ledgerDir, *history, *compare, *gateIPC, *gateWall, *gateCPU))
 	}
 
 	var ws []*workload.Workload

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 
 	"repro/internal/metrics"
 )
@@ -30,6 +31,8 @@ func summarizeSpans(w io.Writer, path string) error {
 	type agg struct {
 		count   int
 		totalUS float64
+		cpuMS   float64
+		hasCPU  bool
 	}
 	byName := map[string]*agg{}
 	rows := map[[2]int]bool{}
@@ -54,6 +57,14 @@ func summarizeSpans(w io.Writer, path string) error {
 			}
 			a.count++
 			a.totalUS += e.Ts - b.Ts
+			// CPU accounting (runs with -trace-out) stamps cpu_ms on the
+			// opening event's args.
+			if v, ok := b.Args["cpu_ms"]; ok {
+				if ms, perr := strconv.ParseFloat(v, 64); perr == nil {
+					a.cpuMS += ms
+					a.hasCPU = true
+				}
+			}
 			spans++
 		}
 	}
@@ -69,10 +80,17 @@ func summarizeSpans(w io.Writer, path string) error {
 		}
 		return names[i] < names[j]
 	})
-	fmt.Fprintf(w, "%-24s %8s %14s\n", "span", "count", "total ms")
+	fmt.Fprintf(w, "%-24s %8s %14s %14s %9s\n", "span", "count", "total ms", "cpu ms", "cpu/wall")
 	for _, n := range names {
 		a := byName[n]
-		fmt.Fprintf(w, "%-24s %8d %14.3f\n", n, a.count, a.totalUS/1e3)
+		cpu, ratio := "–", "–"
+		if a.hasCPU {
+			cpu = fmt.Sprintf("%.3f", a.cpuMS)
+			if a.totalUS > 0 {
+				ratio = fmt.Sprintf("%.2fx", a.cpuMS/(a.totalUS/1e3))
+			}
+		}
+		fmt.Fprintf(w, "%-24s %8d %14.3f %14s %9s\n", n, a.count, a.totalUS/1e3, cpu, ratio)
 	}
 	return nil
 }

@@ -66,6 +66,61 @@ func TestSummarizeSpans(t *testing.T) {
 	}
 }
 
+// TestSummarizeSpansCPU checks the -spans table carries per-name CPU
+// totals and the cpu/wall ratio when spans were recorded with CPU
+// accounting, and the dash placeholder when they were not.
+func TestSummarizeSpansCPU(t *testing.T) {
+	var now int64
+	tr := metrics.NewTracerClock(func() int64 { now += 1000; return now })
+	metrics.InstallTracer(tr)
+	defer metrics.InstallTracer(nil)
+
+	ctx, sweep := metrics.StartSpan(context.Background(), "sweep")
+	_, sim := metrics.StartSpan(ctx, "simulate")
+	// Stamp CPU on the inner span only, as a sweep worker does after
+	// measuring the task's thread rusage delta.
+	sim.SetCPUNanos(1_500_000) // 1.5 ms
+	sim.End()
+	sweep.End()
+
+	path := filepath.Join(t.TempDir(), "cpu.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteChromeTrace(f, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b bytes.Buffer
+	if err := summarizeSpans(&b, path); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cpu ms", "cpu/wall", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cpu summary missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "simulate"):
+			// 1.5 ms CPU over 1 µs wall: ratio present, not a dash.
+			if strings.Contains(line, "–") {
+				t.Errorf("accounted span shows placeholder: %q", line)
+			}
+		case strings.HasPrefix(line, "sweep"):
+			// The enclosing span carries no cpu_ms of its own.
+			if !strings.Contains(line, "–") {
+				t.Errorf("unaccounted span missing placeholder: %q", line)
+			}
+		}
+	}
+}
+
 // TestSummarizeSpansRejectsCorrupt checks an invalid trace is an error,
 // not a bogus summary.
 func TestSummarizeSpansRejectsCorrupt(t *testing.T) {

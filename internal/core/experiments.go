@@ -55,6 +55,10 @@ type Options struct {
 	// only the timing numbers become estimates. nil = full detail.
 	// Mutually exclusive with Obs (an observer needs the real full run).
 	Sample *pipeline.SampleSpec
+	// Watchdog arms the sweep watchdog (slow-task and wedge detection on
+	// /debug/sweep and the telemetry log) when non-nil. See WatchdogConfig
+	// for the thresholds; the zero value selects all defaults.
+	Watchdog *WatchdogConfig
 }
 
 func (o Options) input() string {
@@ -166,6 +170,10 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 	}
 	track := metrics.StartSweep(title, refs)
 	defer track.Finish()
+	if opts.Watchdog != nil {
+		wd := StartWatchdog(track, title, *opts.Watchdog)
+		defer wd.Stop()
+	}
 
 	if opts.NoCache {
 		meta, err := runSweepUncached(ctx, title, opts, ws, specs, perfSeries, covSeries, track)
@@ -205,6 +213,11 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			// Pin the worker to its OS thread so RUSAGE_THREAD deltas
+			// attribute each task's CPU time exactly (sweep tasks simulate
+			// single-goroutine, so nothing escapes the pinned thread).
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
 			wctx := metrics.WithTid(ctx, k+1) // worker k is trace tid k+1 (same pid as the sweep)
 			for ti := range next {
 				t := tasks[ti]
@@ -216,6 +229,7 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 				}
 				track.TaskRunning(ti, k)
 				t0 := time.Now()
+				um := metrics.MarkUsage()
 				tctx, span := metrics.StartSpan(wctx, "task",
 					metrics.L("workload", w.Name), metrics.L("series", sp.Label))
 				var r specResult
@@ -225,12 +239,16 @@ func RunSweep(title string, opts Options, specs []SeriesSpec) (*SweepResult, err
 				pprof.Do(tctx, pprof.Labels("workload", w.Name, "spec", sp.Label), func(ctx context.Context) {
 					r, err = evalSpec(ctx, w, opts.input(), sp, opts.Obs, opts.Sample)
 				})
+				use := um.Since()
+				if metrics.CPUAccountingOn() {
+					span.SetCPUNanos(use.CPUNanos)
+				}
 				span.SetAttr("cache", r.outcome)
 				span.End()
 				vals[ti] = [2]float64{r.perf, r.cov}
 				errs[ti] = err
 				meta[ti] = manifestTask(w.Name, sp.Label, k, t0, r.outcome, r.files, r.idx, err)
-				appendTaskRecord(title, w.Name, sp.Label, opts.input(), r.key, r.stats, r.outcome, t0, err, opts.Sample)
+				appendTaskRecord(title, w.Name, sp.Label, opts.input(), r.key, r.stats, r.outcome, t0, err, opts.Sample, use)
 				track.TaskDone(ti, r.outcome, err)
 				noteTaskMetrics(meta[ti])
 				if l := tlog(); l != nil {
@@ -470,6 +488,9 @@ func runSweepUncached(ctx context.Context, title string, opts Options, ws []*wor
 func evalWorkloadUncached(ctx context.Context, title string, w *workload.Workload, wi int, opts Options, specs []SeriesSpec, track *metrics.SweepProgress) ([]float64, []float64, []obs.ManifestTask, error) {
 	// Each workload goroutine is one trace thread (tid wi+1) within the
 	// sweep; its tasks occupy the progress slots [wi*len(specs), ...).
+	// Pinned to its OS thread so per-task RUSAGE_THREAD deltas are exact.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
 	ctx = metrics.WithTid(ctx, wi+1)
 	_, psp := metrics.StartSpan(ctx, "prepare",
 		metrics.L("workload", w.Name), metrics.L("input", opts.input()))
@@ -504,6 +525,7 @@ func evalWorkloadUncached(ctx context.Context, title string, w *workload.Workloa
 		}
 		track.TaskRunning(wi*len(specs)+i, wi)
 		t0 := time.Now()
+		um := metrics.MarkUsage()
 		tctx, span := metrics.StartSpan(ctx, "task",
 			metrics.L("workload", w.Name), metrics.L("series", sp.Label),
 			metrics.L("cache", cacheNone))
@@ -515,10 +537,14 @@ func evalWorkloadUncached(ctx context.Context, title string, w *workload.Workloa
 		pprof.Do(tctx, pprof.Labels("workload", w.Name, "spec", sp.Label), func(ctx context.Context) {
 			st, files, idx, err = evalSpecUncached(ctx, bench, w, sp, opts, crossBenches)
 		})
+		use := um.Since()
+		if metrics.CPUAccountingOn() {
+			span.SetCPUNanos(use.CPUNanos)
+		}
 		span.End()
 		meta[i] = manifestTask(w.Name, sp.Label, wi, t0, cacheNone, files, idx, err)
 		appendTaskRecord(title, w.Name, sp.Label, opts.input(),
-			TaskKey(bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg, opts.Sample), st, cacheNone, t0, err, opts.Sample)
+			TaskKey(bench, sp.Sel, profCfgOf(sp), sp.ProfInput, sp.Cfg, opts.Sample), st, cacheNone, t0, err, opts.Sample, use)
 		track.TaskDone(wi*len(specs)+i, cacheNone, err)
 		noteTaskMetrics(meta[i])
 		if l := tlog(); l != nil {

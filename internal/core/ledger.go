@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/simcache"
@@ -36,7 +37,7 @@ func RunLedger() *ledger.Ledger { return runLedger.Load() }
 // no-op when no ledger is installed. Append failures are reported through
 // telemetry rather than failing the sweep: history is an observability
 // concern, never a correctness one.
-func appendTaskRecord(sweep, workload, series, input string, key simcache.Key, st *pipeline.Stats, outcome string, started time.Time, err error, sample *pipeline.SampleSpec) {
+func appendTaskRecord(sweep, workload, series, input string, key simcache.Key, st *pipeline.Stats, outcome string, started time.Time, err error, sample *pipeline.SampleSpec, use metrics.Usage) {
 	l := runLedger.Load()
 	if l == nil {
 		return
@@ -50,6 +51,9 @@ func appendTaskRecord(sweep, workload, series, input string, key simcache.Key, s
 		Key:      key.Short(),
 		Cache:    outcome,
 		WallMS:   float64(time.Since(started)) / float64(time.Millisecond),
+		CPUMS:    float64(use.CPUNanos) / 1e6,
+		MaxRSSKB: use.MaxRSSKB,
+		GCCycles: use.GCCycles,
 	}
 	if sample != nil {
 		r.Estimate = true

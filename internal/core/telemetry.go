@@ -114,6 +114,7 @@ func EnableMetrics() *metrics.Registry {
 			"wall time per sweep task", taskWallBuckets)
 		pipeline.InstallMetrics(reg)
 		obs.InstallMetrics(reg)
+		metrics.InstallHealthMetrics(reg)
 		metrics.Install(reg)
 	})
 	return metrics.Default()

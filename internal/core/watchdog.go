@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// This file is the sweep watchdog: a low-frequency checker that watches a
+// sweep's live progress (the same SweepProgress feeding /debug/sweep) for
+// two pathologies — a task running far past the sweep's running median
+// ("slow-task"), and a sweep making no progress at all for a configurable
+// period ("wedge"). Each detection emits one structured incident: the
+// offending (workload, series), elapsed vs. median, a flight-recorder
+// summary, and a full goroutine stack dump — attached to the sweep snapshot
+// (so /debug/sweep shows it) and logged through the telemetry logger. The
+// watchdog only reads snapshots and never blocks the workers; with
+// Options.Watchdog nil it does not exist at all.
+
+// Incident kinds emitted by the watchdog.
+const (
+	IncidentSlowTask = "slow-task"
+	IncidentWedge    = "wedge"
+)
+
+// WatchdogConfig tunes the sweep watchdog. The zero value of any field
+// selects its default.
+type WatchdogConfig struct {
+	// SlowFactor flags a running task once its elapsed time exceeds
+	// SlowFactor × the median of the sweep's completed tasks. Default 8.
+	SlowFactor float64
+	// MinDone is how many tasks must have completed before the median is
+	// trusted; no slow-task incidents fire below it. Default 3.
+	MinDone int
+	// Wedge flags the whole sweep when no task has completed for this
+	// long while work remains. Default 2m.
+	Wedge time.Duration
+	// Every is the check cadence of the background loop. Default 2s.
+	Every time.Duration
+	// MaxStackKB caps the goroutine dump captured per incident. Default 64.
+	MaxStackKB int
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.SlowFactor <= 0 {
+		c.SlowFactor = 8
+	}
+	if c.MinDone <= 0 {
+		c.MinDone = 3
+	}
+	if c.Wedge <= 0 {
+		c.Wedge = 2 * time.Minute
+	}
+	if c.Every <= 0 {
+		c.Every = 2 * time.Second
+	}
+	if c.MaxStackKB <= 0 {
+		c.MaxStackKB = 64
+	}
+	return c
+}
+
+// Watchdog checks one sweep for slow tasks and wedges. All state is owned
+// by the single goroutine (or test) calling Check; only the snapshot reads
+// synchronize with the workers.
+type Watchdog struct {
+	track *metrics.SweepProgress
+	title string
+	cfg   WatchdogConfig
+	now   func() time.Time
+
+	started      map[int]time.Time // task index -> first observed running
+	reported     map[int]bool      // task index -> slow incident already emitted
+	doneSeen     int
+	lastProgress time.Time
+	wedged       bool // current wedge episode already reported
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWatchdog creates a watchdog without starting its loop; tests drive
+// Check directly with a fake clock.
+func NewWatchdog(track *metrics.SweepProgress, title string, cfg WatchdogConfig, now func() time.Time) *Watchdog {
+	return &Watchdog{
+		track:    track,
+		title:    title,
+		cfg:      cfg.withDefaults(),
+		now:      now,
+		started:  map[int]time.Time{},
+		reported: map[int]bool{},
+	}
+}
+
+// StartWatchdog creates a watchdog on the real clock and starts its
+// background check loop. Stop it when the sweep finishes.
+func StartWatchdog(track *metrics.SweepProgress, title string, cfg WatchdogConfig) *Watchdog {
+	w := NewWatchdog(track, title, cfg, time.Now)
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.cfg.Every)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Check()
+			}
+		}
+	}()
+	return w
+}
+
+// Stop ends a StartWatchdog loop; nil-safe and a no-op for loop-less
+// watchdogs.
+func (w *Watchdog) Stop() {
+	if w == nil || w.stop == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+	w.stop = nil
+}
+
+// Check takes one look at the sweep and returns any new incidents (also
+// attached to the sweep's snapshot and logged). The loop calls it every
+// cfg.Every; tests call it directly.
+func (w *Watchdog) Check() []metrics.Incident {
+	now := w.now()
+	if w.lastProgress.IsZero() {
+		w.lastProgress = now
+	}
+	snap := w.track.Snapshot()
+
+	// Track first-running observations and collect completed durations from
+	// the snapshot's own wall measurements.
+	var durations []float64
+	for i := range snap.Tasks {
+		t := &snap.Tasks[i]
+		switch t.State {
+		case metrics.TaskRunning:
+			if _, ok := w.started[i]; !ok {
+				w.started[i] = now
+			}
+		case metrics.TaskDone, metrics.TaskError:
+			if t.ElapsedMS > 0 {
+				durations = append(durations, t.ElapsedMS)
+			}
+		}
+	}
+	if snap.Done > w.doneSeen {
+		w.doneSeen = snap.Done
+		w.lastProgress = now
+		w.wedged = false // progress resumed: arm wedge detection again
+	}
+
+	var incidents []metrics.Incident
+
+	// Slow tasks: elapsed beyond SlowFactor × median of completed tasks.
+	if len(durations) >= w.cfg.MinDone {
+		sort.Float64s(durations)
+		median := durations[len(durations)/2]
+		limit := w.cfg.SlowFactor * median
+		idxs := make([]int, 0, len(w.started))
+		for i := range w.started {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			if w.reported[i] || snap.Tasks[i].State != metrics.TaskRunning {
+				continue
+			}
+			elapsed := float64(now.Sub(w.started[i])) / float64(time.Millisecond)
+			if median <= 0 || elapsed <= limit {
+				continue
+			}
+			w.reported[i] = true
+			t := snap.Tasks[i]
+			incidents = append(incidents, w.incident(metrics.Incident{
+				Kind:      IncidentSlowTask,
+				Workload:  t.Workload,
+				Series:    t.Series,
+				Worker:    t.Worker,
+				ElapsedMS: elapsed,
+				MedianMS:  median,
+				Detail: fmt.Sprintf("task %.1fx over the sweep median (%.0f ms vs %.0f ms, limit %.1fx)",
+					elapsed/median, elapsed, median, w.cfg.SlowFactor),
+			}, now))
+		}
+	}
+
+	// Wedge: work remains but nothing has completed for cfg.Wedge.
+	if snap.Active && snap.Done < snap.Total && !w.wedged &&
+		now.Sub(w.lastProgress) >= w.cfg.Wedge {
+		w.wedged = true
+		incidents = append(incidents, w.incident(metrics.Incident{
+			Kind: IncidentWedge,
+			Detail: fmt.Sprintf("no task completed for %v (%d/%d done, %d running)",
+				now.Sub(w.lastProgress).Round(time.Second), snap.Done, snap.Total, snap.Running),
+		}, now))
+	}
+
+	for _, inc := range incidents {
+		w.track.AddIncident(inc)
+		if log := tlog(); log != nil {
+			log.Warn("watchdog.incident", "sweep", w.title, "kind", inc.Kind,
+				"workload", inc.Workload, "series", inc.Series,
+				"elapsed_ms", inc.ElapsedMS, "median_ms", inc.MedianMS,
+				"detail", inc.Detail)
+		}
+	}
+	return incidents
+}
+
+// incident fills the fields shared by every incident kind: timestamp,
+// flight-recorder summary, and the goroutine dump.
+func (w *Watchdog) incident(inc metrics.Incident, now time.Time) metrics.Incident {
+	inc.Time = now.UTC().Format(time.RFC3339)
+	inc.Detail += "; " + flightSummary()
+	inc.Stacks = dumpStacks(w.cfg.MaxStackKB * 1024)
+	return inc
+}
+
+// flightSummary describes the flight recorder's state for incident detail.
+func flightSummary() string {
+	f := obs.Flight()
+	if f == nil {
+		return "flight recorder off (run with -httpaddr to enable /debug/trace)"
+	}
+	total, dropped := f.Totals()
+	return fmt.Sprintf("flight recorder: %d records seen, %d dropped", total, dropped)
+}
+
+// dumpStacks captures all goroutine stacks, truncated at max bytes.
+func dumpStacks(max int) string {
+	buf := make([]byte, max)
+	n := runtime.Stack(buf, true)
+	if n >= len(buf) {
+		return string(buf[:n]) + "\n...[truncated]"
+	}
+	return string(buf[:n])
+}

@@ -20,9 +20,12 @@ type Delta struct {
 	A, B     Record // latest timing record at each rev, in history order
 
 	// IPCPct is the relative IPC change B vs A (negative = regression);
-	// WallPct the relative wall-time change (positive = slower).
+	// WallPct the relative wall-time change (positive = slower); CPUPct
+	// the relative CPU-time change (positive = more expensive, 0 when
+	// either side lacks CPU accounting).
 	IPCPct  float64
 	WallPct float64
+	CPUPct  float64
 
 	// CrossHost flags records from different machines: IPC is still
 	// comparable (simulated cycles are deterministic), wall time is not.
@@ -71,6 +74,9 @@ func Compare(recs []Record, revA, revB string) []Delta {
 		if a.WallMS > 0 {
 			d.WallPct = (b.WallMS - a.WallMS) / a.WallMS
 		}
+		if a.CPUMS > 0 && b.CPUMS > 0 {
+			d.CPUPct = (b.CPUMS - a.CPUMS) / a.CPUMS
+		}
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -96,13 +102,16 @@ func realWall(r Record) bool {
 }
 
 // Gate returns the points that regressed beyond tolerance: an IPC drop
-// worse than -ipcTol, or a wall-time growth beyond wallTol when both
-// records are uncached simulations on the same machine (cache hits and
-// cross-host pairs carry no wall-time signal). Mixed-fidelity pairs (a
-// sampled estimate against an exact run) are skipped entirely — their
-// delta measures the estimator's error, not a code change. Tolerances are
-// fractions (0.05 = 5%).
-func Gate(deltas []Delta, ipcTol, wallTol float64) []string {
+// worse than -ipcTol, a wall-time growth beyond wallTol when both records
+// are uncached simulations on the same machine (cache hits and cross-host
+// pairs carry no wall-time signal), or a CPU-time growth beyond cpuTol
+// when both records carry CPU accounting. CPU time is robust to host load,
+// and machines of the same class agree well enough that the CPU gate
+// applies to cross-host pairs too — it is the preferred cost gate.
+// Mixed-fidelity pairs (a sampled estimate against an exact run) are
+// skipped entirely — their delta measures the estimator's error, not a
+// code change. Tolerances are fractions (0.05 = 5%).
+func Gate(deltas []Delta, ipcTol, wallTol, cpuTol float64) []string {
 	var fails []string
 	for _, d := range deltas {
 		if d.Mixed {
@@ -117,6 +126,11 @@ func Gate(deltas []Delta, ipcTol, wallTol float64) []string {
 			fails = append(fails, fmt.Sprintf("%s: wall %.0fms -> %.0fms (%+.1f%%)",
 				point, d.A.WallMS, d.B.WallMS, 100*d.WallPct))
 		}
+		if cpuTol > 0 && realWall(d.A) && realWall(d.B) &&
+			d.A.CPUMS > 0 && d.B.CPUMS > 0 && d.CPUPct > cpuTol {
+			fails = append(fails, fmt.Sprintf("%s: cpu %.0fms -> %.0fms (%+.1f%%)",
+				point, d.A.CPUMS, d.B.CPUMS, 100*d.CPUPct))
+		}
 	}
 	return fails
 }
@@ -127,9 +141,9 @@ func WriteCompareText(w io.Writer, revA, revB string, deltas []Delta) error {
 		_, err := fmt.Fprintf(w, "no common timing records for revs %s and %s\n", revA, revB)
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%-18s %-26s %-6s %8s %8s %7s %9s %9s %8s\n",
+	if _, err := fmt.Fprintf(w, "%-18s %-26s %-6s %8s %8s %7s %9s %9s %8s %8s\n",
 		"workload", "series", "input", "ipc@"+trunc(revA, 4), "ipc@"+trunc(revB, 4),
-		"Δipc%", "wall@A ms", "wall@B ms", "Δwall%"); err != nil {
+		"Δipc%", "wall@A ms", "wall@B ms", "Δwall%", "Δcpu%"); err != nil {
 		return err
 	}
 	cross, mixed := false, false
@@ -141,9 +155,13 @@ func WriteCompareText(w io.Writer, revA, revB string, deltas []Delta) error {
 		if d.Mixed {
 			note, mixed = note+"  [mixed-fidelity]", true
 		}
-		if _, err := fmt.Fprintf(w, "%-18s %-26s %-6s %8.4f %8.4f %+6.1f%% %9.1f %9.1f %+7.1f%%%s\n",
+		cpu := fmt.Sprintf("%8s", "–") // either side predates CPU accounting
+		if d.A.CPUMS > 0 && d.B.CPUMS > 0 {
+			cpu = fmt.Sprintf("%+7.1f%%", 100*d.CPUPct)
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %-26s %-6s %8.4f %8.4f %+6.1f%% %9.1f %9.1f %+7.1f%% %s%s\n",
 			d.Workload, d.Series, d.Input, d.A.IPC, d.B.IPC, 100*d.IPCPct,
-			d.A.WallMS, d.B.WallMS, 100*d.WallPct, note); err != nil {
+			d.A.WallMS, d.B.WallMS, 100*d.WallPct, cpu, note); err != nil {
 			return err
 		}
 	}

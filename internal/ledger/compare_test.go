@@ -38,12 +38,12 @@ func TestGateFlagsInjectedRegression(t *testing.T) {
 	if len(deltas) != 3 {
 		t.Fatalf("got %d deltas, want 3", len(deltas))
 	}
-	fails := Gate(deltas, 0.05, 0)
+	fails := Gate(deltas, 0.05, 0, 0)
 	if len(fails) != 1 || !strings.Contains(fails[0], "w2") || !strings.Contains(fails[0], "-20.0%") {
 		t.Fatalf("gate: %v, want exactly the w2 -20%% IPC regression", fails)
 	}
 	// A looser tolerance than the injected drop passes.
-	if fails := Gate(deltas, 0.25, 0); len(fails) != 0 {
+	if fails := Gate(deltas, 0.25, 0, 0); len(fails) != 0 {
 		t.Fatalf("gate at 25%% tolerance: %v, want clean", fails)
 	}
 }
@@ -61,7 +61,7 @@ func TestGateSelfCompareClean(t *testing.T) {
 			t.Fatalf("self-compare nonzero delta: %+v", d)
 		}
 	}
-	if fails := Gate(deltas, 0.0001, 0.0001); len(fails) != 0 {
+	if fails := Gate(deltas, 0.0001, 0.0001, 0); len(fails) != 0 {
 		t.Fatalf("self-compare gate: %v, want clean", fails)
 	}
 }
@@ -97,11 +97,11 @@ func TestGateWallTime(t *testing.T) {
 		}
 	}
 	deltas := Compare(recs, "A", "B")
-	if fails := Gate(deltas, 0.05, 0.5); len(fails) != 3 {
+	if fails := Gate(deltas, 0.05, 0.5, 0); len(fails) != 3 {
 		t.Fatalf("wall gate: %d failures, want 3: %v", len(fails), fails)
 	}
 	// Wall gate off: clean.
-	if fails := Gate(deltas, 0.05, 0); len(fails) != 0 {
+	if fails := Gate(deltas, 0.05, 0, 0); len(fails) != 0 {
 		t.Fatalf("wall gate off: %v", fails)
 	}
 	// Cache hits answered in microseconds must not trip the wall gate.
@@ -110,7 +110,7 @@ func TestGateWallTime(t *testing.T) {
 			recs[i].Cache = "hit"
 		}
 	}
-	if fails := Gate(Compare(recs, "A", "B"), 0.05, 0.5); len(fails) != 0 {
+	if fails := Gate(Compare(recs, "A", "B"), 0.05, 0.5, 0); len(fails) != 0 {
 		t.Fatalf("cache-hit wall gate: %v, want clean", fails)
 	}
 	// Cross-host wall deltas measure hardware, not code.
@@ -121,13 +121,88 @@ func TestGateWallTime(t *testing.T) {
 		}
 	}
 	deltas = Compare(recs, "A", "B")
-	if fails := Gate(deltas, 0.05, 0.5); len(fails) != 0 {
+	if fails := Gate(deltas, 0.05, 0.5, 0); len(fails) != 0 {
 		t.Fatalf("cross-host wall gate: %v, want clean", fails)
 	}
 	for _, d := range deltas {
 		if !d.CrossHost {
 			t.Fatalf("cross-host pair not flagged: %+v", d)
 		}
+	}
+}
+
+// TestGateCPUTime covers the CPU-time leg: a 20% CPU growth must trip
+// -gate-cpu on same-host AND cross-host pairs (CPU time is robust to host
+// identity in a way wall time is not), while records without CPU
+// accounting (old ledgers) and cache hits carry no signal.
+func TestGateCPUTime(t *testing.T) {
+	recs := history(nil)
+	for i := range recs {
+		recs[i].CPUMS = 100
+		if recs[i].Rev == "B" {
+			recs[i].CPUMS = 120 // +20%
+		}
+	}
+	deltas := Compare(recs, "A", "B")
+	for _, d := range deltas {
+		if d.CPUPct < 0.199 || d.CPUPct > 0.201 {
+			t.Fatalf("CPUPct = %v, want 0.20: %+v", d.CPUPct, d)
+		}
+	}
+	// Same-host: 20% growth beyond a 5% tolerance fails all three points.
+	if fails := Gate(deltas, 0.05, 0, 0.05); len(fails) != 3 {
+		t.Fatalf("cpu gate same-host: %d failures, want 3: %v", len(fails), fails)
+	}
+	// Tolerance above the growth passes.
+	if fails := Gate(deltas, 0.05, 0, 0.25); len(fails) != 0 {
+		t.Fatalf("cpu gate at 25%%: %v, want clean", fails)
+	}
+	// Cross-host pairs still gate — the acceptance requirement.
+	for i := range recs {
+		if recs[i].Rev == "B" {
+			recs[i].Host.Hostname = "other"
+		}
+	}
+	deltas = Compare(recs, "A", "B")
+	if fails := Gate(deltas, 0.05, 0, 0.05); len(fails) != 3 {
+		t.Fatalf("cpu gate cross-host: %d failures, want 3: %v", len(fails), fails)
+	}
+	// Cache hits answered in microseconds carry no CPU signal.
+	for i := range recs {
+		if recs[i].Rev == "B" {
+			recs[i].Cache = "hit"
+		}
+	}
+	if fails := Gate(Compare(recs, "A", "B"), 0.05, 0, 0.05); len(fails) != 0 {
+		t.Fatalf("cache-hit cpu gate: %v, want clean", fails)
+	}
+}
+
+// TestGateCPUSkipsUnaccounted pairs a record predating CPU accounting
+// (CPUMS == 0) with a new one: no CPU delta, no gate failure, and the
+// rendered table shows the dash placeholder.
+func TestGateCPUSkipsUnaccounted(t *testing.T) {
+	recs := history(nil)
+	for i := range recs {
+		if recs[i].Rev == "B" {
+			recs[i].CPUMS = 500 // A side has no CPU field
+		}
+	}
+	deltas := Compare(recs, "A", "B")
+	for _, d := range deltas {
+		if d.CPUPct != 0 {
+			t.Fatalf("CPUPct = %v on an unaccounted pair, want 0", d.CPUPct)
+		}
+	}
+	if fails := Gate(deltas, 0.05, 0, 0.01); len(fails) != 0 {
+		t.Fatalf("unaccounted cpu gate: %v, want clean", fails)
+	}
+	var sb strings.Builder
+	if err := WriteCompareText(&sb, "A", "B", deltas); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "–") || !strings.Contains(out, "Δcpu%") {
+		t.Errorf("compare table missing cpu placeholder column:\n%s", out)
 	}
 }
 
@@ -179,7 +254,7 @@ func TestGateSkipsMixedFidelity(t *testing.T) {
 			t.Fatalf("%s: Mixed=%v, want %v", d.Workload, d.Mixed, want)
 		}
 	}
-	fails := Gate(deltas, 0.05, 0)
+	fails := Gate(deltas, 0.05, 0, 0)
 	if len(fails) != 1 || !strings.Contains(fails[0], "w3") {
 		t.Fatalf("gate: %v, want only the same-spec w3 regression", fails)
 	}

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -99,5 +100,108 @@ func TestSparkline(t *testing.T) {
 	clipped := string(sparkline(long))
 	if n := strings.Count(clipped, ","); n > sparkPoints+2 {
 		t.Errorf("sparkline not clipped: %d points", n)
+	}
+}
+
+// dashPage renders the dashboard for the given ledger and returns the
+// HTML, failing the test on any non-200.
+func dashPage(t *testing.T, l *Ledger) string {
+	t.Helper()
+	srv := httptest.NewServer(DashHandler(func() *Ledger { return l }))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestDashEmptyLedger renders the dashboard over a ledger with no records
+// at all: a valid page, not a panic or a broken template.
+func TestDashEmptyLedger(t *testing.T) {
+	metrics.ResetProgress()
+	defer metrics.ResetProgress()
+	l := mustOpen(t, t.TempDir(), "r1")
+	page := dashPage(t, l)
+	for _, want := range []string{"Runtime health", l.Host().Hostname} {
+		if !strings.Contains(page, want) {
+			t.Errorf("empty-ledger dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(page, "<polyline") {
+		t.Errorf("empty-ledger dashboard drew a sparkline from nothing")
+	}
+}
+
+// TestDashSingleRecord covers the one-point history: a dot sparkline and
+// no latest-vs-previous delta to compute.
+func TestDashSingleRecord(t *testing.T) {
+	metrics.ResetProgress()
+	defer metrics.ResetProgress()
+	l := mustOpen(t, t.TempDir(), "r1")
+	if err := l.Append(rec("comm.crc32", 1.40)); err != nil {
+		t.Fatal(err)
+	}
+	page := dashPage(t, l)
+	if !strings.Contains(page, "comm.crc32") {
+		t.Errorf("single-record dashboard missing the series row")
+	}
+	// One point has no previous to diff against: the delta cell is a dash,
+	// never a styled regression.
+	if strings.Contains(page, `class="num delta-down"`) {
+		t.Errorf("regression styling rendered with only one point")
+	}
+	if !strings.Contains(page, "–") {
+		t.Errorf("delta placeholder missing with only one point")
+	}
+}
+
+// TestDashHealthStrip drives the runtime-health section through its three
+// states: sampler off (note), armed but empty (note), and populated (five
+// labelled sparkline rows).
+func TestDashHealthStrip(t *testing.T) {
+	metrics.ResetProgress()
+	defer metrics.ResetProgress()
+	l := mustOpen(t, t.TempDir(), "r1")
+
+	prev := metrics.InstallHealth(nil)
+	defer metrics.InstallHealth(prev)
+
+	if page := dashPage(t, l); !strings.Contains(page, "health sampler off") {
+		t.Errorf("sampler-off note missing")
+	}
+
+	h := metrics.NewHealthSampler(time.Second)
+	metrics.InstallHealth(h)
+	if page := dashPage(t, l); !strings.Contains(page, "no samples yet") {
+		t.Errorf("armed-but-empty note missing")
+	}
+
+	for i := 0; i < 3; i++ {
+		h.Push(metrics.HealthSample{
+			HeapBytes:  uint64(10+i) << 20,
+			Goroutines: int64(4 + i),
+			GCCPUPct:   0.5,
+		})
+	}
+	page := dashPage(t, l)
+	for _, want := range []string{
+		"Runtime health", "heap in use", "goroutines", "GC CPU",
+		"GC pause p99", "sched latency p99", "12.0 MB", "<svg",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("health strip missing %q", want)
+		}
+	}
+	if strings.Contains(page, "health sampler") {
+		t.Errorf("note rendered alongside a populated strip")
 	}
 }

@@ -143,6 +143,20 @@ type Record struct {
 
 	WallMS float64 `json:"wall_ms"`
 
+	// CPUMS is the task's consumed CPU time: a per-OS-thread rusage delta
+	// measured on a pinned sweep worker (exact), or a whole-process delta
+	// for single-task drivers. Unlike wall time it is robust to host load
+	// and comparable across machines of similar class, so -gate-cpu uses it
+	// as the default cost signal. 0 = not measured (old records, or a
+	// platform without rusage).
+	CPUMS float64 `json:"cpu_ms,omitempty"`
+	// MaxRSSKB is the process resident-set high-water mark (KB) when the
+	// task finished; process-wide and monotone within a run.
+	MaxRSSKB int64 `json:"max_rss_kb,omitempty"`
+	// GCCycles is the number of GC cycles completed while the task ran
+	// (process-global: approximate when tasks run concurrently).
+	GCCycles int64 `json:"gc_cycles,omitempty"`
+
 	Cycles   int64   `json:"cycles,omitempty"`
 	Instrs   int64   `json:"instrs,omitempty"`
 	Uops     int64   `json:"uops,omitempty"`

@@ -1,0 +1,42 @@
+//go:build linux
+
+package metrics
+
+import "syscall"
+
+// rusageThread is RUSAGE_THREAD (uapi asm-generic/resource.h); the syscall
+// package does not export the constant on every linux arch, and the value
+// is uniform across them.
+const rusageThread = 1
+
+// threadCPUNanos reads the calling OS thread's consumed CPU time
+// (user+system) via getrusage(RUSAGE_THREAD).
+func threadCPUNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return processCPUNanos()
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+func processCPUNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+// maxRSSKB reads the process RSS high-water mark; linux getrusage reports
+// it in kilobytes already.
+func maxRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss
+}
+
+func tvNanos(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

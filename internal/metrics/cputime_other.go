@@ -1,0 +1,15 @@
+//go:build !linux
+
+package metrics
+
+// Non-linux fallback: no portable stdlib-only way to read per-thread (or
+// even per-process) rusage without platform-specific syscall shims, so
+// resource accounting degrades to zeros. Every consumer treats 0 as
+// "unavailable" — ledger fields are omitempty, spans skip the cpu_ns
+// attribute, and the gate only fires on records that carry CPU.
+
+func threadCPUNanos() int64 { return 0 }
+
+func processCPUNanos() int64 { return 0 }
+
+func maxRSSKB() int64 { return 0 }

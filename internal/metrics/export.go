@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -60,9 +61,12 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 	pids := map[int]bool{}
 	tids := map[[2]int]bool{}
 	for _, s := range spans {
-		args := make(map[string]string, len(s.Attrs))
+		args := make(map[string]string, len(s.Attrs)+1)
 		for _, a := range s.Attrs {
 			args[a.Key] = a.Value
+		}
+		if s.CPUNanos > 0 {
+			args["cpu_ms"] = strconv.FormatFloat(float64(s.CPUNanos)/1e6, 'f', 3, 64)
 		}
 		pids[s.Pid] = true
 		tids[[2]int{s.Pid, s.Tid}] = true

@@ -1,0 +1,294 @@
+package metrics
+
+import (
+	"math"
+	rtm "runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the runtime health sampler: a periodic, nil-guarded
+// collector of the Go runtime's vital signs (heap in use, goroutine count,
+// GC cycles and CPU fraction, GC pause and scheduling-latency quantiles)
+// read from runtime/metrics. Samples land in a fixed ring so /debug/dash
+// can draw a health strip over the recent past, and the latest reading is
+// exported as gauges on /metrics (InstallHealthMetrics). Like the tracer
+// and the ledger, the sampler is a process-wide atomic pointer that is nil
+// by default: with no sampler installed nothing is collected and nothing
+// is paid.
+
+// HealthSample is one periodic reading of runtime health. The quantile
+// fields describe the interval since the previous sample (deltas of the
+// runtime's cumulative histograms), not all time.
+type HealthSample struct {
+	HeapBytes     uint64  `json:"heap_bytes"` // bytes of live or not-yet-swept heap objects
+	Goroutines    int64   `json:"goroutines"`
+	GCCycles      int64   `json:"gc_cycles"`        // cumulative completed GC cycles
+	GCCPUPct      float64 `json:"gc_cpu_pct"`       // share of CPU spent in GC since the previous sample
+	GCPauseP99MS  float64 `json:"gc_pause_p99_ms"`  // p99 GC stop-the-world pause since the previous sample
+	SchedLatP99MS float64 `json:"sched_lat_p99_ms"` // p99 goroutine scheduling latency since the previous sample
+}
+
+// healthRing bounds retained samples: ~17 minutes at the default interval.
+const healthRing = 512
+
+// defaultHealthInterval paces the sampling loop. One Sample costs a few
+// microseconds (see BenchmarkHealthSample), so this is ~0.0003% overhead.
+const defaultHealthInterval = 2 * time.Second
+
+// healthMetricNames are the runtime/metrics series one Sample reads, in
+// the order sampleLocked consumes them.
+var healthMetricNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/cpu/classes/gc/total:cpu-seconds",
+	"/cpu/classes/total:cpu-seconds",
+	"/sched/pauses/total/gc:seconds",
+	"/sched/latencies:seconds",
+}
+
+// HealthSampler collects HealthSamples into a ring. Safe for concurrent
+// use; the periodic loop (Start) and ad-hoc Sample calls share one mutex.
+type HealthSampler struct {
+	interval time.Duration
+
+	mu   sync.Mutex
+	ring []HealthSample
+	next int
+	full bool
+
+	// Previous cumulative readings, for per-interval deltas.
+	prevGCCPU, prevTotCPU float64
+	prevPause, prevSched  []uint64
+
+	samples []rtm.Sample // reused read buffer
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealthSampler creates a sampler without starting its loop (tests
+// drive Sample/Push directly). interval <= 0 selects the default.
+func NewHealthSampler(interval time.Duration) *HealthSampler {
+	if interval <= 0 {
+		interval = defaultHealthInterval
+	}
+	h := &HealthSampler{
+		interval: interval,
+		ring:     make([]HealthSample, healthRing),
+		samples:  make([]rtm.Sample, len(healthMetricNames)),
+	}
+	for i, n := range healthMetricNames {
+		h.samples[i].Name = n
+	}
+	return h
+}
+
+// Interval returns the sampling cadence.
+func (h *HealthSampler) Interval() time.Duration { return h.interval }
+
+// Sample takes one reading, appends it to the ring, and returns it.
+func (h *HealthSampler) Sample() HealthSample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rtm.Read(h.samples)
+	var s HealthSample
+	s.HeapBytes = h.samples[0].Value.Uint64()
+	s.Goroutines = int64(h.samples[1].Value.Uint64())
+	s.GCCycles = int64(h.samples[2].Value.Uint64())
+	gcCPU := h.samples[3].Value.Float64()
+	totCPU := h.samples[4].Value.Float64()
+	if d := totCPU - h.prevTotCPU; d > 0 && h.prevTotCPU > 0 {
+		pct := 100 * (gcCPU - h.prevGCCPU) / d
+		s.GCCPUPct = math.Min(100, math.Max(0, pct))
+	}
+	h.prevGCCPU, h.prevTotCPU = gcCPU, totCPU
+	if hist := h.samples[5].Value.Float64Histogram(); hist != nil {
+		s.GCPauseP99MS = 1e3 * histDeltaQuantile(hist, &h.prevPause, 0.99)
+	}
+	if hist := h.samples[6].Value.Float64Histogram(); hist != nil {
+		s.SchedLatP99MS = 1e3 * histDeltaQuantile(hist, &h.prevSched, 0.99)
+	}
+	h.pushLocked(s)
+	return s
+}
+
+// Push appends a pre-built sample (fake samplers in tests).
+func (h *HealthSampler) Push(s HealthSample) {
+	h.mu.Lock()
+	h.pushLocked(s)
+	h.mu.Unlock()
+}
+
+func (h *HealthSampler) pushLocked(s HealthSample) {
+	h.ring[h.next] = s
+	h.next++
+	if h.next == len(h.ring) {
+		h.next = 0
+		h.full = true
+	}
+}
+
+// History returns the retained samples, oldest first.
+func (h *HealthSampler) History() []HealthSample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.next
+	if h.full {
+		n = len(h.ring)
+	}
+	out := make([]HealthSample, 0, n)
+	start := 0
+	if h.full {
+		start = h.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, h.ring[(start+i)%len(h.ring)])
+	}
+	return out
+}
+
+// Latest returns the newest sample, or ok=false when none was taken yet.
+func (h *HealthSampler) Latest() (HealthSample, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.full && h.next == 0 {
+		return HealthSample{}, false
+	}
+	i := h.next - 1
+	if i < 0 {
+		i = len(h.ring) - 1
+	}
+	return h.ring[i], true
+}
+
+// start launches the periodic loop; Stop ends it.
+func (h *HealthSampler) start() {
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.Sample()
+			}
+		}
+	}()
+}
+
+// Stop ends a Start-ed sampling loop; a no-op for loop-less samplers.
+func (h *HealthSampler) Stop() {
+	if h == nil || h.stop == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+	h.stop = nil
+}
+
+// histDeltaQuantile computes the q-quantile of a cumulative
+// runtime/metrics histogram's growth since the previous call (prev keeps
+// the cumulative bucket counts between calls, resized on first use).
+// Returns the matched bucket's upper edge in the histogram's unit
+// (seconds), falling back to the lower edge for the +Inf overflow bucket;
+// 0 when nothing landed since the previous sample.
+func histDeltaQuantile(h *rtm.Float64Histogram, prev *[]uint64, q float64) float64 {
+	n := len(h.Counts)
+	if len(*prev) != n {
+		*prev = make([]uint64, n)
+	}
+	var total uint64
+	delta := make([]uint64, n)
+	for i, c := range h.Counts {
+		d := c - (*prev)[i]
+		(*prev)[i] = c
+		delta[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, d := range delta {
+		cum += d
+		if cum >= target {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, +1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return 0
+}
+
+// curHealth is the process-wide health sampler; nil (the default) means
+// health collection is off.
+var curHealth atomic.Pointer[HealthSampler]
+
+// InstallHealth replaces the installed sampler (nil uninstalls) and
+// returns the previous one, so tests can restore global state. The caller
+// owns stopping a replaced sampler's loop.
+func InstallHealth(h *HealthSampler) *HealthSampler { return curHealth.Swap(h) }
+
+// Health returns the installed sampler, or nil when health collection is
+// off.
+func Health() *HealthSampler { return curHealth.Load() }
+
+// StartHealth installs a sampler ticking at interval (<= 0 = default) and
+// starts its loop; idempotent — an already-installed sampler is returned
+// untouched. Drivers call it when a debug server is up.
+func StartHealth(interval time.Duration) *HealthSampler {
+	if h := curHealth.Load(); h != nil {
+		return h
+	}
+	h := NewHealthSampler(interval)
+	if curHealth.CompareAndSwap(nil, h) {
+		h.Sample() // prime cumulative baselines so the first tick's deltas mean something
+		h.start()
+		return h
+	}
+	return curHealth.Load()
+}
+
+// InstallHealthMetrics registers the latest health reading as /metrics
+// gauges. Values are read from the installed sampler at scrape time; with
+// no sampler (or no sample yet) everything reads 0.
+func InstallHealthMetrics(reg *Registry) {
+	latest := func(f func(HealthSample) float64) func() float64 {
+		return func() float64 {
+			h := Health()
+			if h == nil {
+				return 0
+			}
+			s, ok := h.Latest()
+			if !ok {
+				return 0
+			}
+			return f(s)
+		}
+	}
+	reg.GaugeFunc("mg_health_heap_bytes", "bytes of live or not-yet-swept heap objects",
+		latest(func(s HealthSample) float64 { return float64(s.HeapBytes) }))
+	reg.GaugeFunc("mg_health_goroutines", "live goroutines",
+		latest(func(s HealthSample) float64 { return float64(s.Goroutines) }))
+	reg.CounterFunc("mg_health_gc_cycles_total", "completed GC cycles",
+		latest(func(s HealthSample) float64 { return float64(s.GCCycles) }))
+	reg.GaugeFunc("mg_health_gc_cpu_pct", "share of CPU spent in GC since the previous health sample",
+		latest(func(s HealthSample) float64 { return s.GCCPUPct }))
+	reg.GaugeFunc("mg_health_gc_pause_p99_ms", "p99 GC stop-the-world pause since the previous health sample (ms)",
+		latest(func(s HealthSample) float64 { return s.GCPauseP99MS }))
+	reg.GaugeFunc("mg_health_sched_latency_p99_ms", "p99 goroutine scheduling latency since the previous health sample (ms)",
+		latest(func(s HealthSample) float64 { return s.SchedLatP99MS }))
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"runtime"
+	rtm "runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthSamplerSample takes real readings and checks the plausible
+// invariants: a live heap, at least one goroutine, monotonic GC cycles,
+// and clamped GC CPU share.
+func TestHealthSamplerSample(t *testing.T) {
+	h := NewHealthSampler(0)
+	if h.Interval() != defaultHealthInterval {
+		t.Errorf("default interval %v, want %v", h.Interval(), defaultHealthInterval)
+	}
+	s1 := h.Sample()
+	if s1.HeapBytes == 0 {
+		t.Error("zero heap bytes")
+	}
+	if s1.Goroutines < 1 {
+		t.Errorf("%d goroutines, want >= 1", s1.Goroutines)
+	}
+	runtime.GC()
+	s2 := h.Sample()
+	if s2.GCCycles <= s1.GCCycles {
+		t.Errorf("GC cycles did not advance across runtime.GC(): %d -> %d", s1.GCCycles, s2.GCCycles)
+	}
+	if s2.GCCPUPct < 0 || s2.GCCPUPct > 100 {
+		t.Errorf("GC CPU share out of range: %v", s2.GCCPUPct)
+	}
+	if s2.GCPauseP99MS < 0 || s2.SchedLatP99MS < 0 {
+		t.Errorf("negative quantile: pause %v, sched %v", s2.GCPauseP99MS, s2.SchedLatP99MS)
+	}
+	if got, ok := h.Latest(); !ok || got != s2 {
+		t.Errorf("Latest = %+v ok=%v, want the second sample", got, ok)
+	}
+	if hist := h.History(); len(hist) != 2 || hist[0] != s1 || hist[1] != s2 {
+		t.Errorf("history %d samples, want [s1 s2]", len(hist))
+	}
+}
+
+// TestHealthRingWraparound overfills the ring via Push and checks History
+// returns exactly the newest healthRing samples, oldest first.
+func TestHealthRingWraparound(t *testing.T) {
+	h := NewHealthSampler(time.Second)
+	if _, ok := h.Latest(); ok {
+		t.Error("Latest ok on an empty sampler")
+	}
+	const n = healthRing + 100
+	for i := 0; i < n; i++ {
+		h.Push(HealthSample{Goroutines: int64(i)})
+	}
+	hist := h.History()
+	if len(hist) != healthRing {
+		t.Fatalf("history %d samples, want %d", len(hist), healthRing)
+	}
+	if hist[0].Goroutines != n-healthRing || hist[len(hist)-1].Goroutines != n-1 {
+		t.Errorf("ring window [%d..%d], want [%d..%d]",
+			hist[0].Goroutines, hist[len(hist)-1].Goroutines, n-healthRing, n-1)
+	}
+	if got, ok := h.Latest(); !ok || got.Goroutines != n-1 {
+		t.Errorf("Latest = %+v ok=%v, want the %dth push", got, ok, n-1)
+	}
+}
+
+// TestHistDeltaQuantile drives the delta-quantile helper with a
+// hand-built cumulative histogram.
+func TestHistDeltaQuantile(t *testing.T) {
+	hist := &rtm.Float64Histogram{
+		Buckets: []float64{0, 0.001, 0.01, 1e9}, // 1e9 stands in for +Inf's neighbor below
+		Counts:  []uint64{0, 10, 0},
+	}
+	var prev []uint64
+	// All 10 observations in the (0.001, 0.01] bucket: p99 is its upper edge.
+	if got := histDeltaQuantile(hist, &prev, 0.99); got != 0.01 {
+		t.Errorf("p99 of one filled bucket = %v, want 0.01", got)
+	}
+	// No new observations since: quantile is 0.
+	if got := histDeltaQuantile(hist, &prev, 0.99); got != 0 {
+		t.Errorf("p99 of an empty delta = %v, want 0", got)
+	}
+	// 90 new fast ones and 1 slow one: p99 lands in the slow bucket.
+	hist.Counts = []uint64{90, 10, 1}
+	if got := histDeltaQuantile(hist, &prev, 0.99); got != 1e9 {
+		t.Errorf("p99 with a slow outlier = %v, want 1e9", got)
+	}
+	// +Inf overflow bucket reports its lower edge instead.
+	inf := &rtm.Float64Histogram{
+		Buckets: []float64{0, 0.5, positiveInf()},
+		Counts:  []uint64{0, 3},
+	}
+	var prev2 []uint64
+	if got := histDeltaQuantile(inf, &prev2, 0.99); got != 0.5 {
+		t.Errorf("p99 in the overflow bucket = %v, want the lower edge 0.5", got)
+	}
+}
+
+func positiveInf() float64 {
+	var zero float64
+	return 1 / zero
+}
+
+// TestInstallHealthMetrics scrapes the health gauges with a fake sampler
+// installed, and with none.
+func TestInstallHealthMetrics(t *testing.T) {
+	reg := NewRegistry()
+	InstallHealthMetrics(reg)
+
+	// No sampler: everything reads 0, exposition still valid.
+	prev := InstallHealth(nil)
+	defer InstallHealth(prev)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mg_health_heap_bytes 0") {
+		t.Errorf("samplerless scrape missing zero gauge:\n%s", sb.String())
+	}
+
+	h := NewHealthSampler(time.Second)
+	h.Push(HealthSample{HeapBytes: 12345, Goroutines: 7, GCCycles: 3, GCCPUPct: 1.5})
+	InstallHealth(h)
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mg_health_heap_bytes 12345",
+		"mg_health_goroutines 7",
+		"mg_health_gc_cycles_total 3",
+		"mg_health_gc_cpu_pct 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStartHealthIdempotent checks StartHealth installs exactly one
+// sampler and later calls return it untouched.
+func TestStartHealthIdempotent(t *testing.T) {
+	prev := InstallHealth(nil)
+	defer func() {
+		got := InstallHealth(prev)
+		got.Stop()
+	}()
+	h1 := StartHealth(time.Hour) // an hour: the loop never ticks during the test
+	if h1 == nil || Health() != h1 {
+		t.Fatal("StartHealth did not install the sampler")
+	}
+	if h2 := StartHealth(time.Minute); h2 != h1 {
+		t.Error("second StartHealth replaced the installed sampler")
+	}
+	if _, ok := h1.Latest(); !ok {
+		t.Error("StartHealth did not prime a baseline sample")
+	}
+}
+
+// TestHealthSamplerOverhead bounds one Sample's cost: the acceptance
+// criterion is <= 1% overhead at the 2s default cadence, i.e. 20ms per
+// sample. Real cost is microseconds; the bound is two orders looser.
+func TestHealthSamplerOverhead(t *testing.T) {
+	h := NewHealthSampler(0)
+	h.Sample() // warm the read buffer and baselines
+	const n = 50
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		h.Sample()
+	}
+	per := time.Since(t0) / n
+	t.Logf("health sample cost: %v per sample (%0.5f%% of the %v cadence)",
+		per, 100*float64(per)/float64(defaultHealthInterval), defaultHealthInterval)
+	if per > 20*time.Millisecond {
+		t.Errorf("sample cost %v exceeds the 1%% overhead budget (20ms at a 2s cadence)", per)
+	}
+}
+
+func BenchmarkHealthSample(b *testing.B) {
+	h := NewHealthSampler(0)
+	h.Sample()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Sample()
+	}
+}

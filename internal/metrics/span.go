@@ -16,15 +16,32 @@ import (
 
 // SpanRecord is one finished span.
 type SpanRecord struct {
-	ID     int64   `json:"id"`
-	Parent int64   `json:"parent,omitempty"` // 0 = root
-	Name   string  `json:"name"`
-	Pid    int     `json:"pid"` // process row in the trace viewer: one per sweep
-	Tid    int     `json:"tid"` // thread row: one per worker (0 = orchestrator)
-	Start  int64   `json:"start_ns"`
-	End    int64   `json:"end_ns"`
-	Attrs  []Label `json:"attrs,omitempty"`
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"` // 0 = root
+	Name   string `json:"name"`
+	Pid    int    `json:"pid"` // process row in the trace viewer: one per sweep
+	Tid    int    `json:"tid"` // thread row: one per worker (0 = orchestrator)
+	Start  int64  `json:"start_ns"`
+	End    int64  `json:"end_ns"`
+	// CPUNanos is the exact CPU time the span consumed (RUSAGE_THREAD
+	// delta), captured when CPU accounting is on (SetCPUAccounting) and the
+	// goroutine stayed on one pinned OS thread; 0 = not measured.
+	CPUNanos int64   `json:"cpu_ns,omitempty"`
+	Attrs    []Label `json:"attrs,omitempty"`
 }
+
+// cpuAccounting gates per-span thread-CPU capture. Off by default: spans
+// must stay deterministic under fake-clock tracers (golden tests), and an
+// unpinned goroutine can migrate OS threads mid-span, which would make the
+// delta meaningless. Drivers enable it alongside -trace-out; sweep workers
+// pin their threads, so phase spans under a task measure exactly.
+var cpuAccounting atomic.Bool
+
+// SetCPUAccounting toggles per-span CPU-time capture process-wide.
+func SetCPUAccounting(on bool) { cpuAccounting.Store(on) }
+
+// CPUAccountingOn reports whether per-span CPU capture is enabled.
+func CPUAccountingOn() bool { return cpuAccounting.Load() }
 
 // Tracer collects finished spans. Recording is a mutex-guarded append;
 // spans are coarse (task and phase granularity), so contention is
@@ -94,8 +111,10 @@ func (t *Tracer) Reset() {
 // Span is an in-flight timed region. A nil Span (tracing off) is valid:
 // every method is a no-op.
 type Span struct {
-	t   *Tracer
-	rec SpanRecord
+	t        *Tracer
+	rec      SpanRecord
+	cpuOn    bool
+	cpuStart int64
 }
 
 type ctxKey int
@@ -147,8 +166,23 @@ func StartSpan(ctx context.Context, name string, attrs ...Label) (context.Contex
 		s.rec.Pid = id.pid
 		s.rec.Tid = id.tid
 	}
+	if cpuAccounting.Load() {
+		s.cpuOn = true
+		s.cpuStart = threadCPUNanos()
+	}
 	s.rec.Start = t.clock()
 	return context.WithValue(ctx, ctxSpan, s), s
+}
+
+// SetCPUNanos overrides the span's CPU time with an externally measured
+// value (the sweep workers bracket whole tasks with MarkUsage/Since and
+// stamp the exact delta here); non-positive values are ignored.
+func (s *Span) SetCPUNanos(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.rec.CPUNanos = n
+	s.cpuOn = false
 }
 
 // SetAttr attaches (or appends) an attribute; call before End.
@@ -169,6 +203,13 @@ func (s *Span) SetAttr(key, value string) {
 func (s *Span) End() {
 	if s == nil {
 		return
+	}
+	if s.cpuOn {
+		// Clamp migrations (unpinned goroutine moved threads) to "not
+		// measured" rather than recording another thread's time.
+		if d := threadCPUNanos() - s.cpuStart; d > 0 {
+			s.rec.CPUNanos = d
+		}
 	}
 	s.rec.End = s.t.clock()
 	if s.rec.End < s.rec.Start {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -256,6 +257,69 @@ func TestTracerConcurrent(t *testing.T) {
 	}
 	if err := ValidateChromeTrace(parsed); err != nil {
 		t.Errorf("concurrent trace invalid: %v", err)
+	}
+}
+
+// TestSpanCPUAccounting covers the opt-in CPU path: with accounting on,
+// a span's record carries the thread's CPU delta and the Chrome export
+// stamps cpu_ms; with accounting off (the default), neither appears and
+// fake-clock traces stay byte-deterministic.
+func TestSpanCPUAccounting(t *testing.T) {
+	tr := NewTracer()
+	InstallTracer(tr)
+	defer InstallTracer(nil)
+	SetCPUAccounting(true)
+	defer SetCPUAccounting(false)
+
+	_, sp := StartSpan(context.Background(), "busy")
+	_ = burnCPU(30 * time.Millisecond)
+	sp.End()
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].CPUNanos <= 0 {
+		t.Fatalf("no CPU recorded on a busy span: %d", spans[0].CPUNanos)
+	}
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b.Bytes(), []byte(`"cpu_ms"`)) {
+		t.Errorf("chrome export missing cpu_ms arg:\n%s", b.Bytes())
+	}
+
+	// Accounting off: the golden fake-clock trace must carry no cpu_ms.
+	SetCPUAccounting(false)
+	tr2 := NewTracerClock(fakeClock())
+	buildSyntheticSweep(tr2)
+	for _, s := range tr2.Spans() {
+		if s.CPUNanos != 0 {
+			t.Errorf("span %q recorded CPU with accounting off: %d", s.Name, s.CPUNanos)
+		}
+	}
+}
+
+// TestSetCPUNanosOverride checks the worker-side override: an explicit
+// measured value replaces the span's own delta, zero and negative values
+// are ignored, and a nil span does not panic.
+func TestSetCPUNanosOverride(t *testing.T) {
+	tr := NewTracerClock(fakeClock())
+	InstallTracer(tr)
+	defer InstallTracer(nil)
+
+	_, sp := StartSpan(context.Background(), "task")
+	sp.SetCPUNanos(-5) // ignored
+	sp.SetCPUNanos(0)  // ignored
+	sp.SetCPUNanos(7_000_000)
+	sp.End()
+	var nilSpan *Span
+	nilSpan.SetCPUNanos(1) // must not panic
+
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].CPUNanos != 7_000_000 {
+		t.Fatalf("override lost: %+v", spans)
 	}
 }
 
